@@ -1,0 +1,79 @@
+// Command lsiserver serves an LSI index over HTTP — the paper's NETLIB
+// fuzzy-search deployment shape (§5.4). It indexes a directory of .txt
+// files and exposes /search, /terms, /documents and /stats.
+//
+// Usage:
+//
+//	lsiserver -dir ./docs -k 100 -addr :8080
+//
+// then:
+//
+//	curl 'localhost:8080/search?q=sparse+svd&n=5'
+//	curl 'localhost:8080/terms?w=matrix'
+//	curl -X POST -d '{"id":"new1","text":"..."}' localhost:8080/documents
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/server"
+	"repro/internal/text"
+	"repro/internal/weight"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lsiserver: ")
+	dir := flag.String("dir", "", "directory of *.txt files to index")
+	k := flag.Int("k", 100, "number of LSI factors")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("-dir is required")
+	}
+
+	entries, err := os.ReadDir(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var docs []corpus.Document
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(*dir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		docs = append(docs, corpus.Document{ID: name, Text: string(b)})
+	}
+	if len(docs) == 0 {
+		log.Fatalf("no .txt files under %s", *dir)
+	}
+
+	coll := corpus.New(docs, text.ParseOptions{MinDocs: 2})
+	model, err := core.BuildCollection(coll, core.Config{K: *k, Scheme: weight.LogEntropy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(coll, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("indexed %d docs, %d terms, k=%d; listening on %s",
+		coll.Size(), coll.Terms(), model.K, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of "Computational
+// Methods for Intelligent Information Access" (Berry, Dumais & Letsche,
+// Supercomputing '95): Latent Semantic Indexing over sparse truncated SVD,
+// with folding-in, SVD-updating, and the paper's application suite.
+//
+// The implementation lives under internal/:
+//
+//	internal/core        the LSI model (build, query, fold-in, SVD-update)
+//	internal/lanczos     sparse truncated SVD (Golub–Kahan Lanczos, randomized)
+//	internal/dense       dense kernels: QR, Jacobi and Golub–Reinsch SVD
+//	internal/sparse      CSR matrices with parallel mat-vec kernels
+//	internal/weight      local×global term weighting (Eq 5)
+//	internal/text        tokenizer, stop words, parsing rules
+//	internal/corpus      the §3 MEDLINE example and synthetic collections
+//	internal/vsm,eval    keyword/lexical baselines and IR metrics
+//	internal/filter,...  the §5 applications
+//	internal/experiments every table and figure, regenerated
+//
+// See README.md for the tour and EXPERIMENTS.md for paper-vs-measured
+// results. Benchmarks for every table and figure are in bench_test.go.
+package repro

@@ -1,0 +1,47 @@
+// Crosslang demonstrates the §5.4 Landauer–Littman method: an LSI space
+// trained on dual-language combined abstracts lets English queries retrieve
+// French documents (and vice versa) with no translation step and zero
+// lexical overlap between the languages.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/corpus"
+	"repro/internal/xlang"
+)
+
+func main() {
+	b := corpus.GenerateBilingual(corpus.BilingualOptions{
+		Seed: 7, Topics: 5, TrainingDocs: 100, MonoDocs: 40, Queries: 5,
+	})
+	mono := append(append([]corpus.Document(nil), b.MonoEN...), b.MonoFR...)
+	ix, err := xlang.Build(b.Training, mono, xlang.Config{K: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("joint space: %d dual abstracts, %d terms; %d monolingual docs folded in\n\n",
+		b.Training.Size(), b.Training.Terms(), len(mono))
+
+	nEN := len(b.MonoEN)
+	for qi, q := range b.QueriesEN[:3] {
+		fmt.Printf("EN query %q (topic %d)\n", q.Text, b.QueryTopicEN[qi])
+		shown := 0
+		for _, r := range ix.Query(q.Text) {
+			if r.Doc < nEN {
+				continue // skip English docs; show the French side
+			}
+			fr := r.Doc - nEN
+			fmt.Printf("  %-8s topic %d  cosine %+.3f\n",
+				b.MonoFR[fr].ID, b.MonoFRTopic[fr], r.Score)
+			shown++
+			if shown == 5 {
+				break
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("every retrieved French document shares zero strings with the" +
+		" English query — the association lives entirely in the latent space")
+}

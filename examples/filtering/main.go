@@ -1,0 +1,73 @@
+// Filtering demonstrates §5.3: a standing interest profile matched against
+// an incoming document stream (selective dissemination of information),
+// plus relevance feedback improving the profile.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/filter"
+	"repro/internal/text"
+	"repro/internal/weight"
+)
+
+func main() {
+	// A synthetic "news" collection: 8 topics, heavy synonym variation.
+	s := corpus.GenerateSynth(corpus.SynthOptions{
+		Seed: 2024, Topics: 8, Docs: 320, DocLen: 40,
+		SynonymsPerConcept: 5, DocVariantLoyalty: 1.0, QueriesPerTopic: 1,
+	})
+	// Train the LSI space on the first 200 documents.
+	train := corpus.New(s.Docs[:200], text.ParseOptions{MinDocs: 2})
+	model, err := core.BuildCollection(train, core.Config{K: 16, Scheme: weight.LogEntropy})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The user's standing interest is the first generated query.
+	q := s.Queries[0]
+	profile := filter.FromQuery(model, train.Vocab.Count(q.Text), 0.5)
+	fmt.Printf("standing interest: %q (threshold %.2f)\n\n", q.Text, profile.Threshold)
+
+	// Stream the remaining 120 documents past the profile.
+	relevant := map[int]bool{}
+	for _, j := range q.Relevant {
+		if j >= 200 {
+			relevant[j-200] = true
+		}
+	}
+	var stream [][]float64
+	for _, d := range s.Docs[200:] {
+		stream = append(stream, train.Vocab.Count(d.Text))
+	}
+	recommended := profile.Stream(model, stream)
+	hits := 0
+	for _, i := range recommended {
+		if relevant[i] {
+			hits++
+		}
+	}
+	fmt.Printf("stream of %d documents: %d recommended, %d of them relevant (of %d relevant in stream)\n",
+		len(stream), len(recommended), hits, len(relevant))
+
+	// Relevance feedback: replace the profile with the centroid of the
+	// first three documents the user confirmed relevant.
+	fb, err := filter.ReplaceWithFeedback(model, q.Relevant, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fb.Threshold = profile.Threshold
+	rec2 := fb.Stream(model, stream)
+	hits2 := 0
+	for _, i := range rec2 {
+		if relevant[i] {
+			hits2++
+		}
+	}
+	fmt.Printf("after 3-document relevance feedback: %d recommended, %d relevant\n",
+		len(rec2), hits2)
+	fmt.Println("\n(the paper reports feedback improving retrieval by 33–67%, §5.1)")
+}

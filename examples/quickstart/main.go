@@ -1,0 +1,46 @@
+// Quickstart: build an LSI index over a handful of documents, run a query,
+// and print the ranked results. This is the smallest end-to-end use of the
+// library: corpus.New → core.BuildCollection → Model.Rank.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/text"
+	"repro/internal/weight"
+)
+
+func main() {
+	docs := []corpus.Document{
+		{ID: "d1", Text: "the car engine needs a new motor and the driver a garage"},
+		{ID: "d2", Text: "automobile makers ship a sedan with a quiet motor and engine"},
+		{ID: "d3", Text: "the driver parked the automobile near the garage"},
+		{ID: "d4", Text: "a mechanic tuned the car motor and engine in the garage"},
+		{ID: "d5", Text: "the driver praised the automobile engine"},
+		{ID: "d6", Text: "elephants roam the savanna in large herds"},
+		{ID: "d7", Text: "the zoo keeper fed the elephants from the savanna herds"},
+	}
+
+	// Parse: index any word that appears in at least two documents.
+	coll := corpus.New(docs, text.ParseOptions{MinDocs: 2})
+	fmt.Printf("indexed %d terms over %d documents: %v\n\n",
+		coll.Terms(), coll.Size(), coll.Vocab.Terms)
+
+	// Build a rank-2 LSI model with log×entropy weighting.
+	model, err := core.BuildCollection(coll, core.Config{K: 2, Scheme: weight.LogEntropy})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The query says "automobile", but LSI also surfaces the car/motor
+	// documents that never contain that word — the synonymy effect the
+	// paper opens with (cars vs automobiles vs elephants).
+	query := "automobile"
+	fmt.Printf("query: %q\n", query)
+	for _, r := range model.Rank(coll.QueryVector(query)) {
+		fmt.Printf("  %-3s cosine %+.3f  %s\n", docs[r.Doc].ID, r.Score, docs[r.Doc].Text)
+	}
+}

@@ -1,0 +1,37 @@
+// Spellcheck demonstrates the §5.4 Kukich application: LSI over a character
+// n-gram × word matrix suggests corrections for misspelled input — the same
+// machinery as document retrieval, applied to a different descriptor–object
+// matrix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/spell"
+)
+
+func main() {
+	dictionary := []string{
+		"information", "retrieval", "latent", "semantic", "indexing",
+		"singular", "value", "decomposition", "matrix", "sparse",
+		"document", "query", "vector", "cosine", "factor", "update",
+		"folding", "orthogonal", "lanczos", "truncated", "precision",
+		"recall", "relevance", "feedback", "filtering", "synonym",
+		"polysemy", "lexical", "keyword", "database",
+	}
+	c, err := spell.New(dictionary, spell.Config{K: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dictionary of %d words, %d character n-grams, k=%d factors\n\n",
+		len(dictionary), len(c.Index.Grams), c.Model.K)
+
+	for _, w := range []string{"informaton", "semantik", "retreival", "qeury", "lanzcos"} {
+		fmt.Printf("%-12s ->", w)
+		for _, s := range c.Suggest(w, 3) {
+			fmt.Printf("  %s (%.2f)", s.Word, s.Score)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import "fmt"
+
+// ChooseKEnergy returns the smallest k such that the retained spectral
+// energy Σ_{i≤k}σᵢ² / Σ_i σᵢ² reaches frac. "Choosing the number of
+// dimensions (k) for A_k is an interesting problem" (§5.2): no closed-form
+// answer exists, but the energy heuristic gives a principled unsupervised
+// default, and by the norms property of Theorem 2.1 it equals the fraction
+// of ‖A‖_F² the rank-k model reproduces.
+func ChooseKEnergy(svals []float64, frac float64) (int, error) {
+	if frac <= 0 || frac > 1 {
+		return 0, fmt.Errorf("core: energy fraction %v outside (0, 1]", frac)
+	}
+	var total float64
+	for _, s := range svals {
+		total += s * s
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("core: zero spectrum")
+	}
+	var acc float64
+	for i, s := range svals {
+		acc += s * s
+		if acc/total >= frac {
+			return i + 1, nil
+		}
+	}
+	return len(svals), nil
+}
+
+// ChooseKSweep evaluates a scoring callback (typically mean average
+// precision on held-out queries) at each candidate k and returns the
+// arg-max — the supervised procedure behind §5.2's observation that
+// "performance peaks between 70 and 100 dimensions" on the MED abstracts.
+// The callback receives a model built at that k; build errors abort.
+func ChooseKSweep(raw func(k int) (*Model, error), score func(*Model) float64, candidates []int) (int, float64, error) {
+	if len(candidates) == 0 {
+		return 0, 0, fmt.Errorf("core: no candidate k values")
+	}
+	bestK, bestScore := 0, -1.0
+	for _, k := range candidates {
+		m, err := raw(k)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: building k=%d: %w", k, err)
+		}
+		if s := score(m); s > bestScore {
+			bestScore, bestK = s, k
+		}
+	}
+	return bestK, bestScore, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChooseKEnergy(t *testing.T) {
+	s := []float64{3, 2, 1} // energies 9, 4, 1; total 14
+	k, err := ChooseKEnergy(s, 9.0/14.0)
+	if err != nil || k != 1 {
+		t.Fatalf("k=%d err=%v", k, err)
+	}
+	k, err = ChooseKEnergy(s, 0.9)
+	if err != nil || k != 2 { // 13/14 ≈ 0.93 ≥ 0.9
+		t.Fatalf("k=%d err=%v", k, err)
+	}
+	k, err = ChooseKEnergy(s, 1)
+	if err != nil || k != 3 {
+		t.Fatalf("k=%d err=%v", k, err)
+	}
+	if _, err := ChooseKEnergy(s, 0); err == nil {
+		t.Fatal("expected error for frac 0")
+	}
+	if _, err := ChooseKEnergy([]float64{0, 0}, 0.5); err == nil {
+		t.Fatal("expected error for zero spectrum")
+	}
+}
+
+// Energy choice ties to Eckart–Young: retaining frac of the energy means
+// the reconstruction captures frac of ‖A‖_F².
+func TestChooseKEnergyMatchesReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	a := randomCounts(rng, 20, 15, 0.4)
+	full, err := Build(a, Config{K: 15, Method: MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frac = 0.8
+	k, err := ChooseKEnergy(full.S, frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(a, Config{K: k, Method: MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var num float64
+	for _, s := range m.S {
+		num += s * s
+	}
+	var den float64
+	for _, s := range full.S {
+		den += s * s
+	}
+	if num/den < frac-1e-9 {
+		t.Fatalf("retained energy %v below %v", num/den, frac)
+	}
+	// And k−1 would not have sufficed.
+	if k > 1 {
+		if (num-m.S[k-1]*m.S[k-1])/den >= frac {
+			t.Fatal("ChooseKEnergy not minimal")
+		}
+	}
+}
+
+func TestChooseKSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	a := randomCounts(rng, 30, 20, 0.3)
+	builder := func(k int) (*Model, error) {
+		return Build(a, Config{K: k, Method: MethodDense})
+	}
+	// Score: negative |k−8| so the sweep must pick the candidate nearest 8.
+	score := func(m *Model) float64 { return -math.Abs(float64(m.K - 8)) }
+	k, s, err := ChooseKSweep(builder, score, []int{2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 8 || s != 0 {
+		t.Fatalf("k=%d score=%v", k, s)
+	}
+	if _, _, err := ChooseKSweep(builder, score, nil); err == nil {
+		t.Fatal("expected error for empty candidates")
+	}
+}

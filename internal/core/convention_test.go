@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vsm"
+	"repro/internal/weight"
+)
+
+// At k = rank(A), A_k reconstructs A exactly, so cosines against the
+// reconstruction must equal the keyword vector model's cosines — the §5.2
+// limit ("with k=n factors A_k will exactly reconstruct the original term
+// by document matrix").
+func TestRankReconstructionEqualsKeywordAtFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, scheme := range []weight.Scheme{weight.Raw, weight.LogEntropy} {
+		a := randomCounts(rng, 20, 12, 0.4)
+		mod, err := Build(a, Config{K: 12, Scheme: scheme, Method: MethodDense})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mod.K < 12 {
+			t.Skipf("rank-deficient sample (K=%d)", mod.K)
+		}
+		kw := vsm.Build(a, scheme)
+		raw := make([]float64, 20)
+		raw[2], raw[7], raw[11] = 1, 2, 1
+		lsiRank := mod.RankReconstruction(raw)
+		kwScores := kw.Scores(raw)
+		for _, r := range lsiRank {
+			if math.Abs(r.Score-kwScores[r.Doc]) > 1e-8 {
+				t.Fatalf("scheme %v doc %d: reconstruction cosine %v != keyword cosine %v",
+					scheme, r.Doc, r.Score, kwScores[r.Doc])
+			}
+		}
+	}
+}
+
+// At small k the two conventions genuinely differ (the Σ⁻¹ weighting of
+// Eq 6 emphasizes low-variance directions); this guards against the two
+// code paths silently collapsing into one.
+func TestConventionsDifferAtSmallK(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := randomCounts(rng, 30, 20, 0.3)
+	mod, err := Build(a, Config{K: 4, Method: MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]float64, 30)
+	raw[1], raw[9] = 1, 1
+	r1 := mod.Rank(raw)
+	r2 := mod.RankReconstruction(raw)
+	same := true
+	for i := range r1 {
+		if r1[i].Doc != r2[i].Doc {
+			same = false
+			break
+		}
+	}
+	diff := 0.0
+	for i := range r1 {
+		diff += math.Abs(r1[i].Score - r2[i].Score)
+	}
+	if same && diff < 1e-10 {
+		t.Fatal("Rank and RankReconstruction produced identical output at k=4")
+	}
+}

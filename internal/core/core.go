@@ -1,0 +1,392 @@
+// Package core implements Latent Semantic Indexing — the paper's primary
+// contribution. A Model holds the truncated SVD A_k = U_kΣ_kV_kᵀ of a
+// weighted term–document matrix (Figure 1) and supports:
+//
+//   - query projection q̂ = qᵀU_kΣ_k⁻¹ and cosine ranking (§2.2, Eq 6),
+//   - folding-in of new documents (Eq 7) and terms (Eq 8),
+//   - the three SVD-updating phases of §4.2 (documents, terms, weight
+//     correction) following O'Brien's method,
+//   - recomputation from scratch (§3.4), and
+//   - the orthogonality-loss diagnostics of §4.3.
+//
+// Terms are rows of U_k, documents rows of V_k; both live in the same
+// k-dimensional space, which is what enables the §5.4 applications
+// (returning terms for queries, matching people, cross-language search).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/dense"
+	"repro/internal/lanczos"
+	"repro/internal/sparse"
+	"repro/internal/weight"
+)
+
+// Method selects the SVD engine.
+type Method int
+
+const (
+	// MethodAuto uses the dense Golub–Reinsch solver for small matrices and
+	// Lanczos above the densification threshold.
+	MethodAuto Method = iota
+	// MethodLanczos forces the sparse iterative solver (SVDPACK-style).
+	MethodLanczos
+	// MethodDense forces full dense SVD then truncation.
+	MethodDense
+	// MethodRandomized uses the randomized sketch solver.
+	MethodRandomized
+)
+
+// denseCutoff is the m·n size under which MethodAuto densifies.
+const denseCutoff = 1 << 16
+
+// Config parameterizes Build.
+type Config struct {
+	// K is the number of factors (paper: 100–300 for real collections, 2
+	// for the worked example). Clamped to min(m, n).
+	K int
+	// Scheme is the term weighting of Eq (5); zero value = raw counts.
+	Scheme weight.Scheme
+	// Method selects the SVD engine (default MethodAuto).
+	Method Method
+	// Seed drives the iterative solvers.
+	Seed int64
+}
+
+// Model is an LSI-encoded database: "the database of singular values and
+// vectors obtained from the truncated SVD" (§1).
+type Model struct {
+	K int
+	// U (m×k) holds term vectors as rows; S the singular values; V (n×k)
+	// document vectors as rows. After folding-in, U and V contain appended
+	// non-orthogonal rows (see §4.3).
+	U *dense.Matrix
+	S []float64
+	V *dense.Matrix
+
+	Scheme weight.Scheme
+	// global holds G(i) for the original vocabulary rows; folded-in terms
+	// carry weight 1.
+	global []float64
+
+	// svdDocs/svdTerms count the rows of V/U that came from an SVD (initial
+	// build or SVD-update) rather than folding-in.
+	svdDocs, svdTerms int
+}
+
+// Build computes the LSI model of a raw term–document count matrix.
+func Build(raw *sparse.CSR, cfg Config) (*Model, error) {
+	if raw.Rows == 0 || raw.Cols == 0 {
+		return nil, errors.New("core: empty term-document matrix")
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = 2
+	}
+	if mn := minInt(raw.Rows, raw.Cols); k > mn {
+		k = mn
+	}
+	global := weight.GlobalWeights(raw, cfg.Scheme.Global)
+	weighted := weight.Apply(raw, cfg.Scheme)
+
+	factors, err := truncatedSVD(weighted, k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Drop numerically-zero trailing triplets (rank < k).
+	k = len(factors.S)
+	for k > 0 && factors.S[k-1] <= 1e-12*maxFloat(factors.S[0], 1) {
+		k--
+	}
+	if k == 0 {
+		return nil, errors.New("core: matrix has no nonzero singular values")
+	}
+	factors = factors.Truncate(k)
+	factors.FixSigns()
+	return &Model{
+		K:        k,
+		U:        factors.U,
+		S:        factors.S,
+		V:        factors.V,
+		Scheme:   cfg.Scheme,
+		global:   global,
+		svdDocs:  raw.Cols,
+		svdTerms: raw.Rows,
+	}, nil
+}
+
+// BuildCollection is Build over a parsed corpus.
+func BuildCollection(c *corpus.Collection, cfg Config) (*Model, error) {
+	return Build(c.TD, cfg)
+}
+
+func truncatedSVD(w *sparse.CSR, k int, cfg Config) (*dense.SVDFactors, error) {
+	method := cfg.Method
+	if method == MethodAuto {
+		if w.Rows*w.Cols <= denseCutoff {
+			method = MethodDense
+		} else {
+			method = MethodLanczos
+		}
+	}
+	switch method {
+	case MethodDense:
+		f := dense.SVD(dense.NewFromRows(w.Dense()))
+		return f.Truncate(k), nil
+	case MethodLanczos:
+		res, err := lanczos.TruncatedSVD(lanczos.OpCSR(w), lanczos.Options{K: k, Seed: cfg.Seed})
+		if err != nil {
+			// One retry with a longer recurrence before giving up.
+			res, err = lanczos.TruncatedSVD(lanczos.OpCSR(w), lanczos.Options{
+				K: k, Seed: cfg.Seed, MaxSteps: minInt(minInt(w.Rows, w.Cols), 8*k+64),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+		return res.Factors(), nil
+	case MethodRandomized:
+		res := lanczos.RandomizedSVD(lanczos.OpCSR(w), lanczos.RandomizedOptions{K: k, Seed: cfg.Seed})
+		return res.Factors(), nil
+	}
+	return nil, fmt.Errorf("core: unknown method %d", cfg.Method)
+}
+
+// Clone returns a deep copy of the model; mutating updates (folding,
+// SVD-updating, weight correction) on the copy leave the original intact.
+func (m *Model) Clone() *Model {
+	return &Model{
+		K:        m.K,
+		U:        m.U.Clone(),
+		S:        append([]float64(nil), m.S...),
+		V:        m.V.Clone(),
+		Scheme:   m.Scheme,
+		global:   append([]float64(nil), m.global...),
+		svdDocs:  m.svdDocs,
+		svdTerms: m.svdTerms,
+	}
+}
+
+// NumTerms returns the current term count (rows of U, including folded-in
+// terms).
+func (m *Model) NumTerms() int { return m.U.Rows }
+
+// NumDocs returns the current document count (rows of V, including
+// folded-in documents).
+func (m *Model) NumDocs() int { return m.V.Rows }
+
+// weightQuery applies the model's weighting scheme to a raw count vector
+// over the current vocabulary.
+func (m *Model) weightQuery(raw []float64) []float64 {
+	if len(raw) != m.NumTerms() {
+		panic(fmt.Sprintf("core: query len %d want %d terms", len(raw), m.NumTerms()))
+	}
+	out := make([]float64, len(raw))
+	for i, f := range raw {
+		g := 1.0
+		if i < len(m.global) {
+			g = m.global[i]
+		}
+		out[i] = m.Scheme.Local.Apply(f) * g
+	}
+	return out
+}
+
+// ProjectQuery maps a raw query term-frequency vector into k-space:
+// q̂ = qᵀU_kΣ_k⁻¹ (Eq 6). The same projection folds in a document (Eq 7):
+// "folding-in documents is essentially the process described in §2.2 for
+// query representation."
+func (m *Model) ProjectQuery(raw []float64) []float64 {
+	q := m.weightQuery(raw)
+	out := dense.MulVecT(m.U, q)
+	for c := range out {
+		out[c] /= m.S[c]
+	}
+	return out
+}
+
+// ProjectTerm maps a raw term-occurrence vector (1×n over current
+// documents) into k-space: t̂ = tV_kΣ_k⁻¹ (Eq 8).
+func (m *Model) ProjectTerm(raw []float64) []float64 {
+	if len(raw) != m.NumDocs() {
+		panic(fmt.Sprintf("core: term vector len %d want %d docs", len(raw), m.NumDocs()))
+	}
+	out := dense.MulVecT(m.V, raw)
+	for c := range out {
+		out[c] /= m.S[c]
+	}
+	return out
+}
+
+// DocVector returns document j's k-space representation (row j of V_k).
+func (m *Model) DocVector(j int) []float64 { return m.V.Row(j) }
+
+// TermVector returns term i's k-space representation (row i of U_k).
+func (m *Model) TermVector(i int) []float64 { return m.U.Row(i) }
+
+// DocCoords returns the σ-scaled document coordinates used for plotting
+// (Figures 4–9): row j is v_j·Σ_k.
+func (m *Model) DocCoords() *dense.Matrix {
+	return dense.ScaleCols(m.V.Clone(), m.S)
+}
+
+// TermCoords returns the σ-scaled term coordinates (rows of U_k·Σ_k).
+func (m *Model) TermCoords() *dense.Matrix {
+	return dense.ScaleCols(m.U.Clone(), m.S)
+}
+
+// Similarity returns the cosine between a projected query and document j.
+func (m *Model) Similarity(qhat []float64, j int) float64 {
+	return dense.Cosine(qhat, m.V.Row(j))
+}
+
+// TermSimilarity returns the cosine between terms i and j in k-space — the
+// term–term associative similarity used for the TOEFL synonym test and
+// online thesauri (§5.4).
+func (m *Model) TermSimilarity(i, j int) float64 {
+	return dense.Cosine(m.U.Row(i), m.U.Row(j))
+}
+
+// Ranked is one scored document.
+type Ranked struct {
+	Doc   int
+	Score float64
+}
+
+// cosineParallelCutoff is the doc-count × k work size above which
+// CosinesAll fans out across goroutines; one cosine is ~2k flops, so small
+// collections stay serial.
+const cosineParallelCutoff = 1 << 15
+
+// CosinesAll returns the cosine of qhat against every document vector.
+// Large collections are scored in parallel — "efficiently comparing queries
+// to documents" is one of the §5.6 open issues, and this scan is the
+// latency-critical path of a deployed retrieval service.
+func (m *Model) CosinesAll(qhat []float64) []float64 {
+	n := m.NumDocs()
+	out := make([]float64, n)
+	score := func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			out[j] = dense.Cosine(qhat, m.V.Row(j))
+		}
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if n*m.K < cosineParallelCutoff || nw < 2 || n < 2 {
+		score(0, n)
+		return out
+	}
+	if nw > n {
+		nw = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			score(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Rank projects a raw query and returns all documents sorted by descending
+// cosine. "Typically the z closest documents or all documents exceeding
+// some cosine threshold are returned" (§2.2); callers slice or filter.
+func (m *Model) Rank(rawQuery []float64) []Ranked {
+	return rankScores(m.CosinesAll(m.ProjectQuery(rawQuery)))
+}
+
+// RankReconstruction ranks documents in the Σ-weighted coordinate system:
+// the query becomes U_kᵀq (no Σ⁻¹) and document j becomes Σ_k·v_j, so the
+// cosine equals the keyword vector model's cosine against the *rank-k
+// reconstructed* matrix A_k. At k = rank(A) this reproduces keyword
+// matching exactly — the limit §5.2 invokes ("with k=n factors A_k will
+// exactly reconstruct A" and performance "must approach the level attained
+// by standard vector methods"). The Eq (6) convention used by Rank weights
+// low-σ dimensions up and does not have this property.
+func (m *Model) RankReconstruction(rawQuery []float64) []Ranked {
+	q := m.weightQuery(rawQuery)
+	qhat := dense.MulVecT(m.U, q)
+	// Normalize by ‖q‖ (not ‖U_kᵀq‖): qᵀU_kΣ_k v_j is exactly qᵀ(A_k)_j, so
+	// with this normalization the score IS the keyword cosine against the
+	// reconstructed column, and at k = rank(A) it equals the keyword
+	// model's cosine to the last digit.
+	qn := dense.Norm2(q)
+	scores := make([]float64, m.NumDocs())
+	doc := make([]float64, m.K)
+	for j := range scores {
+		v := m.V.Row(j)
+		for c := range doc {
+			doc[c] = m.S[c] * v[c]
+		}
+		dn := dense.Norm2(doc)
+		if qn == 0 || dn == 0 {
+			scores[j] = 0
+			continue
+		}
+		scores[j] = dense.Dot(qhat, doc) / (qn * dn)
+	}
+	return rankScores(scores)
+}
+
+// RankVector ranks an already-projected k-space vector (e.g. a filtering
+// profile or a relevance-feedback centroid).
+func (m *Model) RankVector(qhat []float64) []Ranked {
+	return rankScores(m.CosinesAll(qhat))
+}
+
+// AboveThreshold returns the documents whose cosine with qhat meets the
+// threshold, sorted descending.
+func (m *Model) AboveThreshold(qhat []float64, threshold float64) []Ranked {
+	var out []Ranked
+	for _, r := range rankScores(m.CosinesAll(qhat)) {
+		if r.Score >= threshold {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func rankScores(scores []float64) []Ranked {
+	out := make([]Ranked, len(scores))
+	for j, s := range scores {
+		out[j] = Ranked{Doc: j, Score: s}
+	}
+	// Descending score, ascending doc index on ties for determinism.
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Doc < out[b].Doc
+	})
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

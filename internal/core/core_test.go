@@ -1,0 +1,592 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+	"repro/internal/weight"
+)
+
+func randomCounts(rng *rand.Rand, m, n int, density float64) *sparse.CSR {
+	b := sparse.NewBuilder(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, float64(1+rng.Intn(4)))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestBuildMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomCounts(rng, 40, 25, 0.2)
+	ref := dense.SVDJacobi(dense.NewFromRows(a.Dense()))
+	for _, method := range []Method{MethodDense, MethodLanczos} {
+		mod, err := Build(a, Config{K: 5, Method: method})
+		if err != nil {
+			t.Fatalf("method %d: %v", method, err)
+		}
+		for i := 0; i < 5; i++ {
+			if math.Abs(mod.S[i]-ref.S[i]) > 1e-7*(1+ref.S[0]) {
+				t.Fatalf("method %d σ%d = %v want %v", method, i, mod.S[i], ref.S[i])
+			}
+		}
+	}
+}
+
+func TestBuildRandomizedClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomCounts(rng, 60, 40, 0.15)
+	ref := dense.SVDJacobi(dense.NewFromRows(a.Dense()))
+	mod, err := Build(a, Config{K: 3, Method: MethodRandomized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(mod.S[i]-ref.S[i]) > 0.05*ref.S[0] {
+			t.Fatalf("σ%d = %v want %v", i, mod.S[i], ref.S[i])
+		}
+	}
+}
+
+func TestBuildClampsK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomCounts(rng, 10, 4, 0.6)
+	mod, err := Build(a, Config{K: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.K > 4 {
+		t.Fatalf("K = %d > min dim", mod.K)
+	}
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	if _, err := Build(sparse.NewBuilder(0, 0).Build(), Config{K: 2}); err == nil {
+		t.Fatal("expected error for empty matrix")
+	}
+	if _, err := Build(sparse.NewBuilder(3, 3).Build(), Config{K: 2}); err == nil {
+		t.Fatal("expected error for all-zero matrix")
+	}
+}
+
+func TestProjectQueryEquation6(t *testing.T) {
+	// q̂ must equal the weighted sum of its constituent term vectors scaled
+	// by Σ⁻¹ — "the query vector is located at the weighted sum of its
+	// constituent term vectors" (§2.2).
+	rng := rand.New(rand.NewSource(4))
+	a := randomCounts(rng, 20, 12, 0.3)
+	mod, err := Build(a, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]float64, 20)
+	raw[3], raw[7] = 1, 2
+	qhat := mod.ProjectQuery(raw)
+	want := make([]float64, 4)
+	for c := 0; c < 4; c++ {
+		want[c] = (1*mod.U.At(3, c) + 2*mod.U.At(7, c)) / mod.S[c]
+	}
+	for c := range want {
+		if math.Abs(qhat[c]-want[c]) > 1e-12 {
+			t.Fatalf("q̂[%d] = %v want %v", c, qhat[c], want[c])
+		}
+	}
+}
+
+func TestProjectQueryAppliesWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomCounts(rng, 15, 10, 0.4)
+	mod, err := Build(a, Config{K: 3, Scheme: weight.LogEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]float64, 15)
+	raw[0] = 3
+	qhat := mod.ProjectQuery(raw)
+	g := weight.GlobalWeights(a, weight.GlobalEntropy)
+	w := weight.LocalLog.Apply(3) * g[0]
+	for c := 0; c < 3; c++ {
+		want := w * mod.U.At(0, c) / mod.S[c]
+		if math.Abs(qhat[c]-want) > 1e-12 {
+			t.Fatalf("weighted projection wrong at %d", c)
+		}
+	}
+}
+
+func TestRankDeterministicAndSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomCounts(rng, 25, 15, 0.3)
+	mod, err := Build(a, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]float64, 25)
+	raw[1], raw[5], raw[9] = 1, 1, 1
+	r1 := mod.Rank(raw)
+	r2 := mod.Rank(raw)
+	if len(r1) != 15 {
+		t.Fatalf("rank returned %d docs", len(r1))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("Rank not deterministic")
+		}
+		if i > 0 && r1[i-1].Score < r1[i].Score {
+			t.Fatal("Rank not sorted descending")
+		}
+	}
+}
+
+func TestAboveThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomCounts(rng, 25, 15, 0.3)
+	mod, err := Build(a, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]float64, 25)
+	raw[0] = 1
+	qhat := mod.ProjectQuery(raw)
+	all := mod.RankVector(qhat)
+	thr := all[4].Score // exactly 5 docs at or above
+	got := mod.AboveThreshold(qhat, thr)
+	if len(got) < 5 {
+		t.Fatalf("threshold set too small: %d", len(got))
+	}
+	for _, r := range got {
+		if r.Score < thr {
+			t.Fatal("document below threshold returned")
+		}
+	}
+}
+
+func TestDocCoordsAreSigmaScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomCounts(rng, 12, 8, 0.4)
+	mod, err := Build(a, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := mod.DocCoords()
+	for j := 0; j < 8; j++ {
+		for c := 0; c < 2; c++ {
+			want := mod.V.At(j, c) * mod.S[c]
+			if math.Abs(dc.At(j, c)-want) > 1e-13 {
+				t.Fatal("DocCoords scaling wrong")
+			}
+		}
+	}
+	// DocCoords must not mutate V.
+	if mod.DocOrthogonality() > 1e-10 {
+		t.Fatal("DocCoords mutated the model")
+	}
+}
+
+func TestFoldInDocsKeepsOldCoordinates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomCounts(rng, 30, 20, 0.25)
+	mod, err := Build(a, Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mod.V.Clone()
+	d := randomCounts(rng, 30, 3, 0.25)
+	mod.FoldInDocs(d)
+	if mod.NumDocs() != 23 {
+		t.Fatalf("NumDocs = %d", mod.NumDocs())
+	}
+	if mod.FoldedDocs() != 3 {
+		t.Fatalf("FoldedDocs = %d", mod.FoldedDocs())
+	}
+	for j := 0; j < 20; j++ {
+		for c := 0; c < 5; c++ {
+			if mod.V.At(j, c) != before.At(j, c) {
+				t.Fatal("folding-in moved an existing document")
+			}
+		}
+	}
+	// The folded row equals the query projection of the same vector.
+	want := mod.ProjectQuery(d.Col(0))
+	for c := range want {
+		if math.Abs(mod.V.At(20, c)-want[c]) > 1e-12 {
+			t.Fatal("folded doc row != projection")
+		}
+	}
+}
+
+func TestFoldInDocsDegradesOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomCounts(rng, 30, 20, 0.25)
+	mod, err := Build(a, Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := mod.DocOrthogonality(); e > 1e-8 {
+		t.Fatalf("fresh model orthogonality %v", e)
+	}
+	prev := mod.DocOrthogonality()
+	for round := 0; round < 3; round++ {
+		mod.FoldInDocs(randomCounts(rng, 30, 5, 0.25))
+		cur := mod.DocOrthogonality()
+		if cur < prev-1e-12 {
+			t.Fatalf("orthogonality error shrank after folding: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+	if prev < 1e-6 {
+		t.Fatalf("orthogonality error suspiciously small after 15 folds: %v", prev)
+	}
+}
+
+func TestFoldInTerms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomCounts(rng, 30, 20, 0.25)
+	mod, err := Build(a, Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := randomCounts(rng, 2, 20, 0.3)
+	mod.FoldInTerms(tm)
+	if mod.NumTerms() != 32 || mod.FoldedTerms() != 2 {
+		t.Fatalf("terms %d folded %d", mod.NumTerms(), mod.FoldedTerms())
+	}
+	// Term projection is Eq (8): t̂ = tV_kΣ_k⁻¹.
+	raw := make([]float64, 20)
+	tm.Row(0, func(j int, v float64) { raw[j] = v })
+	want := mod.ProjectTerm(raw)
+	for c := range want {
+		if math.Abs(mod.U.At(30, c)-want[c]) > 1e-12 {
+			t.Fatal("folded term row != Eq 8 projection")
+		}
+	}
+	// Query over the enlarged vocabulary is well-defined.
+	q := make([]float64, 32)
+	q[31] = 1
+	if got := mod.Rank(q); len(got) != 20 {
+		t.Fatal("rank after term fold failed")
+	}
+}
+
+// O'Brien's document phase computes the exact SVD of (A_k | U_kU_kᵀD): the
+// component of D orthogonal to the current term space is discarded (that is
+// precisely what makes it cheaper than recomputing). Verify against a dense
+// SVD of that projected matrix.
+func TestUpdateDocsExactOnProjectedB(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomCounts(rng, 12, 8, 0.5)
+	mod, err := Build(a, Config{K: 5, Method: MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mod.K
+	// Reference B = (A_k | P_U·D) built from the pre-update factors.
+	ak := mod.ReconstructAk()
+	d := randomCounts(rng, 12, 3, 0.5)
+	dw := dense.New(12, 3)
+	for j := 0; j < 3; j++ {
+		dw.SetCol(j, d.Col(j)) // Raw scheme: weights are identity
+	}
+	pu := dense.Mul(mod.U, dense.MulT(mod.U, dw)) // U(UᵀD)
+	b := ak.AugmentCols(pu)
+
+	if err := mod.UpdateDocs(d); err != nil {
+		t.Fatal(err)
+	}
+	full := dense.SVDJacobi(b)
+	for i := 0; i < k; i++ {
+		if math.Abs(mod.S[i]-full.S[i]) > 1e-9*(1+full.S[0]) {
+			t.Fatalf("σ%d = %v want %v", i, mod.S[i], full.S[i])
+		}
+	}
+	if !mod.ReconstructAk().Equal(full.Truncate(k).Reconstruct(), 1e-8) {
+		t.Fatal("UpdateDocs reconstruction differs from SVD of projected B")
+	}
+	if mod.NumDocs() != 11 || mod.FoldedDocs() != 0 {
+		t.Fatalf("doc bookkeeping: n=%d folded=%d", mod.NumDocs(), mod.FoldedDocs())
+	}
+	if e := mod.DocOrthogonality(); e > 1e-9 {
+		t.Fatalf("update left non-orthogonal V: %v", e)
+	}
+}
+
+// When the new documents lie in the span of the existing term space — here,
+// exact duplicates and sums of existing documents — and k is the full rank,
+// SVD-updating agrees exactly with recomputing the SVD of (A | D) (§3.4's
+// gold standard).
+func TestUpdateDocsMatchesRecomputeForInSpanDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomCounts(rng, 12, 8, 0.5)
+	mod, err := Build(a, Config{K: 8, Method: MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.K != 8 {
+		t.Skipf("rank-deficient sample (K=%d); property needs full rank", mod.K)
+	}
+	// D's columns are sums of existing columns ⇒ in colspace(A) = span(U_k).
+	db := sparse.NewBuilder(12, 2)
+	for i := 0; i < 12; i++ {
+		v := a.At(i, 0) + a.At(i, 3)
+		if v != 0 {
+			db.Add(i, 0, v)
+		}
+		if w := a.At(i, 5); w != 0 {
+			db.Add(i, 1, w)
+		}
+	}
+	d := db.Build()
+	if err := mod.UpdateDocs(d); err != nil {
+		t.Fatal(err)
+	}
+	full := dense.SVDJacobi(dense.NewFromRows(a.AugmentCols(d).Dense()))
+	for i := 0; i < mod.K; i++ {
+		if math.Abs(mod.S[i]-full.S[i]) > 1e-8*(1+full.S[0]) {
+			t.Fatalf("σ%d = %v want %v", i, mod.S[i], full.S[i])
+		}
+	}
+	if !mod.ReconstructAk().Equal(full.Truncate(mod.K).Reconstruct(), 1e-7) {
+		t.Fatal("UpdateDocs reconstruction differs from recompute")
+	}
+}
+
+// The term phase computes the exact SVD of (A_k ; T·V_kV_kᵀ).
+func TestUpdateTermsExactOnProjectedC(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomCounts(rng, 8, 12, 0.5)
+	mod, err := Build(a, Config{K: 5, Method: MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mod.K
+	ak := mod.ReconstructAk()
+	tm := randomCounts(rng, 3, 12, 0.5)
+	tw := dense.NewFromRows(tm.Dense())
+	pv := dense.MulBT(dense.Mul(tw, mod.V), mod.V) // (T·V)·Vᵀ
+	c := ak.AugmentRows(pv)
+
+	if err := mod.UpdateTerms(tm); err != nil {
+		t.Fatal(err)
+	}
+	full := dense.SVDJacobi(c)
+	for i := 0; i < k; i++ {
+		if math.Abs(mod.S[i]-full.S[i]) > 1e-9*(1+full.S[0]) {
+			t.Fatalf("σ%d = %v want %v", i, mod.S[i], full.S[i])
+		}
+	}
+	if !mod.ReconstructAk().Equal(full.Truncate(k).Reconstruct(), 1e-8) {
+		t.Fatal("UpdateTerms reconstruction differs from SVD of projected C")
+	}
+	if mod.NumTerms() != 11 || mod.FoldedTerms() != 0 {
+		t.Fatalf("term bookkeeping: m=%d folded=%d", mod.NumTerms(), mod.FoldedTerms())
+	}
+}
+
+// On a square full-rank matrix, P_U = P_V = I, so the correction phase must
+// agree exactly with recomputing the SVD of W = A + Y·Zᵀ.
+func TestCorrectWeightsExactOnFullRankSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randomCounts(rng, 7, 7, 0.7)
+	mod, err := Build(a, Config{K: 7, Method: MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.K != 7 {
+		t.Skipf("rank-deficient sample (K=%d)", mod.K)
+	}
+	termIdx := []int{2, 5}
+	z := dense.New(7, 2)
+	for j := 0; j < 7; j++ {
+		z.Set(j, 0, rng.NormFloat64()*0.1)
+		z.Set(j, 1, rng.NormFloat64()*0.1)
+	}
+	if err := mod.CorrectWeights(termIdx, z); err != nil {
+		t.Fatal(err)
+	}
+	w := dense.NewFromRows(a.Dense())
+	for c, ti := range termIdx {
+		for j := 0; j < 7; j++ {
+			w.Set(ti, j, w.At(ti, j)+z.At(j, c))
+		}
+	}
+	full := dense.SVDJacobi(w)
+	for i := 0; i < mod.K; i++ {
+		if math.Abs(mod.S[i]-full.S[i]) > 1e-8*(1+full.S[0]) {
+			t.Fatalf("σ%d = %v want %v", i, mod.S[i], full.S[i])
+		}
+	}
+	if !mod.ReconstructAk().Equal(full.Truncate(mod.K).Reconstruct(), 1e-7) {
+		t.Fatal("CorrectWeights reconstruction differs")
+	}
+}
+
+func TestUpdateAfterFoldRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randomCounts(rng, 20, 12, 0.3)
+	mod, err := Build(a, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.FoldInDocs(randomCounts(rng, 20, 1, 0.3))
+	if err := mod.UpdateDocs(randomCounts(rng, 20, 1, 0.3)); err != ErrFoldedModel {
+		t.Fatalf("expected ErrFoldedModel, got %v", err)
+	}
+	if err := mod.UpdateTerms(randomCounts(rng, 1, 13, 0.3)); err != ErrFoldedModel {
+		t.Fatalf("expected ErrFoldedModel, got %v", err)
+	}
+	if err := mod.CorrectWeights([]int{0}, dense.New(13, 1)); err != ErrFoldedModel {
+		t.Fatalf("expected ErrFoldedModel, got %v", err)
+	}
+}
+
+func TestUpdateDimensionErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := randomCounts(rng, 20, 12, 0.3)
+	mod, err := Build(a, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.UpdateDocs(randomCounts(rng, 19, 1, 0.3)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if err := mod.UpdateTerms(randomCounts(rng, 1, 11, 0.3)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if err := mod.CorrectWeights([]int{99}, dense.New(12, 1)); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+// The §4 trade-off, term side: folding-in documents leaves the term
+// representation frozen ("new terms and documents have no effect on the
+// representation of the pre-existing terms", §2.3), while SVD-updating
+// re-diagonalizes, moving term coordinates toward what recomputation would
+// produce (Figures 7 vs 9). Compare the σ-scaled term Gram matrices, which
+// are invariant to the basis sign/rotation ambiguity.
+func TestUpdateTracksRecomputeBetterThanFoldInOnTerms(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var better, total int
+	for trial := 0; trial < 5; trial++ {
+		a := randomCounts(rng, 60, 40, 0.15)
+		d := randomCounts(rng, 60, 10, 0.15)
+		k := 6
+
+		folded, err := Build(a, Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		folded.FoldInDocs(d)
+
+		updated, err := Build(a, Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := updated.UpdateDocs(d); err != nil {
+			t.Fatal(err)
+		}
+
+		recomputed, err := Build(a.AugmentCols(d), Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		gram := func(m *Model) *dense.Matrix {
+			tc := m.TermCoords()
+			return dense.MulBT(tc, tc)
+		}
+		ref := gram(recomputed)
+		errUpd := gram(updated).Sub(ref).FrobeniusNorm()
+		errFold := gram(folded).Sub(ref).FrobeniusNorm()
+		total++
+		if errUpd < errFold {
+			better++
+		}
+	}
+	if better < (total+1)/2+1 && better != total {
+		t.Fatalf("update beat fold-in in only %d/%d trials", better, total)
+	}
+}
+
+func TestTermSimilaritySymmetricBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	a := randomCounts(rng, 20, 12, 0.3)
+	mod, err := Build(a, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			s := mod.TermSimilarity(i, j)
+			if math.Abs(s-mod.TermSimilarity(j, i)) > 1e-12 {
+				t.Fatal("TermSimilarity not symmetric")
+			}
+			if s < -1-1e-12 || s > 1+1e-12 {
+				t.Fatalf("cosine out of range: %v", s)
+			}
+		}
+	}
+}
+
+func TestCosinesAllParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	// Big enough to cross cosineParallelCutoff: 3000 docs × 20 factors.
+	a := randomCounts(rng, 200, 3000, 0.02)
+	mod, err := Build(a, Config{K: 20, Method: MethodLanczos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.NumDocs()*mod.K < cosineParallelCutoff {
+		t.Fatalf("fixture too small to exercise the parallel path")
+	}
+	raw := make([]float64, 200)
+	raw[5], raw[50] = 1, 2
+	qhat := mod.ProjectQuery(raw)
+	par := mod.CosinesAll(qhat)
+	for j := 0; j < mod.NumDocs(); j += 97 {
+		want := dense.Cosine(qhat, mod.V.Row(j))
+		if math.Abs(par[j]-want) > 1e-14 {
+			t.Fatalf("doc %d: parallel %v serial %v", j, par[j], want)
+		}
+	}
+}
+
+func BenchmarkCosinesAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(56))
+	a := randomCounts(rng, 500, 20000, 0.01)
+	mod, err := Build(a, Config{K: 50, Method: MethodLanczos})
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := make([]float64, 500)
+	raw[1] = 1
+	qhat := mod.ProjectQuery(raw)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod.CosinesAll(qhat)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	a := randomCounts(rng, 20, 12, 0.3)
+	m, err := Build(a, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	c.FoldInDocs(randomCounts(rng, 20, 2, 0.3))
+	if m.NumDocs() != 12 || c.NumDocs() != 14 {
+		t.Fatalf("clone not independent: %d vs %d", m.NumDocs(), c.NumDocs())
+	}
+	if err := c.UpdateDocs(randomCounts(rng, 20, 1, 0.3)); err != ErrFoldedModel {
+		t.Fatalf("clone lost fold bookkeeping: %v", err)
+	}
+	if m.DocOrthogonality() > 1e-10 {
+		t.Fatal("mutating the clone disturbed the original")
+	}
+}

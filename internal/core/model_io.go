@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dense"
+	"repro/internal/weight"
+)
+
+// Binary model format: a fixed header followed by little-endian float64
+// payloads. The format is versioned so future fields can be added without
+// breaking stored databases — an LSI database is a long-lived artifact (the
+// paper's TREC SVD took 18 hours to compute; §5.3).
+const (
+	modelMagic   = 0x4c534931 // "LSI1"
+	modelVersion = 1
+)
+
+// WriteTo serializes the model. It implements io.WriterTo.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	head := []uint64{
+		modelMagic, modelVersion,
+		uint64(m.K),
+		uint64(m.U.Rows), uint64(m.V.Rows),
+		uint64(m.Scheme.Local), uint64(m.Scheme.Global),
+		uint64(len(m.global)),
+		uint64(m.svdDocs), uint64(m.svdTerms),
+	}
+	for _, h := range head {
+		if err := binary.Write(cw, binary.LittleEndian, h); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, payload := range [][]float64{m.S, m.global, m.U.Data, m.V.Data} {
+		if err := writeFloats(cw, payload); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadModel deserializes a model written by WriteTo.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	head := make([]uint64, 10)
+	for i := range head {
+		if err := binary.Read(br, binary.LittleEndian, &head[i]); err != nil {
+			return nil, fmt.Errorf("core: reading model header: %w", err)
+		}
+	}
+	if head[0] != modelMagic {
+		return nil, fmt.Errorf("core: not an LSI model (magic %#x)", head[0])
+	}
+	if head[1] != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", head[1])
+	}
+	k := int(head[2])
+	mRows, nRows := int(head[3]), int(head[4])
+	scheme := weight.Scheme{Local: weight.Local(head[5]), Global: weight.Global(head[6])}
+	nGlobal := int(head[7])
+	svdDocs, svdTerms := int(head[8]), int(head[9])
+	if k <= 0 || mRows < 0 || nRows < 0 || nGlobal < 0 {
+		return nil, fmt.Errorf("core: corrupt model header (k=%d m=%d n=%d)", k, mRows, nRows)
+	}
+
+	s, err := readFloats(br, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading singular values: %w", err)
+	}
+	global, err := readFloats(br, nGlobal)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading global weights: %w", err)
+	}
+	uData, err := readFloats(br, mRows*k)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading U: %w", err)
+	}
+	vData, err := readFloats(br, nRows*k)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading V: %w", err)
+	}
+	model := &Model{
+		K:        k,
+		U:        &dense.Matrix{Rows: mRows, Cols: k, Data: uData},
+		S:        s,
+		V:        &dense.Matrix{Rows: nRows, Cols: k, Data: vData},
+		Scheme:   scheme,
+		global:   global,
+		svdDocs:  svdDocs,
+		svdTerms: svdTerms,
+	}
+	for i, sv := range model.S {
+		if sv < 0 || math.IsNaN(sv) || math.IsInf(sv, 0) {
+			return nil, fmt.Errorf("core: corrupt singular value σ%d = %v", i, sv)
+		}
+	}
+	return model, nil
+}
+
+func writeFloats(w io.Writer, xs []float64) error {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloats(r io.Reader, n int) ([]float64, error) {
+	if n < 0 || n > 1<<31 {
+		return nil, fmt.Errorf("implausible payload length %d", n)
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return out, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/weight"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := randomCounts(rng, 25, 15, 0.3)
+	m, err := Build(a, Config{K: 5, Scheme: weight.LogEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != m.K || got.NumTerms() != m.NumTerms() || got.NumDocs() != m.NumDocs() {
+		t.Fatal("shape mismatch after round trip")
+	}
+	if got.Scheme != m.Scheme {
+		t.Fatal("scheme mismatch")
+	}
+	for i := range m.S {
+		if got.S[i] != m.S[i] {
+			t.Fatal("singular values differ")
+		}
+	}
+	if !got.U.Equal(m.U, 0) || !got.V.Equal(m.V, 0) {
+		t.Fatal("factors differ")
+	}
+	// Behavioural equivalence: same ranking for the same query.
+	raw := make([]float64, 25)
+	raw[3], raw[8] = 1, 2
+	r1, r2 := m.Rank(raw), got.Rank(raw)
+	for i := range r1 {
+		if r1[i].Doc != r2[i].Doc || math.Abs(r1[i].Score-r2[i].Score) > 1e-15 {
+			t.Fatal("loaded model ranks differently")
+		}
+	}
+}
+
+func TestModelRoundTripAfterFoldAndUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomCounts(rng, 25, 15, 0.3)
+	m, err := Build(a, Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UpdateDocs(randomCounts(rng, 25, 2, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	m.FoldInDocs(randomCounts(rng, 25, 3, 0.3))
+	m.FoldInTerms(randomCounts(rng, 2, 20, 0.3))
+
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fold bookkeeping survives, so the ErrFoldedModel guard still works.
+	if got.FoldedDocs() != m.FoldedDocs() || got.FoldedTerms() != m.FoldedTerms() {
+		t.Fatalf("fold counters lost: docs %d/%d terms %d/%d",
+			got.FoldedDocs(), m.FoldedDocs(), got.FoldedTerms(), m.FoldedTerms())
+	}
+	if err := got.UpdateDocs(randomCounts(rng, got.NumTerms(), 1, 0.3)); err != ErrFoldedModel {
+		t.Fatalf("expected ErrFoldedModel after reload, got %v", err)
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	if _, err := ReadModel(bytes.NewReader([]byte("not a model at all, nope"))); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+	if _, err := ReadModel(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestReadModelRejectsTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := randomCounts(rng, 10, 8, 0.4)
+	m, err := Build(a, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{10, 80, len(full) / 2, len(full) - 1} {
+		if _, err := ReadModel(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("expected error for truncation at %d bytes", cut)
+		}
+	}
+}
+
+func TestReadModelRejectsWrongVersion(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := randomCounts(rng, 10, 8, 0.4)
+	m, err := Build(a, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[8] = 99 // version field (second uint64, little-endian low byte)
+	if _, err := ReadModel(bytes.NewReader(b)); err == nil {
+		t.Fatal("expected version error")
+	}
+}

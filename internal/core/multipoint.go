@@ -1,0 +1,34 @@
+package core
+
+import "repro/internal/dense"
+
+// RankMultiPoint ranks documents against a query represented as multiple
+// points of interest in k-space (Kane-Esrig et al.'s relevance density
+// method, cited in §5.4: "queries can even be represented as multiple
+// points of interest"). Each document is scored by its best cosine to any
+// point — a disjunctive query — so a user interested in two unrelated
+// topics is not forced through their meaningless centroid.
+func (m *Model) RankMultiPoint(points [][]float64) []Ranked {
+	scores := make([]float64, m.NumDocs())
+	for j := range scores {
+		best := -1.0
+		v := m.V.Row(j)
+		for _, p := range points {
+			if c := dense.Cosine(p, v); c > best {
+				best = c
+			}
+		}
+		scores[j] = best
+	}
+	return rankScores(scores)
+}
+
+// ProjectQueries projects several raw query vectors at once, for use with
+// RankMultiPoint.
+func (m *Model) ProjectQueries(raws [][]float64) [][]float64 {
+	out := make([][]float64, len(raws))
+	for i, r := range raws {
+		out[i] = m.ProjectQuery(r)
+	}
+	return out
+}

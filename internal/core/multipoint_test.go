@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// A two-topic interest finds the union of both topics' documents at least
+// as well as the centroid of the two queries does, aggregated over several
+// topic pairs (the advantage of the relevance-density representation is
+// statistical, not per-pair).
+func TestRankMultiPointBeatsCentroidOnDisjunction(t *testing.T) {
+	s := corpus.GenerateSynth(corpus.SynthOptions{
+		Seed: 51, Topics: 6, Docs: 120, DocLen: 40, QueriesPerTopic: 1,
+	})
+	m, err := BuildCollection(s.Collection, Config{K: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var multiSum, centroidSum float64
+	for pair := 0; pair+1 < len(s.Queries); pair += 2 {
+		qa, qb := s.Queries[pair], s.Queries[pair+1]
+		rel := map[int]bool{}
+		for _, j := range append(append([]int{}, qa.Relevant...), qb.Relevant...) {
+			rel[j] = true
+		}
+		points := m.ProjectQueries([][]float64{
+			s.QueryVector(qa.Text), s.QueryVector(qb.Text),
+		})
+		multi := m.RankMultiPoint(points)
+
+		centroid := make([]float64, m.K)
+		for _, p := range points {
+			for c := range centroid {
+				centroid[c] += p[c] / 2
+			}
+		}
+		single := m.RankVector(centroid)
+
+		precAt := func(ranked []Ranked, n int) float64 {
+			hits := 0
+			for _, r := range ranked[:n] {
+				if rel[r.Doc] {
+					hits++
+				}
+			}
+			return float64(hits) / float64(n)
+		}
+		n := len(rel)
+		multiSum += precAt(multi, n)
+		centroidSum += precAt(single, n)
+	}
+	if multiSum < centroidSum {
+		t.Fatalf("multi-point precision sum %v below centroid %v", multiSum, centroidSum)
+	}
+}
+
+func TestRankMultiPointSinglePointMatchesRankVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	a := randomCounts(rng, 20, 12, 0.3)
+	m, err := Build(a, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]float64, 20)
+	raw[2] = 1
+	p := m.ProjectQuery(raw)
+	r1 := m.RankMultiPoint([][]float64{p})
+	r2 := m.RankVector(p)
+	for i := range r1 {
+		if r1[i].Doc != r2[i].Doc || math.Abs(r1[i].Score-r2[i].Score) > 1e-12 {
+			t.Fatal("single-point multi rank differs from RankVector")
+		}
+	}
+}
+
+func TestRankMultiPointScoreIsMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := randomCounts(rng, 15, 10, 0.4)
+	m, err := Build(a, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := make([]float64, 15)
+	q2 := make([]float64, 15)
+	q1[0], q2[5] = 1, 1
+	points := m.ProjectQueries([][]float64{q1, q2})
+	multi := m.RankMultiPoint(points)
+	for _, r := range multi {
+		c1 := m.Similarity(points[0], r.Doc)
+		c2 := m.Similarity(points[1], r.Doc)
+		want := math.Max(c1, c2)
+		if math.Abs(r.Score-want) > 1e-12 {
+			t.Fatalf("doc %d score %v want max(%v, %v)", r.Doc, r.Score, c1, c2)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// ErrFoldedModel is returned when an SVD-update is attempted on a model
+// whose factors contain folded-in (non-orthogonal) rows; the update
+// algebra of §4.2 assumes orthonormal U_k and V_k.
+var ErrFoldedModel = errors.New("core: SVD-updating requires an unfolded model (rebuild or update before folding in)")
+
+// UpdateDocs performs the document phase of SVD-updating (§4.2): it
+// computes the k largest singular triplets of B = (A_k | D) (Eq 10) from
+// the existing factors, without touching A. Following O'Brien's
+// derivation, with F = (Σ_k | U_kᵀD):
+//
+//	SVD(F) = U_F Σ_F V_Fᵀ,  U_B = U_k·U_F,  V_B = diag(V_k, I_p)·V_F.
+//
+// d is the m×p raw count matrix; the model's weighting is applied
+// internally. Unlike folding-in, every existing term and document
+// coordinate moves — the latent structure is re-diagonalized.
+func (m *Model) UpdateDocs(d *sparse.CSR) error {
+	if d.Rows != m.NumTerms() {
+		return fmt.Errorf("core: UpdateDocs terms %d want %d", d.Rows, m.NumTerms())
+	}
+	if m.FoldedDocs() != 0 || m.FoldedTerms() != 0 {
+		return ErrFoldedModel
+	}
+	k, p := m.K, d.Cols
+	// Weighted new-document block, projected: U_kᵀ·W(D) is k×p.
+	utd := dense.New(k, p)
+	for j := 0; j < p; j++ {
+		w := m.weightQuery(d.Col(j))
+		utd.SetCol(j, dense.MulVecT(m.U, w))
+	}
+	// F = (Σ_k | U_kᵀD), k×(k+p).
+	f := dense.Diag(m.S).AugmentCols(utd)
+	sf := dense.SVD(f).Truncate(k)
+
+	// U_B = U_k·U_F (m×k).
+	m.U = dense.Mul(m.U, sf.U)
+	// V_B = diag(V_k, I_p)·V_F ((n+p)×k): top block V_k·V_F[:k], bottom
+	// block V_F[k:].
+	top := dense.Mul(m.V, sf.V.Slice(0, k, 0, k))
+	bottom := sf.V.Slice(k, k+p, 0, k)
+	m.V = top.AugmentRows(bottom)
+	m.S = sf.S
+	m.svdDocs += p
+	m.fixSigns()
+	return nil
+}
+
+// UpdateTerms performs the term phase of SVD-updating (§4.2): the k
+// largest triplets of C = (A_k ; T) (Eq 11). With H = (Σ_k ; T·V_k):
+//
+//	SVD(H) = U_H Σ_H V_Hᵀ,  U_C = diag(U_k, I_q)·U_H,  V_C = V_k·V_H.
+//
+// t is the q×n raw count matrix of new term occurrences across the current
+// documents; local weighting is applied, and the new terms receive global
+// weight 1.
+func (m *Model) UpdateTerms(t *sparse.CSR) error {
+	if t.Cols != m.NumDocs() {
+		return fmt.Errorf("core: UpdateTerms docs %d want %d", t.Cols, m.NumDocs())
+	}
+	if m.FoldedDocs() != 0 || m.FoldedTerms() != 0 {
+		return ErrFoldedModel
+	}
+	k, q := m.K, t.Rows
+	// T·V_k is q×k.
+	tv := dense.New(q, k)
+	raw := make([]float64, t.Cols)
+	for i := 0; i < q; i++ {
+		for j := range raw {
+			raw[j] = 0
+		}
+		t.Row(i, func(j int, v float64) { raw[j] = m.Scheme.Local.Apply(v) })
+		copy(tv.Row(i), dense.MulVecT(m.V, raw))
+	}
+	// H = (Σ_k ; T·V_k), (k+q)×k.
+	h := dense.Diag(m.S).AugmentRows(tv)
+	sh := dense.SVD(h).Truncate(k)
+
+	// U_C = diag(U_k, I_q)·U_H ((m+q)×k).
+	top := dense.Mul(m.U, sh.U.Slice(0, k, 0, k))
+	bottom := sh.U.Slice(k, k+q, 0, k)
+	m.U = top.AugmentRows(bottom)
+	// V_C = V_k·V_H (n×k).
+	m.V = dense.Mul(m.V, sh.V)
+	m.S = sh.S
+	m.svdTerms += q
+	for i := 0; i < q; i++ {
+		m.global = append(m.global, 1)
+	}
+	m.fixSigns()
+	return nil
+}
+
+// CorrectWeights performs the weight-correction phase of SVD-updating
+// (§4.2): the k largest triplets of W = A_k + Y_j·Z_jᵀ (Eq 12), where Y_j
+// selects the j terms whose weights changed (columns of the identity) and
+// Z_j (n×j) holds the per-document differences between new and old
+// weights. With Q = Σ_k + U_kᵀY_j·Z_jᵀV_k:
+//
+//	SVD(Q) = U_Q Σ_Q V_Qᵀ,  U_W = U_k·U_Q,  V_W = V_k·V_Q.
+//
+// termIdx lists the affected term rows; z.Row(c) corresponds to
+// termIdx[c]… i.e. z is n×j with column c the weight delta of term
+// termIdx[c] across documents.
+func (m *Model) CorrectWeights(termIdx []int, z *dense.Matrix) error {
+	if z.Rows != m.NumDocs() || z.Cols != len(termIdx) {
+		return fmt.Errorf("core: CorrectWeights z is %dx%d want %dx%d", z.Rows, z.Cols, m.NumDocs(), len(termIdx))
+	}
+	if m.FoldedDocs() != 0 || m.FoldedTerms() != 0 {
+		return ErrFoldedModel
+	}
+	for _, i := range termIdx {
+		if i < 0 || i >= m.NumTerms() {
+			return fmt.Errorf("core: CorrectWeights term index %d out of range %d", i, m.NumTerms())
+		}
+	}
+	k, j := m.K, len(termIdx)
+	// U_kᵀY_j is k×j: the selected rows of U_k, transposed.
+	uty := dense.New(k, j)
+	for c, ti := range termIdx {
+		uty.SetCol(c, m.U.Row(ti))
+	}
+	// Z_jᵀV_k is j×k.
+	ztv := dense.MulT(z, m.V)
+	// Q = Σ_k + (U_kᵀY_j)(Z_jᵀV_k).
+	q := dense.Diag(m.S).Add(dense.Mul(uty, ztv))
+	sq := dense.SVD(q).Truncate(k)
+	m.U = dense.Mul(m.U, sq.U)
+	m.V = dense.Mul(m.V, sq.V)
+	m.S = sq.S
+	m.fixSigns()
+	return nil
+}
+
+// fixSigns applies the deterministic sign convention after an update.
+func (m *Model) fixSigns() {
+	f := &dense.SVDFactors{U: m.U, S: m.S, V: m.V}
+	f.FixSigns()
+	m.U, m.V = f.U, f.V
+}
+
+// ReconstructAk returns U_k·Σ_k·V_kᵀ, the rank-k approximation of Figure 1.
+// For a freshly built model this is A_k of Eq (2); after updates it is the
+// maintained low-rank approximation of the enlarged matrix.
+func (m *Model) ReconstructAk() *dense.Matrix {
+	f := &dense.SVDFactors{U: m.U, S: m.S, V: m.V}
+	return f.Reconstruct()
+}

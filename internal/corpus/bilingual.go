@@ -1,0 +1,168 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/text"
+)
+
+// BilingualOptions parameterizes the synthetic paired-abstract corpus that
+// stands in for the French/English Hansard abstracts of Landauer & Littman
+// (§5.4 Cross-Language Retrieval). Every concept has one surface word per
+// language; "dual" training abstracts contain both versions, exactly the
+// combined-abstract construction the paper describes.
+type BilingualOptions struct {
+	Seed             int64
+	Topics           int // default 8
+	ConceptsPerTopic int // default 10
+	// TrainingDocs is the number of dual-language abstracts the joint space
+	// is trained on (default 120).
+	TrainingDocs int
+	// MonoDocs is the number of monolingual documents per language folded in
+	// afterwards (default 60 each).
+	MonoDocs int
+	DocLen   int // tokens per monolingual half (default 30)
+	Queries  int // per language (default 10)
+	QueryLen int // default 6
+}
+
+func (o *BilingualOptions) fill() {
+	if o.Topics <= 0 {
+		o.Topics = 8
+	}
+	if o.ConceptsPerTopic <= 0 {
+		o.ConceptsPerTopic = 10
+	}
+	if o.TrainingDocs <= 0 {
+		o.TrainingDocs = 120
+	}
+	if o.MonoDocs <= 0 {
+		o.MonoDocs = 60
+	}
+	if o.DocLen <= 0 {
+		o.DocLen = 30
+	}
+	if o.Queries <= 0 {
+		o.Queries = 10
+	}
+	if o.QueryLen <= 0 {
+		o.QueryLen = 6
+	}
+}
+
+// Bilingual is a generated cross-language benchmark.
+type Bilingual struct {
+	// Training is the collection of dual-language combined abstracts the
+	// joint LSI space is computed from.
+	Training *Collection
+	// MonoEN and MonoFR are monolingual documents (one topic each) to be
+	// folded into the joint space.
+	MonoEN, MonoFR []Document
+	// MonoENTopic and MonoFRTopic give each monolingual doc's topic.
+	MonoENTopic, MonoFRTopic []int
+	// QueriesEN and QueriesFR are monolingual queries; relevance is
+	// topic-level: a query is relevant to every mono document of its topic
+	// in the *other* language.
+	QueriesEN, QueriesFR []Query
+	// QueryTopicEN/FR give each query's topic.
+	QueryTopicEN, QueryTopicFR []int
+	Options                    BilingualOptions
+}
+
+// GenerateBilingual builds the benchmark. English surfaces are "en…" words,
+// French surfaces "fr…" words; the generator guarantees no string is shared
+// between languages, so any cross-language retrieval success is due to the
+// latent space, never lexical overlap.
+func GenerateBilingual(opts BilingualOptions) *Bilingual {
+	opts.fill()
+	rng := rand.New(rand.NewSource(opts.Seed + 0xb111))
+
+	type biconcept struct{ en, fr string }
+	topics := make([][]biconcept, opts.Topics)
+	id := 0
+	for t := range topics {
+		topics[t] = make([]biconcept, opts.ConceptsPerTopic)
+		for c := range topics[t] {
+			id++
+			topics[t][c] = biconcept{
+				en: fmt.Sprintf("en%05d", id),
+				fr: fmt.Sprintf("fr%05d", id),
+			}
+		}
+	}
+
+	sampleTokens := func(t int, n int, lang string) []string {
+		toks := make([]string, n)
+		for i := range toks {
+			c := topics[t][rng.Intn(opts.ConceptsPerTopic)]
+			if lang == "en" {
+				toks[i] = c.en
+			} else {
+				toks[i] = c.fr
+			}
+		}
+		return toks
+	}
+
+	// Dual training abstracts: EN half + FR half about the same topic.
+	train := make([]Document, opts.TrainingDocs)
+	for j := range train {
+		t := j % opts.Topics
+		toks := append(sampleTokens(t, opts.DocLen, "en"), sampleTokens(t, opts.DocLen, "fr")...)
+		train[j] = Document{ID: fmt.Sprintf("DUAL%04d", j), Text: joinTokens(toks)}
+	}
+	training := New(train, text.ParseOptions{MinDocs: 2})
+
+	mono := func(lang string) ([]Document, []int) {
+		docs := make([]Document, opts.MonoDocs)
+		tops := make([]int, opts.MonoDocs)
+		for j := range docs {
+			t := j % opts.Topics
+			tops[j] = t
+			docs[j] = Document{
+				ID:   fmt.Sprintf("%s%04d", lang, j),
+				Text: joinTokens(sampleTokens(t, opts.DocLen, lang)),
+			}
+		}
+		return docs, tops
+	}
+	monoEN, topEN := mono("en")
+	monoFR, topFR := mono("fr")
+
+	queries := func(lang string, otherTopics []int) ([]Query, []int) {
+		qs := make([]Query, opts.Queries)
+		qt := make([]int, opts.Queries)
+		for i := range qs {
+			t := i % opts.Topics
+			qt[i] = t
+			var rel []int
+			for j, dt := range otherTopics {
+				if dt == t {
+					rel = append(rel, j)
+				}
+			}
+			qs[i] = Query{
+				ID:       fmt.Sprintf("Q%s%02d", lang, i),
+				Text:     joinTokens(sampleTokens(t, opts.QueryLen, lang)),
+				Relevant: rel,
+			}
+		}
+		return qs, qt
+	}
+	qEN, qtEN := queries("en", topFR) // EN queries judged against FR docs
+	qFR, qtFR := queries("fr", topEN)
+
+	return &Bilingual{
+		Training:     training,
+		MonoEN:       monoEN,
+		MonoFR:       monoFR,
+		MonoENTopic:  topEN,
+		MonoFRTopic:  topFR,
+		QueriesEN:    qEN,
+		QueriesFR:    qFR,
+		QueryTopicEN: qtEN,
+		QueryTopicFR: qtFR,
+		Options:      opts,
+	}
+}

@@ -1,0 +1,110 @@
+// Package corpus supplies the document collections the experiments run on:
+// the paper's §3 MEDLINE example verbatim, and synthetic generators that
+// stand in for the proprietary test collections (MED, encyclopedia, TREC,
+// TOEFL, bilingual Hansards, OCR data) with the same statistical structure —
+// latent topics expressed through variable word choice, which is exactly
+// the phenomenon ("synonymy … polysemy", §1) LSI exists to model.
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+	"repro/internal/text"
+)
+
+// Document is one text object with a stable identifier.
+type Document struct {
+	ID   string
+	Text string
+}
+
+// Collection couples documents with their vocabulary and the raw
+// term–document count matrix A of Eq (4): element (i,j) is the frequency of
+// term i in document j.
+type Collection struct {
+	Docs  []Document
+	Vocab *text.Vocabulary
+	// TD is the m×n raw count matrix (m = Vocab.Size(), n = len(Docs)).
+	TD   *sparse.CSR
+	opts text.ParseOptions
+}
+
+// New builds a Collection from documents under the given parsing options.
+func New(docs []Document, opts text.ParseOptions) *Collection {
+	texts := make([]string, len(docs))
+	for i, d := range docs {
+		texts[i] = d.Text
+	}
+	vocab := text.BuildVocabulary(texts, opts)
+	b := sparse.NewBuilder(vocab.Size(), len(docs))
+	for j, d := range docs {
+		for i, f := range vocab.Count(d.Text) {
+			if f != 0 {
+				b.Add(i, j, f)
+			}
+		}
+	}
+	return &Collection{Docs: docs, Vocab: vocab, TD: b.Build(), opts: opts}
+}
+
+// ParseOptions returns the options the collection was parsed with (useful
+// for persisting and for extending with the same rules).
+func (c *Collection) ParseOptions() text.ParseOptions { return c.opts }
+
+// Terms returns the number of indexing terms (m).
+func (c *Collection) Terms() int { return c.Vocab.Size() }
+
+// Size returns the number of documents (n).
+func (c *Collection) Size() int { return len(c.Docs) }
+
+// QueryVector returns the raw term-frequency vector for a query string
+// under the collection's vocabulary; non-indexed words are dropped, as the
+// paper drops "of", "children", "with" from the §3.1 example query.
+func (c *Collection) QueryVector(q string) []float64 {
+	return c.Vocab.Count(q)
+}
+
+// DocVectors builds the raw count matrix for additional documents under
+// the existing vocabulary — the D (m×p) matrix of Eq (10) used by both
+// folding-in and SVD-updating.
+func (c *Collection) DocVectors(docs []Document) *sparse.CSR {
+	b := sparse.NewBuilder(c.Terms(), len(docs))
+	for j, d := range docs {
+		for i, f := range c.Vocab.Count(d.Text) {
+			if f != 0 {
+				b.Add(i, j, f)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Extend returns a new Collection over the union of documents with a
+// vocabulary rebuilt under the same parsing options — the "recomputing the
+// SVD" path of §3.4, which lets new terms join the index.
+func (c *Collection) Extend(docs []Document, opts text.ParseOptions) *Collection {
+	all := make([]Document, 0, len(c.Docs)+len(docs))
+	all = append(all, c.Docs...)
+	all = append(all, docs...)
+	return New(all, opts)
+}
+
+// Query pairs a query string with the indices of its relevant documents —
+// the "test collection" structure of §5.1 (documents, queries, relevance
+// judgements).
+type Query struct {
+	ID       string
+	Text     string
+	Relevant []int // document indices within the owning Collection
+}
+
+// Judged is a Collection plus relevance-judged queries.
+type Judged struct {
+	*Collection
+	Queries []Query
+}
+
+func (q Query) String() string {
+	return fmt.Sprintf("%s(%q, %d relevant)", q.ID, q.Text, len(q.Relevant))
+}

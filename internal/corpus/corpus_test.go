@@ -1,0 +1,393 @@
+package corpus
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/text"
+)
+
+func TestMEDVocabularyIsTable3(t *testing.T) {
+	c := MED()
+	if c.Terms() != 18 || c.Size() != 14 {
+		t.Fatalf("MED shape %dx%d want 18x14", c.Terms(), c.Size())
+	}
+	for i, want := range MEDTerms {
+		if c.Vocab.Terms[i] != want {
+			t.Fatalf("term %d = %q want %q", i, c.Vocab.Terms[i], want)
+		}
+	}
+}
+
+func TestMEDMatrixMatchesTable3(t *testing.T) {
+	c := MED()
+	got := c.TD.Dense()
+	for i := range MEDMatrix {
+		for j := range MEDMatrix[i] {
+			if got[i][j] != MEDMatrix[i][j] {
+				t.Fatalf("cell (%s, M%d): parsed %v, Table 3 %v",
+					MEDTerms[i], j+1, got[i][j], MEDMatrix[i][j])
+			}
+		}
+	}
+}
+
+func TestMEDQueryVector(t *testing.T) {
+	c := MED()
+	q := c.QueryVector(MEDQuery)
+	// "of", "children", "with" drop out; age, blood, abnormalities remain.
+	var hits []string
+	for i, v := range q {
+		if v != 0 {
+			hits = append(hits, c.Vocab.Terms[i])
+		}
+	}
+	want := "abnormalities age blood"
+	if strings.Join(hits, " ") != want {
+		t.Fatalf("query terms %v want %q", hits, want)
+	}
+}
+
+func TestMEDUpdateTopicsVectors(t *testing.T) {
+	c := MED()
+	d := c.DocVectors(MEDUpdateTopics)
+	if d.Rows != 18 || d.Cols != 2 {
+		t.Fatalf("D shape %dx%d", d.Rows, d.Cols)
+	}
+	// M15 "behavior of rats after detected rise in oestrogen":
+	// behavior, rats, rise, oestrogen are indexed.
+	idx := c.Vocab.Index
+	for _, term := range []string{"behavior", "rats", "rise", "oestrogen"} {
+		if d.At(idx[term], 0) != 1 {
+			t.Fatalf("M15 lacks %q", term)
+		}
+	}
+	// M16 "depressed patients who feel the pressure to fast".
+	for _, term := range []string{"depressed", "patients", "pressure", "fast"} {
+		if d.At(idx[term], 1) != 1 {
+			t.Fatalf("M16 lacks %q", term)
+		}
+	}
+	if d.NNZ() != 8 {
+		t.Fatalf("D nnz = %d want 8", d.NNZ())
+	}
+}
+
+func TestExtendRebuildsVocabulary(t *testing.T) {
+	c := MED()
+	ext := c.Extend(MEDUpdateTopics, MEDParseOptions())
+	if ext.Size() != 16 {
+		t.Fatalf("extended size %d", ext.Size())
+	}
+	// Extending does not change the vocabulary here: M15/M16 reuse words.
+	if ext.Terms() != 18 {
+		t.Fatalf("extended terms %d", ext.Terms())
+	}
+	// Original untouched.
+	if c.Size() != 14 {
+		t.Fatal("Extend mutated the receiver")
+	}
+}
+
+func TestSynthDeterminism(t *testing.T) {
+	a := GenerateSynth(SynthOptions{Seed: 5, Docs: 40, Topics: 4})
+	b := GenerateSynth(SynthOptions{Seed: 5, Docs: 40, Topics: 4})
+	if a.Size() != b.Size() || a.Terms() != b.Terms() {
+		t.Fatal("same seed, different shapes")
+	}
+	for i := range a.Docs {
+		if a.Docs[i].Text != b.Docs[i].Text {
+			t.Fatal("same seed, different documents")
+		}
+	}
+	c := GenerateSynth(SynthOptions{Seed: 6, Docs: 40, Topics: 4})
+	same := true
+	for i := range a.Docs {
+		if a.Docs[i].Text != c.Docs[i].Text {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestSynthStructure(t *testing.T) {
+	s := GenerateSynth(SynthOptions{Seed: 1, Docs: 60, Topics: 6, QueriesPerTopic: 2})
+	if len(s.Queries) != 12 {
+		t.Fatalf("queries = %d", len(s.Queries))
+	}
+	if len(s.DocTopic) != 60 {
+		t.Fatalf("DocTopic len %d", len(s.DocTopic))
+	}
+	// Every query's relevant docs share its topic.
+	for _, q := range s.Queries {
+		if len(q.Relevant) == 0 {
+			t.Fatalf("query %s has no relevant docs", q.ID)
+		}
+		topic := s.DocTopic[q.Relevant[0]]
+		for _, j := range q.Relevant {
+			if s.DocTopic[j] != topic {
+				t.Fatalf("query %s mixes topics", q.ID)
+			}
+		}
+	}
+	// Balanced topics.
+	counts := map[int]int{}
+	for _, tp := range s.DocTopic {
+		counts[tp]++
+	}
+	for tp, n := range counts {
+		if n != 10 {
+			t.Fatalf("topic %d has %d docs", tp, n)
+		}
+	}
+	if len(s.SynonymGroups) == 0 {
+		t.Fatal("no synonym groups recorded")
+	}
+}
+
+func TestSynthMatrixConsistency(t *testing.T) {
+	s := GenerateSynth(SynthOptions{Seed: 2, Docs: 30, Topics: 3})
+	if s.TD.Rows != s.Terms() || s.TD.Cols != 30 {
+		t.Fatalf("TD shape %dx%d", s.TD.Rows, s.TD.Cols)
+	}
+	// Column sums equal the number of indexed tokens per doc.
+	for j := 0; j < 5; j++ {
+		var colSum float64
+		for i := 0; i < s.TD.Rows; i++ {
+			colSum += s.TD.At(i, j)
+		}
+		cnt := s.Vocab.Count(s.Docs[j].Text)
+		var want float64
+		for _, v := range cnt {
+			want += v
+		}
+		if colSum != want {
+			t.Fatalf("doc %d: TD colsum %v != recount %v", j, colSum, want)
+		}
+	}
+}
+
+func TestBilingualNoLexicalLeakage(t *testing.T) {
+	b := GenerateBilingual(BilingualOptions{Seed: 3})
+	for _, d := range b.MonoEN {
+		if strings.Contains(d.Text, "fr") {
+			t.Fatal("EN doc contains FR word")
+		}
+	}
+	for _, q := range b.QueriesEN {
+		if strings.Contains(q.Text, "fr") {
+			t.Fatal("EN query contains FR word")
+		}
+	}
+	// Dual abstracts contain both.
+	found := false
+	for _, d := range b.Training.Docs {
+		if strings.Contains(d.Text, "en") && strings.Contains(d.Text, "fr") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no dual-language training abstract")
+	}
+}
+
+func TestBilingualRelevanceIsCrossLanguage(t *testing.T) {
+	b := GenerateBilingual(BilingualOptions{Seed: 4})
+	for i, q := range b.QueriesEN {
+		topic := b.QueryTopicEN[i]
+		for _, j := range q.Relevant {
+			if b.MonoFRTopic[j] != topic {
+				t.Fatal("EN query relevant set crosses topics")
+			}
+		}
+	}
+}
+
+func TestCorruptorRate(t *testing.T) {
+	docs := make([]Document, 50)
+	for i := range docs {
+		docs[i] = Document{Text: strings.Repeat("information retrieval latent semantic indexing ", 10)}
+	}
+	_, rate := NewCorruptor(0.088, 1).CorruptDocs(docs)
+	if math.Abs(rate-0.088) > 0.02 {
+		t.Fatalf("realized rate %v want ≈0.088", rate)
+	}
+	clean, rate0 := NewCorruptor(0, 1).CorruptDocs(docs)
+	if rate0 != 0 {
+		t.Fatal("zero-rate corruptor corrupted something")
+	}
+	for i := range clean {
+		if clean[i].Text != strings.Join(strings.Fields(docs[i].Text), " ") {
+			t.Fatal("zero-rate corruptor altered text")
+		}
+	}
+}
+
+func TestCorruptWordEditsOnce(t *testing.T) {
+	c := NewCorruptor(1, 2)
+	for i := 0; i < 200; i++ {
+		w := "semantic"
+		got := c.CorruptWord(w)
+		// Exactly one edit: length differs by at most 1.
+		if d := len(got) - len(w); d < -1 || d > 1 {
+			t.Fatalf("corrupt %q -> %q: more than one edit", w, got)
+		}
+	}
+	// Single-letter words survive without panicking.
+	if got := c.CorruptWord("a"); got == "" {
+		t.Fatal("single-letter word vanished")
+	}
+	if got := c.CorruptWord(""); got != "" {
+		t.Fatal("empty word should pass through")
+	}
+}
+
+func TestNGramIndex(t *testing.T) {
+	ix := NewNGramIndex([]string{"cat", "cart", "dog"})
+	if ix.M.Cols != 3 {
+		t.Fatalf("cols %d", ix.M.Cols)
+	}
+	// "^c" gram is shared by cat and cart.
+	gid, ok := ix.GramID["^c"]
+	if !ok {
+		t.Fatal("missing boundary bigram")
+	}
+	if ix.M.At(gid, 0) != 1 || ix.M.At(gid, 1) != 1 || ix.M.At(gid, 2) != 0 {
+		t.Fatal("bigram counts wrong")
+	}
+	// A misspelling shares most grams with its source word.
+	q := ix.QueryVector("catt")
+	var catScore, dogScore float64
+	for i := range q {
+		catScore += q[i] * ix.M.At(i, 0)
+		dogScore += q[i] * ix.M.At(i, 2)
+	}
+	if catScore <= dogScore {
+		t.Fatalf("catt should overlap cat (%v) more than dog (%v)", catScore, dogScore)
+	}
+}
+
+func TestWordGramsBoundaries(t *testing.T) {
+	g := wordGrams("ab")
+	// ^a ab b$ ^ab ab$
+	want := map[string]bool{"^a": true, "ab": true, "b$": true, "^ab": true, "ab$": true}
+	if len(g) != len(want) {
+		t.Fatalf("grams %v", g)
+	}
+	for _, x := range g {
+		if !want[x] {
+			t.Fatalf("unexpected gram %q", x)
+		}
+	}
+}
+
+func TestNewCollectionEmptyDocs(t *testing.T) {
+	c := New(nil, text.ParseOptions{})
+	if c.Size() != 0 || c.Terms() != 0 {
+		t.Fatal("empty collection should be empty")
+	}
+}
+
+func TestMultilingualStructure(t *testing.T) {
+	ml := GenerateMultilingual(MultilingualOptions{Seed: 5})
+	if len(ml.Languages) != 3 {
+		t.Fatalf("languages %v", ml.Languages)
+	}
+	if ml.Training.Size() != 90 {
+		t.Fatalf("training size %d", ml.Training.Size())
+	}
+	for _, lang := range ml.Languages {
+		if len(ml.Mono[lang]) != 30 || len(ml.MonoTopic[lang]) != 30 {
+			t.Fatalf("%s mono docs %d", lang, len(ml.Mono[lang]))
+		}
+		if len(ml.Queries[lang]) != 6 {
+			t.Fatalf("%s queries %d", lang, len(ml.Queries[lang]))
+		}
+	}
+	// Combined abstracts contain every language's words.
+	first := ml.Training.Docs[0].Text
+	for _, lang := range ml.Languages {
+		if !strings.Contains(first, lang+"t") {
+			t.Fatalf("combined abstract lacks %s words", lang)
+		}
+	}
+}
+
+func TestMultilingualDeterminism(t *testing.T) {
+	a := GenerateMultilingual(MultilingualOptions{Seed: 6})
+	b := GenerateMultilingual(MultilingualOptions{Seed: 6})
+	for i := range a.Training.Docs {
+		if a.Training.Docs[i].Text != b.Training.Docs[i].Text {
+			t.Fatal("same seed, different corpora")
+		}
+	}
+}
+
+func TestZipfNoiseSkewsFrequencies(t *testing.T) {
+	uniform := GenerateSynth(SynthOptions{
+		Seed: 7, Topics: 4, Docs: 100, DocLen: 50, NoiseFrac: 0.6, NoiseWords: 20,
+	})
+	zipf := GenerateSynth(SynthOptions{
+		Seed: 7, Topics: 4, Docs: 100, DocLen: 50, NoiseFrac: 0.6, NoiseWords: 20,
+		NoiseZipf: true,
+	})
+	// Measure the max/median noise-word global frequency ratio.
+	skew := func(s *Synth) float64 {
+		var freqs []float64
+		for i, term := range s.Vocab.Terms {
+			if strings.HasPrefix(term, "noise") {
+				var gf float64
+				s.TD.Row(i, func(_ int, v float64) { gf += v })
+				freqs = append(freqs, gf)
+				_ = i
+			}
+		}
+		if len(freqs) < 2 {
+			t.Fatal("no noise words indexed")
+		}
+		max, sum := 0.0, 0.0
+		for _, f := range freqs {
+			if f > max {
+				max = f
+			}
+			sum += f
+		}
+		return max / (sum / float64(len(freqs)))
+	}
+	if su, sz := skew(uniform), skew(zipf); sz < 2*su {
+		t.Fatalf("zipf skew %v should far exceed uniform skew %v", sz, su)
+	}
+}
+
+func TestNoiseBurstRepeatsWords(t *testing.T) {
+	burst := GenerateSynth(SynthOptions{
+		Seed: 8, Topics: 4, Docs: 50, DocLen: 40, NoiseFrac: 0.5, NoiseBurst: 6,
+	})
+	// With bursts, some document must contain the same noise word 3+ times.
+	found := false
+	for _, d := range burst.Docs {
+		counts := map[string]int{}
+		for _, w := range strings.Fields(d.Text) {
+			if strings.HasPrefix(w, "noise") {
+				counts[w]++
+				if counts[w] >= 3 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no bursty repetition observed")
+	}
+	// Document length is respected.
+	for _, d := range burst.Docs {
+		if n := len(strings.Fields(d.Text)); n != 40 {
+			t.Fatalf("doc length %d want 40", n)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package corpus
+
+import "repro/internal/text"
+
+// MEDTopics are the 14 medical topics of Table 2, drawn from the MEDLINE
+// testbed of 1033 biomedical abstracts. The keyword tagging in the paper
+// folds the plural "cultures" (topic M8) into the keyword "culture"; the
+// MEDParseOptions alias reproduces that.
+var MEDTopics = []Document{
+	{ID: "M1", Text: "study of depressed patients after discharge with regard to age of onset and culture"},
+	{ID: "M2", Text: "culture of pleuropneumonia like organisms found in vaginal discharge of patients"},
+	{ID: "M3", Text: "study showed oestrogen production is depressed by ovarian irradiation"},
+	{ID: "M4", Text: "cortisone rapidly depressed the secondary rise in oestrogen output of patients"},
+	{ID: "M5", Text: "boys tend to react to death anxiety by acting out behavior while girls tended to become depressed"},
+	{ID: "M6", Text: "changes in children's behavior following hospitalization studied a week after discharge"},
+	{ID: "M7", Text: "surgical technique to close ventricular septal defects"},
+	{ID: "M8", Text: "chromosomal abnormalities in blood cultures and bone marrow from leukaemic patients"},
+	{ID: "M9", Text: "study of christmas disease with respect to generation and culture"},
+	{ID: "M10", Text: "insulin not responsible for metabolic abnormalities accompanying a prolonged fast"},
+	{ID: "M11", Text: "close relationship between high blood pressure and vascular disease"},
+	{ID: "M12", Text: "mouse kidneys show a decline with respect to age in the ability to concentrate the urine during a water fast"},
+	{ID: "M13", Text: "fast cell generation in the eye lens epithelium of rats"},
+	{ID: "M14", Text: "fast rise of cerebral oxygen pressure in rats"},
+}
+
+// MEDUpdateTopics are the two fictitious topics of Table 5 used by the
+// folding-in and SVD-updating examples. M15 pairs oestrogen/rise with rats;
+// M16 uses "pressure" in a behavioural rather than circulatory sense.
+var MEDUpdateTopics = []Document{
+	{ID: "M15", Text: "behavior of rats after detected rise in oestrogen"},
+	{ID: "M16", Text: "depressed patients who feel the pressure to fast"},
+}
+
+// MEDQuery is the §3.1 example query; after stop-word removal it reduces to
+// "age blood abnormalities".
+const MEDQuery = "age of children with blood abnormalities"
+
+// MEDParseOptions reproduce the paper's parsing rule: a keyword must occur
+// in more than one topic, and "cultures" folds into "culture".
+func MEDParseOptions() text.ParseOptions {
+	return text.ParseOptions{
+		MinDocs: 2,
+		Aliases: map[string]string{"cultures": "culture"},
+	}
+}
+
+// MED returns the 18-term × 14-document collection of Tables 2–3.
+func MED() *Collection {
+	return New(MEDTopics, MEDParseOptions())
+}
+
+// MEDTerms is the expected 18-term vocabulary of Table 3, in the sorted
+// order the index produces. Note: the row the supplied scan of Table 3
+// shows for "respect" places its first occurrence in column M8; the topic
+// texts of Table 2 put "respect" in M9 and M12 (M8 contains no such word),
+// so this reproduction follows the texts. Figure 5's printed U₂ values
+// confirm the text-derived matrix (see the golden test in internal/core).
+var MEDTerms = []string{
+	"abnormalities", "age", "behavior", "blood", "close", "culture",
+	"depressed", "discharge", "disease", "fast", "generation", "oestrogen",
+	"patients", "pressure", "rats", "respect", "rise", "study",
+}
+
+// MEDMatrix is Table 3: the 18×14 raw term–document matrix, rows in
+// MEDTerms order, columns M1..M14.
+var MEDMatrix = [][]float64{
+	{0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0}, // abnormalities
+	{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0}, // age
+	{0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0}, // behavior
+	{0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0}, // blood
+	{0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0}, // close
+	{1, 1, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0}, // culture
+	{1, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // depressed
+	{1, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0}, // discharge
+	{0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0}, // disease
+	{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 1, 1}, // fast
+	{0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0}, // generation
+	{0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // oestrogen
+	{1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0}, // patients
+	{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 1}, // pressure
+	{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1}, // rats
+	{0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0}, // respect
+	{0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, // rise
+	{1, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0}, // study
+}

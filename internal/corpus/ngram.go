@@ -1,0 +1,74 @@
+package corpus
+
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// NGramIndex is the descriptor–object matrix of Kukich's spelling
+// application (§5.4): "the rows were unigrams and bigrams and the columns
+// were correctly spelled words." This implementation uses character bigrams
+// and trigrams (with boundary markers) as the descriptors; it demonstrates
+// the paper's point that LSI applies to any descriptor–object matrix, not
+// just terms × documents.
+type NGramIndex struct {
+	Words  []string
+	Grams  []string
+	GramID map[string]int
+	// M is the grams×words count matrix.
+	M *sparse.CSR
+}
+
+// wordGrams returns the padded character bigrams and trigrams of w.
+func wordGrams(w string) []string {
+	padded := "^" + w + "$"
+	r := []rune(padded)
+	var out []string
+	for i := 0; i+1 < len(r); i++ {
+		out = append(out, string(r[i:i+2]))
+	}
+	for i := 0; i+2 < len(r); i++ {
+		out = append(out, string(r[i:i+3]))
+	}
+	return out
+}
+
+// NewNGramIndex builds the gram×word matrix over a dictionary.
+func NewNGramIndex(words []string) *NGramIndex {
+	gramSet := map[string]bool{}
+	for _, w := range words {
+		for _, g := range wordGrams(w) {
+			gramSet[g] = true
+		}
+	}
+	grams := make([]string, 0, len(gramSet))
+	for g := range gramSet {
+		grams = append(grams, g)
+	}
+	sort.Strings(grams)
+	gid := make(map[string]int, len(grams))
+	for i, g := range grams {
+		gid[g] = i
+	}
+	b := sparse.NewBuilder(len(grams), len(words))
+	for j, w := range words {
+		for _, g := range wordGrams(w) {
+			b.Add(gid[g], j, 1)
+		}
+	}
+	return &NGramIndex{Words: words, Grams: grams, GramID: gid, M: b.Build()}
+}
+
+// QueryVector returns the gram-count vector of an input word (possibly
+// misspelled); grams unseen in the dictionary are dropped, mirroring how
+// unindexed terms drop out of document queries.
+func (ix *NGramIndex) QueryVector(w string) []float64 {
+	out := make([]float64, len(ix.Grams))
+	for _, g := range wordGrams(w) {
+		if i, ok := ix.GramID[g]; ok {
+			out[i]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Corruptor injects OCR-style character noise into text at a configurable
+// word error rate, simulating the pen-machine recognizer input of Nielsen
+// et al. (§5.4 Noisy Input), whose word-level error rate was 8.8%.
+type Corruptor struct {
+	// WordErrorRate is the probability a given word is corrupted.
+	WordErrorRate float64
+	rng           *rand.Rand
+}
+
+// NewCorruptor returns a deterministic corruptor with the given word error
+// rate in [0, 1].
+func NewCorruptor(wordErrorRate float64, seed int64) *Corruptor {
+	if wordErrorRate < 0 {
+		wordErrorRate = 0
+	}
+	if wordErrorRate > 1 {
+		wordErrorRate = 1
+	}
+	return &Corruptor{WordErrorRate: wordErrorRate, rng: rand.New(rand.NewSource(seed + 0x0c4))}
+}
+
+// CorruptWord applies one random character-level edit (substitution,
+// deletion, insertion, or transposition) to w — the signature error classes
+// of optical character recognition.
+func (c *Corruptor) CorruptWord(w string) string {
+	r := []rune(w)
+	if len(r) == 0 {
+		return w
+	}
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	pos := c.rng.Intn(len(r))
+	switch c.rng.Intn(4) {
+	case 0: // substitution (e.g. Dumais → Duniais-style confusion)
+		r[pos] = rune(letters[c.rng.Intn(len(letters))])
+	case 1: // deletion
+		if len(r) > 1 {
+			r = append(r[:pos], r[pos+1:]...)
+		} else {
+			r[pos] = rune(letters[c.rng.Intn(len(letters))])
+		}
+	case 2: // insertion
+		r = append(r[:pos], append([]rune{rune(letters[c.rng.Intn(len(letters))])}, r[pos:]...)...)
+	default: // transposition
+		if pos+1 < len(r) {
+			r[pos], r[pos+1] = r[pos+1], r[pos]
+		} else if pos > 0 {
+			r[pos-1], r[pos] = r[pos], r[pos-1]
+		} else {
+			r[pos] = rune(letters[c.rng.Intn(len(letters))])
+		}
+	}
+	return string(r)
+}
+
+// CorruptText corrupts each whitespace-separated word independently with
+// probability WordErrorRate and returns the noisy text plus the realized
+// word error count.
+func (c *Corruptor) CorruptText(s string) (string, int) {
+	words := strings.Fields(s)
+	errors := 0
+	for i, w := range words {
+		if c.rng.Float64() < c.WordErrorRate {
+			words[i] = c.CorruptWord(w)
+			errors++
+		}
+	}
+	return strings.Join(words, " "), errors
+}
+
+// CorruptDocs returns a corrupted copy of docs and the overall realized
+// word error rate.
+func (c *Corruptor) CorruptDocs(docs []Document) ([]Document, float64) {
+	out := make([]Document, len(docs))
+	words, errs := 0, 0
+	for i, d := range docs {
+		noisy, e := c.CorruptText(d.Text)
+		out[i] = Document{ID: d.ID, Text: noisy}
+		errs += e
+		words += len(strings.Fields(d.Text))
+	}
+	rate := 0.0
+	if words > 0 {
+		rate = float64(errs) / float64(words)
+	}
+	return out, rate
+}

@@ -1,0 +1,264 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/text"
+)
+
+// SynthOptions parameterizes the synthetic topic-model collection that
+// stands in for the paper's proprietary test collections. Documents are
+// generated from latent topics; each topic's concepts have several
+// interchangeable surface words (synonyms), and each document commits to
+// one variant per concept — so two documents about the same topic often
+// share few literal words, the vocabulary-mismatch regime where "LSI
+// performs best relative to standard vector methods" (§5.1).
+type SynthOptions struct {
+	Seed int64
+	// Topics is the number of latent topics (default 10).
+	Topics int
+	// ConceptsPerTopic is the number of concept slots per topic (default 8).
+	ConceptsPerTopic int
+	// SynonymsPerConcept is the number of interchangeable surface words per
+	// concept (default 3). 1 disables synonymy entirely.
+	SynonymsPerConcept int
+	// PolysemyFrac is the fraction of concepts whose surface words are
+	// shared verbatim with a second topic (default 0.1) — the "polysemy"
+	// failure mode of lexical matching.
+	PolysemyFrac float64
+	// Docs is the number of documents (default 200).
+	Docs int
+	// DocLen is the token count per document (default 40).
+	DocLen int
+	// NoiseWords is the size of the shared topic-neutral vocabulary
+	// (default 30); NoiseFrac of each document's tokens draw from it
+	// (default 0.3).
+	NoiseWords int
+	NoiseFrac  float64
+	// NoiseZipf draws noise words from a 1/rank (Zipf-like) distribution
+	// instead of uniformly, and NoiseBurst > 1 emits each chosen noise word
+	// in runs of up to that many repetitions — together these produce the
+	// bursty high-frequency function words whose damping is exactly what
+	// local log weighting and global entropy weighting exist for (§5.1).
+	NoiseZipf  bool
+	NoiseBurst int
+	// QueriesPerTopic is the number of relevance-judged queries generated
+	// per topic (default 2); QueryLen is their token count (default 6).
+	QueriesPerTopic int
+	QueryLen        int
+	// DocVariantLoyalty is the probability a document re-uses its chosen
+	// synonym variant for a concept rather than sampling uniformly
+	// (default 0.9). High loyalty ⇒ strong vocabulary mismatch across
+	// documents of the same topic.
+	DocVariantLoyalty float64
+}
+
+func (o *SynthOptions) fill() {
+	if o.Topics <= 0 {
+		o.Topics = 10
+	}
+	if o.ConceptsPerTopic <= 0 {
+		o.ConceptsPerTopic = 8
+	}
+	if o.SynonymsPerConcept <= 0 {
+		o.SynonymsPerConcept = 3
+	}
+	if o.PolysemyFrac < 0 {
+		o.PolysemyFrac = 0
+	} else if o.PolysemyFrac == 0 {
+		o.PolysemyFrac = 0.1
+	}
+	if o.Docs <= 0 {
+		o.Docs = 200
+	}
+	if o.DocLen <= 0 {
+		o.DocLen = 40
+	}
+	if o.NoiseWords <= 0 {
+		o.NoiseWords = 30
+	}
+	if o.NoiseFrac <= 0 {
+		o.NoiseFrac = 0.3
+	}
+	if o.QueriesPerTopic <= 0 {
+		o.QueriesPerTopic = 2
+	}
+	if o.QueryLen <= 0 {
+		o.QueryLen = 6
+	}
+	if o.NoiseBurst <= 0 {
+		o.NoiseBurst = 1
+	}
+	if o.DocVariantLoyalty <= 0 {
+		o.DocVariantLoyalty = 0.9
+	}
+}
+
+// Synth is a generated judged collection plus its generation ground truth.
+type Synth struct {
+	*Judged
+	// DocTopic[j] is the latent topic of document j.
+	DocTopic []int
+	// SynonymGroups lists the surface-word groups that were generated as
+	// interchangeable — ground truth for the synonym test of §5.4.
+	SynonymGroups [][]string
+	Options       SynthOptions
+}
+
+// concept is one latent meaning slot with its interchangeable surfaces.
+type concept struct {
+	words []string
+}
+
+// GenerateSynth builds a synthetic judged collection. All randomness flows
+// from Options.Seed, so a given option set is fully reproducible.
+func GenerateSynth(opts SynthOptions) *Synth {
+	opts.fill()
+	rng := rand.New(rand.NewSource(opts.Seed + 0xc0ffee))
+
+	// Build topics: each a list of concepts, each concept a synonym group.
+	topics := make([][]concept, opts.Topics)
+	var groups [][]string
+	wordID := 0
+	newWord := func(prefix string) string {
+		wordID++
+		return fmt.Sprintf("%s%04d", prefix, wordID)
+	}
+	for t := range topics {
+		topics[t] = make([]concept, opts.ConceptsPerTopic)
+		for c := range topics[t] {
+			words := make([]string, opts.SynonymsPerConcept)
+			for v := range words {
+				words[v] = newWord(fmt.Sprintf("t%02dc%02dw", t, c))
+			}
+			topics[t][c] = concept{words: words}
+			if len(words) > 1 {
+				groups = append(groups, words)
+			}
+		}
+	}
+	// Polysemy: overwrite a fraction of concepts in each topic with the
+	// surface words of a concept from another topic (same strings, two
+	// meanings).
+	if opts.Topics > 1 {
+		nPoly := int(opts.PolysemyFrac * float64(opts.ConceptsPerTopic))
+		for t := range topics {
+			for p := 0; p < nPoly; p++ {
+				other := rng.Intn(opts.Topics - 1)
+				if other >= t {
+					other++
+				}
+				src := rng.Intn(opts.ConceptsPerTopic)
+				dst := rng.Intn(opts.ConceptsPerTopic)
+				topics[t][dst] = topics[other][src]
+			}
+		}
+	}
+	noise := make([]string, opts.NoiseWords)
+	for i := range noise {
+		noise[i] = newWord("noise")
+	}
+	// Cumulative 1/rank weights for Zipf-like noise selection.
+	zipfCum := make([]float64, len(noise))
+	total := 0.0
+	for i := range noise {
+		total += 1 / float64(i+1)
+		zipfCum[i] = total
+	}
+	pickNoise := func() string {
+		if !opts.NoiseZipf {
+			return noise[rng.Intn(len(noise))]
+		}
+		x := rng.Float64() * total
+		for i, c := range zipfCum {
+			if x <= c {
+				return noise[i]
+			}
+		}
+		return noise[len(noise)-1]
+	}
+
+	// Documents.
+	docs := make([]Document, opts.Docs)
+	docTopic := make([]int, opts.Docs)
+	for j := range docs {
+		t := j % opts.Topics // balanced assignment
+		docTopic[j] = t
+		// Per-document preferred variant for every concept.
+		pref := make([]int, opts.ConceptsPerTopic)
+		for c := range pref {
+			pref[c] = rng.Intn(opts.SynonymsPerConcept)
+		}
+		toks := make([]string, 0, opts.DocLen)
+		for w := 0; w < opts.DocLen; w++ {
+			if rng.Float64() < opts.NoiseFrac {
+				word := pickNoise()
+				burst := 1
+				if opts.NoiseBurst > 1 {
+					burst = 1 + rng.Intn(opts.NoiseBurst)
+				}
+				for b := 0; b < burst && w < opts.DocLen; b++ {
+					toks = append(toks, word)
+					w++
+				}
+				w--
+				continue
+			}
+			c := rng.Intn(opts.ConceptsPerTopic)
+			v := pref[c]
+			if rng.Float64() >= opts.DocVariantLoyalty {
+				v = rng.Intn(opts.SynonymsPerConcept)
+			}
+			toks = append(toks, topics[t][c].words[v])
+		}
+		docs[j] = Document{ID: fmt.Sprintf("D%04d", j), Text: joinTokens(toks)}
+	}
+
+	coll := New(docs, text.ParseOptions{MinDocs: 2})
+
+	// Queries: sample concepts from a topic with uniformly random variant
+	// choice — a query author does not know which synonym the documents
+	// prefer. Every document of the topic is relevant.
+	var queries []Query
+	relByTopic := make([][]int, opts.Topics)
+	for j, t := range docTopic {
+		relByTopic[t] = append(relByTopic[t], j)
+	}
+	for t := 0; t < opts.Topics; t++ {
+		for qn := 0; qn < opts.QueriesPerTopic; qn++ {
+			toks := make([]string, opts.QueryLen)
+			for w := range toks {
+				c := rng.Intn(opts.ConceptsPerTopic)
+				toks[w] = topics[t][c].words[rng.Intn(opts.SynonymsPerConcept)]
+			}
+			queries = append(queries, Query{
+				ID:       fmt.Sprintf("Q%02d-%d", t, qn),
+				Text:     joinTokens(toks),
+				Relevant: append([]int(nil), relByTopic[t]...),
+			})
+		}
+	}
+
+	return &Synth{
+		Judged:        &Judged{Collection: coll, Queries: queries},
+		DocTopic:      docTopic,
+		SynonymGroups: groups,
+		Options:       opts,
+	}
+}
+
+func joinTokens(toks []string) string {
+	n := 0
+	for _, t := range toks {
+		n += len(t) + 1
+	}
+	b := make([]byte, 0, n)
+	for i, t := range toks {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, t...)
+	}
+	return string(b)
+}

@@ -1,0 +1,235 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-adds below which Mul and
+// friends stay serial; spawning goroutines for tiny products costs more
+// than it saves.
+const parallelThreshold = 1 << 16
+
+// Mul returns a·b. Large products are partitioned by rows of the result
+// across GOMAXPROCS goroutines; the inner loops are written i-k-j so the
+// innermost traversal is contiguous in both b and the output.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: Mul inner dims %d != %d", a.Cols, b.Rows))
+	}
+	out := New(a.Rows, b.Cols)
+	mulInto(out, a, b)
+	return out
+}
+
+func mulInto(out, a, b *Matrix) {
+	work := a.Rows * a.Cols * b.Cols
+	nw := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || nw < 2 || a.Rows < 2 {
+		mulRange(out, a, b, 0, a.Rows)
+		return
+	}
+	if nw > a.Rows {
+		nw = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// mulRange computes rows [lo,hi) of out = a·b with an ikj loop order.
+func mulRange(out, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulT returns aᵀ·b without materializing the transpose.
+func MulT(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("dense: MulT inner dims %d != %d", a.Rows, b.Rows))
+	}
+	out := New(a.Cols, b.Cols)
+	// outᵀ accumulation: out[i][j] = Σ_k a[k][i] b[k][j]
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulBT returns a·bᵀ without materializing the transpose.
+func MulBT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MulBT inner dims %d != %d", a.Cols, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = Dot(arow, b.Row(j))
+		}
+	}
+	return out
+}
+
+// MulVec returns a·x for a vector x.
+func MulVec(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("dense: MulVec dims %d != %d", a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}
+
+// MulVecT returns aᵀ·x for a vector x.
+func MulVecT(a *Matrix, x []float64) []float64 {
+	if a.Rows != len(x) {
+		panic(fmt.Sprintf("dense: MulVecT dims %d != %d", a.Rows, len(x)))
+	}
+	out := make([]float64, a.Cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// ScaleCols multiplies column j of a by d[j], in place, and returns a.
+// With d = Σ this turns singular-vector matrices into the σ-scaled
+// coordinates the paper plots in Figures 4–9.
+func ScaleCols(a *Matrix, d []float64) *Matrix {
+	if a.Cols != len(d) {
+		panic(fmt.Sprintf("dense: ScaleCols dims %d != %d", a.Cols, len(d)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j := range row {
+			row[j] *= d[j]
+		}
+	}
+	return a
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("dense: Dot lens %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow.
+func Norm2(x []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if scale < a {
+			ssq = 1 + ssq*(scale/a)*(scale/a)
+			scale = a
+		} else {
+			ssq += (a / scale) * (a / scale)
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("dense: Axpy lens %d != %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// ScaleVec multiplies x by alpha in place.
+func ScaleVec(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Normalize scales x to unit Euclidean norm and returns the original norm.
+// A zero vector is left untouched and 0 is returned.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n == 0 {
+		return 0
+	}
+	ScaleVec(1/n, x)
+	return n
+}
+
+// Cosine returns the cosine of the angle between x and y, or 0 when either
+// vector is zero. This is the similarity measure of §2.2.
+func Cosine(x, y []float64) float64 {
+	nx, ny := Norm2(x), Norm2(y)
+	if nx == 0 || ny == 0 {
+		return 0
+	}
+	return Dot(x, y) / (nx * ny)
+}

@@ -1,0 +1,113 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigSymTridiagonal computes all eigenvalues and (optionally) eigenvectors
+// of a symmetric tridiagonal matrix with diagonal d (length n) and
+// subdiagonal e (length n-1), by the implicit QL method with Wilkinson
+// shifts — the classical tql2 routine. It is the inner solver for the
+// Gram-matrix Lanczos path (las2 works with the tridiagonal projection of
+// AᵀA; §4.2's "Lanczos-type procedure to approximate the eigensystem of
+// GᵀG").
+//
+// Returns eigenvalues ascending and, when wantVectors, the matrix whose
+// columns are the corresponding eigenvectors.
+func EigSymTridiagonal(d, e []float64, wantVectors bool) ([]float64, *Matrix, error) {
+	n := len(d)
+	if len(e) != n-1 && !(n == 0 && len(e) == 0) {
+		return nil, nil, fmt.Errorf("dense: tridiagonal sizes d=%d e=%d", n, len(e))
+	}
+	if n == 0 {
+		return nil, New(0, 0), nil
+	}
+	dd := append([]float64(nil), d...)
+	ee := make([]float64, n)
+	copy(ee, e)
+
+	var z *Matrix
+	if wantVectors {
+		z = Identity(n)
+	}
+
+	const maxIter = 50
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find a small subdiagonal element to split at.
+			var m int
+			for m = l; m < n-1; m++ {
+				s := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= 2.220446049250313e-16*s {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter >= maxIter {
+				return nil, nil, fmt.Errorf("dense: tridiagonal QL did not converge at row %d", l)
+			}
+			// Wilkinson shift.
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := pythag(g, 1)
+			g = dd[m] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = pythag(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					dd[i+1] -= p
+					ee[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+				if z != nil {
+					for k := 0; k < n; k++ {
+						f := z.At(k, i+1)
+						z.Set(k, i+1, s*z.At(k, i)+c*f)
+						z.Set(k, i, c*z.At(k, i)-s*f)
+					}
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+
+	// Sort ascending, permuting eigenvectors to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return dd[idx[a]] < dd[idx[b]] })
+	vals := make([]float64, n)
+	var vecs *Matrix
+	if z != nil {
+		vecs = New(n, n)
+	}
+	for out, src := range idx {
+		vals[out] = dd[src]
+		if z != nil {
+			for k := 0; k < n; k++ {
+				vecs.Set(k, out, z.At(k, src))
+			}
+		}
+	}
+	return vals, vecs, nil
+}

@@ -1,0 +1,97 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEigSymTridiagonalKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3 with vectors (1,-1)/√2, (1,1)/√2.
+	vals, vecs, err := EigSymTridiagonal([]float64{2, 2}, []float64{1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-12 || math.Abs(vals[1]-3) > 1e-12 {
+		t.Fatalf("vals = %v", vals)
+	}
+	// Eigenvector property: T v = λ v.
+	for j := 0; j < 2; j++ {
+		v0, v1 := vecs.At(0, j), vecs.At(1, j)
+		if math.Abs(2*v0+v1-vals[j]*v0) > 1e-12 || math.Abs(v0+2*v1-vals[j]*v1) > 1e-12 {
+			t.Fatalf("eigenvector %d wrong", j)
+		}
+	}
+}
+
+func TestEigSymTridiagonalDiagonal(t *testing.T) {
+	vals, _, err := EigSymTridiagonal([]float64{5, -1, 3}, []float64{0, 0}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 3, 5}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-14 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+}
+
+// Cross-check against the SVD: the eigenvalues of the tridiagonal BᵀB of a
+// bidiagonal matrix are the squared singular values.
+func TestEigSymTridiagonalVsSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 12
+	diag := make([]float64, n)
+	super := make([]float64, n-1)
+	b := New(n, n)
+	for i := 0; i < n; i++ {
+		diag[i] = rng.Float64() + 0.5
+		b.Set(i, i, diag[i])
+		if i+1 < n {
+			super[i] = rng.Float64()
+			b.Set(i, i+1, super[i])
+		}
+	}
+	// T = BᵀB is tridiagonal with:
+	// T[0,0]=d0², T[i,i]=dᵢ²+eᵢ₋₁², T[i,i+1]=dᵢ·eᵢ.
+	td := make([]float64, n)
+	te := make([]float64, n-1)
+	td[0] = diag[0] * diag[0]
+	for i := 1; i < n; i++ {
+		td[i] = diag[i]*diag[i] + super[i-1]*super[i-1]
+	}
+	for i := 0; i < n-1; i++ {
+		te[i] = diag[i] * super[i]
+	}
+	vals, vecs, err := EigSymTridiagonal(td, te, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := SVDJacobi(b)
+	for i := 0; i < n; i++ {
+		want := f.S[n-1-i] * f.S[n-1-i] // ascending vs descending
+		if math.Abs(vals[i]-want) > 1e-9*(1+want) {
+			t.Fatalf("eig %d = %v want σ² = %v", i, vals[i], want)
+		}
+	}
+	if e := OrthogonalityError(vecs); e > 1e-10 {
+		t.Fatalf("eigenvectors not orthonormal: %v", e)
+	}
+}
+
+func TestEigSymTridiagonalEmptyAndSingle(t *testing.T) {
+	if vals, _, err := EigSymTridiagonal(nil, nil, false); err != nil || len(vals) != 0 {
+		t.Fatalf("empty: %v %v", vals, err)
+	}
+	vals, vecs, err := EigSymTridiagonal([]float64{7}, nil, true)
+	if err != nil || vals[0] != 7 || vecs.At(0, 0) != 1 {
+		t.Fatalf("single: %v %v %v", vals, vecs, err)
+	}
+}
+
+func TestEigSymTridiagonalSizeMismatch(t *testing.T) {
+	if _, _, err := EigSymTridiagonal([]float64{1, 2}, []float64{1, 2, 3}, false); err == nil {
+		t.Fatal("expected size error")
+	}
+}

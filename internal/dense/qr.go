@@ -1,0 +1,156 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRFactors holds a thin (economy) QR factorization A = Q·R with
+// Q m×n column-orthonormal and R n×n upper triangular (for m ≥ n).
+type QRFactors struct {
+	Q *Matrix
+	R *Matrix
+}
+
+// QR computes a thin Householder QR factorization of a (m ≥ n required).
+// Householder reflectors are accumulated into an explicit thin Q, which is
+// what the SVD-updating phases need (they multiply small Q factors into
+// existing singular-vector matrices).
+func QR(a *Matrix) *QRFactors {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("dense: QR needs rows >= cols, got %dx%d", m, n))
+	}
+	r := a.Clone()
+	// vs[k] stores the k-th Householder vector (length m-k, v[0] ≡ 1 implicit
+	// in the standard formulation; we store the full scaled vector instead).
+	vs := make([][]float64, n)
+	betas := make([]float64, n)
+
+	for k := 0; k < n; k++ {
+		// Build the Householder vector annihilating r[k+1:m, k].
+		x := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			x[i-k] = r.At(i, k)
+		}
+		alpha := Norm2(x)
+		if x[0] > 0 {
+			alpha = -alpha
+		}
+		v := x
+		v[0] -= alpha
+		vn := Norm2(v)
+		if vn == 0 || alpha == 0 {
+			// Column already zero below the diagonal; identity reflector.
+			vs[k] = nil
+			betas[k] = 0
+			continue
+		}
+		ScaleVec(1/vn, v)
+		vs[k] = v
+		betas[k] = 2
+
+		// Apply H = I − 2vvᵀ to r[k:m, k:n].
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+
+	// Accumulate thin Q by applying reflectors to the first n columns of I.
+	q := New(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * q.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+
+	rOut := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rOut.Set(i, j, r.At(i, j))
+		}
+	}
+	return &QRFactors{Q: q, R: rOut}
+}
+
+// SolveUpperTriangular solves R x = b for upper-triangular R by back
+// substitution. Zero (or numerically tiny) pivots yield an error.
+func SolveUpperTriangular(r *Matrix, b []float64) ([]float64, error) {
+	n := r.Rows
+	if r.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("dense: SolveUpperTriangular shape %dx%d, b %d", r.Rows, r.Cols, len(b))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		p := r.At(i, i)
+		if math.Abs(p) < 1e-300 {
+			return nil, fmt.Errorf("dense: singular triangular system at pivot %d", i)
+		}
+		x[i] = s / p
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖Ax − b‖₂ via QR (m ≥ n, full column rank).
+// The SVD is "commonly used in the solution of unconstrained linear least
+// squares problems" (§2); this QR route is the cross-check used in tests.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("dense: LeastSquares dims %d != %d", a.Rows, len(b))
+	}
+	f := QR(a)
+	qtb := MulVecT(f.Q, b)
+	return SolveUpperTriangular(f.R, qtb)
+}
+
+// GramSchmidt orthonormalizes the columns of a in place using modified
+// Gram–Schmidt with one reorthogonalization pass. Columns that become
+// numerically zero are replaced by zero vectors. Returns a for chaining.
+func GramSchmidt(a *Matrix) *Matrix {
+	n := a.Cols
+	cols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		cols[j] = a.Col(j)
+	}
+	for j := 0; j < n; j++ {
+		v := cols[j]
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < j; i++ {
+				Axpy(-Dot(cols[i], v), cols[i], v)
+			}
+		}
+		if Normalize(v) < 1e-13 {
+			for i := range v {
+				v[i] = 0
+			}
+		}
+		a.SetCol(j, v)
+		cols[j] = v
+	}
+	return a
+}

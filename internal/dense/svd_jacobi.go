@@ -1,0 +1,207 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SVDFactors holds a thin singular value decomposition A = U·diag(S)·Vᵀ
+// with U m×r, V n×r column-orthonormal and S sorted descending, r = min(m,n)
+// (or k for truncated results).
+type SVDFactors struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// Truncate returns the rank-k head of the decomposition (shared storage is
+// not reused; the result owns fresh matrices).
+func (f *SVDFactors) Truncate(k int) *SVDFactors {
+	if k > len(f.S) {
+		k = len(f.S)
+	}
+	s := make([]float64, k)
+	copy(s, f.S[:k])
+	return &SVDFactors{
+		U: f.U.Slice(0, f.U.Rows, 0, k),
+		S: s,
+		V: f.V.Slice(0, f.V.Rows, 0, k),
+	}
+}
+
+// Reconstruct returns U·diag(S)·Vᵀ, i.e. A_k of Eq (2) when the factors are
+// truncated to rank k.
+func (f *SVDFactors) Reconstruct() *Matrix {
+	us := f.U.Clone()
+	ScaleCols(us, f.S)
+	return MulBT(us, f.V)
+}
+
+// Rank returns the numerical rank: the number of singular values above
+// max(m,n)·eps·σ₁ (the usual LAPACK-style threshold).
+func (f *SVDFactors) Rank(m, n int) int {
+	if len(f.S) == 0 || f.S[0] == 0 {
+		return 0
+	}
+	tol := float64(maxInt(m, n)) * 2.220446049250313e-16 * f.S[0]
+	r := 0
+	for _, s := range f.S {
+		if s > tol {
+			r++
+		}
+	}
+	return r
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SVDJacobi computes the thin SVD of a by one-sided Jacobi rotations.
+// It is slower than Golub–Reinsch for large matrices but simple, extremely
+// accurate (singular values to nearly full relative precision), and serves
+// as the gold standard the bidiagonal-QR implementation is tested against.
+//
+// Matrices with more columns than rows are handled by transposing.
+func SVDJacobi(a *Matrix) *SVDFactors {
+	if a.Rows < a.Cols {
+		f := SVDJacobi(a.T())
+		return &SVDFactors{U: f.V, S: f.S, V: f.U}
+	}
+	m, n := a.Rows, a.Cols
+	// Work on columns of a copy of A; V accumulates the rotations.
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 60
+	eps := 2.220446049250313e-16
+	tol := 10 * float64(m) * eps
+
+	cols := make([][]float64, n)
+	vcols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		cols[j] = w.Col(j)
+		vcols[j] = v.Col(j)
+	}
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				cp, cq := cols[p], cols[q]
+				alpha := Dot(cp, cp)
+				beta := Dot(cq, cq)
+				gamma := Dot(cp, cq)
+				if alpha == 0 || beta == 0 {
+					continue
+				}
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) {
+					continue
+				}
+				off++
+				// Classic one-sided Jacobi rotation zeroing the (p,q)
+				// off-diagonal of the implicit Gram matrix.
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta > 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					tp := cp[i]
+					cp[i] = c*tp - s*cq[i]
+					cq[i] = s*tp + c*cq[i]
+				}
+				for i := 0; i < n; i++ {
+					tp := vcols[p][i]
+					vcols[p][i] = c*tp - s*vcols[q][i]
+					vcols[q][i] = s*tp + c*vcols[q][i]
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Singular values are the column norms of the rotated matrix; U's
+	// columns are the normalized columns.
+	type pair struct {
+		s   float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for j := 0; j < n; j++ {
+		pairs[j] = pair{Norm2(cols[j]), j}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s > pairs[j].s })
+
+	u := New(m, n)
+	vOut := New(n, n)
+	s := make([]float64, n)
+	for out, pr := range pairs {
+		s[out] = pr.s
+		cp := cols[pr.idx]
+		if pr.s > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, out, cp[i]/pr.s)
+			}
+		}
+		vc := vcols[pr.idx]
+		for i := 0; i < n; i++ {
+			vOut.Set(i, out, vc[i])
+		}
+	}
+	// Columns of U for zero singular values are left zero; callers that need
+	// a full orthonormal basis should re-orthonormalize, which no LSI code
+	// path requires (k is always below the numerical rank in practice).
+	return &SVDFactors{U: u, S: s, V: vOut}
+}
+
+// FixSigns flips the sign of each singular-vector pair so the entry of V
+// with the largest magnitude in each column is positive. The SVD is unique
+// only up to per-column signs; golden tests and plotted figures use this
+// convention for reproducibility.
+func (f *SVDFactors) FixSigns() *SVDFactors {
+	for j := 0; j < f.V.Cols; j++ {
+		best, bestAbs := 0.0, -1.0
+		for i := 0; i < f.V.Rows; i++ {
+			if a := math.Abs(f.V.At(i, j)); a > bestAbs {
+				bestAbs = a
+				best = f.V.At(i, j)
+			}
+		}
+		if best < 0 {
+			for i := 0; i < f.V.Rows; i++ {
+				f.V.Set(i, j, -f.V.At(i, j))
+			}
+			for i := 0; i < f.U.Rows; i++ {
+				f.U.Set(i, j, -f.U.At(i, j))
+			}
+		}
+	}
+	return f
+}
+
+// ResidualNorm returns ‖A − U diag(S) Vᵀ‖_F / ‖A‖_F, a convergence and
+// correctness check (1 ≫ result for a full SVD; for a rank-k truncation it
+// equals sqrt(Σ_{i>k} σᵢ²)/‖A‖_F by the Eckart–Young theorem of §2).
+func (f *SVDFactors) ResidualNorm(a *Matrix) float64 {
+	na := a.FrobeniusNorm()
+	if na == 0 {
+		return 0
+	}
+	diff := a.Sub(f.Reconstruct())
+	return diff.FrobeniusNorm() / na
+}
+
+func (f *SVDFactors) String() string {
+	return fmt.Sprintf("SVD{U:%dx%d S:%d V:%dx%d}", f.U.Rows, f.U.Cols, len(f.S), f.V.Rows, f.V.Cols)
+}

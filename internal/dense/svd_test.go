@@ -1,0 +1,328 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkSVD validates the three defining properties of a thin SVD of a:
+// orthonormal U and V columns, descending non-negative S, and exact
+// reconstruction.
+func checkSVD(t *testing.T, a *Matrix, f *SVDFactors, tol float64) {
+	t.Helper()
+	if e := OrthogonalityError(f.U); e > tol {
+		t.Fatalf("UᵀU−I error %v > %v", e, tol)
+	}
+	if e := OrthogonalityError(f.V); e > tol {
+		t.Fatalf("VᵀV−I error %v > %v", e, tol)
+	}
+	for i, s := range f.S {
+		if s < 0 {
+			t.Fatalf("negative singular value σ%d = %v", i, s)
+		}
+		if i > 0 && f.S[i-1] < s-1e-12 {
+			t.Fatalf("singular values not sorted: σ%d=%v σ%d=%v", i-1, f.S[i-1], i, s)
+		}
+	}
+	if r := f.ResidualNorm(a); r > tol {
+		t.Fatalf("reconstruction residual %v > %v", r, tol)
+	}
+}
+
+func TestSVDJacobiKnownValues(t *testing.T) {
+	// A = [[3,0],[0,-2]] has singular values {3,2}.
+	a := NewFromRows([][]float64{{3, 0}, {0, -2}})
+	f := SVDJacobi(a)
+	if math.Abs(f.S[0]-3) > 1e-14 || math.Abs(f.S[1]-2) > 1e-14 {
+		t.Fatalf("S = %v", f.S)
+	}
+	checkSVD(t, a, f, 1e-12)
+}
+
+func TestSVDJacobiRectangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, shape := range [][2]int{{5, 3}, {3, 5}, {10, 10}, {1, 4}, {4, 1}, {20, 7}} {
+		a := randomMatrix(rng, shape[0], shape[1])
+		checkSVD(t, a, SVDJacobi(a), 1e-10)
+	}
+}
+
+func TestSVDJacobiRankDeficient(t *testing.T) {
+	// Rank-1 matrix: outer product.
+	a := New(6, 4)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			a.Set(i, j, float64(i+1)*float64(j+1))
+		}
+	}
+	f := SVDJacobi(a)
+	if f.Rank(6, 4) != 1 {
+		t.Fatalf("rank = %d want 1 (S=%v)", f.Rank(6, 4), f.S)
+	}
+	if r := f.Truncate(1).ResidualNorm(a); r > 1e-12 {
+		t.Fatalf("rank-1 truncation residual %v", r)
+	}
+}
+
+func TestSVDJacobiZeroMatrix(t *testing.T) {
+	a := New(4, 3)
+	f := SVDJacobi(a)
+	for _, s := range f.S {
+		if s != 0 {
+			t.Fatalf("zero matrix has σ=%v", s)
+		}
+	}
+}
+
+func TestSVDGolubReinschMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range [][2]int{{6, 4}, {4, 6}, {12, 12}, {30, 9}, {2, 2}, {1, 1}} {
+		a := randomMatrix(rng, shape[0], shape[1])
+		gr, err := SVDGolubReinsch(a)
+		if err != nil {
+			t.Fatalf("GR failed on %v: %v", shape, err)
+		}
+		ja := SVDJacobi(a)
+		checkSVD(t, a, gr, 1e-9)
+		for i := range gr.S {
+			if math.Abs(gr.S[i]-ja.S[i]) > 1e-9*(1+ja.S[0]) {
+				t.Fatalf("shape %v σ%d: GR %v vs Jacobi %v", shape, i, gr.S[i], ja.S[i])
+			}
+		}
+	}
+}
+
+func TestSVDGolubReinschGradedMatrix(t *testing.T) {
+	// Widely spread singular values exercise the shift logic.
+	d := []float64{1e8, 1e4, 1, 1e-4, 1e-8}
+	rng := rand.New(rand.NewSource(12))
+	// Random orthogonal factors via QR of random matrices.
+	qu := QR(randomMatrix(rng, 8, 5)).Q
+	qv := QR(randomMatrix(rng, 5, 5)).Q
+	a := Mul(ScaleCols(qu.Clone(), d), qv.T())
+	f, err := SVDGolubReinsch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range d {
+		if math.Abs(f.S[i]-want) > 1e-7*want+1e-9*d[0] {
+			t.Fatalf("σ%d = %v want %v", i, f.S[i], want)
+		}
+	}
+}
+
+func TestEckartYoungOptimality(t *testing.T) {
+	// ‖A − A_k‖_F² == Σ_{i>k} σᵢ² (Theorem 2.2).
+	rng := rand.New(rand.NewSource(13))
+	a := randomMatrix(rng, 9, 6)
+	f := SVDJacobi(a)
+	for k := 1; k < 6; k++ {
+		ak := f.Truncate(k).Reconstruct()
+		var tail float64
+		for _, s := range f.S[k:] {
+			tail += s * s
+		}
+		got := a.Sub(ak).FrobeniusNorm()
+		if math.Abs(got-math.Sqrt(tail)) > 1e-10 {
+			t.Fatalf("k=%d: ‖A−A_k‖=%v want %v", k, got, math.Sqrt(tail))
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randomMatrix(rng, 7, 5)
+	f := SVDJacobi(a)
+	tr := f.Truncate(2)
+	if tr.U.Cols != 2 || tr.V.Cols != 2 || len(tr.S) != 2 {
+		t.Fatal("truncate shape wrong")
+	}
+	// Truncating past the rank is a no-op on length.
+	if len(f.Truncate(99).S) != 5 {
+		t.Fatal("over-truncate should clamp")
+	}
+}
+
+func TestFixSignsDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randomMatrix(rng, 6, 4)
+	f1 := SVDJacobi(a).FixSigns()
+	f2 := SVDJacobi(a.Clone()).FixSigns()
+	if !f1.U.Equal(f2.U, 1e-12) || !f1.V.Equal(f2.V, 1e-12) {
+		t.Fatal("FixSigns not deterministic")
+	}
+	// Reconstruction is invariant under sign fixing.
+	if r := f1.ResidualNorm(a); r > 1e-10 {
+		t.Fatalf("FixSigns broke reconstruction: %v", r)
+	}
+}
+
+func TestSVDFacadeFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := randomMatrix(rng, 10, 6)
+	checkSVD(t, a, SVD(a), 1e-9)
+}
+
+func TestQRProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, shape := range [][2]int{{5, 3}, {8, 8}, {20, 4}, {3, 3}} {
+		a := randomMatrix(rng, shape[0], shape[1])
+		f := QR(a)
+		if e := OrthogonalityError(f.Q); e > 1e-10 {
+			t.Fatalf("Q not orthonormal: %v", e)
+		}
+		if !Mul(f.Q, f.R).Equal(a, 1e-10) {
+			t.Fatal("QR != A")
+		}
+		for i := 1; i < f.R.Rows; i++ {
+			for j := 0; j < i; j++ {
+				if f.R.At(i, j) != 0 {
+					t.Fatal("R not upper triangular")
+				}
+			}
+		}
+	}
+}
+
+func TestQRWithZeroColumn(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 0, 2}, {0, 0, 1}, {1, 0, 0}})
+	f := QR(a)
+	if !Mul(f.Q, f.R).Equal(a, 1e-12) {
+		t.Fatal("QR of zero-column matrix wrong")
+	}
+}
+
+func TestLeastSquares(t *testing.T) {
+	// Fit y = 2x + 1 exactly.
+	a := NewFromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}})
+	b := []float64{1, 3, 5, 7}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Residual must be orthogonal to the column space: Aᵀ(Ax−b)=0.
+	rng := rand.New(rand.NewSource(18))
+	a := randomMatrix(rng, 10, 3)
+	b := make([]float64, 10)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MulVec(a, x)
+	for i := range res {
+		res[i] -= b[i]
+	}
+	g := MulVecT(a, res)
+	for _, v := range g {
+		if math.Abs(v) > 1e-10 {
+			t.Fatalf("normal equations violated: %v", g)
+		}
+	}
+}
+
+func TestGramSchmidt(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randomMatrix(rng, 8, 4)
+	GramSchmidt(a)
+	if e := OrthogonalityError(a); e > 1e-12 {
+		t.Fatalf("GramSchmidt orthogonality %v", e)
+	}
+}
+
+func TestSolveUpperTriangularSingular(t *testing.T) {
+	r := NewFromRows([][]float64{{1, 2}, {0, 0}})
+	if _, err := SolveUpperTriangular(r, []float64{1, 1}); err == nil {
+		t.Fatal("expected error for singular system")
+	}
+}
+
+// Property test: singular values are invariant under orthogonal column
+// permutation of A.
+func TestSingularValuePermutationInvarianceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 6, 4)
+		perm := rng.Perm(4)
+		b := New(6, 4)
+		for j, p := range perm {
+			b.SetCol(j, a.Col(p))
+		}
+		sa := SVDJacobi(a).S
+		sb := SVDJacobi(b).S
+		for i := range sa {
+			if math.Abs(sa[i]-sb[i]) > 1e-9*(1+sa[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property test: σ₁ equals the spectral norm estimated by power iteration.
+func TestLargestSingularValueIsSpectralNormQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 7, 5)
+		s1 := SVDJacobi(a).S[0]
+		// Power iteration on AᵀA.
+		x := make([]float64, 5)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		Normalize(x)
+		for it := 0; it < 500; it++ {
+			y := MulVecT(a, MulVec(a, x))
+			Normalize(y)
+			x = y
+		}
+		est := Norm2(MulVec(a, x))
+		return math.Abs(est-s1) < 1e-6*(1+s1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSVDJacobi100x50(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomMatrix(rng, 100, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SVDJacobi(a)
+	}
+}
+
+func BenchmarkSVDGolubReinsch100x50(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomMatrix(rng, 100, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SVDGolubReinsch(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulDense200(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	x := randomMatrix(rng, 200, 200)
+	y := randomMatrix(rng, 200, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}

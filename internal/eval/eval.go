@@ -1,0 +1,162 @@
+// Package eval implements the retrieval-effectiveness measures of §5.1:
+// precision, recall, interpolated precision at fixed recall levels, and the
+// paper's summary statistic — "average precision over recall levels of
+// 0.25, 0.50 and 0.75" (§5.2, footnote 2).
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PaperRecallLevels are the three recall levels the paper averages over.
+var PaperRecallLevels = []float64{0.25, 0.50, 0.75}
+
+// PrecisionRecall computes precision and recall after examining the top-z
+// documents of a ranking.
+func PrecisionRecall(ranking []int, relevant map[int]bool, z int) (precision, recall float64) {
+	if z > len(ranking) {
+		z = len(ranking)
+	}
+	if z <= 0 || len(relevant) == 0 {
+		return 0, 0
+	}
+	hits := 0
+	for _, doc := range ranking[:z] {
+		if relevant[doc] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(z), float64(hits) / float64(len(relevant))
+}
+
+// InterpolatedPrecision returns the interpolated precision at the given
+// recall level: the maximum precision at any cutoff whose recall meets or
+// exceeds the level (the standard 11-point interpolation rule).
+func InterpolatedPrecision(ranking []int, relevant map[int]bool, level float64) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	best := 0.0
+	hits := 0
+	for i, doc := range ranking {
+		if relevant[doc] {
+			hits++
+		}
+		recall := float64(hits) / float64(len(relevant))
+		if recall+1e-12 >= level {
+			p := float64(hits) / float64(i+1)
+			if p > best {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+// AveragePrecisionAtLevels is the paper's performance number: the mean of
+// interpolated precision over the given recall levels (PaperRecallLevels
+// when levels is nil).
+func AveragePrecisionAtLevels(ranking []int, relevant map[int]bool, levels []float64) float64 {
+	if levels == nil {
+		levels = PaperRecallLevels
+	}
+	var sum float64
+	for _, l := range levels {
+		sum += InterpolatedPrecision(ranking, relevant, l)
+	}
+	return sum / float64(len(levels))
+}
+
+// MeanAveragePrecision averages AveragePrecisionAtLevels over queries:
+// rankings[i] is judged against relevants[i].
+func MeanAveragePrecision(rankings [][]int, relevants []map[int]bool, levels []float64) float64 {
+	if len(rankings) != len(relevants) {
+		panic(fmt.Sprintf("eval: %d rankings vs %d judgment sets", len(rankings), len(relevants)))
+	}
+	if len(rankings) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range rankings {
+		sum += AveragePrecisionAtLevels(rankings[i], relevants[i], levels)
+	}
+	return sum / float64(len(rankings))
+}
+
+// RelevantSet converts a relevance list into the set form the metrics use.
+func RelevantSet(relevant []int) map[int]bool {
+	out := make(map[int]bool, len(relevant))
+	for _, d := range relevant {
+		out[d] = true
+	}
+	return out
+}
+
+// RankingFromScores converts per-document scores into a ranking
+// (descending score, ascending index tiebreak).
+func RankingFromScores(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// Improvement returns the relative improvement of a over b in percent —
+// how the paper reports "LSI was 16% better than keyword matching".
+func Improvement(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a - b) / b
+}
+
+// Pool implements the pooling method of §5.1's footnote: "relevance
+// judgements are made on the pooled set of the top-ranked documents
+// returned by several different retrieval systems for the same set of
+// queries." Given each system's ranking for one query and a pool depth, it
+// returns the union of the top-depth documents, sorted ascending — the set
+// that would be sent to human assessors.
+func Pool(rankings [][]int, depth int) []int {
+	seen := map[int]bool{}
+	for _, r := range rankings {
+		d := depth
+		if d > len(r) {
+			d = len(r)
+		}
+		for _, doc := range r[:d] {
+			seen[doc] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for doc := range seen {
+		out = append(out, doc)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PooledJudgments restricts full relevance judgments to a pool, modeling
+// the evaluation bias pooling introduces: relevant documents outside the
+// pool are treated as unjudged (absent), exactly the hazard the footnote
+// notes for "new systems" whose top documents were not pooled.
+func PooledJudgments(relevant map[int]bool, pool []int) map[int]bool {
+	inPool := make(map[int]bool, len(pool))
+	for _, doc := range pool {
+		inPool[doc] = true
+	}
+	out := map[int]bool{}
+	for doc := range relevant {
+		if inPool[doc] {
+			out[doc] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrecisionRecallByHand(t *testing.T) {
+	ranking := []int{3, 1, 4, 2, 0}
+	rel := RelevantSet([]int{1, 2})
+	p, r := PrecisionRecall(ranking, rel, 2)
+	if p != 0.5 || r != 0.5 { // top 2 = {3,1}: one hit of two relevant
+		t.Fatalf("p=%v r=%v", p, r)
+	}
+	p, r = PrecisionRecall(ranking, rel, 4)
+	if p != 0.5 || r != 1 {
+		t.Fatalf("p=%v r=%v", p, r)
+	}
+	// z beyond ranking length clamps.
+	p, r = PrecisionRecall(ranking, rel, 99)
+	if r != 1 || math.Abs(p-0.4) > 1e-12 {
+		t.Fatalf("clamped p=%v r=%v", p, r)
+	}
+}
+
+func TestPrecisionRecallDegenerate(t *testing.T) {
+	if p, r := PrecisionRecall(nil, RelevantSet([]int{1}), 3); p != 0 || r != 0 {
+		t.Fatal("empty ranking")
+	}
+	if p, r := PrecisionRecall([]int{0}, RelevantSet(nil), 1); p != 0 || r != 0 {
+		t.Fatal("no relevant docs")
+	}
+}
+
+func TestInterpolatedPrecisionPerfectRanking(t *testing.T) {
+	ranking := []int{0, 1, 2, 3, 4}
+	rel := RelevantSet([]int{0, 1})
+	for _, level := range []float64{0.25, 0.5, 0.75, 1.0} {
+		if p := InterpolatedPrecision(ranking, rel, level); p != 1 {
+			t.Fatalf("perfect ranking level %v precision %v", level, p)
+		}
+	}
+}
+
+func TestInterpolatedPrecisionWorstRanking(t *testing.T) {
+	ranking := []int{2, 3, 4, 0, 1}
+	rel := RelevantSet([]int{0, 1})
+	// First relevant at position 4 (recall .5, precision 1/4); second at 5.
+	if p := InterpolatedPrecision(ranking, rel, 0.5); math.Abs(p-0.4) > 1e-12 {
+		// interpolation takes the max precision at recall ≥ .5: 2/5 = 0.4
+		t.Fatalf("precision %v want 0.4", p)
+	}
+	if p := InterpolatedPrecision(ranking, rel, 1.0); math.Abs(p-0.4) > 1e-12 {
+		t.Fatalf("precision %v want 0.4", p)
+	}
+}
+
+func TestAveragePrecisionDefaults(t *testing.T) {
+	ranking := []int{0, 2, 1}
+	rel := RelevantSet([]int{0, 1})
+	got := AveragePrecisionAtLevels(ranking, rel, nil)
+	// Levels .25 and .5 satisfied at rank 1 (p=1); .75 needs both relevant:
+	// reached at rank 3 with p=2/3.
+	want := (1.0 + 1.0 + 2.0/3.0) / 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("avg precision %v want %v", got, want)
+	}
+}
+
+func TestMeanAveragePrecision(t *testing.T) {
+	r1 := []int{0, 1}
+	r2 := []int{1, 0}
+	rel := RelevantSet([]int{0})
+	m := MeanAveragePrecision([][]int{r1, r2}, []map[int]bool{rel, rel}, nil)
+	// Query 1: ap 1; query 2: relevant at rank 2 → interp precision .5 at
+	// all levels.
+	if math.Abs(m-0.75) > 1e-12 {
+		t.Fatalf("MAP %v want 0.75", m)
+	}
+}
+
+func TestRankingFromScores(t *testing.T) {
+	r := RankingFromScores([]float64{0.1, 0.9, 0.5, 0.9})
+	// Ties broken by index: doc1 before doc3.
+	want := []int{1, 3, 2, 0}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranking %v want %v", r, want)
+		}
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if v := Improvement(1.3, 1.0); math.Abs(v-30) > 1e-12 {
+		t.Fatalf("improvement %v", v)
+	}
+	if v := Improvement(1, 0); v != 0 {
+		t.Fatalf("zero-base improvement %v", v)
+	}
+}
+
+// Property: interpolated precision is non-increasing in the recall level.
+func TestInterpolatedPrecisionMonotoneQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		// Build a deterministic pseudo-random ranking of 20 docs with 5
+		// relevant, derived from the seed.
+		ranking := make([]int, 20)
+		for i := range ranking {
+			ranking[i] = i
+		}
+		s := uint64(seed)
+		for i := len(ranking) - 1; i > 0; i-- {
+			s = s*6364136223846793005 + 1442695040888963407
+			j := int(s % uint64(i+1))
+			ranking[i], ranking[j] = ranking[j], ranking[i]
+		}
+		rel := RelevantSet([]int{2, 5, 7, 11, 13})
+		prev := math.Inf(1)
+		for _, level := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+			p := InterpolatedPrecision(ranking, rel, level)
+			if p > prev+1e-12 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PrecisionRecall recall is non-decreasing in z.
+func TestRecallMonotoneInZQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		ranking := make([]int, 15)
+		for i := range ranking {
+			ranking[i] = i
+		}
+		s := uint64(seed)
+		for i := len(ranking) - 1; i > 0; i-- {
+			s = s*2862933555777941757 + 3037000493
+			j := int(s % uint64(i+1))
+			ranking[i], ranking[j] = ranking[j], ranking[i]
+		}
+		rel := RelevantSet([]int{1, 4, 9})
+		prev := 0.0
+		for z := 1; z <= 15; z++ {
+			_, r := PrecisionRecall(ranking, rel, z)
+			if r < prev-1e-12 {
+				return false
+			}
+			prev = r
+		}
+		return prev == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPool(t *testing.T) {
+	r1 := []int{5, 3, 1, 9}
+	r2 := []int{3, 7, 5, 0}
+	pool := Pool([][]int{r1, r2}, 2)
+	want := []int{3, 5, 7}
+	if len(pool) != len(want) {
+		t.Fatalf("pool %v want %v", pool, want)
+	}
+	for i := range want {
+		if pool[i] != want[i] {
+			t.Fatalf("pool %v want %v", pool, want)
+		}
+	}
+	// Depth beyond ranking length clamps.
+	if p := Pool([][]int{{1}}, 10); len(p) != 1 || p[0] != 1 {
+		t.Fatalf("clamped pool %v", p)
+	}
+}
+
+func TestPooledJudgments(t *testing.T) {
+	rel := RelevantSet([]int{1, 2, 3})
+	pooled := PooledJudgments(rel, []int{2, 3, 9})
+	if len(pooled) != 2 || !pooled[2] || !pooled[3] || pooled[1] {
+		t.Fatalf("pooled judgments %v", pooled)
+	}
+}
+
+// Pooling bias: a system whose results were pooled evaluates at least as
+// well under pooled judgments as a held-out system with the same true
+// quality — the hazard the §5.1 footnote warns about.
+func TestPoolingBiasAgainstUnpooledSystem(t *testing.T) {
+	// True relevance: docs 0..4.
+	rel := RelevantSet([]int{0, 1, 2, 3, 4})
+	pooledSystem := []int{0, 1, 2, 9, 8, 7, 3, 4, 5, 6}
+	// The held-out system finds different relevant docs first.
+	heldOut := []int{4, 3, 6, 5, 2, 1, 0, 7, 8, 9}
+	pool := Pool([][]int{pooledSystem}, 3) // only docs 0,1,2 judged relevant
+	pj := PooledJudgments(rel, pool)
+	apPooled := AveragePrecisionAtLevels(pooledSystem, pj, nil)
+	apHeld := AveragePrecisionAtLevels(heldOut, pj, nil)
+	apHeldTrue := AveragePrecisionAtLevels(heldOut, rel, nil)
+	if apHeld >= apHeldTrue {
+		t.Fatalf("pooled judgments should understate the unpooled system: %v vs true %v", apHeld, apHeldTrue)
+	}
+	if apPooled <= apHeld {
+		t.Fatalf("bias should favor the pooled system: pooled %v vs held-out %v", apPooled, apHeld)
+	}
+}

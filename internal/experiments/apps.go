@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/filter"
+	"repro/internal/reviewer"
+	"repro/internal/spell"
+	"repro/internal/synonym"
+	"repro/internal/text"
+	"repro/internal/vsm"
+	"repro/internal/weight"
+	"repro/internal/xlang"
+)
+
+func init() {
+	register("filtering", "information filtering: LSI vs keyword profiles (§5.3)", runFiltering)
+	register("crosslang", "cross-language retrieval in a joint LSI space (§5.4)", runCrossLang)
+	register("synonym", "TOEFL-style synonym test: LSI vs word overlap (§5.4)", runSynonym)
+	register("noisy", "retrieval robustness under OCR-style corruption (§5.4)", runNoisy)
+	register("spelling", "n-gram LSI spelling correction (§5.4)", runSpelling)
+	register("reviewers", "reviewer assignment with p×r constraints (§5.4)", runReviewers)
+}
+
+func runFiltering(seed int64) (*Result, error) {
+	r := &Result{ID: "filtering", Title: "Filtering a document stream against standing profiles",
+		Paper: "LSI showed 12–23% advantages over keyword matching for filtering Netnews articles"}
+	// Train on an initial sample, then filter a stream of unseen docs.
+	s := corpus.GenerateSynth(corpus.SynthOptions{
+		Seed: seed + 31, Topics: 8, Docs: 400, DocLen: 40,
+		QueriesPerTopic: 2, SynonymsPerConcept: 6, DocVariantLoyalty: 1.0,
+		PolysemyFrac: 0.2, NoiseFrac: 0.35, QueryLen: 5,
+	})
+	nTrain := 240
+	trainDocs := s.Docs[:nTrain]
+	train := corpus.New(trainDocs, text.ParseOptions{MinDocs: 2})
+	m, err := core.BuildCollection(train, core.Config{K: 20, Scheme: weight.LogEntropy, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	kw := vsm.Build(train.TD, weight.LogEntropy)
+
+	// The stream is the held-out tail, re-counted under the training vocab.
+	streamDocs := s.Docs[nTrain:]
+	stream := make([][]float64, len(streamDocs))
+	for i, d := range streamDocs {
+		stream[i] = train.Vocab.Count(d.Text)
+	}
+	var lsiAP, kwAP float64
+	var nq int
+	for _, q := range s.Queries {
+		rel := map[int]bool{}
+		for _, j := range q.Relevant {
+			if j >= nTrain {
+				rel[j-nTrain] = true
+			}
+		}
+		if len(rel) == 0 {
+			continue
+		}
+		nq++
+		qv := train.Vocab.Count(q.Text)
+		p := filter.FromQuery(m, qv, 0)
+		lsiAP += eval.AveragePrecisionAtLevels(p.RankStream(m, stream), rel, nil)
+		kwScores := make([]float64, len(stream))
+		for i, d := range stream {
+			kwScores[i] = kw.PairCosine(qv, d)
+		}
+		kwAP += eval.AveragePrecisionAtLevels(eval.RankingFromScores(kwScores), rel, nil)
+	}
+	lsiAP /= float64(nq)
+	kwAP /= float64(nq)
+	r.addf("%-22s %8s", "system", "mean AP")
+	r.addf("%-22s %8.3f", "LSI profile", lsiAP)
+	r.addf("%-22s %8.3f", "keyword profile", kwAP)
+	r.addf("advantage: %.1f%%", eval.Improvement(lsiAP, kwAP))
+	r.metric("lsi_ap", lsiAP)
+	r.metric("keyword_ap", kwAP)
+	r.metric("advantage_pct", eval.Improvement(lsiAP, kwAP))
+	return r, nil
+}
+
+func runCrossLang(seed int64) (*Result, error) {
+	r := &Result{ID: "crosslang", Title: "English↔French retrieval in the joint space",
+		Paper: "cross-language retrieval as effective as translating queries; no lexical overlap needed"}
+	b := corpus.GenerateBilingual(corpus.BilingualOptions{Seed: seed + 5})
+	mono := append(append([]corpus.Document(nil), b.MonoEN...), b.MonoFR...)
+	ix, err := xlang.Build(b.Training, mono, xlang.Config{K: 16, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	nEN := len(b.MonoEN)
+	score := func(queries []corpus.Query, topics []int, docTopics []int, offset int) float64 {
+		var sum float64
+		for qi, q := range queries {
+			ranked := ix.Query(q.Text)
+			// Precision at the topic size among target-language docs.
+			perTopic := 0
+			for _, t := range docTopics {
+				if t == topics[qi] {
+					perTopic++
+				}
+			}
+			hits, seen := 0, 0
+			for _, x := range ranked {
+				di := x.Doc - offset
+				if di < 0 || di >= len(docTopics) {
+					continue
+				}
+				if docTopics[di] == topics[qi] {
+					hits++
+				}
+				seen++
+				if seen >= perTopic {
+					break
+				}
+			}
+			sum += float64(hits) / float64(perTopic)
+		}
+		return sum / float64(len(queries))
+	}
+	enToFR := score(b.QueriesEN, b.QueryTopicEN, b.MonoFRTopic, nEN)
+	frToEN := score(b.QueriesFR, b.QueryTopicFR, b.MonoENTopic, 0)
+	enToEN := score(b.QueriesEN, b.QueryTopicEN, b.MonoENTopic, 0)
+	r.addf("EN→FR precision@topic = %.3f", enToFR)
+	r.addf("FR→EN precision@topic = %.3f", frToEN)
+	r.addf("EN→EN (monolingual)   = %.3f", enToEN)
+	r.metric("en_to_fr", enToFR)
+	r.metric("fr_to_en", frToEN)
+	r.metric("en_to_en", enToEN)
+	return r, nil
+}
+
+func runSynonym(seed int64) (*Result, error) {
+	r := &Result{ID: "synonym", Title: "Synonym test accuracy",
+		Paper: "LSI 64% correct vs 33% for word overlap (chance 25%), matching the average ETS test-taker"}
+	s := corpus.GenerateSynth(corpus.SynthOptions{
+		Seed: seed + 77, Topics: 10, Docs: 300, DocLen: 40,
+		SynonymsPerConcept: 3, DocVariantLoyalty: 1.0,
+	})
+	b := synonym.GenerateBenchmark(s, 80, seed)
+	m, err := core.BuildCollection(s.Collection, core.Config{K: 20, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	lsi, err := synonym.ScoreLSI(b, m)
+	if err != nil {
+		return nil, err
+	}
+	overlap, err := synonym.ScoreWordOverlap(b)
+	if err != nil {
+		return nil, err
+	}
+	r.addf("items: %d (4 alternatives each; chance = 25%%)", len(b.Items))
+	r.addf("LSI          %.1f%%", 100*lsi)
+	r.addf("word overlap %.1f%%", 100*overlap)
+	r.metric("lsi_accuracy", lsi)
+	r.metric("overlap_accuracy", overlap)
+	return r, nil
+}
+
+func runNoisy(seed int64) (*Result, error) {
+	r := &Result{ID: "noisy", Title: "Retrieval under OCR-style word corruption",
+		Paper: "with an 8.8% word error rate, LSI retrieval was not disrupted relative to clean text"}
+	base := corpus.GenerateSynth(corpus.SynthOptions{
+		Seed: seed + 13, Topics: 8, Docs: 240, DocLen: 40, QueriesPerTopic: 2,
+	})
+	cleanAP, err := apLSI(base, 16, weight.LogEntropy, seed)
+	if err != nil {
+		return nil, err
+	}
+	r.addf("%-12s %8s %12s", "error rate", "AP", "vs clean")
+	r.addf("%-12s %8.3f %12s", "0.0%", cleanAP, "—")
+	r.metric("ap_clean", cleanAP)
+	for _, rate := range []float64{0.088, 0.20} {
+		noisyDocs, realized := corpus.NewCorruptor(rate, seed).CorruptDocs(base.Docs)
+		coll := corpus.New(noisyDocs, text.ParseOptions{MinDocs: 2})
+		noisy := &corpus.Synth{
+			Judged:   &corpus.Judged{Collection: coll, Queries: base.Queries},
+			DocTopic: base.DocTopic,
+			Options:  base.Options,
+		}
+		ap, err := apLSI(noisy, 16, weight.LogEntropy, seed)
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%-12s %8.3f %11.1f%%", fmt.Sprintf("%.1f%%", 100*realized), ap, eval.Improvement(ap, cleanAP))
+		r.metric(fmt.Sprintf("ap_rate%.0f", rate*1000), ap)
+	}
+	return r, nil
+}
+
+func runSpelling(seed int64) (*Result, error) {
+	r := &Result{ID: "spelling", Title: "Spelling correction via n-gram × word LSI",
+		Paper: "input word's n-gram vector folded in; nearest dictionary word returned as the correction"}
+	dict := []string{
+		"information", "retrieval", "latent", "semantic", "indexing",
+		"singular", "value", "decomposition", "matrix", "sparse", "document",
+		"query", "vector", "cosine", "factor", "update", "folding",
+		"orthogonal", "lanczos", "truncated", "precision", "recall",
+		"relevance", "feedback", "filtering", "synonym", "polysemy",
+		"lexical", "keyword", "database", "cluster", "dimension",
+	}
+	c, err := spell.New(dict, spell.Config{K: 28, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	pairs := [][2]string{
+		{"informaton", "information"}, {"retreival", "retrieval"},
+		{"semantik", "semantic"}, {"indexng", "indexing"},
+		{"singuler", "singular"}, {"matrxi", "matrix"},
+		{"documnet", "document"}, {"qeury", "query"},
+		{"relevence", "relevance"}, {"feedbak", "feedback"},
+		{"clutser", "cluster"}, {"dimensoin", "dimension"},
+	}
+	top1 := c.Accuracy(pairs, 1)
+	top3 := c.Accuracy(pairs, 3)
+	r.addf("dictionary: %d words, test: %d single-edit misspellings", len(dict), len(pairs))
+	r.addf("top-1 accuracy: %.1f%%", 100*top1)
+	r.addf("top-3 accuracy: %.1f%%", 100*top3)
+	for _, p := range pairs[:4] {
+		r.addf("  %-12s -> %s", p[0], c.Correct(p[0]))
+	}
+	r.metric("top1", top1)
+	r.metric("top3", top3)
+	return r, nil
+}
+
+func runReviewers(seed int64) (*Result, error) {
+	r := &Result{ID: "reviewers", Title: "Automatic reviewer assignment",
+		Paper: "hundreds of papers assigned in under an hour, judged as good as human experts"}
+	s := corpus.GenerateSynth(corpus.SynthOptions{
+		Seed: seed + 99, Topics: 6, Docs: 120, DocLen: 40,
+	})
+	perTopic := map[int][]string{}
+	for j, topic := range s.DocTopic {
+		perTopic[topic] = append(perTopic[topic], s.Docs[j].Text)
+	}
+	var reviewers []corpus.Document
+	for topic := 0; topic < s.Options.Topics; topic++ {
+		reviewers = append(reviewers, corpus.Document{
+			ID:   fmt.Sprintf("R%d", topic),
+			Text: strings.Join(perTopic[topic][:10], " "),
+		})
+	}
+	asn, err := reviewer.New(reviewers, reviewer.Config{K: 5, Seed: seed},
+		func(docs []corpus.Document) *corpus.Collection {
+			// Topic words appear in one reviewer's text only; index all.
+			return corpus.New(docs, text.ParseOptions{MinDocs: 1})
+		})
+	if err != nil {
+		return nil, err
+	}
+	var abstracts []string
+	var topics []int
+	for topic := 0; topic < s.Options.Topics; topic++ {
+		for _, d := range perTopic[topic][10:14] {
+			abstracts = append(abstracts, d)
+			topics = append(topics, topic)
+		}
+	}
+	asg, err := asn.Assign(abstracts, 2, 10)
+	if err != nil {
+		return nil, err
+	}
+	correctTop := 0
+	for p, revs := range asg {
+		for _, rev := range revs {
+			if rev == topics[p] {
+				correctTop++
+				break
+			}
+		}
+	}
+	mean := asn.MeanReviewerSimilarity(abstracts, asg)
+	random := asn.RandomBaselineSimilarity(abstracts)
+	r.addf("papers: %d, reviewers: %d, 2 reviewers/paper, ≤10 papers/reviewer", len(abstracts), len(reviewers))
+	r.addf("papers whose topic expert is among assigned reviewers: %d/%d", correctTop, len(abstracts))
+	r.addf("mean assigned similarity %.3f vs random baseline %.3f", mean, random)
+	r.metric("topic_expert_fraction", float64(correctTop)/float64(len(abstracts)))
+	r.metric("mean_similarity", mean)
+	r.metric("random_similarity", random)
+	return r, nil
+}

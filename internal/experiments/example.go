@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dense"
+	"repro/internal/vsm"
+)
+
+func init() {
+	register("table3", "18×14 term–document matrix from the Table 2 topics", runTable3)
+	register("fig4", "two-dimensional term/document coordinates (k=2)", runFig4)
+	register("fig5", "derived coordinates for the query \"age blood abnormalities\"", runFig5)
+	register("fig6", "LSI retrieval vs lexical matching for the example query", runFig6)
+	register("table4", "returned documents at cosine ≥ 0.40 for k = 2, 4, 8", runTable4)
+	register("fig7", "folding-in the Table 5 topics M15, M16", runFig7)
+	register("fig8", "recomputing the SVD of the 18×16 matrix", runFig8)
+	register("fig9", "SVD-updating with the Table 5 topics", runFig9)
+}
+
+func medModel(k int) (*corpus.Collection, *core.Model, error) {
+	c := corpus.MED()
+	m, err := core.BuildCollection(c, core.Config{K: k, Method: core.MethodDense})
+	return c, m, err
+}
+
+func runTable3(seed int64) (*Result, error) {
+	c := corpus.MED()
+	r := &Result{ID: "table3", Title: "Term–document matrix (Table 3)",
+		Paper: "18 terms × 14 topics, raw counts, keyword-in->1-topic parsing rule"}
+	header := "term           "
+	for j := 1; j <= 14; j++ {
+		header += fmt.Sprintf("%3s", fmt.Sprintf("M%d", j))
+	}
+	r.Lines = append(r.Lines, header)
+	d := c.TD.Dense()
+	mismatches := 0.0
+	for i, term := range c.Vocab.Terms {
+		row := fmt.Sprintf("%-15s", term)
+		for j := range d[i] {
+			row += fmt.Sprintf("%3.0f", d[i][j])
+			if d[i][j] != corpus.MEDMatrix[i][j] {
+				mismatches++
+			}
+		}
+		r.Lines = append(r.Lines, row)
+	}
+	r.metric("terms", float64(c.Terms()))
+	r.metric("docs", float64(c.Size()))
+	r.metric("cells_differing_from_table3", mismatches)
+	return r, nil
+}
+
+func runFig4(seed int64) (*Result, error) {
+	c, m, err := medModel(2)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "fig4", Title: "σ-scaled coordinates of 18 terms and 14 topics (k=2)",
+		Paper: "behaviour/hormone topics cluster opposite blood-disease/fasting topics on factor 2"}
+	tc, dc := m.TermCoords(), m.DocCoords()
+	r.addf("%-15s %9s %9s", "term", "x", "y")
+	for i, t := range c.Vocab.Terms {
+		r.addf("%-15s %9.4f %9.4f", t, tc.At(i, 0), tc.At(i, 1))
+	}
+	r.addf("%-15s %9s %9s", "topic", "x", "y")
+	for j, d := range c.Docs {
+		r.addf("%-15s %9.4f %9.4f", d.ID, dc.At(j, 0), dc.At(j, 1))
+	}
+	// Cluster separation metric: mean factor-2 coordinate of the behaviour
+	// group minus the fasting group (sign-normalized to the M1 side).
+	sgn := 1.0
+	if dc.At(0, 1) < 0 {
+		sgn = -1
+	}
+	behaviour := []int{0, 1, 2, 3, 4, 5}
+	fasting := []int{9, 11, 12, 13}
+	var bSum, fSum float64
+	for _, j := range behaviour {
+		bSum += sgn * dc.At(j, 1)
+	}
+	for _, j := range fasting {
+		fSum += sgn * dc.At(j, 1)
+	}
+	r.metric("behaviour_group_mean_y", bSum/float64(len(behaviour)))
+	r.metric("fasting_group_mean_y", fSum/float64(len(fasting)))
+	return r, nil
+}
+
+func runFig5(seed int64) (*Result, error) {
+	c, m, err := medModel(2)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "fig5", Title: "Query coordinates via Eq (6)",
+		Paper: "σ₁=3.5919 σ₂=2.6471, q̂=(0.1491, −0.1199) on the paper's matrix revision"}
+	q := c.QueryVector(corpus.MEDQuery)
+	qhat := m.ProjectQuery(q)
+	r.addf("query %q -> indexed terms: age blood abnormalities", corpus.MEDQuery)
+	r.addf("sigma = (%.4f, %.4f)", m.S[0], m.S[1])
+	r.addf("qhat  = (%.4f, %.4f)", qhat[0], qhat[1])
+	r.metric("sigma1", m.S[0])
+	r.metric("sigma2", m.S[1])
+	r.metric("qhat_x", qhat[0])
+	r.metric("qhat_y", qhat[1])
+	return r, nil
+}
+
+func runFig6(seed int64) (*Result, error) {
+	c, m, err := medModel(2)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "fig6", Title: "LSI cosine ranking vs lexical matching",
+		Paper: "cosine>.85 → {M8,M9,M12}; lexical → {M1,M8,M10,M11,M12}; M9 retrieved only by LSI"}
+	q := c.QueryVector(corpus.MEDQuery)
+	ranked := m.Rank(q)
+	r.addf("%-5s %8s", "topic", "cosine")
+	for _, x := range ranked {
+		r.addf("%-5s %8.3f", c.Docs[x.Doc].ID, x.Score)
+	}
+	lex := vsm.LexicalMatch(c.TD, q, 1)
+	var ids []string
+	for _, j := range lex {
+		ids = append(ids, c.Docs[j].ID)
+	}
+	r.addf("lexical matches: %s", strings.Join(ids, " "))
+	r.metric("top1_is_M9", boolMetric(c.Docs[ranked[0].Doc].ID == "M9"))
+	r.metric("lexical_count", float64(len(lex)))
+	scores := map[string]float64{}
+	for _, x := range ranked {
+		scores[c.Docs[x.Doc].ID] = x.Score
+	}
+	r.metric("cos_M8", scores["M8"])
+	r.metric("cos_M9", scores["M9"])
+	r.metric("cos_M12", scores["M12"])
+	return r, nil
+}
+
+func runTable4(seed int64) (*Result, error) {
+	c := corpus.MED()
+	r := &Result{ID: "table4", Title: "Returned documents (cosine ≥ 0.40) by number of factors",
+		Paper: "k=2: 11 docs led by M9 1.00; k=4: 5 docs led by M8; k=8: 4 docs led by M8"}
+	q := c.QueryVector(corpus.MEDQuery)
+	for _, k := range []int{2, 4, 8} {
+		m, err := core.BuildCollection(c, core.Config{K: k, Method: core.MethodDense})
+		if err != nil {
+			return nil, err
+		}
+		hits := m.AboveThreshold(m.ProjectQuery(q), 0.40)
+		var cells []string
+		for _, h := range hits {
+			cells = append(cells, fmt.Sprintf("%s %.2f", c.Docs[h.Doc].ID, h.Score))
+		}
+		r.addf("k=%d: %s", k, strings.Join(cells, "  "))
+		r.metric(fmt.Sprintf("returned_k%d", k), float64(len(hits)))
+		if len(hits) > 0 {
+			r.metric(fmt.Sprintf("top_cos_k%d", k), hits[0].Score)
+		}
+	}
+	return r, nil
+}
+
+func runFig7(seed int64) (*Result, error) {
+	c, m, err := medModel(2)
+	if err != nil {
+		return nil, err
+	}
+	before := m.DocCoords()
+	m.FoldInDocs(c.DocVectors(corpus.MEDUpdateTopics))
+	after := m.DocCoords()
+	r := &Result{ID: "fig7", Title: "Folding-in M15 and M16 (Eq 7)",
+		Paper: "original coordinates unchanged; M15/M16 placed by projection; orthogonality lost"}
+	ids := append([]corpus.Document{}, c.Docs...)
+	ids = append(ids, corpus.MEDUpdateTopics...)
+	r.addf("%-5s %9s %9s", "topic", "x", "y")
+	for j, d := range ids {
+		r.addf("%-5s %9.4f %9.4f", d.ID, after.At(j, 0), after.At(j, 1))
+	}
+	maxMove := 0.0
+	for j := 0; j < 14; j++ {
+		for f := 0; f < 2; f++ {
+			if d := abs(after.At(j, f) - before.At(j, f)); d > maxMove {
+				maxMove = d
+			}
+		}
+	}
+	r.metric("max_existing_coord_movement", maxMove)
+	r.metric("doc_orthogonality_loss", m.DocOrthogonality())
+	return r, nil
+}
+
+func runFig8(seed int64) (*Result, error) {
+	c := corpus.MED()
+	ext := c.Extend(corpus.MEDUpdateTopics, corpus.MEDParseOptions())
+	m, err := core.BuildCollection(ext, core.Config{K: 2, Method: core.MethodDense})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "fig8", Title: "Recomputed SVD of the 18×16 matrix Ã",
+		Paper: "rats topics {M13,M14,M15} form a well-defined cluster; latent structure redefined"}
+	dc := m.DocCoords()
+	r.addf("%-5s %9s %9s", "topic", "x", "y")
+	for j, d := range ext.Docs {
+		r.addf("%-5s %9.4f %9.4f", d.ID, dc.At(j, 0), dc.At(j, 1))
+	}
+	r.metric("rats_cluster_cohesion", clusterCohesion(m, []int{12, 13, 14}))
+	r.metric("sigma1", m.S[0])
+	return r, nil
+}
+
+func runFig9(seed int64) (*Result, error) {
+	c, m, err := medModel(2)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.UpdateDocs(c.DocVectors(corpus.MEDUpdateTopics)); err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "fig9", Title: "SVD-updating with M15 and M16 (Eq 10 phase)",
+		Paper: "clustering similar to Fig 8 (recompute), unlike Fig 7 (folding-in); orthogonality kept"}
+	dc := m.DocCoords()
+	ids := append([]corpus.Document{}, c.Docs...)
+	ids = append(ids, corpus.MEDUpdateTopics...)
+	r.addf("%-5s %9s %9s", "topic", "x", "y")
+	for j, d := range ids {
+		r.addf("%-5s %9.4f %9.4f", d.ID, dc.At(j, 0), dc.At(j, 1))
+	}
+	r.metric("doc_orthogonality_loss", m.DocOrthogonality())
+	r.metric("rats_cluster_cohesion", clusterCohesion(m, []int{12, 13, 14}))
+	r.metric("sigma1", m.S[0])
+
+	// Folding-in comparison for the report.
+	_, folded, err := medModel(2)
+	if err != nil {
+		return nil, err
+	}
+	folded.FoldInDocs(c.DocVectors(corpus.MEDUpdateTopics))
+	r.metric("foldin_orthogonality_loss", folded.DocOrthogonality())
+	return r, nil
+}
+
+func clusterCohesion(m *core.Model, docs []int) float64 {
+	var sum float64
+	var n int
+	for i := 0; i < len(docs); i++ {
+		for j := i + 1; j < len(docs); j++ {
+			sum += dense.Cosine(m.DocVector(docs[i]), m.DocVector(docs[j]))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

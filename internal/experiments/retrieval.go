@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/filter"
+	"repro/internal/vsm"
+	"repro/internal/weight"
+)
+
+func init() {
+	register("retrieval", "LSI vs keyword vector matching across vocabulary-mismatch levels (§5.1)", runRetrieval)
+	register("weighting", "term-weighting scheme comparison (§5.1: log×entropy best)", runWeighting)
+	register("feedback", "relevance feedback: query replaced by 1 or 3 relevant docs (§5.1)", runFeedback)
+	register("kfactors", "retrieval performance vs number of factors k (§5.2)", runKFactors)
+}
+
+// retrievalCollection builds a judged benchmark. synonyms controls the
+// vocabulary-mismatch regime: each concept has that many interchangeable
+// surface words and every document commits fully to one variant per
+// concept, so with 6 variants a 5-word query shares no literal word with a
+// third of its relevant documents — the regime where "the queries and
+// relevant documents do not share many words" (§5.1).
+func retrievalCollection(seed int64, synonyms int) *corpus.Synth {
+	return corpus.GenerateSynth(corpus.SynthOptions{
+		Seed: seed, Topics: 10, Docs: 300, DocLen: 40,
+		SynonymsPerConcept: synonyms, DocVariantLoyalty: 1.0,
+		PolysemyFrac: 0.2, NoiseFrac: 0.35,
+		QueriesPerTopic: 3, QueryLen: 5,
+	})
+}
+
+// apLSI and apVSM compute mean average precision at the paper's recall
+// levels for the two systems on a judged collection.
+func apLSI(s *corpus.Synth, k int, scheme weight.Scheme, seed int64) (float64, error) {
+	m, err := core.BuildCollection(s.Collection, core.Config{K: k, Scheme: scheme, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	var rankings [][]int
+	var rels []map[int]bool
+	for _, q := range s.Queries {
+		ranked := m.Rank(s.QueryVector(q.Text))
+		ranking := make([]int, len(ranked))
+		for i, r := range ranked {
+			ranking[i] = r.Doc
+		}
+		rankings = append(rankings, ranking)
+		rels = append(rels, eval.RelevantSet(q.Relevant))
+	}
+	return eval.MeanAveragePrecision(rankings, rels, nil), nil
+}
+
+// buildVSM constructs the keyword baseline model for a judged collection.
+func buildVSM(s *corpus.Synth) *vsm.Model {
+	return vsm.Build(s.TD, weight.LogEntropy)
+}
+
+func apVSM(s *corpus.Synth, scheme weight.Scheme) float64 {
+	m := vsm.Build(s.TD, scheme)
+	var rankings [][]int
+	var rels []map[int]bool
+	for _, q := range s.Queries {
+		rankings = append(rankings, eval.RankingFromScores(m.Scores(s.QueryVector(q.Text))))
+		rels = append(rels, eval.RelevantSet(q.Relevant))
+	}
+	return eval.MeanAveragePrecision(rankings, rels, nil)
+}
+
+func runRetrieval(seed int64) (*Result, error) {
+	r := &Result{ID: "retrieval", Title: "Average precision: LSI vs keyword vector matching",
+		Paper: "LSI ranged from comparable to 30% better; best when queries and relevant docs share few words"}
+	r.addf("%-22s %8s %8s %9s", "synonyms/concept", "LSI", "keyword", "advantage")
+	for _, syn := range []int{1, 3, 6} {
+		s := retrievalCollection(seed+int64(syn)*101, syn)
+		lsi, err := apLSI(s, 20, weight.LogEntropy, seed)
+		if err != nil {
+			return nil, err
+		}
+		kw := apVSM(s, weight.LogEntropy)
+		adv := eval.Improvement(lsi, kw)
+		r.addf("%-22d %8.3f %8.3f %8.1f%%", syn, lsi, kw, adv)
+		r.metric(fmt.Sprintf("lsi_ap_syn%d", syn), lsi)
+		r.metric(fmt.Sprintf("vsm_ap_syn%d", syn), kw)
+		r.metric(fmt.Sprintf("advantage_pct_syn%d", syn), adv)
+	}
+	return r, nil
+}
+
+func runWeighting(seed int64) (*Result, error) {
+	r := &Result{ID: "weighting", Title: "Mean average precision by weighting scheme (5 collections)",
+		Paper: "log×entropy was 40% more effective than raw term weighting, averaged over five collections"}
+	schemes := weight.AllSchemes()
+	sums := make([]float64, len(schemes))
+	const nColl = 5
+	for c := 0; c < nColl; c++ {
+		// Bursty Zipfian noise is the regime where weighting matters: raw
+		// counts are dominated by uninformative high-frequency words.
+		s := corpus.GenerateSynth(corpus.SynthOptions{
+			Seed: seed + int64(c)*977, Topics: 10, Docs: 200, DocLen: 60,
+			SynonymsPerConcept: 4, DocVariantLoyalty: 1.0,
+			NoiseFrac: 0.5, NoiseWords: 40, NoiseZipf: true, NoiseBurst: 6,
+			QueriesPerTopic: 3, QueryLen: 5,
+		})
+		for i, sc := range schemes {
+			ap, err := apLSI(s, 20, sc, seed)
+			if err != nil {
+				return nil, err
+			}
+			sums[i] += ap
+		}
+	}
+	var rawAP, logEntropyAP float64
+	r.addf("%-16s %8s", "scheme", "mean AP")
+	for i, sc := range schemes {
+		ap := sums[i] / nColl
+		r.addf("%-16s %8.3f", sc.String(), ap)
+		r.metric("ap_"+sc.String(), ap)
+		if sc == weight.Raw {
+			rawAP = ap
+		}
+		if sc == weight.LogEntropy {
+			logEntropyAP = ap
+		}
+	}
+	r.metric("logentropy_vs_raw_pct", eval.Improvement(logEntropyAP, rawAP))
+	return r, nil
+}
+
+func runFeedback(seed int64) (*Result, error) {
+	r := &Result{ID: "feedback", Title: "Relevance feedback: replace query with relevant-document vectors",
+		Paper: "first relevant doc: +33%; mean of first three: +67%"}
+	// Feedback pays off when the initial query is impoverished (the paper:
+	// "many words from relevant documents augment the initial query which
+	// is usually quite impoverished") — short queries, heavy synonymy.
+	s := corpus.GenerateSynth(corpus.SynthOptions{
+		Seed: seed, Topics: 10, Docs: 300, DocLen: 40,
+		SynonymsPerConcept: 6, DocVariantLoyalty: 1.0,
+		PolysemyFrac: 0.25, NoiseFrac: 0.4,
+		QueriesPerTopic: 3, QueryLen: 2,
+	})
+	m, err := core.BuildCollection(s.Collection, core.Config{K: 20, Scheme: weight.LogEntropy, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	apFor := func(profileOf func(q corpus.Query) []float64) float64 {
+		var rankings [][]int
+		var rels []map[int]bool
+		for _, q := range s.Queries {
+			ranked := m.RankVector(profileOf(q))
+			ranking := make([]int, len(ranked))
+			for i, x := range ranked {
+				ranking[i] = x.Doc
+			}
+			rankings = append(rankings, ranking)
+			// The docs used as feedback are "already seen"; keep judging on
+			// the full relevant set as the paper's residual-free evaluation.
+			rels = append(rels, eval.RelevantSet(q.Relevant))
+		}
+		return eval.MeanAveragePrecision(rankings, rels, nil)
+	}
+	base := apFor(func(q corpus.Query) []float64 {
+		return m.ProjectQuery(s.QueryVector(q.Text))
+	})
+	fb1 := apFor(func(q corpus.Query) []float64 {
+		p, _ := filter.ReplaceWithFeedback(m, q.Relevant, 1)
+		return p.Vector
+	})
+	fb3 := apFor(func(q corpus.Query) []float64 {
+		p, _ := filter.ReplaceWithFeedback(m, q.Relevant, 3)
+		return p.Vector
+	})
+	r.addf("%-26s %8s %9s", "method", "mean AP", "vs query")
+	r.addf("%-26s %8.3f %9s", "raw query", base, "—")
+	r.addf("%-26s %8.3f %8.1f%%", "1 relevant doc", fb1, eval.Improvement(fb1, base))
+	r.addf("%-26s %8.3f %8.1f%%", "mean of 3 relevant docs", fb3, eval.Improvement(fb3, base))
+	r.metric("ap_query", base)
+	r.metric("ap_feedback1", fb1)
+	r.metric("ap_feedback3", fb3)
+	r.metric("gain1_pct", eval.Improvement(fb1, base))
+	r.metric("gain3_pct", eval.Improvement(fb3, base))
+	return r, nil
+}
+
+func runKFactors(seed int64) (*Result, error) {
+	r := &Result{ID: "kfactors", Title: "Average precision vs number of factors k",
+		Paper: "large initial rise, peak well below the vocabulary size, slow decline toward word-based performance"}
+	s := retrievalCollection(seed, 4)
+	kw := apVSM(s, weight.LogEntropy)
+	r.addf("keyword baseline AP = %.3f", kw)
+	r.addf("%6s %10s %12s", "k", "LSI AP", "A_k-cosine AP")
+	best, bestK := 0.0, 0
+	var first, last, lastRecon float64
+	ks := []int{2, 5, 10, 20, 40, 80, 150, 290}
+	for _, k := range ks {
+		ap, err := apLSI(s, k, weight.LogEntropy, seed)
+		if err != nil {
+			return nil, err
+		}
+		// Second series: cosine against the reconstructed A_k (the Σ-scaled
+		// convention), whose k→n limit is exactly keyword matching.
+		m, err := core.BuildCollection(s.Collection, core.Config{K: k, Scheme: weight.LogEntropy, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		var rankings [][]int
+		var rels []map[int]bool
+		for _, q := range s.Queries {
+			ranked := m.RankReconstruction(s.QueryVector(q.Text))
+			ranking := make([]int, len(ranked))
+			for i, x := range ranked {
+				ranking[i] = x.Doc
+			}
+			rankings = append(rankings, ranking)
+			rels = append(rels, eval.RelevantSet(q.Relevant))
+		}
+		recon := eval.MeanAveragePrecision(rankings, rels, nil)
+		r.addf("%6d %10.3f %12.3f", k, ap, recon)
+		r.metric(fmt.Sprintf("ap_k%d", k), ap)
+		r.metric(fmt.Sprintf("recon_ap_k%d", k), recon)
+		if ap > best {
+			best, bestK = ap, k
+		}
+		if k == ks[0] {
+			first = ap
+		}
+		last = ap
+		lastRecon = recon
+	}
+	r.metric("best_k", float64(bestK))
+	r.metric("best_ap", best)
+	r.metric("first_ap", first)
+	r.metric("last_ap", last)
+	r.metric("last_recon_ap", lastRecon)
+	r.metric("vsm_ap", kw)
+	return r, nil
+}

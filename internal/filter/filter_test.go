@@ -1,0 +1,242 @@
+package filter
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// fixture builds a small synthetic collection and model.
+func fixture(t *testing.T) (*corpus.Synth, *core.Model) {
+	t.Helper()
+	s := corpus.GenerateSynth(corpus.SynthOptions{
+		Seed: 42, Topics: 4, Docs: 60, DocLen: 30, QueriesPerTopic: 1,
+	})
+	m, err := core.BuildCollection(s.Collection, core.Config{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m
+}
+
+func TestFromQueryProfileMatchesOwnTopic(t *testing.T) {
+	s, m := fixture(t)
+	q := s.Queries[0]
+	p := FromQuery(m, s.QueryVector(q.Text), 0.3)
+	// Score every original document against the profile; relevant docs
+	// should average higher than non-relevant ones.
+	rel := map[int]bool{}
+	for _, j := range q.Relevant {
+		rel[j] = true
+	}
+	var relSum, irrSum float64
+	var relN, irrN int
+	for j := range s.Docs {
+		score := p.Match(m, s.TD.Col(j))
+		if rel[j] {
+			relSum += score
+			relN++
+		} else {
+			irrSum += score
+			irrN++
+		}
+	}
+	if relSum/float64(relN) <= irrSum/float64(irrN) {
+		t.Fatalf("relevant mean %v ≤ irrelevant mean %v",
+			relSum/float64(relN), irrSum/float64(irrN))
+	}
+}
+
+func TestFromRelevantDocsCentroid(t *testing.T) {
+	_, m := fixture(t)
+	p, err := FromRelevantDocs(m, []int{0, 1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range p.Vector {
+		want := (m.DocVector(0)[c] + m.DocVector(1)[c]) / 2
+		if math.Abs(p.Vector[c]-want) > 1e-12 {
+			t.Fatal("centroid wrong")
+		}
+	}
+	if _, err := FromRelevantDocs(m, nil, 0.5); err == nil {
+		t.Fatal("expected error for empty doc list")
+	}
+	if _, err := FromRelevantDocs(m, []int{9999}, 0.5); err == nil {
+		t.Fatal("expected error for out-of-range doc")
+	}
+}
+
+func TestReplaceWithFeedbackVariants(t *testing.T) {
+	_, m := fixture(t)
+	rel := []int{3, 7, 11, 15}
+	p1, err := ReplaceWithFeedback(m, rel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range p1.Vector {
+		if math.Abs(p1.Vector[c]-m.DocVector(3)[c]) > 1e-12 {
+			t.Fatal("1-doc feedback should equal the first relevant doc")
+		}
+	}
+	p3, err := ReplaceWithFeedback(m, rel, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range p3.Vector {
+		want := (m.DocVector(3)[c] + m.DocVector(7)[c] + m.DocVector(11)[c]) / 3
+		if math.Abs(p3.Vector[c]-want) > 1e-12 {
+			t.Fatal("3-doc feedback centroid wrong")
+		}
+	}
+	// nDocs beyond the list clamps.
+	if _, err := ReplaceWithFeedback(m, rel[:2], 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamThreshold(t *testing.T) {
+	s, m := fixture(t)
+	q := s.Queries[0]
+	p := FromQuery(m, s.QueryVector(q.Text), 0)
+	stream := [][]float64{
+		s.TD.Col(q.Relevant[0]),
+		s.TD.Col(q.Relevant[1]),
+	}
+	// Threshold 0 recommends everything with non-negative cosine.
+	got := p.Stream(m, stream)
+	if len(got) == 0 {
+		t.Fatal("nothing recommended at threshold 0")
+	}
+	// Impossible threshold recommends nothing.
+	p.Threshold = 1.1
+	if got := p.Stream(m, stream); len(got) != 0 {
+		t.Fatalf("recommended %v above cosine 1", got)
+	}
+}
+
+func TestRankStreamOrdering(t *testing.T) {
+	s, m := fixture(t)
+	q := s.Queries[0]
+	p := FromQuery(m, s.QueryVector(q.Text), 0)
+	var stream [][]float64
+	for j := 0; j < 10; j++ {
+		stream = append(stream, s.TD.Col(j))
+	}
+	order := p.RankStream(m, stream)
+	if len(order) != 10 {
+		t.Fatalf("rank stream len %d", len(order))
+	}
+	prev := math.Inf(1)
+	for _, i := range order {
+		score := p.Match(m, stream[i])
+		if score > prev+1e-12 {
+			t.Fatal("RankStream not descending")
+		}
+		prev = score
+	}
+}
+
+// Relevance feedback improves retrieval over the raw query — the paper's
+// +33%/+67% finding, in shape.
+func TestFeedbackImprovesRetrieval(t *testing.T) {
+	s, m := fixture(t)
+	betterCount, total := 0, 0
+	for _, q := range s.Queries {
+		qProfile := FromQuery(m, s.QueryVector(q.Text), 0)
+		fbProfile, err := ReplaceWithFeedback(m, q.Relevant, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stream [][]float64
+		rel := map[int]bool{}
+		for j := 0; j < s.Size(); j++ {
+			stream = append(stream, s.TD.Col(j))
+		}
+		for _, j := range q.Relevant {
+			rel[j] = true
+		}
+		precAt := func(p *Profile) float64 {
+			order := p.RankStream(m, stream)
+			hits := 0
+			for _, j := range order[:10] {
+				if rel[j] {
+					hits++
+				}
+			}
+			return float64(hits) / 10
+		}
+		total++
+		if precAt(fbProfile) >= precAt(qProfile) {
+			betterCount++
+		}
+	}
+	if betterCount*2 < total {
+		t.Fatalf("feedback helped on only %d/%d queries", betterCount, total)
+	}
+}
+
+func TestNegativeFeedbackMovesAwayFromIrrelevant(t *testing.T) {
+	s, m := fixture(t)
+	q := s.Queries[0]
+	// Irrelevant docs: any docs of a different topic.
+	var irrelevant []int
+	qTopic := s.DocTopic[q.Relevant[0]]
+	for j, topic := range s.DocTopic {
+		if topic != qTopic {
+			irrelevant = append(irrelevant, j)
+		}
+		if len(irrelevant) == 5 {
+			break
+		}
+	}
+	pos, err := NegativeFeedback(m, q.Relevant[:3], nil, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := NegativeFeedback(m, q.Relevant[:3], irrelevant, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The negative-feedback profile must score the irrelevant documents
+	// lower than the positive-only profile does, while keeping relevant
+	// documents high.
+	var posIrr, negIrr float64
+	for _, j := range irrelevant {
+		posIrr += m.Similarity(pos.Vector, j)
+		negIrr += m.Similarity(neg.Vector, j)
+	}
+	if negIrr >= posIrr {
+		t.Fatalf("negative feedback did not push away irrelevant docs: %v vs %v", negIrr, posIrr)
+	}
+	var negRel float64
+	for _, j := range q.Relevant[:3] {
+		negRel += m.Similarity(neg.Vector, j) / 3
+	}
+	if negRel < 0.5 {
+		t.Fatalf("negative feedback destroyed relevant similarity: %v", negRel)
+	}
+}
+
+func TestNegativeFeedbackValidation(t *testing.T) {
+	_, m := fixture(t)
+	if _, err := NegativeFeedback(m, nil, []int{0}, 0.5); err == nil {
+		t.Fatal("expected error for empty relevant set")
+	}
+	if _, err := NegativeFeedback(m, []int{0}, []int{1}, -1); err == nil {
+		t.Fatal("expected error for negative gamma")
+	}
+	// No irrelevant docs degrades to positive-only.
+	p, err := NegativeFeedback(m, []int{0, 1}, nil, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := FromRelevantDocs(m, []int{0, 1}, 0)
+	for c := range p.Vector {
+		if p.Vector[c] != ref.Vector[c] {
+			t.Fatal("gamma with no irrelevant docs should be positive-only")
+		}
+	}
+}

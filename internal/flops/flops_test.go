@@ -1,0 +1,127 @@
+package flops
+
+import "testing"
+
+// typical returns a realistic TREC-scale parameter set (§5.3): 70k docs,
+// 90k terms, k=200, very sparse A.
+func typical() Params {
+	return Params{
+		M: 90000, N: 70000, K: 200,
+		P: 100, Q: 100, J: 50,
+		I: 300, Trp: 200,
+		NNZA: 6_000_000, NNZD: 8_000, NNZT: 8_000, NNZZ: 4_000,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := typical()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := p
+	bad.K = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	bad = p
+	bad.I = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for I=0")
+	}
+}
+
+func TestFoldingInFormulas(t *testing.T) {
+	p := Params{M: 10, N: 20, K: 3, P: 5, Q: 7, I: 1, Trp: 1}
+	if got := FoldingInDocuments(p); got != 2*10*3*5 {
+		t.Fatalf("folding docs = %v", got)
+	}
+	if got := FoldingInTerms(p); got != 2*20*3*7 {
+		t.Fatalf("folding terms = %v", got)
+	}
+}
+
+// The paper's headline comparison: folding-in a few documents costs far
+// fewer flops than SVD-updating, which costs far fewer than recomputing.
+func TestCostOrderingSmallUpdate(t *testing.T) {
+	p := typical()
+	p.P, p.NNZD = 10, 800 // d ≪ n
+	fold := FoldingInDocuments(p)
+	upd := SVDUpdatingDocuments(p)
+	rec := RecomputingSVD(p)
+	if !(fold < upd && upd < rec) {
+		t.Fatalf("expected fold (%g) < update (%g) < recompute (%g)", fold, upd, rec)
+	}
+	// The gap should be an order of magnitude for d ≪ n.
+	if upd/fold < 10 {
+		t.Fatalf("update/fold ratio only %v", upd/fold)
+	}
+}
+
+// "The expense in SVD-updating can be attributed to the O(2k²m + 2k²n)
+// flops associated with the dense matrix multiplications" — the rotate term
+// grows quadratically in k.
+func TestUpdateCostGrowsQuadraticallyInK(t *testing.T) {
+	// Zero out the iteration terms so only the dense rotation
+	// (2k²−k)(m+n) remains, then doubling k must ~quadruple the cost.
+	p := typical()
+	p.P, p.NNZD, p.I, p.Trp = 0, 0, 0, 0
+	c1 := SVDUpdatingDocuments(p)
+	p.K *= 2
+	c2 := SVDUpdatingDocuments(p)
+	ratio := c2 / c1
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("doubling k should ~quadruple the rotation cost; ratio %v", ratio)
+	}
+}
+
+func TestAllCostsMonotoneInUpdateSize(t *testing.T) {
+	p := typical()
+	grow := func(f func(Params) float64, bump func(*Params)) {
+		t.Helper()
+		small := f(p)
+		big := p
+		bump(&big)
+		if f(big) <= small {
+			t.Fatalf("cost not monotone in update size")
+		}
+	}
+	grow(FoldingInDocuments, func(q *Params) { q.P *= 10 })
+	grow(FoldingInTerms, func(q *Params) { q.Q *= 10 })
+	grow(SVDUpdatingDocuments, func(q *Params) { q.P *= 10; q.NNZD *= 10 })
+	grow(SVDUpdatingTerms, func(q *Params) { q.Q *= 10; q.NNZT *= 10 })
+	grow(SVDUpdatingCorrection, func(q *Params) { q.J *= 10; q.NNZZ *= 10 })
+	grow(RecomputingSVD, func(q *Params) { q.NNZD *= 100; q.P *= 100 })
+}
+
+func TestTableHasSixRows(t *testing.T) {
+	rows := Table(typical())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.Flops <= 0 {
+			t.Fatalf("%s has non-positive cost %v", r.Method, r.Flops)
+		}
+		if seen[r.Method] {
+			t.Fatalf("duplicate row %s", r.Method)
+		}
+		seen[r.Method] = true
+	}
+}
+
+// There is a crossover: for large enough p relative to n, folding-in's
+// advantage over a single SVD-update shrinks (the per-document projection
+// is linear in p while the update's fixed k²(m+n) rotation amortizes).
+func TestFoldUpdateGapShrinksWithP(t *testing.T) {
+	p := typical()
+	ratioAt := func(pp int) float64 {
+		q := p
+		q.P = pp
+		q.NNZD = 80 * pp
+		return SVDUpdatingDocuments(q) / FoldingInDocuments(q)
+	}
+	if !(ratioAt(10) > ratioAt(1000)) {
+		t.Fatalf("expected ratio to shrink: %v vs %v", ratioAt(10), ratioAt(1000))
+	}
+}

@@ -1,0 +1,169 @@
+package lanczos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+func TestTruncatedSVDGramMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := randomSparse(rng, 50, 35, 0.2)
+	ref := dense.SVDJacobi(dense.NewFromRows(a.Dense()))
+	for _, k := range []int{1, 4, 8} {
+		res, err := TruncatedSVDGram(OpCSR(a), Options{K: k})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for i := 0; i < k; i++ {
+			if math.Abs(res.S[i]-ref.S[i]) > 1e-7*(1+ref.S[0]) {
+				t.Fatalf("k=%d σ%d: gram %v dense %v", k, i, res.S[i], ref.S[i])
+			}
+		}
+		if v := Verify(OpCSR(a), res); v > 1e-6 {
+			t.Fatalf("k=%d residual %v", k, v)
+		}
+	}
+}
+
+func TestTruncatedSVDGramWideMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	a := randomSparse(rng, 12, 80, 0.3)
+	ref := dense.SVDJacobi(dense.NewFromRows(a.Dense()))
+	res, err := TruncatedSVDGram(OpCSR(a), Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(res.S[i]-ref.S[i]) > 1e-7*(1+ref.S[0]) {
+			t.Fatalf("σ%d = %v want %v", i, res.S[i], ref.S[i])
+		}
+	}
+	if res.U.Rows != 12 || res.V.Rows != 80 {
+		t.Fatalf("U %dx%d V %dx%d", res.U.Rows, res.U.Cols, res.V.Rows, res.V.Cols)
+	}
+}
+
+// The two Lanczos formulations (bidiagonalization vs Gram tridiagonal) must
+// agree — they are different factorizations of the same Krylov space.
+func TestGramAgreesWithBidiagonalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	a := randomSparse(rng, 60, 40, 0.15)
+	b1, err := TruncatedSVD(OpCSR(a), Options{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := TruncatedSVDGram(OpCSR(a), Options{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if math.Abs(b1.S[i]-b2.S[i]) > 1e-7*(1+b1.S[0]) {
+			t.Fatalf("σ%d: bidiag %v gram %v", i, b1.S[i], b2.S[i])
+		}
+	}
+}
+
+func TestTruncatedSVDGramZeroMatrix(t *testing.T) {
+	res, err := TruncatedSVDGram(OpCSR(randomSparse(rand.New(rand.NewSource(1)), 5, 4, 0)), Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.S) != 0 {
+		t.Fatalf("zero matrix S = %v", res.S)
+	}
+}
+
+func TestTruncatedSVDGramExactRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	a := knownSpectrum(rng, 20, 15, []float64{4, 2})
+	res, err := TruncatedSVDGram(OpDense(a), Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.S[0]-4) > 1e-7 || math.Abs(res.S[1]-2) > 1e-7 {
+		t.Fatalf("S = %v", res.S)
+	}
+}
+
+func TestSubspaceIterationAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	want := []float64{30, 12, 6, 2.5, 1, 0.3}
+	a := knownSpectrum(rng, 70, 50, want)
+	res := SubspaceIteration(OpDense(a), Options{K: 3, Seed: 1}, 6, 40)
+	for i := 0; i < 3; i++ {
+		if math.Abs(res.S[i]-want[i]) > 1e-5*want[0] {
+			t.Fatalf("σ%d = %v want %v", i, res.S[i], want[i])
+		}
+	}
+	if v := Verify(OpDense(a), res); v > 1e-5 {
+		t.Fatalf("residual %v", v)
+	}
+	if e := dense.OrthogonalityError(res.V); e > 1e-8 {
+		t.Fatalf("V orthogonality %v", e)
+	}
+}
+
+func TestSubspaceIterationSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	a := randomSparse(rng, 80, 60, 0.1)
+	ref := dense.SVDJacobi(dense.NewFromRows(a.Dense()))
+	res := SubspaceIteration(OpCSR(a), Options{K: 4, Seed: 2}, 8, 60)
+	for i := 0; i < 4; i++ {
+		if math.Abs(res.S[i]-ref.S[i]) > 1e-3*(1+ref.S[0]) {
+			t.Fatalf("σ%d = %v want %v", i, res.S[i], ref.S[i])
+		}
+	}
+}
+
+func TestAllFourSolversAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	a := randomSparse(rng, 90, 70, 0.12)
+	op := OpCSR(a)
+	const k = 5
+	bidiag, err := TruncatedSVD(op, Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gram, err := TruncatedSVDGram(op, Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	randz := RandomizedSVD(op, RandomizedOptions{K: k, Seed: 3, PowerIters: 4, Oversample: 12})
+	sis := SubspaceIteration(op, Options{K: k, Seed: 3}, 10, 80)
+	for i := 0; i < k; i++ {
+		base := bidiag.S[i]
+		for name, other := range map[string]float64{
+			"gram": gram.S[i], "randomized": randz.S[i], "subspace": sis.S[i],
+		} {
+			if math.Abs(other-base) > 5e-3*(1+bidiag.S[0]) {
+				t.Fatalf("σ%d %s = %v vs bidiag %v", i, name, other, base)
+			}
+		}
+	}
+}
+
+func BenchmarkGramLanczosK10(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomSparse(rng, 5000, 1000, 0.01)
+	op := OpCSR(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// See BenchmarkLanczosK10: clustered bulk spectrum needs headroom.
+		if _, err := TruncatedSVDGram(op, Options{K: 10, MaxSteps: 250}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubspaceIterationK10(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomSparse(rng, 5000, 1000, 0.01)
+	op := OpCSR(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SubspaceIteration(op, Options{K: 10, Seed: int64(i)}, 8, 20)
+	}
+}

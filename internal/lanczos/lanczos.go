@@ -1,0 +1,384 @@
+// Package lanczos computes truncated singular value decompositions of
+// large sparse matrices by Golub–Kahan–Lanczos bidiagonalization, the same
+// algorithm family as the SVDPACKC las2 solver the paper used for its TREC
+// runs (§5.3). "The bulk of LSI processing time is spent in computing the
+// truncated SVD of the large sparse term by document matrices" (§1) — this
+// package is that bulk.
+//
+// The solver works against an abstract Operator so it can run on
+// sparse.CSR, dense.Matrix, or composites (A_k | D) without materializing
+// anything; its per-iteration cost is one Ax, one Aᵀx, and the
+// reorthogonalization sweeps, exactly the cost model of Table 7.
+package lanczos
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// Operator is a linear map with access to its adjoint — everything the
+// bidiagonalization needs.
+type Operator interface {
+	// Dims returns (rows, cols) of the operator.
+	Dims() (m, n int)
+	// Apply computes y = A·x (len(x)=cols, len(y)=rows).
+	Apply(x, y []float64)
+	// ApplyT computes y = Aᵀ·x (len(x)=rows, len(y)=cols).
+	ApplyT(x, y []float64)
+}
+
+// csrOp adapts sparse.CSR to Operator.
+type csrOp struct{ m *sparse.CSR }
+
+func (o csrOp) Dims() (int, int)      { return o.m.Rows, o.m.Cols }
+func (o csrOp) Apply(x, y []float64)  { o.m.MulVec(x, y) }
+func (o csrOp) ApplyT(x, y []float64) { o.m.MulVecT(x, y) }
+
+// OpCSR wraps a sparse matrix as an Operator.
+func OpCSR(m *sparse.CSR) Operator { return csrOp{m} }
+
+// denseOp adapts dense.Matrix to Operator.
+type denseOp struct{ m *dense.Matrix }
+
+func (o denseOp) Dims() (int, int) { return o.m.Rows, o.m.Cols }
+func (o denseOp) Apply(x, y []float64) {
+	copy(y, dense.MulVec(o.m, x))
+}
+func (o denseOp) ApplyT(x, y []float64) {
+	copy(y, dense.MulVecT(o.m, x))
+}
+
+// OpDense wraps a dense matrix as an Operator.
+func OpDense(m *dense.Matrix) Operator { return denseOp{m} }
+
+// Reorth selects the reorthogonalization policy.
+type Reorth int
+
+const (
+	// FullReorth orthogonalizes every new Lanczos vector against the whole
+	// basis (two passes). Always accurate; O(j·n) extra per step.
+	FullReorth Reorth = iota
+	// NoReorth runs the textbook three-term recurrence untouched. Fast but
+	// loses orthogonality and produces spurious duplicate Ritz values; kept
+	// for the ablation benchmark.
+	NoReorth
+)
+
+// Options configures TruncatedSVD.
+type Options struct {
+	// K is the number of singular triplets wanted (the paper uses 100–300).
+	K int
+	// MaxSteps caps the bidiagonalization length. 0 means
+	// min(min(m,n), max(4K, K+32)).
+	MaxSteps int
+	// Tol is the convergence tolerance on the Ritz residual relative to
+	// σ₁ (default 1e-10).
+	Tol float64
+	// Reorth selects the reorthogonalization policy (default FullReorth).
+	Reorth Reorth
+	// Seed drives the random starting vector; fixed default for
+	// reproducibility.
+	Seed int64
+}
+
+func (o *Options) fill(m, n int) {
+	if o.K <= 0 {
+		o.K = 1
+	}
+	if o.K > minInt(m, n) {
+		o.K = minInt(m, n)
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = minInt(minInt(m, n), maxInt(4*o.K, o.K+32))
+	}
+	if o.MaxSteps < o.K {
+		o.MaxSteps = o.K
+	}
+	if o.MaxSteps > minInt(m, n) {
+		o.MaxSteps = minInt(m, n)
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+}
+
+// Result is a truncated SVD: A ≈ U·diag(S)·Vᵀ with k columns.
+type Result struct {
+	U *dense.Matrix // m×k left singular vectors (term vectors in LSI)
+	S []float64     // k singular values, descending
+	V *dense.Matrix // n×k right singular vectors (document vectors)
+	// Steps is the bidiagonalization length actually used.
+	Steps int
+	// Converged reports whether all K residuals met Tol (an exact-length
+	// factorization, Steps == min(m,n), is always marked converged).
+	Converged bool
+	// MatVecs counts operator applications (Ax plus Aᵀx), the Table 7 cost
+	// driver.
+	MatVecs int
+}
+
+// Factors converts the result to dense.SVDFactors for interop.
+func (r *Result) Factors() *dense.SVDFactors {
+	return &dense.SVDFactors{U: r.U, S: r.S, V: r.V}
+}
+
+var ErrNotConverged = errors.New("lanczos: not converged within MaxSteps")
+
+// TruncatedSVD computes the K largest singular triplets of A.
+//
+// It runs Golub–Kahan bidiagonalization A·V_j = U_j·B_j,
+// Aᵀ·U_j = V_j·B_jᵀ + β_j v_{j+1} e_jᵀ, computes the dense SVD of the small
+// bidiagonal B_j each sweep, and stops when the K-th Ritz residual
+// β_j·|p_K[j]| falls below Tol·σ₁. With Options.Reorth == FullReorth the
+// Lanczos bases keep orthogonality to machine precision, which is what
+// las2-style single-vector Lanczos achieves through selective
+// reorthogonalization.
+//
+// If convergence is not reached, the best available estimate is returned
+// together with ErrNotConverged so callers can retry with larger MaxSteps.
+func TruncatedSVD(a Operator, opts Options) (*Result, error) {
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return &Result{U: dense.New(m, 0), V: dense.New(n, 0), Converged: true}, nil
+	}
+	opts.fill(m, n)
+	k := opts.K
+	steps := opts.MaxSteps
+	rng := rand.New(rand.NewSource(opts.Seed + 0x1db))
+
+	// Lanczos bases, stored row-per-vector for cache-friendly
+	// reorthogonalization sweeps.
+	us := make([][]float64, 0, steps) // each length m
+	vs := make([][]float64, 0, steps) // each length n
+	alphas := make([]float64, 0, steps)
+	betas := make([]float64, 0, steps)
+
+	// Start inside the row space of A: v₁ ∝ Aᵀu₀ for random u₀. A plain
+	// random v₁ carries a null-space component that can never be purged by
+	// the recurrence; starting in the row space guarantees breakdown at
+	// rank(A) steps with an exact factorization.
+	v := make([]float64, n)
+	a.ApplyT(randomUnit(rng, m), v)
+	if dense.Normalize(v) == 0 {
+		// Aᵀ annihilated a random vector: treat A as (numerically) zero.
+		return &Result{U: dense.New(m, 0), S: nil, V: dense.New(n, 0), Converged: true, MatVecs: 1}, nil
+	}
+	vs = append(vs, v)
+
+	tmpM := make([]float64, m)
+	tmpN := make([]float64, n)
+	matvecs := 0
+
+	checkEvery := maxInt(1, k/4)
+
+	breakdown := false
+	var lastResult *Result
+	for j := 0; j < steps; j++ {
+		// u_j = A v_j − β_{j−1} u_{j−1}
+		a.Apply(vs[j], tmpM)
+		matvecs++
+		u := append([]float64(nil), tmpM...)
+		if j > 0 {
+			dense.Axpy(-betas[j-1], us[j-1], u)
+		}
+		if opts.Reorth == FullReorth {
+			reorthogonalize(u, us)
+		}
+		alpha := dense.Normalize(u)
+		if alpha <= 1e-300 {
+			// Invariant subspace: the operator has rank ≤ j. Everything we
+			// can get is already in hand.
+			breakdown = true
+			break
+		}
+		us = append(us, u)
+		alphas = append(alphas, alpha)
+
+		// v_{j+1} = Aᵀ u_j − α_j v_j
+		a.ApplyT(u, tmpN)
+		matvecs++
+		vNext := append([]float64(nil), tmpN...)
+		dense.Axpy(-alpha, vs[j], vNext)
+		if opts.Reorth == FullReorth {
+			reorthogonalize(vNext, vs)
+		}
+		beta := dense.Normalize(vNext)
+		betas = append(betas, beta)
+		if beta <= 1e-300 {
+			// Exact invariant subspace on the right: factorization is exact
+			// with j+1 steps.
+			breakdown = true
+			break
+		}
+		vs = append(vs, vNext)
+
+		// Convergence check on the projected problem.
+		if j+1 >= k && ((j+1)%checkEvery == 0 || j+1 == steps) {
+			res, done := extract(a, us, vs[:len(us)], alphas, betas, k, opts.Tol, false)
+			res.MatVecs = matvecs
+			lastResult = res
+			if done {
+				res.Converged = true
+				return res, nil
+			}
+		}
+	}
+
+	// Ran out of steps (or hit an invariant subspace). If the basis spans
+	// the whole smaller dimension, or a breakdown occurred, the
+	// factorization is exact.
+	exact := breakdown || len(us) >= minInt(m, n)
+	if len(us) == 0 {
+		// A is (numerically) zero.
+		z := &Result{U: dense.New(m, 0), S: nil, V: dense.New(n, 0), Converged: true, MatVecs: matvecs}
+		return z, nil
+	}
+	res, done := extract(a, us, vs[:len(us)], alphas, betas, minInt(k, len(us)), opts.Tol, exact)
+	res.MatVecs = matvecs
+	if done || exact {
+		res.Converged = true
+		return res, nil
+	}
+	if lastResult != nil && len(lastResult.S) >= len(res.S) {
+		res = lastResult
+	}
+	return res, ErrNotConverged
+}
+
+// reorthogonalize removes the components of v along every basis vector,
+// with a second pass for numerical safety (the "twice is enough" rule).
+func reorthogonalize(v []float64, basis [][]float64) {
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range basis {
+			dense.Axpy(-dense.Dot(b, v), b, v)
+		}
+	}
+}
+
+// extract solves the small projected SVD and maps Ritz vectors back to the
+// full space. Returns the rank-k result and whether all k residuals
+// converged.
+func extract(a Operator, us, vs [][]float64, alphas, betas []float64, k int, tol float64, exact bool) (*Result, bool) {
+	j := len(us)
+	// Build the (upper) bidiagonal projected matrix B: diag = alphas,
+	// superdiag = betas[0..j-2].
+	b := dense.New(j, j)
+	for i := 0; i < j; i++ {
+		b.Set(i, i, alphas[i])
+		if i+1 < j {
+			b.Set(i, i+1, betas[i])
+		}
+	}
+	f := dense.SVD(b)
+	if k > j {
+		k = j
+	}
+
+	m := len(us[0])
+	n := len(vs[0])
+	u := dense.New(m, k)
+	v := dense.New(n, k)
+	s := make([]float64, k)
+	copy(s, f.S[:k])
+
+	// U_out = [u_1 … u_j]·P_k ; V_out = [v_1 … v_j]·Q_k.
+	ucol := make([]float64, m)
+	vcol := make([]float64, n)
+	for c := 0; c < k; c++ {
+		for i := range ucol {
+			ucol[i] = 0
+		}
+		for i := range vcol {
+			vcol[i] = 0
+		}
+		for r := 0; r < j; r++ {
+			if pu := f.U.At(r, c); pu != 0 {
+				dense.Axpy(pu, us[r], ucol)
+			}
+			if pv := f.V.At(r, c); pv != 0 {
+				dense.Axpy(pv, vs[r], vcol)
+			}
+		}
+		u.SetCol(c, ucol)
+		v.SetCol(c, vcol)
+	}
+
+	res := &Result{U: u, S: s, V: v, Steps: j}
+	if exact {
+		return res, true
+	}
+	// Residual of triplet i: β_j·|P[j-1, i]| where β_j is the last beta.
+	betaLast := 0.0
+	if len(betas) >= j {
+		betaLast = betas[j-1]
+	}
+	sigma1 := 1.0
+	if len(f.S) > 0 && f.S[0] > 0 {
+		sigma1 = f.S[0]
+	}
+	for i := 0; i < k; i++ {
+		if betaLast*math.Abs(f.U.At(j-1, i)) > tol*sigma1 {
+			return res, false
+		}
+	}
+	return res, true
+}
+
+func randomUnit(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	if dense.Normalize(v) == 0 {
+		v[0] = 1
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Verify returns max over the k triplets of ‖A vᵢ − σᵢ uᵢ‖ / σ₁ — a direct
+// a-posteriori accuracy check used by tests and the harness.
+func Verify(a Operator, r *Result) float64 {
+	m, _ := a.Dims()
+	if len(r.S) == 0 {
+		return 0
+	}
+	worst := 0.0
+	y := make([]float64, m)
+	for i := 0; i < len(r.S); i++ {
+		a.Apply(r.V.Col(i), y)
+		u := r.U.Col(i)
+		for p := range y {
+			y[p] -= r.S[i] * u[p]
+		}
+		res := dense.Norm2(y) / maxFloat(r.S[0], 1e-300)
+		if res > worst {
+			worst = res
+		}
+	}
+	return worst
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,267 @@
+package lanczos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+func randomSparse(rng *rand.Rand, r, c int, density float64) *sparse.CSR {
+	b := sparse.NewBuilder(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+// knownSpectrum builds a dense matrix with a prescribed spectrum via random
+// orthogonal factors.
+func knownSpectrum(rng *rand.Rand, m, n int, s []float64) *dense.Matrix {
+	qu := dense.GramSchmidt(randomDense(rng, m, len(s)))
+	qv := dense.GramSchmidt(randomDense(rng, n, len(s)))
+	return dense.MulBT(dense.ScaleCols(qu, s), qv)
+}
+
+func randomDense(rng *rand.Rand, r, c int) *dense.Matrix {
+	m := dense.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestTruncatedSVDMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomSparse(rng, 60, 40, 0.15)
+	ref := dense.SVDJacobi(dense.NewFromRows(a.Dense()))
+	for _, k := range []int{1, 3, 8} {
+		res, err := TruncatedSVD(OpCSR(a), Options{K: k})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for i := 0; i < k; i++ {
+			if math.Abs(res.S[i]-ref.S[i]) > 1e-8*(1+ref.S[0]) {
+				t.Fatalf("k=%d σ%d: lanczos %v dense %v", k, i, res.S[i], ref.S[i])
+			}
+		}
+		if v := Verify(OpCSR(a), res); v > 1e-8 {
+			t.Fatalf("k=%d residual %v", k, v)
+		}
+		if e := dense.OrthogonalityError(res.U); e > 1e-8 {
+			t.Fatalf("k=%d U orthogonality %v", k, e)
+		}
+		if e := dense.OrthogonalityError(res.V); e > 1e-8 {
+			t.Fatalf("k=%d V orthogonality %v", k, e)
+		}
+	}
+}
+
+func TestTruncatedSVDKnownSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	want := []float64{50, 20, 10, 5, 2, 1, 0.5, 0.1}
+	a := knownSpectrum(rng, 80, 60, want)
+	res, err := TruncatedSVD(OpDense(a), Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(res.S[i]-want[i]) > 1e-8*want[0] {
+			t.Fatalf("σ%d = %v want %v", i, res.S[i], want[i])
+		}
+	}
+	if !res.Converged {
+		t.Fatal("should report convergence")
+	}
+}
+
+func TestTruncatedSVDClusteredSpectrum(t *testing.T) {
+	// Nearly equal leading singular values are the hard case for Lanczos.
+	rng := rand.New(rand.NewSource(3))
+	want := []float64{10, 9.999, 9.998, 1, 0.5}
+	a := knownSpectrum(rng, 50, 30, want)
+	res, err := TruncatedSVD(OpDense(a), Options{K: 3, MaxSteps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(res.S[i]-want[i]) > 1e-6 {
+			t.Fatalf("σ%d = %v want %v", i, res.S[i], want[i])
+		}
+	}
+}
+
+func TestTruncatedSVDExactRank(t *testing.T) {
+	// Rank-2 matrix; asking for more triplets than the rank must still work
+	// (breakdown path) and report zeros or truncate.
+	rng := rand.New(rand.NewSource(4))
+	a := knownSpectrum(rng, 20, 15, []float64{3, 2})
+	res, err := TruncatedSVD(OpDense(a), Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.S[0] < 2.9 || math.Abs(res.S[1]-2) > 1e-8 {
+		t.Fatalf("S = %v", res.S)
+	}
+	for _, s := range res.S[2:] {
+		if s > 1e-8 {
+			t.Fatalf("spurious singular value %v beyond rank", s)
+		}
+	}
+}
+
+func TestTruncatedSVDKEqualsMinDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSparse(rng, 10, 6, 0.5)
+	res, err := TruncatedSVD(OpCSR(a), Options{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := dense.SVDJacobi(dense.NewFromRows(a.Dense()))
+	for i := range res.S {
+		if math.Abs(res.S[i]-ref.S[i]) > 1e-8*(1+ref.S[0]) {
+			t.Fatalf("σ%d = %v want %v", i, res.S[i], ref.S[i])
+		}
+	}
+}
+
+func TestTruncatedSVDZeroMatrix(t *testing.T) {
+	a := sparse.NewBuilder(5, 4).Build()
+	res, err := TruncatedSVD(OpCSR(a), Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.S {
+		if s > 1e-12 {
+			t.Fatalf("zero matrix σ=%v", s)
+		}
+	}
+}
+
+func TestTruncatedSVDTallAndWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, shape := range [][2]int{{100, 10}, {10, 100}} {
+		a := randomSparse(rng, shape[0], shape[1], 0.3)
+		res, err := TruncatedSVD(OpCSR(a), Options{K: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		ref := dense.SVDJacobi(dense.NewFromRows(a.Dense()))
+		for i := 0; i < 4; i++ {
+			if math.Abs(res.S[i]-ref.S[i]) > 1e-7*(1+ref.S[0]) {
+				t.Fatalf("%v σ%d: %v want %v", shape, i, res.S[i], ref.S[i])
+			}
+		}
+	}
+}
+
+func TestNoReorthDegradesOrthogonality(t *testing.T) {
+	// The ablation claim: without reorthogonalization the Lanczos basis
+	// loses orthogonality once convergence sets in; with it, it doesn't.
+	rng := rand.New(rand.NewSource(7))
+	a := knownSpectrum(rng, 120, 90, []float64{100, 50, 25, 12, 6, 3, 1.5, 0.7, 0.3, 0.1})
+	full, err := TruncatedSVD(OpDense(a), Options{K: 6, MaxSteps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, _ := TruncatedSVD(OpDense(a), Options{K: 6, MaxSteps: 60, Reorth: NoReorth})
+	ef := dense.OrthogonalityError(full.U)
+	en := dense.OrthogonalityError(none.U)
+	if ef > 1e-8 {
+		t.Fatalf("full reorth orthogonality %v", ef)
+	}
+	if en < ef {
+		t.Fatalf("expected NoReorth (%v) to be worse than FullReorth (%v)", en, ef)
+	}
+}
+
+func TestMatVecCountReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomSparse(rng, 40, 30, 0.2)
+	res, err := TruncatedSVD(OpCSR(a), Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatVecs < 2*res.Steps {
+		t.Fatalf("MatVecs %d < 2·Steps %d", res.MatVecs, res.Steps)
+	}
+}
+
+func TestRandomizedSVDAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	want := []float64{40, 15, 8, 3, 1, 0.4, 0.2, 0.05}
+	a := knownSpectrum(rng, 150, 100, want)
+	res := RandomizedSVD(OpDense(a), RandomizedOptions{K: 4, Seed: 1})
+	for i := 0; i < 4; i++ {
+		if math.Abs(res.S[i]-want[i]) > 1e-4*want[0] {
+			t.Fatalf("σ%d = %v want %v", i, res.S[i], want[i])
+		}
+	}
+	if v := Verify(OpDense(a), res); v > 1e-4 {
+		t.Fatalf("randomized residual %v", v)
+	}
+}
+
+func TestRandomizedSVDDeterministicSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomSparse(rng, 50, 40, 0.2)
+	r1 := RandomizedSVD(OpCSR(a), RandomizedOptions{K: 3, Seed: 7})
+	r2 := RandomizedSVD(OpCSR(a), RandomizedOptions{K: 3, Seed: 7})
+	for i := range r1.S {
+		if r1.S[i] != r2.S[i] {
+			t.Fatal("same seed should give identical results")
+		}
+	}
+}
+
+func TestOperatorAdapters(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randomSparse(rng, 6, 4, 0.5)
+	d := dense.NewFromRows(s.Dense())
+	so, do := OpCSR(s), OpDense(d)
+	sm, sn := so.Dims()
+	dm, dn := do.Dims()
+	if sm != dm || sn != dn {
+		t.Fatal("dims disagree")
+	}
+	x := []float64{1, -2, 3, 0.5}
+	y1 := make([]float64, 6)
+	y2 := make([]float64, 6)
+	so.Apply(x, y1)
+	do.Apply(x, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-13 {
+			t.Fatal("Apply disagrees between adapters")
+		}
+	}
+}
+
+func BenchmarkLanczosK10(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomSparse(rng, 5000, 1000, 0.01)
+	op := OpCSR(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A random matrix's bulk spectrum is tightly clustered, so give the
+		// recurrence more room than the 4k default.
+		if _, err := TruncatedSVD(op, Options{K: 10, MaxSteps: 250}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomizedK10(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomSparse(rng, 5000, 1000, 0.01)
+	op := OpCSR(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RandomizedSVD(op, RandomizedOptions{K: 10, Seed: int64(i)})
+	}
+}

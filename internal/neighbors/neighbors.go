@@ -1,0 +1,236 @@
+// Package neighbors addresses the third open computational issue of §5.6:
+// "efficiently comparing queries to documents (i.e., finding near neighbors
+// in high-dimension spaces)". It provides an exact parallel scan and a
+// cluster-pruned (inverted-file) index over the k-space document vectors:
+// spherical k-means partitions the documents, a query probes only the
+// closest partitions, trading a tunable amount of recall for a large
+// reduction in cosine evaluations.
+package neighbors
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/dense"
+)
+
+// Hit is one retrieved neighbor.
+type Hit struct {
+	Doc   int
+	Score float64
+}
+
+// ExactScan returns the top-n documents by cosine to q, scanning every row
+// of vectors (an r×k matrix of document vectors). Rows are partitioned
+// across GOMAXPROCS goroutines.
+func ExactScan(vectors *dense.Matrix, q []float64, n int) []Hit {
+	scores := make([]float64, vectors.Rows)
+	nw := runtime.GOMAXPROCS(0)
+	if nw > vectors.Rows {
+		nw = vectors.Rows
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (vectors.Rows + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > vectors.Rows {
+			hi = vectors.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				scores[i] = dense.Cosine(q, vectors.Row(i))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return topN(scores, nil, n)
+}
+
+// topN selects the n best (score, doc) pairs; ids maps local index →
+// document id (nil for identity).
+func topN(scores []float64, ids []int, n int) []Hit {
+	hits := make([]Hit, len(scores))
+	for i, s := range scores {
+		doc := i
+		if ids != nil {
+			doc = ids[i]
+		}
+		hits[i] = Hit{Doc: doc, Score: s}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].Doc < hits[b].Doc
+	})
+	if n < len(hits) {
+		hits = hits[:n]
+	}
+	return hits
+}
+
+// Index is a cluster-pruned approximate nearest-neighbor structure.
+type Index struct {
+	vectors   *dense.Matrix
+	centroids *dense.Matrix
+	members   [][]int // cluster → document indices
+}
+
+// Options configures Build.
+type Options struct {
+	// Clusters is the number of k-means partitions (default ≈ √n).
+	Clusters int
+	// Iterations bounds the k-means refinement (default 20).
+	Iterations int
+	Seed       int64
+}
+
+// Build clusters the document vectors. vectors is r×k; the index keeps a
+// reference (no copy), so callers must not mutate it afterwards.
+func Build(vectors *dense.Matrix, opts Options) (*Index, error) {
+	n := vectors.Rows
+	if n == 0 {
+		return nil, fmt.Errorf("neighbors: empty vector set")
+	}
+	c := opts.Clusters
+	if c <= 0 {
+		c = intSqrt(n)
+	}
+	if c > n {
+		c = n
+	}
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 20
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 0xa11))
+
+	// Spherical k-means on normalized vectors.
+	k := vectors.Cols
+	norm := dense.New(n, k)
+	for i := 0; i < n; i++ {
+		copy(norm.Row(i), vectors.Row(i))
+		dense.Normalize(norm.Row(i))
+	}
+	centroids := dense.New(c, k)
+	for i, p := range rng.Perm(n)[:c] {
+		copy(centroids.Row(i), norm.Row(p))
+	}
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestScore := 0, -2.0
+			for cl := 0; cl < c; cl++ {
+				if s := dense.Dot(norm.Row(i), centroids.Row(cl)); s > bestScore {
+					bestScore, best = s, cl
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		next := dense.New(c, k)
+		counts := make([]int, c)
+		for i := 0; i < n; i++ {
+			dense.Axpy(1, norm.Row(i), next.Row(assign[i]))
+			counts[assign[i]]++
+		}
+		for cl := 0; cl < c; cl++ {
+			if counts[cl] == 0 {
+				// Re-seed an empty cluster from a random document.
+				copy(next.Row(cl), norm.Row(rng.Intn(n)))
+			}
+			dense.Normalize(next.Row(cl))
+		}
+		centroids = next
+	}
+	members := make([][]int, c)
+	for i, cl := range assign {
+		members[cl] = append(members[cl], i)
+	}
+	return &Index{vectors: vectors, centroids: centroids, members: members}, nil
+}
+
+// Clusters returns the number of partitions.
+func (ix *Index) Clusters() int { return ix.centroids.Rows }
+
+// Search returns the top-n neighbors of q, probing the nProbe closest
+// clusters (0 means a sensible default of max(1, clusters/8)). It also
+// reports how many cosine evaluations were spent, the measure of work the
+// index exists to reduce.
+func (ix *Index) Search(q []float64, n, nProbe int) ([]Hit, int) {
+	c := ix.Clusters()
+	if nProbe <= 0 {
+		nProbe = c / 8
+		if nProbe < 1 {
+			nProbe = 1
+		}
+	}
+	if nProbe > c {
+		nProbe = c
+	}
+	// Rank clusters by centroid cosine.
+	order := topN(centroidScores(ix, q), nil, nProbe)
+	var scores []float64
+	var ids []int
+	evals := c
+	for _, cl := range order {
+		for _, doc := range ix.members[cl.Doc] {
+			scores = append(scores, dense.Cosine(q, ix.vectors.Row(doc)))
+			ids = append(ids, doc)
+			evals++
+		}
+	}
+	return topN(scores, ids, n), evals
+}
+
+func centroidScores(ix *Index, q []float64) []float64 {
+	out := make([]float64, ix.Clusters())
+	for cl := range out {
+		out[cl] = dense.Cosine(q, ix.centroids.Row(cl))
+	}
+	return out
+}
+
+// Recall computes |approx ∩ exact| / |exact| for two hit lists — the
+// quality metric for the pruned search.
+func Recall(approx, exact []Hit) float64 {
+	if len(exact) == 0 {
+		return 0
+	}
+	set := make(map[int]bool, len(approx))
+	for _, h := range approx {
+		set[h.Doc] = true
+	}
+	hit := 0
+	for _, h := range exact {
+		if set[h.Doc] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+func intSqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}

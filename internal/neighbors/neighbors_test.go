@@ -1,0 +1,181 @@
+package neighbors
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// clusteredVectors generates nPerCluster vectors around each of nClusters
+// random unit directions in k dimensions.
+func clusteredVectors(rng *rand.Rand, nClusters, nPerCluster, k int, spread float64) (*dense.Matrix, []int) {
+	centers := dense.New(nClusters, k)
+	for c := 0; c < nClusters; c++ {
+		for j := 0; j < k; j++ {
+			centers.Set(c, j, rng.NormFloat64())
+		}
+		dense.Normalize(centers.Row(c))
+	}
+	m := dense.New(nClusters*nPerCluster, k)
+	labels := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		c := i % nClusters
+		labels[i] = c
+		row := m.Row(i)
+		copy(row, centers.Row(c))
+		for j := range row {
+			row[j] += spread * rng.NormFloat64()
+		}
+	}
+	return m, labels
+}
+
+func TestExactScanFindsNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, _ := clusteredVectors(rng, 4, 25, 8, 0.1)
+	q := append([]float64(nil), m.Row(17)...)
+	hits := ExactScan(m, q, 5)
+	if len(hits) != 5 {
+		t.Fatalf("got %d hits", len(hits))
+	}
+	if hits[0].Doc != 17 {
+		t.Fatalf("nearest to row 17 is %d", hits[0].Doc)
+	}
+	if math.Abs(hits[0].Score-1) > 1e-12 {
+		t.Fatalf("self-cosine %v", hits[0].Score)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i-1].Score < hits[i].Score {
+			t.Fatal("hits not sorted")
+		}
+	}
+}
+
+func TestExactScanTopNClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, _ := clusteredVectors(rng, 2, 5, 4, 0.1)
+	if got := ExactScan(m, m.Row(0), 100); len(got) != 10 {
+		t.Fatalf("clamp failed: %d", len(got))
+	}
+}
+
+func TestIndexHighRecallWithFewProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, _ := clusteredVectors(rng, 10, 100, 16, 0.15)
+	ix, err := Build(m, Options{Clusters: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recallSum float64
+	var evalsSum int
+	const queries = 20
+	for qi := 0; qi < queries; qi++ {
+		q := append([]float64(nil), m.Row(rng.Intn(m.Rows))...)
+		exact := ExactScan(m, q, 10)
+		approx, evals := ix.Search(q, 10, 2)
+		recallSum += Recall(approx, exact)
+		evalsSum += evals
+	}
+	recall := recallSum / queries
+	meanEvals := evalsSum / queries
+	if recall < 0.9 {
+		t.Fatalf("recall@10 = %v with 2 probes on well-separated clusters", recall)
+	}
+	if meanEvals >= m.Rows {
+		t.Fatalf("pruned search evaluated %d cosines ≥ full scan %d", meanEvals, m.Rows)
+	}
+}
+
+func TestMoreProbesMoreRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, _ := clusteredVectors(rng, 8, 60, 12, 0.4) // overlapping clusters
+	ix, err := Build(m, Options{Clusters: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recallAt := func(probes int) float64 {
+		var sum float64
+		for qi := 0; qi < 15; qi++ {
+			q := append([]float64(nil), m.Row(qi*7%m.Rows)...)
+			exact := ExactScan(m, q, 10)
+			approx, _ := ix.Search(q, 10, probes)
+			sum += Recall(approx, exact)
+		}
+		return sum / 15
+	}
+	r1, rAll := recallAt(1), recallAt(8)
+	if rAll < r1-1e-9 {
+		t.Fatalf("probing all clusters (%v) worse than one (%v)", rAll, r1)
+	}
+	if rAll < 0.999 {
+		t.Fatalf("full probe should be exact: %v", rAll)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(dense.New(0, 4), Options{}); err == nil {
+		t.Fatal("expected error for empty set")
+	}
+	// More clusters than vectors clamps.
+	rng := rand.New(rand.NewSource(5))
+	m, _ := clusteredVectors(rng, 2, 3, 4, 0.1)
+	ix, err := Build(m, Options{Clusters: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Clusters() > m.Rows {
+		t.Fatalf("clusters %d > vectors %d", ix.Clusters(), m.Rows)
+	}
+}
+
+func TestIndexDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, _ := clusteredVectors(rng, 5, 40, 8, 0.2)
+	ix1, _ := Build(m, Options{Clusters: 5, Seed: 9})
+	ix2, _ := Build(m, Options{Clusters: 5, Seed: 9})
+	q := m.Row(3)
+	h1, _ := ix1.Search(q, 5, 2)
+	h2, _ := ix2.Search(q, 5, 2)
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("same seed, different results")
+		}
+	}
+}
+
+func TestRecallMetric(t *testing.T) {
+	exact := []Hit{{Doc: 1}, {Doc: 2}, {Doc: 3}, {Doc: 4}}
+	approx := []Hit{{Doc: 2}, {Doc: 4}, {Doc: 9}}
+	if r := Recall(approx, exact); r != 0.5 {
+		t.Fatalf("recall %v want 0.5", r)
+	}
+	if r := Recall(nil, nil); r != 0 {
+		t.Fatalf("empty recall %v", r)
+	}
+}
+
+func BenchmarkExactScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m, _ := clusteredVectors(rng, 20, 500, 100, 0.2) // 10k docs, k=100
+	q := m.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactScan(m, q, 10)
+	}
+}
+
+func BenchmarkClusterPrunedSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m, _ := clusteredVectors(rng, 20, 500, 100, 0.2)
+	ix, err := Build(m, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := m.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, 10, 4)
+	}
+}

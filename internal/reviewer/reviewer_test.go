@@ -1,0 +1,158 @@
+package reviewer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/text"
+)
+
+// fixture builds reviewers from a synthetic collection: reviewer r's
+// "written text" is the concatenation of topic-r documents; submissions are
+// other documents of known topics.
+func fixture(t *testing.T) (*Assigner, []string, []int) {
+	t.Helper()
+	s := corpus.GenerateSynth(corpus.SynthOptions{
+		Seed: 21, Topics: 6, Docs: 120, DocLen: 40,
+	})
+	perTopic := map[int][]string{}
+	for j, topic := range s.DocTopic {
+		perTopic[topic] = append(perTopic[topic], s.Docs[j].Text)
+	}
+	var reviewers []corpus.Document
+	for topic := 0; topic < s.Options.Topics; topic++ {
+		txt := ""
+		for _, d := range perTopic[topic][:10] {
+			txt += d + " "
+		}
+		reviewers = append(reviewers, corpus.Document{
+			ID:   fmt.Sprintf("R%d", topic),
+			Text: txt,
+		})
+	}
+	// Each topic's words appear in exactly one reviewer's text, so the
+	// "must appear in >1 document" rule would erase the entire signal;
+	// index every word instead.
+	parse := func(docs []corpus.Document) *corpus.Collection {
+		return corpus.New(docs, text.ParseOptions{MinDocs: 1})
+	}
+	a, err := New(reviewers, Config{K: 5}, parse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submissions: the remaining docs of each topic.
+	var abstracts []string
+	var topics []int
+	for topic := 0; topic < s.Options.Topics; topic++ {
+		for _, d := range perTopic[topic][10:13] {
+			abstracts = append(abstracts, d)
+			topics = append(topics, topic)
+		}
+	}
+	return a, abstracts, topics
+}
+
+func TestSimilaritiesFavorOwnTopicReviewer(t *testing.T) {
+	a, abstracts, topics := fixture(t)
+	correct := 0
+	for i, abs := range abstracts {
+		sims := a.Similarities(abs)
+		best := 0
+		for r := 1; r < len(sims); r++ {
+			if sims[r] > sims[best] {
+				best = r
+			}
+		}
+		if best == topics[i] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(abstracts)); frac < 0.8 {
+		t.Fatalf("only %v of submissions matched their topic reviewer", frac)
+	}
+}
+
+func TestAssignRespectsConstraints(t *testing.T) {
+	a, abstracts, _ := fixture(t)
+	const perPaper, maxLoad = 2, 8
+	asg, err := a.Assign(abstracts, perPaper, maxLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) != len(abstracts) {
+		t.Fatalf("assignment covers %d papers", len(asg))
+	}
+	load := map[int]int{}
+	for p, revs := range asg {
+		if len(revs) != perPaper {
+			t.Fatalf("paper %d has %d reviewers", p, len(revs))
+		}
+		seen := map[int]bool{}
+		for _, r := range revs {
+			if seen[r] {
+				t.Fatalf("paper %d assigned reviewer %d twice", p, r)
+			}
+			seen[r] = true
+			load[r]++
+		}
+	}
+	for r, l := range load {
+		if l > maxLoad {
+			t.Fatalf("reviewer %d overloaded: %d", r, l)
+		}
+	}
+}
+
+func TestAssignInfeasibleRejected(t *testing.T) {
+	a, abstracts, _ := fixture(t)
+	if _, err := a.Assign(abstracts, 10, 1); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+	if _, err := a.Assign(abstracts, 0, 5); err == nil {
+		t.Fatal("expected constraint error")
+	}
+}
+
+// The greedy assignment should beat a random assignment on mean similarity
+// — the quality claim behind "as good as those of human experts".
+func TestAssignmentBeatsRandomBaseline(t *testing.T) {
+	a, abstracts, _ := fixture(t)
+	asg, err := a.Assign(abstracts, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.MeanReviewerSimilarity(abstracts, asg)
+	baseline := a.RandomBaselineSimilarity(abstracts)
+	if got <= baseline {
+		t.Fatalf("greedy similarity %v ≤ random baseline %v", got, baseline)
+	}
+}
+
+// Tight capacity forces the greedy pass into its completion path; the
+// constraints must still hold.
+func TestAssignTightCapacity(t *testing.T) {
+	a, abstracts, _ := fixture(t)
+	nRev := a.Reviewers.Size()
+	perPaper := 2
+	// Exactly enough slots.
+	maxLoad := (len(abstracts)*perPaper + nRev - 1) / nRev
+	asg, err := a.Assign(abstracts, perPaper, maxLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[int]int{}
+	for _, revs := range asg {
+		if len(revs) != perPaper {
+			t.Fatal("paper under-reviewed under tight capacity")
+		}
+		for _, r := range revs {
+			load[r]++
+		}
+	}
+	for r, l := range load {
+		if l > maxLoad {
+			t.Fatalf("reviewer %d overloaded: %d > %d", r, l, maxLoad)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package server exposes an LSI database over HTTP — the shape of the
+// paper's NETLIB deployment (§5.4), where LSI ran as a fuzzy search option
+// over algorithms and article descriptions. Endpoints:
+//
+//	GET  /search?q=words&n=10     ranked documents for a free-text query
+//	GET  /terms?w=word&n=10       nearest indexed terms (online thesaurus)
+//	POST /documents               fold a new document into the database
+//	GET  /stats                   model dimensions and fold-in diagnostics
+//
+// New documents are folded in (Eq 7), so the service degrades gracefully
+// exactly the way §4.3 describes: /stats reports the orthogonality loss so
+// an operator can decide when to SVD-update or recompute offline.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/synonym"
+)
+
+// Server wraps a collection and its LSI model with an http.Handler.
+type Server struct {
+	mu    sync.RWMutex
+	coll  *corpus.Collection
+	model *core.Model
+	docs  []corpus.Document // all documents, including folded-in ones
+	mux   *http.ServeMux
+}
+
+// New builds a server around an existing collection and model. The model
+// must have been built from the collection (same vocabulary and documents).
+func New(coll *corpus.Collection, model *core.Model) (*Server, error) {
+	if model.NumDocs() != coll.Size() {
+		return nil, fmt.Errorf("server: model has %d docs, collection %d", model.NumDocs(), coll.Size())
+	}
+	s := &Server{
+		coll:  coll,
+		model: model,
+		docs:  append([]corpus.Document(nil), coll.Docs...),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/terms", s.handleTerms)
+	s.mux.HandleFunc("/documents", s.handleDocuments)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SearchResult is one /search response row.
+type SearchResult struct {
+	ID     string  `json:"id"`
+	Cosine float64 `json:"cosine"`
+	Text   string  `json:"text,omitempty"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	n := intParam(r, "n", 10)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	raw := s.coll.QueryVector(q)
+	if allZero(raw) {
+		writeJSON(w, []SearchResult{})
+		return
+	}
+	ranked := s.model.Rank(raw)
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]SearchResult, n)
+	for i, h := range ranked[:n] {
+		out[i] = SearchResult{ID: s.docs[h.Doc].ID, Cosine: h.Score, Text: s.docs[h.Doc].Text}
+	}
+	writeJSON(w, out)
+}
+
+// TermResult is one /terms response row.
+type TermResult struct {
+	Term string `json:"term"`
+}
+
+func (s *Server) handleTerms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	word := r.URL.Query().Get("w")
+	if word == "" {
+		http.Error(w, "missing w parameter", http.StatusBadRequest)
+		return
+	}
+	n := intParam(r, "n", 10)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	near, err := synonym.NearestTerms(s.model, s.coll.Vocab, word, n)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	out := make([]TermResult, len(near))
+	for i, t := range near {
+		out[i] = TermResult{Term: t}
+	}
+	writeJSON(w, out)
+}
+
+// AddDocumentRequest is the /documents POST body.
+type AddDocumentRequest struct {
+	ID   string `json:"id"`
+	Text string `json:"text"`
+}
+
+func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req AddDocumentRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Text == "" {
+		http.Error(w, "empty document text", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.ID == "" {
+		req.ID = fmt.Sprintf("doc-%d", len(s.docs))
+	}
+	doc := corpus.Document{ID: req.ID, Text: req.Text}
+	s.model.FoldInDocs(s.coll.DocVectors([]corpus.Document{doc}))
+	s.docs = append(s.docs, doc)
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]string{"id": req.ID})
+}
+
+// Stats is the /stats response.
+type Stats struct {
+	Terms             int     `json:"terms"`
+	Documents         int     `json:"documents"`
+	FoldedDocuments   int     `json:"folded_documents"`
+	Factors           int     `json:"factors"`
+	Sigma1            float64 `json:"sigma1"`
+	OrthogonalityLoss float64 `json:"orthogonality_loss"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, Stats{
+		Terms:             s.model.NumTerms(),
+		Documents:         s.model.NumDocs(),
+		FoldedDocuments:   s.model.FoldedDocs(),
+		Factors:           s.model.K,
+		Sigma1:            s.model.S[0],
+		OrthogonalityLoss: s.model.DocOrthogonality(),
+	})
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return def
+	}
+	return n
+}
+
+func allZero(xs []float64) bool {
+	for _, x := range xs {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do but note it.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

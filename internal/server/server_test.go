@@ -1,0 +1,207 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func testServer(t *testing.T) (*Server, *corpus.Collection) {
+	t.Helper()
+	coll := corpus.MED()
+	model, err := core.BuildCollection(coll, core.Config{K: 2, Method: core.MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(coll, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, coll
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/search?q=age+blood+abnormalities&n=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var results []SearchResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].ID != "M9" {
+		t.Fatalf("top result %s want M9", results[0].ID)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i-1].Cosine < results[i].Cosine {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	s, _ := testServer(t)
+	if rec := get(t, s, "/search"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing q: status %d", rec.Code)
+	}
+	// Query of pure stopwords/unknown words returns an empty list, not 500.
+	rec := get(t, s, "/search?q=of+the+zzzz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("unknown-word query: status %d", rec.Code)
+	}
+	var results []SearchResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("expected empty results, got %d", len(results))
+	}
+	// Wrong method.
+	req := httptest.NewRequest(http.MethodPost, "/search?q=x", nil)
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /search: status %d", rec2.Code)
+	}
+}
+
+func TestTermsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/terms?w=oestrogen&n=4")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var terms []TermResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &terms); err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) != 4 {
+		t.Fatalf("got %d terms", len(terms))
+	}
+	if rec := get(t, s, "/terms?w=notaword"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown term: status %d", rec.Code)
+	}
+	if rec := get(t, s, "/terms"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing w: status %d", rec.Code)
+	}
+}
+
+func TestAddDocumentAndStats(t *testing.T) {
+	s, _ := testServer(t)
+
+	stats := func() Stats {
+		rec := get(t, s, "/stats")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("stats status %d", rec.Code)
+		}
+		var st Stats
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	before := stats()
+	if before.Documents != 14 || before.FoldedDocuments != 0 {
+		t.Fatalf("initial stats %+v", before)
+	}
+
+	body := strings.NewReader(`{"id":"M15","text":"behavior of rats after detected rise in oestrogen"}`)
+	req := httptest.NewRequest(http.MethodPost, "/documents", body)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("add doc status %d: %s", rec.Code, rec.Body)
+	}
+
+	after := stats()
+	if after.Documents != 15 || after.FoldedDocuments != 1 {
+		t.Fatalf("post-fold stats %+v", after)
+	}
+	if after.OrthogonalityLoss <= before.OrthogonalityLoss {
+		t.Fatal("orthogonality loss should grow after folding")
+	}
+
+	// The folded document is retrievable.
+	sr := get(t, s, "/search?q=rats+oestrogen&n=15")
+	var results []SearchResult
+	if err := json.Unmarshal(sr.Body.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range results[:5] {
+		if r.ID == "M15" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("folded-in M15 not in top 5 for its own words")
+	}
+}
+
+func TestAddDocumentValidation(t *testing.T) {
+	s, _ := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/documents", strings.NewReader("{bad json"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/documents", strings.NewReader(`{"text":""}`))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty text: status %d", rec.Code)
+	}
+	if rec := get(t, s, "/documents"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /documents: status %d", rec.Code)
+	}
+}
+
+func TestNewRejectsMismatchedModel(t *testing.T) {
+	coll := corpus.MED()
+	model, err := core.BuildCollection(coll, core.Config{K: 2, Method: core.MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.FoldInDocs(coll.DocVectors(corpus.MEDUpdateTopics))
+	if _, err := New(coll, model); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestConcurrentSearchAndFold(t *testing.T) {
+	s, _ := testServer(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			body := strings.NewReader(`{"text":"depressed patients fast"}`)
+			req := httptest.NewRequest(http.MethodPost, "/documents", body)
+			s.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		rec := get(t, s, "/search?q=blood+culture&n=5")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("search during folding: status %d", rec.Code)
+		}
+	}
+	<-done
+}

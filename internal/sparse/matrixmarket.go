@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes m in MatrixMarket coordinate format — the
+// standard interchange format for sparse matrices (the modern successor to
+// the Harwell–Boeing files SVDPACK consumed). Indices are 1-based per the
+// specification.
+func (m *CSR) WriteMatrixMarket(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.ColIdx[p]+1, m.Val[p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file (real, general).
+// Comment lines (%) are skipped; duplicate entries are summed, matching
+// Builder semantics.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	// Header line.
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: not a MatrixMarket file: %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket layout %q", header[2])
+	}
+	if header[3] != "real" && header[3] != "integer" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket field %q", header[3])
+	}
+	symmetric := len(header) > 4 && header[4] == "symmetric"
+
+	// Size line (after comments).
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d %d", &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: bad dimensions %d×%d nnz=%d", rows, cols, nnz)
+	}
+	b := NewBuilder(rows, cols)
+	seen := 0
+	for sc.Scan() && seen < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		i, err1 := strconv.Atoi(f[0])
+		j, err2 := strconv.Atoi(f[1])
+		v, err3 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %d×%d", i, j, rows, cols)
+		}
+		b.Add(i-1, j-1, v)
+		if symmetric && i != j {
+			b.Add(j-1, i-1, v)
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if seen != nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, found %d", nnz, seen)
+	}
+	return b.Build(), nil
+}

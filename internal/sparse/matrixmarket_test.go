@@ -1,0 +1,92 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m := randomCSR(rng, 17, 9, 0.25)
+	var buf bytes.Buffer
+	if err := m.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m, 0) {
+		t.Fatal("round trip changed the matrix")
+	}
+}
+
+func TestReadMatrixMarketHandComposed(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment line
+3 4 3
+1 1 2.5
+3 4 -1
+2 2 7
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 4 || m.NNZ() != 3 {
+		t.Fatalf("shape %dx%d nnz %d", m.Rows, m.Cols, m.NNZ())
+	}
+	if m.At(0, 0) != 2.5 || m.At(2, 3) != -1 || m.At(1, 1) != 7 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 4
+3 3 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 4 || m.At(0, 1) != 4 || m.At(2, 2) != 1 {
+		t.Fatal("symmetric mirroring wrong")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",                      // empty
+		"not a header\n1 1 1\n", // bad header
+		"%%MatrixMarket matrix array real general\n1 1\n1\n",                 // unsupported layout
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n", // unsupported field
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",      // index out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",      // truncated
+		"%%MatrixMarket matrix coordinate real general\n-1 2 0\n",            // bad dims
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",      // bad entry
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d should have failed", i)
+		}
+	}
+}
+
+func TestMatrixMarketDuplicatesSum(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 2
+1 1 1.5
+1 1 2.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 4 {
+		t.Fatalf("duplicates not summed: %v", m.At(0, 0))
+	}
+}

@@ -1,0 +1,175 @@
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// matvecParallelCutoff is the nnz count below which MulVec stays serial.
+// Measured on commodity hardware, goroutine fan-out only pays for itself
+// once each worker has tens of thousands of multiply-adds.
+const matvecParallelCutoff = 1 << 15
+
+// MulVec computes y = A·x. y must have length A.Rows; it is fully
+// overwritten. Rows are partitioned across GOMAXPROCS goroutines for large
+// matrices — rows are independent, so no synchronization beyond the final
+// barrier is needed.
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("sparse: MulVec dims x=%d y=%d want %d,%d", len(x), len(y), m.Cols, m.Rows))
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if m.NNZ() < matvecParallelCutoff || nw < 2 || m.Rows < 2 {
+		m.mulVecRange(x, y, 0, m.Rows)
+		return
+	}
+	if nw > m.Rows {
+		nw = m.Rows
+	}
+	var wg sync.WaitGroup
+	// Partition by nnz, not by row count, so skewed matrices (a few very
+	// dense rows) still balance.
+	bounds := m.nnzPartition(nw)
+	for w := 0; w < len(bounds)-1; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.mulVecRange(x, y, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (m *CSR) mulVecRange(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p] * x[m.ColIdx[p]]
+		}
+		y[i] = s
+	}
+}
+
+// nnzPartition returns nw+1 row boundaries splitting the matrix into chunks
+// of roughly equal nonzero count.
+func (m *CSR) nnzPartition(nw int) []int {
+	bounds := make([]int, nw+1)
+	bounds[nw] = m.Rows
+	target := m.NNZ() / nw
+	row := 0
+	for w := 1; w < nw; w++ {
+		want := w * target
+		for row < m.Rows && m.RowPtr[row] < want {
+			row++
+		}
+		bounds[w] = row
+	}
+	return bounds
+}
+
+// MulVecT computes y = Aᵀ·x. y must have length A.Cols; it is fully
+// overwritten. The parallel path gives each worker a private accumulator
+// (scatter into shared y would race), then reduces.
+func (m *CSR) MulVecT(x, y []float64) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic(fmt.Sprintf("sparse: MulVecT dims x=%d y=%d want %d,%d", len(x), len(y), m.Rows, m.Cols))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if m.NNZ() < matvecParallelCutoff || nw < 2 || m.Rows < 2 {
+		m.mulVecTRange(x, y, 0, m.Rows)
+		return
+	}
+	if nw > m.Rows {
+		nw = m.Rows
+	}
+	bounds := m.nnzPartition(nw)
+	partials := make([][]float64, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := make([]float64, m.Cols)
+			m.mulVecTRange(x, acc, lo, hi)
+			partials[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, acc := range partials {
+		if acc == nil {
+			continue
+		}
+		for i, v := range acc {
+			y[i] += v
+		}
+	}
+}
+
+func (m *CSR) mulVecTRange(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			y[m.ColIdx[p]] += m.Val[p] * xi
+		}
+	}
+}
+
+// MulDense computes A·B for a dense column-major-agnostic B given as rows
+// (B is Cols×k, result is Rows×k, both as flat row-major with stride k).
+// Used to form A·V_k when extracting left singular vectors.
+func (m *CSR) MulDense(b []float64, k int) []float64 {
+	if len(b) != m.Cols*k {
+		panic(fmt.Sprintf("sparse: MulDense b len %d want %d", len(b), m.Cols*k))
+	}
+	out := make([]float64, m.Rows*k)
+	nw := runtime.GOMAXPROCS(0)
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out[i*k : (i+1)*k]
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				v := m.Val[p]
+				brow := b[m.ColIdx[p]*k : (m.ColIdx[p]+1)*k]
+				for c, bv := range brow {
+					orow[c] += v * bv
+				}
+			}
+		}
+	}
+	if m.NNZ()*k < matvecParallelCutoff || nw < 2 || m.Rows < 2 {
+		run(0, m.Rows)
+		return out
+	}
+	if nw > m.Rows {
+		nw = m.Rows
+	}
+	bounds := m.nnzPartition(nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			run(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,361 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomCSR(rng *rand.Rand, r, c int, density float64) *CSR {
+	b := NewBuilder(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.Add(0, 1, 2)
+	b.Add(2, 3, -1)
+	b.Add(0, 1, 3) // duplicate: sums to 5
+	b.Add(1, 0, 0) // explicit zero: dropped
+	m := b.Build()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d want 2", m.NNZ())
+	}
+	if m.At(0, 1) != 5 || m.At(2, 3) != -1 || m.At(1, 0) != 0 {
+		t.Fatalf("values wrong: %v %v %v", m.At(0, 1), m.At(2, 3), m.At(1, 0))
+	}
+}
+
+func TestBuilderDuplicateCancellation(t *testing.T) {
+	b := NewBuilder(1, 1)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, -1)
+	m := b.Build()
+	if m.NNZ() != 0 || m.At(0, 0) != 0 {
+		t.Fatal("cancelling duplicates should leave no stored entry")
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	d := [][]float64{{1, 0, 2}, {0, 0, 0}, {3, 4, 0}}
+	m := FromDense(d)
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+	back := m.Dense()
+	for i := range d {
+		for j := range d[i] {
+			if back[i][j] != d[i][j] {
+				t.Fatalf("roundtrip mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomCSR(rng, 13, 7, 0.2)
+	mt := m.T()
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !mt.T().Equal(m, 0) {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomCSR(rng, 11, 6, 0.3)
+	d := m.Dense()
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 11)
+	m.MulVec(x, y)
+	for i := 0; i < 11; i++ {
+		var want float64
+		for j := 0; j < 6; j++ {
+			want += d[i][j] * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-12 {
+			t.Fatalf("MulVec row %d: %v want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestMulVecTMatchesTransposeMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(rng, 9, 14, 0.25)
+	x := make([]float64, 9)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, 14)
+	m.MulVecT(x, got)
+	want := make([]float64, 14)
+	m.T().MulVec(x, want)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVecT[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParallelMatVecLarge(t *testing.T) {
+	// Big enough to engage the parallel path; compare against the serial
+	// range function directly.
+	rng := rand.New(rand.NewSource(4))
+	m := randomCSR(rng, 2000, 500, 0.05)
+	if m.NNZ() < matvecParallelCutoff {
+		t.Fatalf("test matrix too small to exercise parallel path: %d", m.NNZ())
+	}
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	par := make([]float64, 2000)
+	m.MulVec(x, par)
+	ser := make([]float64, 2000)
+	m.mulVecRange(x, ser, 0, m.Rows)
+	for i := range par {
+		if math.Abs(par[i]-ser[i]) > 1e-10 {
+			t.Fatalf("parallel MulVec differs at %d", i)
+		}
+	}
+
+	xt := make([]float64, 2000)
+	for i := range xt {
+		xt[i] = rng.NormFloat64()
+	}
+	parT := make([]float64, 500)
+	m.MulVecT(xt, parT)
+	serT := make([]float64, 500)
+	m.mulVecTRange(xt, serT, 0, m.Rows)
+	for i := range parT {
+		if math.Abs(parT[i]-serT[i]) > 1e-9 {
+			t.Fatalf("parallel MulVecT differs at %d", i)
+		}
+	}
+}
+
+func TestNNZPartitionCoversAllRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomCSR(rng, 100, 50, 0.1)
+	for _, nw := range []int{1, 2, 3, 7, 100} {
+		b := m.nnzPartition(nw)
+		if b[0] != 0 || b[len(b)-1] != m.Rows {
+			t.Fatalf("partition endpoints wrong: %v", b)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] < b[i-1] {
+				t.Fatalf("partition not monotone: %v", b)
+			}
+		}
+	}
+}
+
+func TestMulDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomCSR(rng, 8, 5, 0.4)
+	k := 3
+	b := make([]float64, 5*k)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	out := m.MulDense(b, k)
+	// Check column by column via MulVec.
+	for c := 0; c < k; c++ {
+		x := make([]float64, 5)
+		for j := 0; j < 5; j++ {
+			x[j] = b[j*k+c]
+		}
+		y := make([]float64, 8)
+		m.MulVec(x, y)
+		for i := 0; i < 8; i++ {
+			if math.Abs(out[i*k+c]-y[i]) > 1e-12 {
+				t.Fatalf("MulDense (%d,%d) = %v want %v", i, c, out[i*k+c], y[i])
+			}
+		}
+	}
+}
+
+func TestScaleRowsAndMap(t *testing.T) {
+	m := FromDense([][]float64{{1, 2}, {3, 0}})
+	s := m.ScaleRows([]float64{2, -1})
+	if s.At(0, 0) != 2 || s.At(0, 1) != 4 || s.At(1, 0) != -3 {
+		t.Fatal("ScaleRows wrong")
+	}
+	sq := m.Map(func(v float64) float64 { return v * v })
+	if sq.At(1, 0) != 9 || sq.At(0, 1) != 4 {
+		t.Fatal("Map wrong")
+	}
+	// Original untouched (immutability).
+	if m.At(0, 0) != 1 {
+		t.Fatal("source mutated")
+	}
+}
+
+func TestColNormsAndFrobenius(t *testing.T) {
+	m := FromDense([][]float64{{3, 0}, {4, 2}})
+	cn := m.ColNorms()
+	if math.Abs(cn[0]-5) > 1e-14 || math.Abs(cn[1]-2) > 1e-14 {
+		t.Fatalf("ColNorms = %v", cn)
+	}
+	want := math.Sqrt(9 + 16 + 4)
+	if f := m.FrobeniusNorm(); math.Abs(f-want) > 1e-14 {
+		t.Fatalf("Frobenius = %v want %v", f, want)
+	}
+}
+
+func TestAugment(t *testing.T) {
+	a := FromDense([][]float64{{1, 2}, {3, 4}})
+	d := FromDense([][]float64{{5}, {6}})
+	ac := a.AugmentCols(d)
+	if ac.Cols != 3 || ac.At(0, 2) != 5 || ac.At(1, 2) != 6 || ac.At(1, 1) != 4 {
+		t.Fatal("AugmentCols wrong")
+	}
+	tr := FromDense([][]float64{{7, 8}})
+	arr := a.AugmentRows(tr)
+	if arr.Rows != 3 || arr.At(2, 0) != 7 || arr.At(2, 1) != 8 {
+		t.Fatal("AugmentRows wrong")
+	}
+}
+
+func TestDensityStat(t *testing.T) {
+	m := FromDense([][]float64{{1, 0}, {0, 0}})
+	if d := m.Density(); d != 0.25 {
+		t.Fatalf("Density = %v", d)
+	}
+}
+
+func TestEqualDifferentStructure(t *testing.T) {
+	a := FromDense([][]float64{{1, 0}, {0, 2}})
+	b := FromDense([][]float64{{1, 1e-15}, {0, 2}})
+	if !a.Equal(b, 1e-12) {
+		t.Fatal("Equal should tolerate tiny structural extras")
+	}
+	c := FromDense([][]float64{{1, 0.5}, {0, 2}})
+	if a.Equal(c, 1e-12) {
+		t.Fatal("Equal should detect real differences")
+	}
+}
+
+// Property: (x)ᵀ(Ay) == (Aᵀx)ᵀ(y) — the adjoint identity the Lanczos
+// recurrence depends on.
+func TestAdjointIdentityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 7, 5, 0.3)
+		x := make([]float64, 7)
+		y := make([]float64, 5)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		ay := make([]float64, 7)
+		m.MulVec(y, ay)
+		atx := make([]float64, 5)
+		m.MulVecT(x, atx)
+		var lhs, rhs float64
+		for i := range x {
+			lhs += x[i] * ay[i]
+		}
+		for i := range y {
+			rhs += atx[i] * y[i]
+		}
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Build is order-independent.
+func TestBuildOrderIndependentQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		coords := make([]Coord, 30)
+		for i := range coords {
+			coords[i] = Coord{rng.Intn(6), rng.Intn(6), float64(rng.Intn(9) + 1)}
+		}
+		b1 := NewBuilder(6, 6)
+		for _, c := range coords {
+			b1.Add(c.Row, c.Col, c.Val)
+		}
+		b2 := NewBuilder(6, 6)
+		for _, i := range rng.Perm(len(coords)) {
+			b2.Add(coords[i].Row, coords[i].Col, coords[i].Val)
+		}
+		return b1.Build().Equal(b2.Build(), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMulVecSerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomCSR(rng, 5000, 2000, 0.002) // ~20k nnz: below cutoff
+	x := make([]float64, 2000)
+	y := make([]float64, 5000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.mulVecRange(x, y, 0, m.Rows)
+	}
+}
+
+func BenchmarkMulVecParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomCSR(rng, 20000, 5000, 0.01) // ~1M nnz: parallel path
+	x := make([]float64, 5000)
+	y := make([]float64, 20000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(x, y)
+	}
+}
+
+func BenchmarkMulVecT(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomCSR(rng, 20000, 5000, 0.01)
+	x := make([]float64, 20000)
+	y := make([]float64, 5000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecT(x, y)
+	}
+}

@@ -1,0 +1,101 @@
+package spell
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+var dictionary = []string{
+	"information", "retrieval", "latent", "semantic", "indexing",
+	"singular", "value", "decomposition", "matrix", "sparse",
+	"document", "query", "vector", "cosine", "factor",
+	"update", "folding", "orthogonal", "lanczos", "truncated",
+	"precision", "recall", "relevance", "feedback", "filtering",
+	"synonym", "polysemy", "lexical", "keyword", "database",
+}
+
+func corrector(t *testing.T) *Corrector {
+	t.Helper()
+	c, err := New(dictionary, Config{K: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExactWordsCorrectToThemselves(t *testing.T) {
+	c := corrector(t)
+	for _, w := range dictionary {
+		if got := c.Correct(w); got != w {
+			t.Fatalf("Correct(%q) = %q", w, got)
+		}
+	}
+}
+
+func TestSingleEditMisspellings(t *testing.T) {
+	c := corrector(t)
+	cases := [][2]string{
+		{"informaton", "information"}, // deletion
+		{"semantik", "semantic"},      // substitution
+		{"retreival", "retrieval"},    // transposition
+		{"lanzcos", "lanczos"},        // transposition
+		{"indexxing", "indexing"},     // insertion
+		{"qeury", "query"},            // transposition
+	}
+	acc := c.Accuracy(cases, 1)
+	if acc < 0.8 {
+		t.Fatalf("top-1 accuracy %v on single-edit misspellings", acc)
+	}
+	if c.Accuracy(cases, 3) < acc {
+		t.Fatal("top-3 accuracy below top-1")
+	}
+}
+
+func TestSuggestReturnsRequestedCount(t *testing.T) {
+	c := corrector(t)
+	s := c.Suggest("documnet", 5)
+	if len(s) != 5 {
+		t.Fatalf("got %d suggestions", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Score < s[i].Score {
+			t.Fatal("suggestions not sorted")
+		}
+	}
+	// Requesting more than the dictionary clamps.
+	if got := c.Suggest("x", 1000); len(got) != len(dictionary) {
+		t.Fatalf("clamp failed: %d", len(got))
+	}
+}
+
+func TestEmptyDictionaryErrors(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAccuracyEmptyPairs(t *testing.T) {
+	c := corrector(t)
+	if acc := c.Accuracy(nil, 1); acc != 0 {
+		t.Fatalf("empty accuracy %v", acc)
+	}
+}
+
+func TestBaselineGramOverlap(t *testing.T) {
+	ix := corpus.NewNGramIndex(dictionary)
+	s := BaselineGramOverlap(ix, "informaton", 3)
+	if len(s) != 3 {
+		t.Fatalf("got %d", len(s))
+	}
+	if s[0].Word != "information" {
+		t.Fatalf("baseline top suggestion %q", s[0].Word)
+	}
+}
+
+func TestCorrectOnGibberish(t *testing.T) {
+	c := corrector(t)
+	// Gibberish with no shared grams: Correct must not panic and returns
+	// some dictionary word (or the input if nothing scored).
+	_ = c.Correct("zzzz")
+}

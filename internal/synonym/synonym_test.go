@@ -1,0 +1,142 @@
+package synonym
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func fixture(t *testing.T) (*corpus.Synth, *Benchmark, *core.Model) {
+	t.Helper()
+	s := corpus.GenerateSynth(corpus.SynthOptions{
+		Seed: 11, Topics: 8, Docs: 160, DocLen: 40,
+		SynonymsPerConcept: 3, DocVariantLoyalty: 0.95,
+	})
+	b := GenerateBenchmark(s, 40, 1)
+	m, err := core.BuildCollection(s.Collection, core.Config{K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, b, m
+}
+
+func TestBenchmarkWellFormed(t *testing.T) {
+	_, b, _ := fixture(t)
+	if len(b.Items) < 20 {
+		t.Fatalf("only %d items generated", len(b.Items))
+	}
+	for _, it := range b.Items {
+		if len(it.Alternatives) != 4 {
+			t.Fatalf("item has %d alternatives", len(it.Alternatives))
+		}
+		if it.Answer < 0 || it.Answer >= 4 {
+			t.Fatalf("answer index %d", it.Answer)
+		}
+		for _, a := range it.Alternatives {
+			if a == it.Stem {
+				t.Fatal("stem appears among alternatives")
+			}
+		}
+		seen := map[string]bool{}
+		for _, a := range it.Alternatives {
+			if seen[a] {
+				t.Fatal("duplicate alternative")
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestBenchmarkDeterministic(t *testing.T) {
+	s := corpus.GenerateSynth(corpus.SynthOptions{Seed: 11, Topics: 8, Docs: 160})
+	b1 := GenerateBenchmark(s, 20, 5)
+	b2 := GenerateBenchmark(s, 20, 5)
+	if len(b1.Items) != len(b2.Items) {
+		t.Fatal("nondeterministic item count")
+	}
+	for i := range b1.Items {
+		if b1.Items[i].Stem != b2.Items[i].Stem || b1.Items[i].Answer != b2.Items[i].Answer {
+			t.Fatal("nondeterministic items")
+		}
+	}
+}
+
+// The paper's TOEFL result in shape: LSI scores far above chance (25%) and
+// beats word overlap, because generated synonyms are interchangeable (and
+// therefore rarely co-occur) while sharing contexts.
+func TestLSIBeatsWordOverlap(t *testing.T) {
+	_, b, m := fixture(t)
+	lsi, err := ScoreLSI(b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap, err := ScoreWordOverlap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsi < 0.5 {
+		t.Fatalf("LSI synonym accuracy %v below 0.5", lsi)
+	}
+	if lsi <= overlap {
+		t.Fatalf("LSI %v should beat word overlap %v", lsi, overlap)
+	}
+}
+
+func TestEmptyBenchmarkErrors(t *testing.T) {
+	_, _, m := fixture(t)
+	empty := &Benchmark{Items: nil}
+	if _, err := ScoreLSI(empty, m); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := ScoreWordOverlap(empty); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNearestTerms(t *testing.T) {
+	s, _, m := fixture(t)
+	// Pick a synonym group whose members are all indexed.
+	for _, g := range s.SynonymGroups {
+		allIn := true
+		for _, w := range g {
+			if _, ok := s.Vocab.Index[w]; !ok {
+				allIn = false
+				break
+			}
+		}
+		if !allIn {
+			continue
+		}
+		near, err := NearestTerms(m, s.Vocab, g[0], 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(near) != 10 {
+			t.Fatalf("got %d neighbours", len(near))
+		}
+		// The automatic-thesaurus property (§5.4): nearest terms are
+		// *associatively* related — like "algebra" being near "topology"
+		// and "theorem" — which here means sharing the stem's topic. The
+		// generated word ids encode the topic as a "tNN" prefix.
+		topic := g[0][:3]
+		sameTopic := 0
+		for _, w := range near {
+			if len(w) >= 3 && w[:3] == topic {
+				sameTopic++
+			}
+		}
+		if sameTopic < 7 {
+			t.Fatalf("only %d/10 nearest terms of %q share its topic: %v", sameTopic, g[0], near)
+		}
+		return
+	}
+	t.Skip("no fully indexed synonym group in fixture")
+}
+
+func TestNearestTermsUnknownWord(t *testing.T) {
+	s, _, m := fixture(t)
+	if _, err := NearestTerms(m, s.Vocab, "nonexistent", 3); err == nil {
+		t.Fatal("expected error for unknown term")
+	}
+}

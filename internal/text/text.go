@@ -1,0 +1,201 @@
+// Package text implements the lexical front end of the LSI pipeline:
+// tokenization, stop-word removal, and vocabulary construction under a
+// parsing rule. Per §5.4, "words are identified by looking for white spaces
+// and punctuation in ASCII text" and "no stemming is used" — the tokenizer
+// here matches that: lowercase, split on non-letter/digit, no morphology.
+package text
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits raw text into lowercase tokens on any rune that is not a
+// letter, digit, or apostrophe (apostrophes inside words are kept so
+// "user's" survives as one token, then normalized by dropping the suffix).
+func Tokenize(s string) []string {
+	var toks []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			toks = append(toks, normalizeToken(b.String()))
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == '\'':
+			// keep; handled in normalizeToken
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+func normalizeToken(t string) string {
+	// Strip possessive suffixes and stray apostrophes: users' -> users,
+	// user's -> user.
+	t = strings.Trim(t, "'")
+	t = strings.TrimSuffix(t, "'s")
+	return t
+}
+
+// defaultStopwords is the compact SMART-style function-word list used by
+// the example corpora. It intentionally includes the three words the paper
+// drops from the example query: "of", "children", and "with" are handled by
+// the list plus the >1-document parsing rule.
+var defaultStopwords = map[string]bool{}
+
+func init() {
+	for _, w := range strings.Fields(`
+a about above after again all also an and any are as at be because been
+before being below between both but by can did do does doing down during
+each few for from further had has have having he her here hers him his how
+i if in into is it its itself just me more most my no nor not now of off on
+once only or other our ours out over own same she should so some such than
+that the their theirs them then there these they this those through to too
+under until up very was we were what when where which while who whom why
+will with without would you your yours
+`) {
+		defaultStopwords[w] = true
+	}
+}
+
+// Stopwords returns a copy of the default stop-word set; callers may add or
+// remove entries without affecting the shared list.
+func Stopwords() map[string]bool {
+	out := make(map[string]bool, len(defaultStopwords))
+	for w := range defaultStopwords {
+		out[w] = true
+	}
+	return out
+}
+
+// IsStopword reports membership in the default list.
+func IsStopword(w string) bool { return defaultStopwords[w] }
+
+// Vocabulary maps indexing terms to contiguous row indices. It retains the
+// parsing options it was built with so Count tokenizes queries and new
+// documents identically.
+type Vocabulary struct {
+	Terms []string       // index → term, sorted lexicographically
+	Index map[string]int // term → index
+	opts  ParseOptions
+}
+
+// ParseOptions controls vocabulary construction.
+type ParseOptions struct {
+	// MinDocs is the parsing rule of §3: a keyword must appear in more than
+	// one document to be indexed. MinDocs=2 reproduces the paper's rule;
+	// MinDocs=1 indexes every non-stopword.
+	MinDocs int
+	// Stopwords, when nil, defaults to the built-in list. An explicitly
+	// empty (but non-nil) map disables stopping.
+	Stopwords map[string]bool
+	// MinLength drops tokens shorter than this many runes (default 1).
+	MinLength int
+	// Aliases folds surface forms together before counting (e.g.
+	// "cultures" → "culture" in the paper's §3 example, whose keyword
+	// tagging folds that one plural). This is not stemming — only the
+	// listed forms are touched.
+	Aliases map[string]string
+	// IncludeBigrams additionally indexes adjacent content-word pairs as
+	// single "w1 w2" terms under the same MinDocs rule — §5.4: "phrases or
+	// n-grams could also be included as rows in the matrix". Stop words
+	// break phrase adjacency.
+	IncludeBigrams bool
+}
+
+func (o *ParseOptions) fill() {
+	if o.MinDocs <= 0 {
+		o.MinDocs = 2
+	}
+	if o.Stopwords == nil {
+		o.Stopwords = defaultStopwords
+	}
+	if o.MinLength <= 0 {
+		o.MinLength = 1
+	}
+}
+
+// units converts a raw token stream to indexing units under the options:
+// folded, filtered content words, plus (optionally) adjacent-pair bigrams.
+// Stop words and short tokens break bigram adjacency.
+func units(toks []string, opts *ParseOptions) []string {
+	var out []string
+	prev := "" // previous content word, "" after a break
+	for _, tok := range toks {
+		if a, ok := opts.Aliases[tok]; ok {
+			tok = a
+		}
+		if len([]rune(tok)) < opts.MinLength || opts.Stopwords[tok] {
+			prev = ""
+			continue
+		}
+		out = append(out, tok)
+		if opts.IncludeBigrams && prev != "" {
+			out = append(out, prev+" "+tok)
+		}
+		prev = tok
+	}
+	return out
+}
+
+// BuildVocabulary tokenizes every document and returns the vocabulary of
+// terms that pass the parsing rule, in sorted order for determinism.
+func BuildVocabulary(docs []string, opts ParseOptions) *Vocabulary {
+	opts.fill()
+	df := map[string]int{}
+	for _, d := range docs {
+		seen := map[string]bool{}
+		for _, u := range units(Tokenize(d), &opts) {
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			df[u]++
+		}
+	}
+	var terms []string
+	for t, n := range df {
+		if n >= opts.MinDocs {
+			terms = append(terms, t)
+		}
+	}
+	sort.Strings(terms)
+	v := &Vocabulary{
+		Terms: terms,
+		Index: make(map[string]int, len(terms)),
+		opts:  opts,
+	}
+	for i, t := range terms {
+		v.Index[t] = i
+	}
+	return v
+}
+
+// Size returns the number of indexing terms.
+func (v *Vocabulary) Size() int { return len(v.Terms) }
+
+// Count returns the term-frequency vector of one document under this
+// vocabulary (terms outside the vocabulary are ignored, as for stop words).
+func (v *Vocabulary) Count(doc string) []float64 {
+	return v.CountTokens(Tokenize(doc))
+}
+
+// CountTokens is Count for pre-tokenized input.
+func (v *Vocabulary) CountTokens(toks []string) []float64 {
+	out := make([]float64, len(v.Terms))
+	for _, u := range units(toks, &v.opts) {
+		if i, ok := v.Index[u]; ok {
+			out[i]++
+		}
+	}
+	return out
+}

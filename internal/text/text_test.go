@@ -1,0 +1,171 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	got := Tokenize("Hello, World! foo-bar baz's 42")
+	want := []string{"hello", "world", "foo", "bar", "baz", "42"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeEmptyAndPunctuation(t *testing.T) {
+	if toks := Tokenize(""); len(toks) != 0 {
+		t.Fatalf("empty string gave %v", toks)
+	}
+	if toks := Tokenize("!!! ... ---"); len(toks) != 0 {
+		t.Fatalf("punctuation gave %v", toks)
+	}
+}
+
+func TestTokenizePossessives(t *testing.T) {
+	got := Tokenize("the users' children's books")
+	want := []string{"the", "users", "children", "books"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("Café déjà-vu")
+	want := []string{"café", "déjà", "vu"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	for _, w := range []string{"of", "the", "with", "and", "to"} {
+		if !IsStopword(w) {
+			t.Fatalf("%q should be a stopword", w)
+		}
+	}
+	if IsStopword("blood") {
+		t.Fatal("content word flagged as stopword")
+	}
+	// Stopwords() returns an independent copy.
+	s := Stopwords()
+	delete(s, "of")
+	if !IsStopword("of") {
+		t.Fatal("mutating the copy affected the shared list")
+	}
+}
+
+func TestBuildVocabularyParsingRule(t *testing.T) {
+	docs := []string{
+		"blood culture study",
+		"blood disease",
+		"unique mention here",
+	}
+	v := BuildVocabulary(docs, ParseOptions{MinDocs: 2})
+	// Only "blood" appears in >1 document.
+	if v.Size() != 1 || v.Terms[0] != "blood" {
+		t.Fatalf("vocab = %v", v.Terms)
+	}
+	v1 := BuildVocabulary(docs, ParseOptions{MinDocs: 1})
+	// "here" is a stopword; the six content words remain.
+	if v1.Size() != 6 {
+		t.Fatalf("MinDocs=1 vocab size = %d (%v)", v1.Size(), v1.Terms)
+	}
+}
+
+func TestBuildVocabularyDFCountsDocsNotOccurrences(t *testing.T) {
+	docs := []string{"echo echo echo", "silence"}
+	v := BuildVocabulary(docs, ParseOptions{MinDocs: 2})
+	if v.Size() != 0 {
+		t.Fatalf("repeated word in one doc should not pass MinDocs=2: %v", v.Terms)
+	}
+}
+
+func TestVocabularySortedDeterministic(t *testing.T) {
+	docs := []string{"zebra apple mango", "mango zebra apple"}
+	v := BuildVocabulary(docs, ParseOptions{})
+	want := []string{"apple", "mango", "zebra"}
+	if !reflect.DeepEqual(v.Terms, want) {
+		t.Fatalf("terms not sorted: %v", v.Terms)
+	}
+}
+
+func TestCount(t *testing.T) {
+	docs := []string{"cat dog cat", "dog bird"}
+	v := BuildVocabulary(docs, ParseOptions{MinDocs: 1})
+	c := v.Count("cat cat dog unknown of")
+	// Terms sorted: bird, cat, dog.
+	if c[v.Index["cat"]] != 2 || c[v.Index["dog"]] != 1 || c[v.Index["bird"]] != 0 {
+		t.Fatalf("counts = %v (index %v)", c, v.Index)
+	}
+}
+
+func TestAliases(t *testing.T) {
+	docs := []string{"blood cultures grow", "culture of cells grow"}
+	v := BuildVocabulary(docs, ParseOptions{
+		MinDocs: 2,
+		Aliases: map[string]string{"cultures": "culture"},
+	})
+	if _, ok := v.Index["culture"]; !ok {
+		t.Fatalf("alias folding failed: %v", v.Terms)
+	}
+	c := v.Count("cultures and culture")
+	if c[v.Index["culture"]] != 2 {
+		t.Fatalf("alias not applied in Count: %v", c)
+	}
+}
+
+func TestMinLength(t *testing.T) {
+	docs := []string{"a bb ccc", "a bb ccc"}
+	v := BuildVocabulary(docs, ParseOptions{MinDocs: 2, MinLength: 2, Stopwords: map[string]bool{}})
+	if v.Size() != 2 {
+		t.Fatalf("MinLength filter wrong: %v", v.Terms)
+	}
+}
+
+func TestDisableStopwordsExplicitly(t *testing.T) {
+	docs := []string{"of the", "of the"}
+	v := BuildVocabulary(docs, ParseOptions{MinDocs: 2, Stopwords: map[string]bool{}})
+	if v.Size() != 2 {
+		t.Fatalf("explicit empty stopword map should disable stopping: %v", v.Terms)
+	}
+}
+
+func TestBigramIndexing(t *testing.T) {
+	docs := []string{
+		"blood pressure rises quickly",
+		"blood pressure falls after rest",
+	}
+	v := BuildVocabulary(docs, ParseOptions{MinDocs: 2, IncludeBigrams: true})
+	if _, ok := v.Index["blood pressure"]; !ok {
+		t.Fatalf("bigram not indexed: %v", v.Terms)
+	}
+	c := v.Count("the blood pressure of patients")
+	if c[v.Index["blood pressure"]] != 1 {
+		t.Fatalf("bigram count wrong: %v", c)
+	}
+	// Unigrams still counted.
+	if c[v.Index["blood"]] != 1 || c[v.Index["pressure"]] != 1 {
+		t.Fatal("unigram counts wrong alongside bigrams")
+	}
+}
+
+func TestBigramsBrokenByStopwords(t *testing.T) {
+	docs := []string{
+		"pressure of blood is high",
+		"pressure of blood is low",
+	}
+	v := BuildVocabulary(docs, ParseOptions{MinDocs: 2, IncludeBigrams: true})
+	// "pressure blood" must NOT form: "of" separates them.
+	if _, ok := v.Index["pressure blood"]; ok {
+		t.Fatalf("stopword-crossing bigram indexed: %v", v.Terms)
+	}
+}
+
+func TestBigramsOffByDefault(t *testing.T) {
+	docs := []string{"blood pressure", "blood pressure"}
+	v := BuildVocabulary(docs, ParseOptions{MinDocs: 2})
+	if _, ok := v.Index["blood pressure"]; ok {
+		t.Fatal("bigram indexed without IncludeBigrams")
+	}
+}

@@ -1,0 +1,133 @@
+// Package vsm implements the retrieval baselines the paper compares LSI
+// against: the standard SMART-style keyword vector-space model (weighted
+// term vectors ranked by cosine, §5.1) and strict lexical (boolean overlap)
+// matching (§1, §3.2).
+package vsm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sparse"
+	"repro/internal/weight"
+)
+
+// Model is a keyword vector-space index: documents are columns of the
+// weighted term–document matrix, compared to weighted query vectors by
+// cosine. This is the "standard keyword vector method in SMART" baseline.
+type Model struct {
+	Scheme weight.Scheme
+	// W is the weighted m×n matrix; global holds the collection's global
+	// term weights for query weighting.
+	W      *sparse.CSR
+	global []float64
+	norms  []float64 // per-document Euclidean norms of W's columns
+}
+
+// Build indexes a raw count matrix under the weighting scheme.
+func Build(raw *sparse.CSR, scheme weight.Scheme) *Model {
+	w := weight.Apply(raw, scheme)
+	return &Model{
+		Scheme: scheme,
+		W:      w,
+		global: weight.GlobalWeights(raw, scheme.Global),
+		norms:  w.ColNorms(),
+	}
+}
+
+// Ranked is one scored document.
+type Ranked struct {
+	Doc   int
+	Score float64
+}
+
+// Scores returns the cosine of the weighted query against every document.
+func (m *Model) Scores(rawQuery []float64) []float64 {
+	if len(rawQuery) != m.W.Rows {
+		panic(fmt.Sprintf("vsm: query len %d want %d", len(rawQuery), m.W.Rows))
+	}
+	q := weight.QueryWeights(rawQuery, m.global, m.Scheme)
+	qn := 0.0
+	for _, v := range q {
+		qn += v * v
+	}
+	qn = math.Sqrt(qn)
+	dots := make([]float64, m.W.Cols)
+	for i, qi := range q {
+		if qi == 0 {
+			continue
+		}
+		m.W.Row(i, func(j int, v float64) { dots[j] += qi * v })
+	}
+	for j := range dots {
+		if qn == 0 || m.norms[j] == 0 {
+			dots[j] = 0
+			continue
+		}
+		dots[j] /= qn * m.norms[j]
+	}
+	return dots
+}
+
+// Rank returns all documents sorted by descending cosine.
+func (m *Model) Rank(rawQuery []float64) []Ranked {
+	scores := m.Scores(rawQuery)
+	out := make([]Ranked, len(scores))
+	for j, s := range scores {
+		out[j] = Ranked{Doc: j, Score: s}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Doc < out[b].Doc
+	})
+	return out
+}
+
+// PairCosine weights two raw count vectors with the model's scheme (using
+// the collection's global weights) and returns their cosine — how a keyword
+// system matches a standing profile against a document that is not in the
+// indexed collection (the filtering baseline of §5.3).
+func (m *Model) PairCosine(rawA, rawB []float64) float64 {
+	a := weight.QueryWeights(rawA, m.global, m.Scheme)
+	b := weight.QueryWeights(rawB, m.global, m.Scheme)
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// LexicalMatch returns the indices of documents sharing at least minShared
+// query terms with the (raw) query — the literal term-matching retrieval
+// of §1 whose synonymy/polysemy failures motivate LSI.
+func LexicalMatch(raw *sparse.CSR, rawQuery []float64, minShared int) []int {
+	if minShared <= 0 {
+		minShared = 1
+	}
+	shared := make([]int, raw.Cols)
+	for i, qi := range rawQuery {
+		if qi <= 0 {
+			continue
+		}
+		raw.Row(i, func(j int, v float64) {
+			if v > 0 {
+				shared[j]++
+			}
+		})
+	}
+	var out []int
+	for j, s := range shared {
+		if s >= minShared {
+			out = append(out, j)
+		}
+	}
+	return out
+}

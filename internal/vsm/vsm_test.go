@@ -1,0 +1,102 @@
+package vsm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/weight"
+)
+
+func sample() *sparse.CSR {
+	// 4 terms × 3 docs.
+	return sparse.FromDense([][]float64{
+		{2, 0, 0},
+		{1, 1, 0},
+		{0, 1, 0},
+		{0, 0, 3},
+	})
+}
+
+func TestScoresCosineByHand(t *testing.T) {
+	m := Build(sample(), weight.Raw)
+	q := []float64{1, 0, 0, 0}
+	s := m.Scores(q)
+	// doc0 = (2,1,0,0): cos = 2/√5; doc1 = (0,1,1,0): 0; doc2: 0.
+	if math.Abs(s[0]-2/math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("s[0] = %v", s[0])
+	}
+	if s[1] != 0 || s[2] != 0 {
+		t.Fatalf("scores = %v", s)
+	}
+}
+
+func TestRankOrder(t *testing.T) {
+	m := Build(sample(), weight.Raw)
+	r := m.Rank([]float64{0, 1, 1, 0})
+	if r[0].Doc != 1 {
+		t.Fatalf("top doc %d want 1", r[0].Doc)
+	}
+	for i := 1; i < len(r); i++ {
+		if r[i-1].Score < r[i].Score {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestZeroQueryAndZeroDoc(t *testing.T) {
+	raw := sparse.FromDense([][]float64{{1, 0}, {0, 0}})
+	m := Build(raw, weight.Raw)
+	s := m.Scores([]float64{0, 0})
+	for _, v := range s {
+		if v != 0 {
+			t.Fatal("zero query should score 0 everywhere")
+		}
+	}
+	// Doc 1 is empty; any query scores it 0 without NaN.
+	s = m.Scores([]float64{1, 0})
+	if s[1] != 0 || math.IsNaN(s[1]) {
+		t.Fatalf("empty doc score %v", s[1])
+	}
+}
+
+func TestWeightedModelUsesScheme(t *testing.T) {
+	raw := sparse.FromDense([][]float64{
+		{1, 1, 1, 1}, // uniform term: entropy weight 0
+		{3, 0, 0, 0},
+	})
+	m := Build(raw, weight.LogEntropy)
+	// Query on the uniform term alone scores zero everywhere.
+	s := m.Scores([]float64{1, 0})
+	for _, v := range s {
+		if v != 0 {
+			t.Fatalf("uniform-term query should be annihilated, got %v", s)
+		}
+	}
+}
+
+func TestLexicalMatch(t *testing.T) {
+	raw := sample()
+	q := []float64{1, 1, 0, 0}
+	got := LexicalMatch(raw, q, 1)
+	// doc0 shares terms 0,1; doc1 shares term 1; doc2 none.
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("lexical = %v", got)
+	}
+	got2 := LexicalMatch(raw, q, 2)
+	if len(got2) != 1 || got2[0] != 0 {
+		t.Fatalf("minShared=2 lexical = %v", got2)
+	}
+	if got3 := LexicalMatch(raw, []float64{0, 0, 0, 0}, 1); len(got3) != 0 {
+		t.Fatalf("empty query matched %v", got3)
+	}
+}
+
+func TestQueryDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(sample(), weight.Raw).Scores([]float64{1})
+}

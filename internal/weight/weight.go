@@ -1,0 +1,200 @@
+// Package weight implements the local and global term-weighting
+// transformations of Eq (5): a_ij = L(i,j) × G(i). Dumais (1991) — cited in
+// §5.1 — compared these schemes and found log-local × entropy-global to be
+// the most effective, "40% more effective than raw term weighting"; the
+// weighting experiment in the harness reproduces that ordering.
+package weight
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Local identifies a local weighting function L(i,j), applied cellwise to
+// the raw frequency f_ij.
+type Local int
+
+const (
+	// LocalRaw keeps the raw term frequency: L = f_ij.
+	LocalRaw Local = iota
+	// LocalLog dampens high counts: L = log₂(1 + f_ij).
+	LocalLog
+	// LocalBinary records only presence: L = 1 if f_ij > 0.
+	LocalBinary
+)
+
+// String returns the conventional name of the scheme.
+func (l Local) String() string {
+	switch l {
+	case LocalRaw:
+		return "raw"
+	case LocalLog:
+		return "log"
+	case LocalBinary:
+		return "binary"
+	}
+	return fmt.Sprintf("local(%d)", int(l))
+}
+
+// Apply returns L(f) for a single raw frequency.
+func (l Local) Apply(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	switch l {
+	case LocalRaw:
+		return f
+	case LocalLog:
+		return math.Log2(1 + f)
+	case LocalBinary:
+		return 1
+	}
+	panic(fmt.Sprintf("weight: unknown local scheme %d", int(l)))
+}
+
+// Global identifies a global (per-term/row) weighting function G(i).
+type Global int
+
+const (
+	// GlobalNone applies no global weight: G = 1.
+	GlobalNone Global = iota
+	// GlobalEntropy weights by 1 + Σ_j p_ij log₂ p_ij / log₂ n where
+	// p_ij = f_ij / gf_i. Terms concentrated in few documents (informative)
+	// get weight near 1; terms spread evenly (uninformative) near 0.
+	GlobalEntropy
+	// GlobalIDF is the inverse document frequency log₂(n/df_i) + 1.
+	GlobalIDF
+	// GlobalGfIdf is gf_i/df_i, the global-frequency-over-document-frequency
+	// ratio.
+	GlobalGfIdf
+	// GlobalNormal normalizes each row to unit length: G = 1/√(Σ_j f_ij²).
+	GlobalNormal
+)
+
+// String returns the conventional name of the scheme.
+func (g Global) String() string {
+	switch g {
+	case GlobalNone:
+		return "none"
+	case GlobalEntropy:
+		return "entropy"
+	case GlobalIDF:
+		return "idf"
+	case GlobalGfIdf:
+		return "gfidf"
+	case GlobalNormal:
+		return "normal"
+	}
+	return fmt.Sprintf("global(%d)", int(g))
+}
+
+// Scheme couples a local and a global weighting.
+type Scheme struct {
+	Local  Local
+	Global Global
+}
+
+// String renders e.g. "log×entropy".
+func (s Scheme) String() string { return s.Local.String() + "×" + s.Global.String() }
+
+// LogEntropy is the scheme §5.1 reports as most effective.
+var LogEntropy = Scheme{LocalLog, GlobalEntropy}
+
+// Raw is unweighted term frequency, the baseline scheme.
+var Raw = Scheme{LocalRaw, GlobalNone}
+
+// GlobalWeights computes G(i) for every row (term) of the raw frequency
+// matrix a.
+func GlobalWeights(a *sparse.CSR, g Global) []float64 {
+	n := float64(a.Cols)
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		switch g {
+		case GlobalNone:
+			out[i] = 1
+		case GlobalEntropy:
+			var gf float64
+			a.Row(i, func(_ int, v float64) { gf += v })
+			if gf == 0 || a.Cols <= 1 {
+				out[i] = 1
+				continue
+			}
+			var h float64
+			a.Row(i, func(_ int, v float64) {
+				p := v / gf
+				if p > 0 {
+					h += p * math.Log2(p)
+				}
+			})
+			out[i] = 1 + h/math.Log2(n)
+		case GlobalIDF:
+			df := float64(a.RowNNZ(i))
+			if df == 0 {
+				out[i] = 1
+				continue
+			}
+			out[i] = math.Log2(n/df) + 1
+		case GlobalGfIdf:
+			var gf float64
+			a.Row(i, func(_ int, v float64) { gf += v })
+			df := float64(a.RowNNZ(i))
+			if df == 0 {
+				out[i] = 1
+				continue
+			}
+			out[i] = gf / df
+		case GlobalNormal:
+			var ss float64
+			a.Row(i, func(_ int, v float64) { ss += v * v })
+			if ss == 0 {
+				out[i] = 1
+				continue
+			}
+			out[i] = 1 / math.Sqrt(ss)
+		default:
+			panic(fmt.Sprintf("weight: unknown global scheme %d", int(g)))
+		}
+	}
+	return out
+}
+
+// Apply transforms a raw frequency matrix into the weighted matrix of
+// Eq (5). The input is not modified.
+func Apply(a *sparse.CSR, s Scheme) *sparse.CSR {
+	local := a.Map(s.Local.Apply)
+	if s.Global == GlobalNone {
+		return local
+	}
+	// Global weights are computed from the *raw* frequencies, as in
+	// Dumais (1991), then applied to the locally weighted matrix.
+	return local.ScaleRows(GlobalWeights(a, s.Global))
+}
+
+// QueryWeights applies the scheme to a raw query term-frequency vector,
+// reusing the collection's precomputed global weights (a query is weighted
+// "by the appropriate term weights", §2.2).
+func QueryWeights(q []float64, global []float64, s Scheme) []float64 {
+	if len(q) != len(global) {
+		panic(fmt.Sprintf("weight: query len %d != global len %d", len(q), len(global)))
+	}
+	out := make([]float64, len(q))
+	for i, f := range q {
+		out[i] = s.Local.Apply(f) * global[i]
+	}
+	return out
+}
+
+// AllSchemes enumerates the scheme grid used by the weighting experiment.
+func AllSchemes() []Scheme {
+	locals := []Local{LocalRaw, LocalLog, LocalBinary}
+	globals := []Global{GlobalNone, GlobalEntropy, GlobalIDF, GlobalGfIdf, GlobalNormal}
+	var out []Scheme
+	for _, l := range locals {
+		for _, g := range globals {
+			out = append(out, Scheme{l, g})
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package weight
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func sample() *sparse.CSR {
+	// 3 terms × 4 docs.
+	return sparse.FromDense([][]float64{
+		{2, 0, 1, 0}, // term 0: concentrated
+		{1, 1, 1, 1}, // term 1: uniform (uninformative)
+		{0, 0, 0, 3}, // term 2: single doc
+	})
+}
+
+func TestLocalSchemes(t *testing.T) {
+	if LocalRaw.Apply(3) != 3 {
+		t.Fatal("raw")
+	}
+	if math.Abs(LocalLog.Apply(3)-2) > 1e-12 { // log2(4)
+		t.Fatalf("log: %v", LocalLog.Apply(3))
+	}
+	if LocalBinary.Apply(7) != 1 || LocalBinary.Apply(0) != 0 {
+		t.Fatal("binary")
+	}
+}
+
+func TestEntropyWeightExtremes(t *testing.T) {
+	g := GlobalWeights(sample(), GlobalEntropy)
+	// Uniform term: entropy weight → 0 exactly (p=1/4 each, n=4).
+	if math.Abs(g[1]) > 1e-12 {
+		t.Fatalf("uniform term entropy weight = %v want 0", g[1])
+	}
+	// Single-document term: weight 1 (no spread).
+	if math.Abs(g[2]-1) > 1e-12 {
+		t.Fatalf("concentrated term entropy weight = %v want 1", g[2])
+	}
+	// In-between term strictly between.
+	if g[0] <= 0 || g[0] >= 1 {
+		t.Fatalf("mixed term entropy weight = %v", g[0])
+	}
+}
+
+func TestIDFWeight(t *testing.T) {
+	g := GlobalWeights(sample(), GlobalIDF)
+	// term 1 in all 4 docs: log2(4/4)+1 = 1.
+	if math.Abs(g[1]-1) > 1e-12 {
+		t.Fatalf("idf uniform = %v", g[1])
+	}
+	// term 2 in 1 of 4 docs: log2(4)+1 = 3.
+	if math.Abs(g[2]-3) > 1e-12 {
+		t.Fatalf("idf rare = %v", g[2])
+	}
+}
+
+func TestGfIdfAndNormal(t *testing.T) {
+	g := GlobalWeights(sample(), GlobalGfIdf)
+	if math.Abs(g[0]-1.5) > 1e-12 { // gf=3, df=2
+		t.Fatalf("gfidf = %v", g[0])
+	}
+	n := GlobalWeights(sample(), GlobalNormal)
+	if math.Abs(n[1]-0.5) > 1e-12 { // 1/sqrt(4)
+		t.Fatalf("normal = %v", n[1])
+	}
+}
+
+func TestApplyRawNoneIsIdentity(t *testing.T) {
+	a := sample()
+	w := Apply(a, Raw)
+	if !w.Equal(a, 0) {
+		t.Fatal("raw×none should be the identity transform")
+	}
+}
+
+func TestApplyLogEntropy(t *testing.T) {
+	a := sample()
+	w := Apply(a, LogEntropy)
+	// Uniform term's row must vanish entirely.
+	for j := 0; j < 4; j++ {
+		if w.At(1, j) != 0 {
+			t.Fatalf("uniform term cell (1,%d) = %v", j, w.At(1, j))
+		}
+	}
+	// Check one cell by hand: term 2, doc 3: log2(1+3) * 1 = 2.
+	if math.Abs(w.At(2, 3)-2) > 1e-12 {
+		t.Fatalf("cell (2,3) = %v", w.At(2, 3))
+	}
+	// Input not mutated.
+	if a.At(2, 3) != 3 {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestQueryWeights(t *testing.T) {
+	g := []float64{1, 0.5, 2}
+	q := QueryWeights([]float64{1, 3, 0}, g, Scheme{LocalLog, GlobalEntropy})
+	if math.Abs(q[0]-1) > 1e-12 { // log2(2)*1
+		t.Fatalf("q[0] = %v", q[0])
+	}
+	if math.Abs(q[1]-1) > 1e-12 { // log2(4)*0.5
+		t.Fatalf("q[1] = %v", q[1])
+	}
+	if q[2] != 0 {
+		t.Fatalf("q[2] = %v", q[2])
+	}
+}
+
+func TestAllSchemesComplete(t *testing.T) {
+	s := AllSchemes()
+	if len(s) != 15 {
+		t.Fatalf("expected 3×5 schemes, got %d", len(s))
+	}
+	seen := map[string]bool{}
+	for _, sc := range s {
+		if seen[sc.String()] {
+			t.Fatalf("duplicate scheme %s", sc)
+		}
+		seen[sc.String()] = true
+	}
+	if !seen["log×entropy"] || !seen["raw×none"] {
+		t.Fatal("canonical schemes missing")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if LogEntropy.String() != "log×entropy" {
+		t.Fatalf("got %q", LogEntropy.String())
+	}
+	if Raw.String() != "raw×none" {
+		t.Fatalf("got %q", Raw.String())
+	}
+}
+
+func TestEmptyRowWeights(t *testing.T) {
+	a := sparse.FromDense([][]float64{{0, 0}, {1, 1}})
+	for _, g := range []Global{GlobalEntropy, GlobalIDF, GlobalGfIdf, GlobalNormal} {
+		w := GlobalWeights(a, g)
+		if math.IsNaN(w[0]) || math.IsInf(w[0], 0) {
+			t.Fatalf("scheme %v produced %v for empty row", g, w[0])
+		}
+	}
+}

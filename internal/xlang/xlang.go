@@ -1,0 +1,90 @@
+// Package xlang implements the Landauer–Littman cross-language retrieval
+// method of §5.4: train an LSI space on dual-language combined abstracts,
+// fold monolingual documents into the joint space, and match queries in
+// either language against documents in any language — "there is no
+// difficult translation involved in retrieval from the multilingual LSI
+// space."
+package xlang
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dense"
+	"repro/internal/weight"
+)
+
+// Index is a joint-language LSI space with folded-in monolingual documents.
+type Index struct {
+	Model *core.Model
+	// Training is the dual-abstract collection that defined the space (and
+	// the vocabulary).
+	Training *corpus.Collection
+	// Docs are the monolingual documents folded into the space, in fold
+	// order; their k-space vectors are rows Training.Size()+i of Model.V.
+	Docs []corpus.Document
+}
+
+// Config parameterizes Build.
+type Config struct {
+	K      int
+	Scheme weight.Scheme
+	Seed   int64
+}
+
+// Build trains the joint space on the dual-language collection and folds in
+// the monolingual documents.
+func Build(training *corpus.Collection, mono []corpus.Document, cfg Config) (*Index, error) {
+	m, err := core.BuildCollection(training, core.Config{K: cfg.K, Scheme: cfg.Scheme, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("xlang: %w", err)
+	}
+	ix := &Index{Model: m, Training: training}
+	ix.Add(mono)
+	return ix, nil
+}
+
+// Add folds additional monolingual documents into the space.
+func (ix *Index) Add(docs []corpus.Document) {
+	if len(docs) == 0 {
+		return
+	}
+	ix.Model.FoldInDocs(ix.Training.DocVectors(docs))
+	ix.Docs = append(ix.Docs, docs...)
+}
+
+// Ranked is one scored monolingual document.
+type Ranked struct {
+	Doc   int // index into ix.Docs
+	Score float64
+}
+
+// Query ranks the folded-in monolingual documents against a query in any
+// language the training vocabulary covers.
+func (ix *Index) Query(q string) []Ranked {
+	qhat := ix.Model.ProjectQuery(ix.Training.QueryVector(q))
+	base := ix.Training.Size()
+	out := make([]Ranked, len(ix.Docs))
+	for i := range ix.Docs {
+		out[i] = Ranked{Doc: i, Score: dense.Cosine(qhat, ix.Model.DocVector(base+i))}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Doc < out[b].Doc
+	})
+	return out
+}
+
+// Ranking returns just the document indices of Query in rank order.
+func (ix *Index) Ranking(q string) []int {
+	r := ix.Query(q)
+	out := make([]int, len(r))
+	for i, x := range r {
+		out[i] = x.Doc
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package xlang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func fixture(t *testing.T) (*corpus.Bilingual, *Index) {
+	t.Helper()
+	b := corpus.GenerateBilingual(corpus.BilingualOptions{
+		Seed: 7, Topics: 5, TrainingDocs: 80, MonoDocs: 30, Queries: 5,
+	})
+	mono := append(append([]corpus.Document(nil), b.MonoEN...), b.MonoFR...)
+	ix, err := Build(b.Training, mono, Config{K: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, ix
+}
+
+func TestBuildFoldsAllMonoDocs(t *testing.T) {
+	b, ix := fixture(t)
+	want := len(b.MonoEN) + len(b.MonoFR)
+	if len(ix.Docs) != want {
+		t.Fatalf("folded %d docs want %d", len(ix.Docs), want)
+	}
+	if ix.Model.NumDocs() != b.Training.Size()+want {
+		t.Fatalf("model docs %d", ix.Model.NumDocs())
+	}
+}
+
+// The headline claim of §5.4: an English query retrieves the French
+// documents of its topic even though they share no string — precision at
+// the topic size should be far above chance.
+func TestCrossLanguageRetrieval(t *testing.T) {
+	b, ix := fixture(t)
+	nEN := len(b.MonoEN)
+	perTopic := len(b.MonoFR) / b.Options.Topics
+
+	var correct, totalJudged int
+	for qi, q := range b.QueriesEN {
+		topic := b.QueryTopicEN[qi]
+		ranked := ix.Query(q.Text)
+		// Consider only FR documents (indices ≥ nEN) in rank order.
+		seen := 0
+		for _, r := range ranked {
+			if r.Doc < nEN {
+				continue
+			}
+			frIdx := r.Doc - nEN
+			if seen < perTopic {
+				totalJudged++
+				if b.MonoFRTopic[frIdx] == topic {
+					correct++
+				}
+			}
+			seen++
+			if seen >= perTopic {
+				break
+			}
+		}
+	}
+	precision := float64(correct) / float64(totalJudged)
+	chance := 1.0 / float64(b.Options.Topics)
+	if precision < 3*chance {
+		t.Fatalf("cross-language precision %v not above 3×chance %v", precision, chance)
+	}
+	if precision < 0.8 {
+		t.Fatalf("cross-language precision %v below 0.8", precision)
+	}
+}
+
+// Within-language retrieval also works in the joint space.
+func TestSameLanguageRetrieval(t *testing.T) {
+	b, ix := fixture(t)
+	nEN := len(b.MonoEN)
+	q := b.QueriesEN[0]
+	topic := b.QueryTopicEN[0]
+	ranked := ix.Query(q.Text)
+	// The top-ranked EN document should share the query topic.
+	for _, r := range ranked {
+		if r.Doc < nEN {
+			if b.MonoENTopic[r.Doc] != topic {
+				t.Fatalf("top EN doc topic %d want %d", b.MonoENTopic[r.Doc], topic)
+			}
+			return
+		}
+	}
+	t.Fatal("no EN document ranked")
+}
+
+func TestAddIncremental(t *testing.T) {
+	b, _ := fixture(t)
+	ix, err := Build(b.Training, nil, Config{K: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Docs) != 0 {
+		t.Fatal("expected no docs before Add")
+	}
+	ix.Add(b.MonoEN[:5])
+	ix.Add(b.MonoFR[:5])
+	if len(ix.Docs) != 10 {
+		t.Fatalf("docs %d want 10", len(ix.Docs))
+	}
+	if got := ix.Ranking(b.QueriesEN[0].Text); len(got) != 10 {
+		t.Fatalf("ranking len %d", len(got))
+	}
+}
+
+func TestQueryRankingSorted(t *testing.T) {
+	b, ix := fixture(t)
+	r := ix.Query(b.QueriesFR[0].Text)
+	for i := 1; i < len(r); i++ {
+		if r[i-1].Score < r[i].Score {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}
+
+// §5.4's generalization: the joint space works for any number of languages
+// at once — every query language retrieves every document language.
+func TestTrilingualRetrieval(t *testing.T) {
+	ml := corpus.GenerateMultilingual(corpus.MultilingualOptions{Seed: 9})
+	var mono []corpus.Document
+	offsets := map[string]int{}
+	var langOrder []string
+	for _, lang := range ml.Languages {
+		offsets[lang] = len(mono)
+		mono = append(mono, ml.Mono[lang]...)
+		langOrder = append(langOrder, lang)
+	}
+	ix, err := Build(ml.Training, mono, Config{K: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTopic := ml.Options.MonoDocsPerLang / ml.Options.Topics
+	for _, qLang := range langOrder {
+		for _, dLang := range langOrder {
+			if qLang == dLang {
+				continue
+			}
+			var correct, total int
+			for qi, q := range ml.Queries[qLang] {
+				topic := ml.QueryTopic[qLang][qi]
+				seen := 0
+				for _, r := range ix.Query(q) {
+					di := r.Doc - offsets[dLang]
+					if di < 0 || di >= len(ml.Mono[dLang]) {
+						continue
+					}
+					total++
+					if ml.MonoTopic[dLang][di] == topic {
+						correct++
+					}
+					seen++
+					if seen >= perTopic {
+						break
+					}
+				}
+			}
+			prec := float64(correct) / float64(total)
+			if prec < 0.8 {
+				t.Fatalf("%s→%s precision %v below 0.8", qLang, dLang, prec)
+			}
+		}
+	}
+}
+
+func TestMultilingualNoSharedStrings(t *testing.T) {
+	ml := corpus.GenerateMultilingual(corpus.MultilingualOptions{Seed: 10})
+	for _, d := range ml.Mono["en"] {
+		for _, other := range []string{"fr", "el"} {
+			if strings.Contains(d.Text, other+"t") {
+				t.Fatalf("en doc leaks %s word", other)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package lsi is the public API of this library: Latent Semantic Indexing
+// as described in Berry, Dumais & Letsche, "Computational Methods for
+// Intelligent Information Access" (Supercomputing '95).
+//
+// Typical use:
+//
+//	idx, err := lsi.Index(docs, lsi.Options{K: 100})
+//	hits := idx.Search("sparse singular value decomposition", 10)
+//	idx.Add(lsi.Document{ID: "new", Text: "..."})     // folding-in
+//	related, _ := idx.RelatedTerms("matrix", 5)       // online thesaurus
+//	err = idx.Save("corpus.lsi")                      // persist the database
+//
+// The facade wraps internal/core (the factor model), internal/corpus
+// (parsing and the term–document matrix) and internal/index (persistence);
+// applications needing the full surface — SVD-updating phases, filtering
+// profiles, cross-language spaces, the evaluation harness — use those
+// packages directly.
+package lsi
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/text"
+	"repro/internal/weight"
+)
+
+// Document is one text object to index.
+type Document struct {
+	ID   string
+	Text string
+}
+
+// Options configures Index.
+type Options struct {
+	// K is the number of latent factors (default 100, clamped to the
+	// collection size; the paper uses 100–300 for real collections).
+	K int
+	// RawWeighting disables the log×entropy term weighting (the scheme the
+	// paper's §5.1 found most effective) in favor of raw counts.
+	RawWeighting bool
+	// MinDocs is the parsing rule: index a word only if it appears in at
+	// least this many documents (default 2, the paper's rule).
+	MinDocs int
+	// Bigrams additionally indexes adjacent word pairs as phrase
+	// descriptors (§5.4).
+	Bigrams bool
+	// Seed drives the iterative SVD solver (deterministic default).
+	Seed int64
+}
+
+// Hit is one search result.
+type Hit struct {
+	ID     string
+	Text   string
+	Cosine float64
+}
+
+// Idx is a queryable LSI database.
+type Idx struct {
+	inner *index.Index
+	docs  []Document
+}
+
+// Index builds an LSI database over the documents.
+func Index(docs []Document, opts Options) (*Idx, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("lsi: no documents")
+	}
+	k := opts.K
+	if k <= 0 {
+		k = 100
+	}
+	scheme := weight.LogEntropy
+	if opts.RawWeighting {
+		scheme = weight.Raw
+	}
+	minDocs := opts.MinDocs
+	if minDocs <= 0 {
+		minDocs = 2
+	}
+	cdocs := make([]corpus.Document, len(docs))
+	for i, d := range docs {
+		cdocs[i] = corpus.Document{ID: d.ID, Text: d.Text}
+	}
+	inner, err := index.Build(cdocs,
+		text.ParseOptions{MinDocs: minDocs, IncludeBigrams: opts.Bigrams},
+		core.Config{K: k, Scheme: scheme, Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("lsi: %w", err)
+	}
+	return &Idx{inner: inner, docs: append([]Document(nil), docs...)}, nil
+}
+
+// Search returns the n documents most similar to the free-text query,
+// best first. Queries whose words are all unindexed return nil.
+func (x *Idx) Search(query string, n int) []Hit {
+	raw := x.inner.Coll.QueryVector(query)
+	nz := false
+	for _, v := range raw {
+		if v != 0 {
+			nz = true
+			break
+		}
+	}
+	if !nz {
+		return nil
+	}
+	ranked := x.inner.Model.Rank(raw)
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]Hit, n)
+	for i, r := range ranked[:n] {
+		out[i] = Hit{ID: x.docs[r.Doc].ID, Text: x.docs[r.Doc].Text, Cosine: r.Score}
+	}
+	return out
+}
+
+// SearchSimilar returns the n documents most similar to an existing
+// document (query-by-example: "queries can be … documents", §5.4). The
+// reference document itself is excluded.
+func (x *Idx) SearchSimilar(id string, n int) ([]Hit, error) {
+	ref := -1
+	for j, d := range x.docs {
+		if d.ID == id {
+			ref = j
+			break
+		}
+	}
+	if ref < 0 {
+		return nil, fmt.Errorf("lsi: no document %q", id)
+	}
+	ranked := x.inner.Model.RankVector(x.inner.Model.DocVector(ref))
+	out := make([]Hit, 0, n)
+	for _, r := range ranked {
+		if r.Doc == ref {
+			continue
+		}
+		out = append(out, Hit{ID: x.docs[r.Doc].ID, Text: x.docs[r.Doc].Text, Cosine: r.Score})
+		if len(out) == n {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Add folds a new document into the database (Eq 7). Cheap, but repeated
+// additions degrade the factors; Staleness reports how far gone they are.
+func (x *Idx) Add(d Document) {
+	x.inner.AddFolded(corpus.Document{ID: d.ID, Text: d.Text})
+	x.docs = append(x.docs, d)
+}
+
+// Staleness returns ‖V̂ᵀV̂−I‖_F, the §4.3 measure of distortion introduced
+// by Add since the last full build. Zero means pristine; operators should
+// rebuild (or SVD-update via internal/core) when it grows large relative
+// to 1.
+func (x *Idx) Staleness() float64 {
+	return x.inner.Model.DocOrthogonality()
+}
+
+// RelatedTerms returns the n indexed terms nearest to the given term in
+// the latent space — the automatically constructed thesaurus of §5.4.
+func (x *Idx) RelatedTerms(term string, n int) ([]string, error) {
+	i, ok := x.inner.Coll.Vocab.Index[term]
+	if !ok {
+		return nil, fmt.Errorf("lsi: %q is not an indexed term", term)
+	}
+	type scored struct {
+		term string
+		s    float64
+	}
+	best := make([]scored, 0, n+1)
+	for j, w := range x.inner.Coll.Vocab.Terms {
+		if j == i {
+			continue
+		}
+		s := x.inner.Model.TermSimilarity(i, j)
+		// Insertion into the running top-n.
+		pos := len(best)
+		for pos > 0 && best[pos-1].s < s {
+			pos--
+		}
+		if pos < n {
+			best = append(best, scored{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = scored{w, s}
+			if len(best) > n {
+				best = best[:n]
+			}
+		}
+	}
+	out := make([]string, len(best))
+	for i, b := range best {
+		out[i] = b.term
+	}
+	return out, nil
+}
+
+// Terms returns the number of indexed terms; Docs the number of documents
+// (including added ones); Factors the rank k of the model.
+func (x *Idx) Terms() int   { return x.inner.Coll.Terms() }
+func (x *Idx) Docs() int    { return len(x.docs) }
+func (x *Idx) Factors() int { return x.inner.Model.K }
+
+// Save persists the database to a file; Load restores it.
+func (x *Idx) Save(path string) error { return x.inner.Save(path) }
+
+// WriteTo serializes the database to a writer.
+func (x *Idx) WriteTo(w io.Writer) (int64, error) { return x.inner.WriteTo(w) }
+
+// Load restores a database saved by Save.
+func Load(path string) (*Idx, error) {
+	inner, err := index.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return fromInner(inner)
+}
+
+// Read restores a database from a reader.
+func Read(r io.Reader) (*Idx, error) {
+	inner, err := index.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromInner(inner)
+}
+
+func fromInner(inner *index.Index) (*Idx, error) {
+	docs := make([]Document, 0, inner.NumDocs())
+	for j := 0; j < inner.NumDocs(); j++ {
+		d := inner.Doc(j)
+		docs = append(docs, Document{ID: d.ID, Text: d.Text})
+	}
+	return &Idx{inner: inner, docs: docs}, nil
+}
