@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build test race vet bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates the query-serving performance record (engine vs the
+# seed scoring path) consumed by BENCH_query.json.
+bench:
+	$(GO) run ./cmd/lsibench -queryperf -out BENCH_query.json

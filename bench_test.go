@@ -6,10 +6,13 @@ package repro_test
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dense"
 	"repro/internal/flops"
 	"repro/internal/lanczos"
 	"repro/internal/text"
@@ -231,6 +234,106 @@ func BenchmarkLargeSVD(b *testing.B) {
 		if _, err := lanczos.TruncatedSVD(op, lanczos.Options{K: 50, Seed: 1, MaxSteps: 500}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// rankModel builds a serving-scale Model directly from random document
+// vectors; only the scoring path is exercised, so the SVD is skipped.
+func rankModel(docs, k int) *core.Model {
+	rng := rand.New(rand.NewSource(7))
+	v := dense.New(docs, k)
+	for i := range v.Data {
+		v.Data[i] = rng.NormFloat64()
+	}
+	s := make([]float64, k)
+	for i := range s {
+		s[i] = 1
+	}
+	return &core.Model{K: k, U: dense.New(1, k), S: s, V: v}
+}
+
+func randQuery(k int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	q := make([]float64, k)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	return q
+}
+
+// seedRankPath replicates the pre-engine query path: one full cosine per
+// document (recomputing both norms) followed by an O(n log n) sort.
+func seedRankPath(v *dense.Matrix, qhat []float64) []core.Ranked {
+	out := make([]core.Ranked, v.Rows)
+	for j := 0; j < v.Rows; j++ {
+		out[j] = core.Ranked{Doc: j, Score: dense.Cosine(qhat, v.Row(j))}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Doc < out[b].Doc
+	})
+	return out
+}
+
+// BenchmarkQueryTop10 measures single-query top-10 latency — the
+// scoring engine (cached norms + bounded heap selection) against the
+// seed path it replaced — at serving-scale collection sizes.
+func BenchmarkQueryTop10(b *testing.B) {
+	const factors = 100
+	for _, docs := range []int{10000, 50000} {
+		m := rankModel(docs, factors)
+		qhat := randQuery(factors, 11)
+		m.RankVectorTop(qhat, 10) // warm the norm cache outside the timer
+		b.Run(fmt.Sprintf("seed/docs=%d", docs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r := seedRankPath(m.V, qhat); len(r) != docs {
+					b.Fatal("bad rank")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("engine/docs=%d", docs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r := m.RankVectorTop(qhat, 10); len(r) != 10 {
+					b.Fatal("bad rank")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryBatch measures batched throughput: 64 queries scored as
+// one blocked gemm against the normalized document matrix, versus the
+// same 64 queries served one at a time.
+func BenchmarkQueryBatch(b *testing.B) {
+	const (
+		factors = 100
+		nq      = 64
+	)
+	for _, docs := range []int{10000, 50000} {
+		m := rankModel(docs, factors)
+		qhats := make([][]float64, nq)
+		for i := range qhats {
+			qhats[i] = randQuery(factors, int64(100+i))
+		}
+		m.RankVectorTop(qhats[0], 10) // warm the norm cache
+		b.Run(fmt.Sprintf("sequential/docs=%d", docs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range qhats {
+					if r := m.RankVectorTop(q, 10); len(r) != 10 {
+						b.Fatal("bad rank")
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("gemm/docs=%d", docs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r := m.RankVectorBatch(qhats, 10); len(r) != nq {
+					b.Fatal("bad batch")
+				}
+			}
+		})
 	}
 }
 

@@ -6,6 +6,7 @@
 //	lsibench -exp fig6            # one experiment
 //	lsibench -exp all             # everything, in paper order
 //	lsibench -exp retrieval -seed 7
+//	lsibench -queryperf -out BENCH_query.json
 //
 // Output is a plain-text report per experiment: the regenerated
 // table/figure data, the paper's corresponding claim, and named metrics.
@@ -26,7 +27,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for synthetic workloads")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	asJSON := flag.Bool("json", false, "emit one JSON object per experiment instead of text")
+	queryPerf := flag.Bool("queryperf", false, "measure query-serving latency/throughput (engine vs seed path) and exit")
+	perfOut := flag.String("out", "BENCH_query.json", "output file for -queryperf")
 	flag.Parse()
+
+	if *queryPerf {
+		if err := runQueryPerf(*perfOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "lsibench: queryperf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("query performance written to %s\n", *perfOut)
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

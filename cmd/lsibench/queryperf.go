@@ -1,0 +1,148 @@
+// Query-serving performance harness: measures the scoring engine against
+// the seed query path (per-document cosine recomputation + full sort) and
+// writes the numbers to a JSON file so successive PRs can track the
+// latency/throughput trajectory.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+)
+
+// queryPerfCase is one (collection size, factors) measurement.
+type queryPerfCase struct {
+	Docs            int     `json:"docs"`
+	Factors         int     `json:"factors"`
+	TopK            int     `json:"top_k"`
+	SeedNsPerOp     int64   `json:"seed_ns_per_op"`
+	EngineNsPerOp   int64   `json:"engine_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	BatchQueries    int     `json:"batch_queries"`
+	BatchNsPerQuery int64   `json:"batch_ns_per_query"`
+	BatchQPS        float64 `json:"batch_queries_per_sec"`
+}
+
+type queryPerfReport struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoMaxProcs  int             `json:"gomaxprocs"`
+	Cases       []queryPerfCase `json:"cases"`
+}
+
+// syntheticRankModel builds a Model directly from random document vectors;
+// the SVD is irrelevant here — only the scoring path is measured.
+func syntheticRankModel(docs, k int, seed int64) *core.Model {
+	rng := rand.New(rand.NewSource(seed))
+	v := dense.New(docs, k)
+	for i := range v.Data {
+		v.Data[i] = rng.NormFloat64()
+	}
+	s := make([]float64, k)
+	for i := range s {
+		s[i] = 1
+	}
+	return &core.Model{K: k, U: dense.New(1, k), S: s, V: v}
+}
+
+// seedRank replicates the seed query path byte-for-byte: one cosine per
+// document (recomputing both norms) followed by a full O(n log n) sort.
+func seedRank(v *dense.Matrix, qhat []float64) []core.Ranked {
+	out := make([]core.Ranked, v.Rows)
+	for j := 0; j < v.Rows; j++ {
+		out[j] = core.Ranked{Doc: j, Score: dense.Cosine(qhat, v.Row(j))}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Doc < out[b].Doc
+	})
+	return out
+}
+
+func runQueryPerf(out string, seed int64) error {
+	const (
+		factors      = 100
+		topK         = 10
+		batchQueries = 64
+	)
+	report := queryPerfReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	for _, docs := range []int{10000, 50000} {
+		m := syntheticRankModel(docs, factors, seed)
+		rng := rand.New(rand.NewSource(seed + 7))
+		qhat := make([]float64, factors)
+		for i := range qhat {
+			qhat[i] = rng.NormFloat64()
+		}
+		qhats := make([][]float64, batchQueries)
+		for b := range qhats {
+			q := make([]float64, factors)
+			for i := range q {
+				q[i] = rng.NormFloat64()
+			}
+			qhats[b] = q
+		}
+		// Warm the norm cache outside the timed region; a serving process
+		// pays this once at startup.
+		m.RankVectorTop(qhat, topK)
+
+		seedRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r := seedRank(m.V, qhat); len(r) != docs {
+					b.Fatal("bad seed rank")
+				}
+			}
+		})
+		engRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r := m.RankVectorTop(qhat, topK); len(r) != topK {
+					b.Fatal("bad engine rank")
+				}
+			}
+		})
+		batchRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r := m.RankVectorBatch(qhats, topK); len(r) != batchQueries {
+					b.Fatal("bad batch rank")
+				}
+			}
+		})
+		perQuery := batchRes.NsPerOp() / int64(batchQueries)
+		c := queryPerfCase{
+			Docs:            docs,
+			Factors:         factors,
+			TopK:            topK,
+			SeedNsPerOp:     seedRes.NsPerOp(),
+			EngineNsPerOp:   engRes.NsPerOp(),
+			Speedup:         float64(seedRes.NsPerOp()) / float64(engRes.NsPerOp()),
+			BatchQueries:    batchQueries,
+			BatchNsPerQuery: perQuery,
+			BatchQPS:        1e9 / float64(perQuery),
+		}
+		report.Cases = append(report.Cases, c)
+		fmt.Fprintf(os.Stderr, "queryperf: %d docs × %d factors: seed %d ns/op, engine top-%d %d ns/op (%.2fx), batch %d ns/query\n",
+			docs, factors, c.SeedNsPerOp, topK, c.EngineNsPerOp, c.Speedup, perQuery)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -110,12 +110,9 @@ func main() {
 			fmt.Println("  (no query word is in the index)")
 			return
 		}
-		ranked := model.Rank(raw)
-		n := *top
-		if n > len(ranked) {
-			n = len(ranked)
-		}
-		for _, r := range ranked[:n] {
+		// Bounded top-k selection: only the documents to be printed are
+		// ranked, not the whole collection.
+		for _, r := range model.RankTop(raw, *top) {
 			fmt.Printf("  %+.3f  %s\n", r.Score, docs[r.Doc].ID)
 		}
 		if *showTerms {

@@ -17,13 +17,13 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/corpus"
 	"repro/internal/dense"
 	"repro/internal/lanczos"
+	"repro/internal/rank"
 	"repro/internal/sparse"
 	"repro/internal/weight"
 )
@@ -78,6 +78,47 @@ type Model struct {
 	// svdDocs/svdTerms count the rows of V/U that came from an SVD (initial
 	// build or SVD-update) rather than folding-in.
 	svdDocs, svdTerms int
+
+	// eng is the lazily-built unit-normalized document scoring engine;
+	// engMu guards it so concurrent readers can build/extend the cache
+	// safely. Mutations of the model itself (folding, SVD-updating) still
+	// require the same external exclusive locking as every other method —
+	// the internal mutex only makes the *cache* safe under concurrent
+	// queries.
+	engMu sync.RWMutex
+	eng   *rank.Engine
+}
+
+// docEngine returns the cached unit-normalized document matrix, building
+// it on first use, extending it when folding-in has appended V rows since
+// it was built, and rebuilding it when the factor space changed shape.
+// SVD-updating paths, which move every existing coordinate without
+// changing the row count, invalidate it explicitly.
+func (m *Model) docEngine() *rank.Engine {
+	m.engMu.RLock()
+	eng := m.eng
+	m.engMu.RUnlock()
+	if eng != nil && eng.NumDocs() == m.V.Rows && eng.Dim() == m.V.Cols {
+		return eng
+	}
+	m.engMu.Lock()
+	defer m.engMu.Unlock()
+	switch {
+	case m.eng == nil || m.eng.Dim() != m.V.Cols || m.eng.NumDocs() > m.V.Rows:
+		m.eng = rank.NewEngine(m.V)
+	case m.eng.NumDocs() < m.V.Rows:
+		m.eng = m.eng.Extend(m.V.Slice(m.eng.NumDocs(), m.V.Rows, 0, m.V.Cols))
+	}
+	return m.eng
+}
+
+// invalidateEngine drops the norm cache after an update that moved
+// existing document coordinates (fold-ins only append, so they extend the
+// cache lazily instead).
+func (m *Model) invalidateEngine() {
+	m.engMu.Lock()
+	m.eng = nil
+	m.engMu.Unlock()
 }
 
 // Build computes the LSI model of a raw term–document count matrix.
@@ -259,49 +300,20 @@ type Ranked struct {
 	Score float64
 }
 
-// cosineParallelCutoff is the doc-count × k work size above which
-// CosinesAll fans out across goroutines; one cosine is ~2k flops, so small
-// collections stay serial.
+// cosineParallelCutoff is the doc-count × k work size above which the
+// scoring engine fans out across goroutines; one dot product is ~2k
+// flops, so small collections stay serial. (The same value gates the
+// rank package's scans.)
 const cosineParallelCutoff = 1 << 15
 
 // CosinesAll returns the cosine of qhat against every document vector.
-// Large collections are scored in parallel — "efficiently comparing queries
-// to documents" is one of the §5.6 open issues, and this scan is the
-// latency-critical path of a deployed retrieval service.
+// "Efficiently comparing queries to documents" is one of the §5.6 open
+// issues, and this scan is the latency-critical path of a deployed
+// retrieval service: scores come from the cached unit-normalized document
+// matrix (one dot product per document, the norm pass paid once at cache
+// build), scanned in parallel on large collections.
 func (m *Model) CosinesAll(qhat []float64) []float64 {
-	n := m.NumDocs()
-	out := make([]float64, n)
-	score := func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			out[j] = dense.Cosine(qhat, m.V.Row(j))
-		}
-	}
-	nw := runtime.GOMAXPROCS(0)
-	if n*m.K < cosineParallelCutoff || nw < 2 || n < 2 {
-		score(0, n)
-		return out
-	}
-	if nw > n {
-		nw = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			score(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+	return m.docEngine().Scores(qhat)
 }
 
 // Rank projects a raw query and returns all documents sorted by descending
@@ -350,14 +362,63 @@ func (m *Model) RankVector(qhat []float64) []Ranked {
 	return rankScores(m.CosinesAll(qhat))
 }
 
+// RankTop projects a raw query and returns only the k best documents —
+// "typically the z closest documents … are returned" (§2.2), and bounded
+// heap selection finds them in O(n log k) instead of the O(n log n) full
+// sort, with results identical to Rank(raw)[:k] including tie order.
+func (m *Model) RankTop(rawQuery []float64, k int) []Ranked {
+	return m.RankVectorTop(m.ProjectQuery(rawQuery), k)
+}
+
+// RankVectorTop is RankTop for an already-projected k-space vector.
+func (m *Model) RankVectorTop(qhat []float64, k int) []Ranked {
+	return toRanked(m.docEngine().TopK(qhat, k))
+}
+
+// RankBatch projects a block of raw queries and returns the top k
+// documents for each. The whole block is scored as one cache-blocked
+// parallel gemm against the normalized document matrix, so serving
+// batched traffic costs far less per query than repeated Rank calls.
+// Results are identical to calling RankTop per query.
+func (m *Model) RankBatch(rawQueries [][]float64, k int) [][]Ranked {
+	qhats := make([][]float64, len(rawQueries))
+	for i, raw := range rawQueries {
+		qhats[i] = m.ProjectQuery(raw)
+	}
+	return m.RankVectorBatch(qhats, k)
+}
+
+// RankVectorBatch is RankBatch for already-projected k-space vectors.
+func (m *Model) RankVectorBatch(qhats [][]float64, k int) [][]Ranked {
+	if len(qhats) == 0 {
+		return nil
+	}
+	res := m.docEngine().TopKBatch(dense.NewFromRows(qhats), k)
+	out := make([][]Ranked, len(res))
+	for i, items := range res {
+		out[i] = toRanked(items)
+	}
+	return out
+}
+
 // AboveThreshold returns the documents whose cosine with qhat meets the
-// threshold, sorted descending.
+// threshold, sorted descending. Only the survivors are sorted.
 func (m *Model) AboveThreshold(qhat []float64, threshold float64) []Ranked {
+	scores := m.docEngine().Scores(qhat)
 	var out []Ranked
-	for _, r := range rankScores(m.CosinesAll(qhat)) {
-		if r.Score >= threshold {
-			out = append(out, r)
+	for j, s := range scores {
+		if s >= threshold {
+			out = append(out, Ranked{Doc: j, Score: s})
 		}
+	}
+	sortRanked(out)
+	return out
+}
+
+func toRanked(items []rank.Item) []Ranked {
+	out := make([]Ranked, len(items))
+	for i, it := range items {
+		out[i] = Ranked{Doc: it.Doc, Score: it.Score}
 	}
 	return out
 }
@@ -367,14 +428,19 @@ func rankScores(scores []float64) []Ranked {
 	for j, s := range scores {
 		out[j] = Ranked{Doc: j, Score: s}
 	}
-	// Descending score, ascending doc index on ties for determinism.
+	sortRanked(out)
+	return out
+}
+
+// sortRanked orders by descending score, ascending doc index on ties for
+// determinism — the same total order the rank package selects under.
+func sortRanked(out []Ranked) {
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Score != out[b].Score {
 			return out[a].Score > out[b].Score
 		}
 		return out[a].Doc < out[b].Doc
 	})
-	return out
 }
 
 func minInt(a, b int) int {

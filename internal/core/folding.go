@@ -24,6 +24,9 @@ func (m *Model) FoldInDocs(d *sparse.CSR) {
 		rows[j] = m.ProjectQuery(d.Col(j))
 	}
 	m.V = m.V.AugmentRows(dense.NewFromRows(rows))
+	// The scoring engine's norm cache extends itself lazily on the next
+	// query: existing rows are untouched by folding, so only the appended
+	// rows need normalizing (see docEngine).
 }
 
 // FoldInTerms appends q new terms by projection (Eq 8): each raw 1×n

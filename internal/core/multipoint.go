@@ -1,24 +1,30 @@
 package core
 
-import "repro/internal/dense"
-
 // RankMultiPoint ranks documents against a query represented as multiple
 // points of interest in k-space (Kane-Esrig et al.'s relevance density
 // method, cited in §5.4: "queries can even be represented as multiple
 // points of interest"). Each document is scored by its best cosine to any
 // point — a disjunctive query — so a user interested in two unrelated
-// topics is not forced through their meaningless centroid.
+// topics is not forced through their meaningless centroid. Each point is
+// one cached-norm scan, so p points cost p dot-product passes (no
+// per-point norm recomputation).
 func (m *Model) RankMultiPoint(points [][]float64) []Ranked {
-	scores := make([]float64, m.NumDocs())
-	for j := range scores {
-		best := -1.0
-		v := m.V.Row(j)
-		for _, p := range points {
-			if c := dense.Cosine(p, v); c > best {
-				best = c
+	if len(points) == 0 {
+		scores := make([]float64, m.NumDocs())
+		for j := range scores {
+			scores[j] = -1
+		}
+		return rankScores(scores)
+	}
+	eng := m.docEngine()
+	scores := eng.Scores(points[0])
+	for _, p := range points[1:] {
+		sp := eng.Scores(p)
+		for j, v := range sp {
+			if v > scores[j] {
+				scores[j] = v
 			}
 		}
-		scores[j] = best
 	}
 	return rankScores(scores)
 }

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// TestRankTopMatchesFullRankProperty is the engine/seed parity property
+// test: across random models and queries, RankTop must equal the full
+// sort-based ranking truncated to k — byte-identical, including tie
+// order. Synthetic collections with duplicated documents manufacture
+// exact score ties at the selection boundary.
+func TestRankTopMatchesFullRankProperty(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 8; trial++ {
+		a := randomCounts(rng, 30, 40, 0.25)
+		mod, err := Build(a, Config{K: 5, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fold the same batch in twice: identical document vectors give
+		// exact score ties at the selection boundary.
+		d := randomCounts(rng, 30, 6, 0.25)
+		mod.FoldInDocs(d)
+		mod.FoldInDocs(d)
+		raw := make([]float64, 30)
+		for i := 0; i < 30; i += 1 + rng.Intn(5) {
+			raw[i] = float64(1 + rng.Intn(3))
+		}
+		full := mod.Rank(raw)
+		for _, k := range []int{1, 3, 10, len(full), len(full) + 5} {
+			got := mod.RankTop(raw, k)
+			want := full
+			if k < len(want) {
+				want = want[:k]
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d k=%d: RankTop diverges from Rank[:k]\n got %v\nwant %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRankBatchMatchesSingle: the gemm-batched path must return exactly
+// what per-query RankTop returns.
+func TestRankBatchMatchesSingle(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(92))
+	a := randomCounts(rng, 40, 60, 0.2)
+	mod, err := Build(a, Config{K: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := make([][]float64, 40)
+	for qi := range raws {
+		raw := make([]float64, 40)
+		raw[qi%40] = 1
+		raw[(qi*3)%40] = 2
+		raws[qi] = raw
+	}
+	batch := mod.RankBatch(raws, 7)
+	if len(batch) != len(raws) {
+		t.Fatalf("batch returned %d results for %d queries", len(batch), len(raws))
+	}
+	for qi, raw := range raws {
+		single := mod.RankTop(raw, 7)
+		if !reflect.DeepEqual(batch[qi], single) {
+			t.Fatalf("query %d: batch diverges from single\n got %v\nwant %v", qi, batch[qi], single)
+		}
+	}
+}
+
+// TestEngineExtendsAfterFoldIn: folding in documents must extend the norm
+// cache (not serve stale results), and the folded documents must score
+// exactly as a cold rebuild would score them.
+func TestEngineExtendsAfterFoldIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	a := randomCounts(rng, 25, 20, 0.3)
+	mod, err := Build(a, Config{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]float64, 25)
+	raw[2], raw[7] = 1, 1
+	// Warm the cache before folding.
+	before := mod.RankVector(mod.ProjectQuery(raw))
+	if len(before) != 20 {
+		t.Fatalf("pre-fold rank over %d docs", len(before))
+	}
+	mod.FoldInDocs(randomCounts(rng, 25, 5, 0.3))
+	after := mod.Rank(raw)
+	if len(after) != 25 {
+		t.Fatalf("post-fold rank over %d docs, want 25", len(after))
+	}
+	cold := mod.Clone() // fresh model, cold cache
+	if !reflect.DeepEqual(after, cold.Rank(raw)) {
+		t.Fatal("extended cache ranks differently from a cold rebuild")
+	}
+}
+
+// TestEngineInvalidatedByUpdates: SVD-updating moves every document
+// coordinate without (for UpdateTerms/CorrectWeights) changing the row
+// count — exactly the case lazy extension cannot detect, so the explicit
+// invalidation must kick in.
+func TestEngineInvalidatedByUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	a := randomCounts(rng, 20, 15, 0.35)
+	mod, err := Build(a, Config{K: 4, Method: MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]float64, 20)
+	raw[3] = 1
+
+	check := func(stage string, m *Model, raw []float64) {
+		got := m.Rank(raw) // cache was warmed before the update
+		qhat := m.ProjectQuery(raw)
+		for _, r := range got {
+			want := dense.Cosine(qhat, m.V.Row(r.Doc))
+			if math.Abs(r.Score-want) > 1e-12 {
+				t.Fatalf("%s: stale cache: doc %d scored %v want %v", stage, r.Doc, r.Score, want)
+			}
+		}
+	}
+
+	m1 := mod.Clone()
+	m1.Rank(raw) // warm
+	if err := m1.UpdateDocs(randomCounts(rng, 20, 3, 0.35)); err != nil {
+		t.Fatal(err)
+	}
+	check("UpdateDocs", m1, raw)
+
+	m2 := mod.Clone()
+	m2.Rank(raw) // warm
+	if err := m2.UpdateTerms(randomCounts(rng, 4, 15, 0.35)); err != nil {
+		t.Fatal(err)
+	}
+	raw2 := make([]float64, 24) // the update added 4 term rows
+	raw2[3] = 1
+	check("UpdateTerms", m2, raw2)
+
+	m3 := mod.Clone()
+	m3.Rank(raw) // warm
+	z := dense.New(m3.NumDocs(), 2)
+	for i := range z.Data {
+		z.Data[i] = 0.01 * rng.NormFloat64()
+	}
+	if err := m3.CorrectWeights([]int{1, 5}, z); err != nil {
+		t.Fatal(err)
+	}
+	check("CorrectWeights", m3, raw)
+}
+
+// TestConcurrentColdCacheRanking hammers a cold model from many
+// goroutines at once: the lazy norm-cache build must be internally
+// synchronized (run with -race) and every caller must get identical
+// results.
+func TestConcurrentColdCacheRanking(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(95))
+	a := randomCounts(rng, 40, 300, 0.1)
+	mod, err := Build(a, Config{K: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]float64, 40)
+	raw[1], raw[9] = 1, 1
+	var once sync.Once
+	var want []Ranked
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				got := mod.RankTop(raw, 10)
+				once.Do(func() { want = got })
+				if !reflect.DeepEqual(got, want) {
+					select {
+					case errs <- "concurrent cold-cache ranks diverged":
+					default:
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}

@@ -51,6 +51,7 @@ func (m *Model) UpdateDocs(d *sparse.CSR) error {
 	m.S = sf.S
 	m.svdDocs += p
 	m.fixSigns()
+	m.invalidateEngine()
 	return nil
 }
 
@@ -96,6 +97,7 @@ func (m *Model) UpdateTerms(t *sparse.CSR) error {
 		m.global = append(m.global, 1)
 	}
 	m.fixSigns()
+	m.invalidateEngine()
 	return nil
 }
 
@@ -137,6 +139,7 @@ func (m *Model) CorrectWeights(termIdx []int, z *dense.Matrix) error {
 	m.V = dense.Mul(m.V, sq.V)
 	m.S = sq.S
 	m.fixSigns()
+	m.invalidateEngine()
 	return nil
 }
 

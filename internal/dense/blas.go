@@ -75,43 +75,212 @@ func mulRange(out, a, b *Matrix, lo, hi int) {
 	}
 }
 
-// MulT returns aᵀ·b without materializing the transpose.
+// MulT returns aᵀ·b without materializing the transpose. Large products
+// run in parallel: when the output has enough rows they are partitioned
+// across workers (per-element summation order identical to the serial
+// loop); for tall-skinny operands with a small output — the
+// OrthogonalityError and SVD-updating shapes — the shared k dimension is
+// split into a fixed number of strips with private accumulators reduced
+// in strip order, so the result does not depend on GOMAXPROCS.
 func MulT(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("dense: MulT inner dims %d != %d", a.Rows, b.Rows))
 	}
 	out := New(a.Cols, b.Cols)
-	// outᵀ accumulation: out[i][j] = Σ_k a[k][i] b[k][j]
+	work := a.Rows * a.Cols * b.Cols
+	nw := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || nw < 2 {
+		mulTRange(out, a, b, 0, a.Cols)
+		return out
+	}
+	if a.Cols >= nw {
+		var wg sync.WaitGroup
+		chunk := (a.Cols + nw - 1) / nw
+		for w := 0; w < nw; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > a.Cols {
+				hi = a.Cols
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				mulTRange(out, a, b, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return out
+	}
+	// Tall-skinny: strip the k dimension. The strip count is a constant
+	// (not GOMAXPROCS) so the reduction order — and hence the rounded
+	// result — is machine-width independent.
+	const strips = 8
+	partials := make([]*Matrix, strips)
+	var wg sync.WaitGroup
+	chunk := (a.Rows + strips - 1) / strips
+	for s := 0; s < strips; s++ {
+		lo, hi := s*chunk, (s+1)*chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			p := New(a.Cols, b.Cols)
+			mulTStrip(p, a, b, lo, hi)
+			partials[s] = p
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		for i, v := range p.Data {
+			out.Data[i] += v
+		}
+	}
+	return out
+}
+
+// mulTRange computes output rows [lo,hi) of out = aᵀ·b:
+// out[i][j] = Σ_k a[k][i]·b[k][j], k ascending (same order as the serial
+// kernel regardless of how [lo,hi) is partitioned).
+func mulTRange(out, a, b *Matrix, lo, hi int) {
+	n := b.Cols
 	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// mulTStrip accumulates the contribution of shared-dimension rows [lo,hi)
+// into p (the full output shape).
+func mulTStrip(p, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for k := lo; k < hi; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
 		for i, av := range arow {
 			if av == 0 {
 				continue
 			}
-			orow := out.Row(i)
+			prow := p.Data[i*n : (i+1)*n]
 			for j, bv := range brow {
-				orow[j] += av * bv
+				prow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MulBT returns a·bᵀ without materializing the transpose.
 func MulBT(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MulBTInto(out, a, b)
+	return out
+}
+
+// MulBTInto computes out = a·bᵀ into an existing a.Rows×b.Rows matrix —
+// the gemm behind batched query scoring, where reusing the score block
+// across batches matters. Work is partitioned across workers along
+// whichever operand has more rows, and each worker sweeps b in blocks so
+// a handful of b rows stay cache-hot across consecutive a rows. Every
+// output element is a single ascending-index dot product, so results are
+// byte-identical to the serial kernel for any worker count.
+func MulBTInto(out, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("dense: MulBT inner dims %d != %d", a.Cols, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: MulBT out %dx%d want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	work := a.Rows * b.Rows * a.Cols
+	nw := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || nw < 2 {
+		mulBTRange(out, a, b, 0, a.Rows, 0, b.Rows)
+		return
+	}
+	var wg sync.WaitGroup
+	if a.Rows >= b.Rows {
+		if nw > a.Rows {
+			nw = a.Rows
+		}
+		chunk := (a.Rows + nw - 1) / nw
+		for w := 0; w < nw; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > a.Rows {
+				hi = a.Rows
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				mulBTRange(out, a, b, lo, hi, 0, b.Rows)
+			}(lo, hi)
+		}
+	} else {
+		// Few a rows (a small query batch against a large collection):
+		// split the b rows, i.e. disjoint column ranges of out.
+		if nw > b.Rows {
+			nw = b.Rows
+		}
+		chunk := (b.Rows + nw - 1) / nw
+		for w := 0; w < nw; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > b.Rows {
+				hi = b.Rows
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				mulBTRange(out, a, b, 0, a.Rows, lo, hi)
+			}(lo, hi)
 		}
 	}
-	return out
+	wg.Wait()
+}
+
+// mulBTBlock is how many rows of b a worker keeps hot while sweeping its
+// a rows: 48 rows × a few hundred columns of float64 fits comfortably in
+// L2 alongside the current a row.
+const mulBTBlock = 48
+
+// mulBTRange fills out[i][j] = a.Row(i)·b.Row(j) for i in [i0,i1), j in
+// [j0,j1), blocking over j for cache reuse.
+func mulBTRange(out, a, b *Matrix, i0, i1, j0, j1 int) {
+	for jb := j0; jb < j1; jb += mulBTBlock {
+		jend := jb + mulBTBlock
+		if jend > j1 {
+			jend = j1
+		}
+		for i := i0; i < i1; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := jb; j < jend; j++ {
+				orow[j] = Dot(arow, b.Row(j))
+			}
+		}
+	}
 }
 
 // MulVec returns a·x for a vector x.

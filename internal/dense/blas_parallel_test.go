@@ -1,0 +1,125 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func randMat(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// mulTRef is the straightforward serial reference for aᵀ·b.
+func mulTRef(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Rows; k++ {
+				s += a.At(k, i) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// mulBTRef is the straightforward serial reference for a·bᵀ.
+func mulBTRef(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			out.Set(i, j, Dot(a.Row(i), b.Row(j)))
+		}
+	}
+	return out
+}
+
+func maxDiff(a, b *Matrix) float64 {
+	d := 0.0
+	for i := range a.Data {
+		if v := math.Abs(a.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// TestMulTParallelShapes drives both parallel strategies — wide outputs
+// (row partitioning) and tall-skinny operands (k-strips with ordered
+// reduction) — against the serial reference.
+func TestMulTParallelShapes(t *testing.T) {
+	old := runtime.GOMAXPROCS(4) // force the parallel branches even on 1 CPU
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct{ rows, aCols, bCols int }{
+		{8, 5, 7},      // tiny: serial branch
+		{40, 60, 50},   // wide output: row partitioning
+		{5000, 3, 12},  // tall-skinny: strip reduction (a.Cols < workers)
+		{3000, 2, 400}, // tall-skinny with a wide b
+	}
+	for _, c := range cases {
+		a := randMat(rng, c.rows, c.aCols)
+		b := randMat(rng, c.rows, c.bCols)
+		got := MulT(a, b)
+		want := mulTRef(a, b)
+		if d := maxDiff(got, want); d > 1e-10*float64(c.rows) {
+			t.Fatalf("MulT %dx%d · %dx%d: max diff %v", c.rows, c.aCols, c.rows, c.bCols, d)
+		}
+	}
+}
+
+// TestMulTStripDeterministic: the strip reduction must give the same bits
+// on every run (fixed strip count, ordered reduction).
+func TestMulTStripDeterministic(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(12))
+	a := randMat(rng, 6000, 3)
+	b := randMat(rng, 6000, 9)
+	first := MulT(a, b)
+	for i := 0; i < 5; i++ {
+		if again := MulT(a, b); !first.Equal(again, 0) {
+			t.Fatal("MulT strip path is nondeterministic")
+		}
+	}
+}
+
+// TestMulBTParallelMatchesSerial: both partitioning directions must be
+// byte-identical to the serial kernel (every element is one ascending
+// dot product regardless of which worker computes it).
+func TestMulBTParallelMatchesSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(13))
+	cases := []struct{ aRows, bRows, cols int }{
+		{6, 7, 5},      // tiny: serial
+		{300, 40, 30},  // many a rows: partition a
+		{4, 9000, 20},  // query-batch shape: partition b
+		{200, 200, 64}, // square, crosses several cache blocks
+	}
+	for _, c := range cases {
+		a := randMat(rng, c.aRows, c.cols)
+		b := randMat(rng, c.bRows, c.cols)
+		got := MulBT(a, b)
+		want := mulBTRef(a, b)
+		if !got.Equal(want, 0) {
+			t.Fatalf("MulBT %dx%d · (%dx%d)ᵀ differs from serial reference", c.aRows, c.cols, c.bRows, c.cols)
+		}
+	}
+}
+
+func TestMulBTIntoValidatesShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad out shape")
+		}
+	}()
+	MulBTInto(New(2, 2), New(2, 3), New(4, 3))
+}

@@ -11,10 +11,10 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/dense"
+	"repro/internal/rank"
 )
 
 // Hit is one retrieved neighbor.
@@ -24,10 +24,13 @@ type Hit struct {
 }
 
 // ExactScan returns the top-n documents by cosine to q, scanning every row
-// of vectors (an r×k matrix of document vectors). Rows are partitioned
-// across GOMAXPROCS goroutines.
+// of vectors (an r×k matrix of document vectors). The query norm is paid
+// once — each row then costs one dot and one row norm — and rows are
+// partitioned across GOMAXPROCS goroutines.
 func ExactScan(vectors *dense.Matrix, q []float64, n int) []Hit {
 	scores := make([]float64, vectors.Rows)
+	qn := append([]float64(nil), q...)
+	dense.Normalize(qn)
 	nw := runtime.GOMAXPROCS(0)
 	if nw > vectors.Rows {
 		nw = vectors.Rows
@@ -49,7 +52,7 @@ func ExactScan(vectors *dense.Matrix, q []float64, n int) []Hit {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				scores[i] = dense.Cosine(q, vectors.Row(i))
+				scores[i] = rowCosine(qn, vectors.Row(i), dense.Norm2(vectors.Row(i)))
 			}
 		}(lo, hi)
 	}
@@ -57,25 +60,23 @@ func ExactScan(vectors *dense.Matrix, q []float64, n int) []Hit {
 	return topN(scores, nil, n)
 }
 
-// topN selects the n best (score, doc) pairs; ids maps local index →
-// document id (nil for identity).
-func topN(scores []float64, ids []int, n int) []Hit {
-	hits := make([]Hit, len(scores))
-	for i, s := range scores {
-		doc := i
-		if ids != nil {
-			doc = ids[i]
-		}
-		hits[i] = Hit{Doc: doc, Score: s}
+// rowCosine scores a unit-normalized query against a row with a known
+// norm: dot(qn, row)/‖row‖, 0 for zero rows — the cosine convention.
+func rowCosine(qn, row []float64, rowNorm float64) float64 {
+	if rowNorm == 0 {
+		return 0
 	}
-	sort.Slice(hits, func(a, b int) bool {
-		if hits[a].Score != hits[b].Score {
-			return hits[a].Score > hits[b].Score
-		}
-		return hits[a].Doc < hits[b].Doc
-	})
-	if n < len(hits) {
-		hits = hits[:n]
+	return dense.Dot(qn, row) / rowNorm
+}
+
+// topN selects the n best (score, doc) pairs via bounded heap selection —
+// O(len(scores)·log n) instead of a full sort, identical output including
+// tie order. ids maps local index → document id (nil for identity).
+func topN(scores []float64, ids []int, n int) []Hit {
+	items := rank.TopK(scores, ids, n)
+	hits := make([]Hit, len(items))
+	for i, it := range items {
+		hits[i] = Hit{Doc: it.Doc, Score: it.Score}
 	}
 	return hits
 }
@@ -83,6 +84,7 @@ func topN(scores []float64, ids []int, n int) []Hit {
 // Index is a cluster-pruned approximate nearest-neighbor structure.
 type Index struct {
 	vectors   *dense.Matrix
+	norms     []float64 // cached Euclidean norm of each vectors row
 	centroids *dense.Matrix
 	members   [][]int // cluster → document indices
 }
@@ -116,12 +118,14 @@ func Build(vectors *dense.Matrix, opts Options) (*Index, error) {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed + 0xa11))
 
-	// Spherical k-means on normalized vectors.
+	// Spherical k-means on normalized vectors; the row norms are kept so
+	// Search can score a candidate with one dot product and one divide.
 	k := vectors.Cols
 	norm := dense.New(n, k)
+	norms := make([]float64, n)
 	for i := 0; i < n; i++ {
 		copy(norm.Row(i), vectors.Row(i))
-		dense.Normalize(norm.Row(i))
+		norms[i] = dense.Normalize(norm.Row(i))
 	}
 	centroids := dense.New(c, k)
 	for i, p := range rng.Perm(n)[:c] {
@@ -164,7 +168,7 @@ func Build(vectors *dense.Matrix, opts Options) (*Index, error) {
 	for i, cl := range assign {
 		members[cl] = append(members[cl], i)
 	}
-	return &Index{vectors: vectors, centroids: centroids, members: members}, nil
+	return &Index{vectors: vectors, norms: norms, centroids: centroids, members: members}, nil
 }
 
 // Clusters returns the number of partitions.
@@ -185,14 +189,23 @@ func (ix *Index) Search(q []float64, n, nProbe int) ([]Hit, int) {
 	if nProbe > c {
 		nProbe = c
 	}
-	// Rank clusters by centroid cosine.
-	order := topN(centroidScores(ix, q), nil, nProbe)
-	var scores []float64
-	var ids []int
+	// The query norm is paid once for the whole probe, not per candidate.
+	qn := append([]float64(nil), q...)
+	dense.Normalize(qn)
+	// Rank clusters by centroid cosine (centroids are unit vectors).
+	order := topN(centroidScores(ix, qn), nil, nProbe)
+	// Size the candidate buffers from the probed clusters' member counts
+	// instead of growing them with append.
+	total := 0
+	for _, cl := range order {
+		total += len(ix.members[cl.Doc])
+	}
+	scores := make([]float64, 0, total)
+	ids := make([]int, 0, total)
 	evals := c
 	for _, cl := range order {
 		for _, doc := range ix.members[cl.Doc] {
-			scores = append(scores, dense.Cosine(q, ix.vectors.Row(doc)))
+			scores = append(scores, rowCosine(qn, ix.vectors.Row(doc), ix.norms[doc]))
 			ids = append(ids, doc)
 			evals++
 		}
@@ -200,10 +213,12 @@ func (ix *Index) Search(q []float64, n, nProbe int) ([]Hit, int) {
 	return topN(scores, ids, n), evals
 }
 
-func centroidScores(ix *Index, q []float64) []float64 {
+// centroidScores scores a unit-normalized query against every (unit)
+// centroid with a plain dot product.
+func centroidScores(ix *Index, qn []float64) []float64 {
 	out := make([]float64, ix.Clusters())
 	for cl := range out {
-		out[cl] = dense.Cosine(q, ix.centroids.Row(cl))
+		out[cl] = dense.Dot(qn, ix.centroids.Row(cl))
 	}
 	return out
 }

@@ -1,0 +1,206 @@
+package rank
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dense"
+)
+
+// scoreParallelCutoff is the doc-count × dim work size above which score
+// scans fan out across goroutines; one dot product is ~2·dim flops, so
+// small collections stay serial.
+const scoreParallelCutoff = 1 << 15
+
+// Engine scores queries against a unit-normalized copy of a document
+// matrix. Rows are normalized once at construction, so a query cosine is
+// a single dot product against each row. Engines are immutable: Extend
+// returns a new Engine, which is what lets concurrent readers keep using
+// a snapshot while a writer swaps in an extended one.
+type Engine struct {
+	docs *dense.Matrix // n×dim; rows unit-normalized (zero rows stay zero)
+}
+
+// NewEngine builds the normalized cache from an n×dim matrix of document
+// vectors (a copy; the input is not retained or mutated).
+func NewEngine(vectors *dense.Matrix) *Engine {
+	docs := vectors.Clone()
+	for i := 0; i < docs.Rows; i++ {
+		dense.Normalize(docs.Row(i))
+	}
+	return &Engine{docs: docs}
+}
+
+// Extend returns a new Engine covering the old documents plus the given
+// newly-appended rows — the incremental path for folding-in, which only
+// ever appends document vectors.
+func (e *Engine) Extend(more *dense.Matrix) *Engine {
+	if more.Cols != e.docs.Cols {
+		panic(fmt.Sprintf("rank: Extend dim %d want %d", more.Cols, e.docs.Cols))
+	}
+	norm := more.Clone()
+	for i := 0; i < norm.Rows; i++ {
+		dense.Normalize(norm.Row(i))
+	}
+	return &Engine{docs: e.docs.AugmentRows(norm)}
+}
+
+// NumDocs returns how many document rows the engine covers.
+func (e *Engine) NumDocs() int { return e.docs.Rows }
+
+// Dim returns the vector dimensionality.
+func (e *Engine) Dim() int { return e.docs.Cols }
+
+// normalizeCopy returns q scaled to unit norm as a fresh slice (zero
+// vectors stay zero, matching the cosine convention that a zero operand
+// scores 0 everywhere).
+func normalizeCopy(q []float64) []float64 {
+	qn := append([]float64(nil), q...)
+	dense.Normalize(qn)
+	return qn
+}
+
+// Scores returns the cosine of q against every document: one dot product
+// per row against the normalized cache.
+func (e *Engine) Scores(q []float64) []float64 {
+	if len(q) != e.docs.Cols {
+		panic(fmt.Sprintf("rank: query dim %d want %d", len(q), e.docs.Cols))
+	}
+	out := make([]float64, e.docs.Rows)
+	qn := normalizeCopy(q)
+	e.scoreRange(out, qn)
+	return out
+}
+
+func (e *Engine) scoreRange(out []float64, qn []float64) {
+	n := e.docs.Rows
+	score := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = dense.Dot(qn, e.docs.Row(i))
+		}
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if n*e.docs.Cols < scoreParallelCutoff || nw < 2 || n < 2 {
+		score(0, n)
+		return
+	}
+	if nw > n {
+		nw = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			score(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// TopK returns the k best documents for q in ranking order. Scoring and
+// selection are fused per worker: each shard scores its rows into a
+// bounded heap, and the shard survivors merge at the barrier — the full
+// score vector is never materialized.
+func (e *Engine) TopK(q []float64, k int) []Item {
+	if len(q) != e.docs.Cols {
+		panic(fmt.Sprintf("rank: query dim %d want %d", len(q), e.docs.Cols))
+	}
+	n := e.docs.Rows
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return []Item{}
+	}
+	qn := normalizeCopy(q)
+	nw := runtime.GOMAXPROCS(0)
+	if n*e.docs.Cols < scoreParallelCutoff || nw < 2 || n < 2 {
+		s := newSelector(k)
+		for i := 0; i < n; i++ {
+			s.offer(Item{Doc: i, Score: dense.Dot(qn, e.docs.Row(i))})
+		}
+		return s.finish()
+	}
+	if nw > n {
+		nw = n
+	}
+	sels := make([]*selector, nw)
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := newSelector(k)
+			for i := lo; i < hi; i++ {
+				s.offer(Item{Doc: i, Score: dense.Dot(qn, e.docs.Row(i))})
+			}
+			sels[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return mergeSelectors(sels, k)
+}
+
+// batchBlock bounds how many queries are scored per gemm so the score
+// block stays a few MB even against very large collections.
+const batchBlock = 32
+
+// TopKBatch ranks every row of queries (q×dim) against the documents,
+// scoring each block of queries as one gemm Q_norm·D_normᵀ via the tiled
+// parallel dense.MulBT. Per-element summation order matches the
+// single-query dot products, so results are byte-identical to calling
+// TopK per query.
+func (e *Engine) TopKBatch(queries *dense.Matrix, k int) [][]Item {
+	if queries.Cols != e.docs.Cols {
+		panic(fmt.Sprintf("rank: batch query dim %d want %d", queries.Cols, e.docs.Cols))
+	}
+	out := make([][]Item, queries.Rows)
+	if queries.Rows == 0 {
+		return out
+	}
+	scores := dense.New(minInt(batchBlock, queries.Rows), e.docs.Rows)
+	for b0 := 0; b0 < queries.Rows; b0 += batchBlock {
+		b1 := b0 + batchBlock
+		if b1 > queries.Rows {
+			b1 = queries.Rows
+		}
+		qn := queries.Slice(b0, b1, 0, queries.Cols)
+		for r := 0; r < qn.Rows; r++ {
+			dense.Normalize(qn.Row(r))
+		}
+		block := scores
+		if qn.Rows != scores.Rows {
+			block = dense.New(qn.Rows, e.docs.Rows)
+		}
+		dense.MulBTInto(block, qn, e.docs)
+		for r := 0; r < qn.Rows; r++ {
+			out[b0+r] = TopK(block.Row(r), nil, k)
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

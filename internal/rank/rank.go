@@ -1,0 +1,187 @@
+// Package rank is the query scoring engine: bounded top-k selection and
+// cached-norm cosine scoring over a set of document vectors. It addresses
+// the §5.6 open issue of "efficiently comparing queries to documents
+// (i.e., finding near neighbors in high-dimension spaces)" on the serving
+// side — the per-query costs that dominate a deployed retrieval service.
+//
+// Three ideas, composable:
+//
+//  1. Cached norms (Engine): keep a unit-normalized copy of the document
+//     matrix so a query cosine is a single dot product instead of a dot
+//     plus two norm passes — the norm half of the scan is paid once at
+//     build time instead of on every query.
+//  2. Bounded selection (TopK): callers almost always want the z best
+//     documents, not all n sorted; per-worker min-heaps merged at the
+//     barrier select them in O(n log z) instead of the O(n log n) full
+//     sort, with the same deterministic order (score desc, doc asc).
+//  3. Batched scoring (Engine.TopKBatch): a block of queries against the
+//     normalized matrix is one gemm Q·Dᵀ, which the tiled parallel
+//     dense.MulBT turns into cache-blocked row sweeps.
+package rank
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Item is one scored document.
+type Item struct {
+	Doc   int
+	Score float64
+}
+
+// Less reports whether a ranks strictly before b: higher score first,
+// lower doc id on ties. This is the total order every selection and sort
+// in the package uses, so heap-selected prefixes are byte-identical to
+// sorted full rankings.
+func Less(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Doc < b.Doc
+}
+
+// Sort orders items into ranking order (score desc, doc asc).
+func Sort(items []Item) {
+	sort.Slice(items, func(i, j int) bool { return Less(items[i], items[j]) })
+}
+
+// selectParallelCutoff is the element count above which TopK shards the
+// scan across goroutines; selection is cheap per element, so small inputs
+// stay serial.
+const selectParallelCutoff = 1 << 14
+
+// TopK selects the k best (score, doc) pairs in ranking order. ids maps
+// position → document id (nil for identity). The result equals sorting
+// everything with Less and truncating to k — including tie order —
+// because selection under a strict total order is permutation-invariant.
+func TopK(scores []float64, ids []int, k int) []Item {
+	n := len(scores)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return []Item{}
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if n < selectParallelCutoff || nw < 2 {
+		s := newSelector(k)
+		for i, sc := range scores {
+			s.offer(Item{Doc: docID(ids, i), Score: sc})
+		}
+		return s.finish()
+	}
+	if nw > n {
+		nw = n
+	}
+	sels := make([]*selector, nw)
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := newSelector(k)
+			for i := lo; i < hi; i++ {
+				s.offer(Item{Doc: docID(ids, i), Score: scores[i]})
+			}
+			sels[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return mergeSelectors(sels, k)
+}
+
+func docID(ids []int, i int) int {
+	if ids == nil {
+		return i
+	}
+	return ids[i]
+}
+
+// mergeSelectors concatenates the per-worker survivors (≤ k each), sorts
+// them under the same total order, and truncates: the global top-k is a
+// subset of the union of the per-shard top-ks.
+func mergeSelectors(sels []*selector, k int) []Item {
+	var all []Item
+	for _, s := range sels {
+		if s != nil {
+			all = append(all, s.h...)
+		}
+	}
+	Sort(all)
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// selector is a bounded min-heap on the ranking order: h[0] is the
+// currently-worst kept item, evicted when a strictly better one arrives.
+type selector struct {
+	k int
+	h []Item
+}
+
+func newSelector(k int) *selector {
+	return &selector{k: k, h: make([]Item, 0, k)}
+}
+
+// after reports whether a ranks strictly after b — the heap's "less".
+func after(a, b Item) bool { return Less(b, a) }
+
+func (s *selector) offer(it Item) {
+	if len(s.h) < s.k {
+		s.h = append(s.h, it)
+		s.up(len(s.h) - 1)
+		return
+	}
+	if Less(it, s.h[0]) {
+		s.h[0] = it
+		s.down(0)
+	}
+}
+
+func (s *selector) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !after(s.h[i], s.h[p]) {
+			break
+		}
+		s.h[i], s.h[p] = s.h[p], s.h[i]
+		i = p
+	}
+}
+
+func (s *selector) down(i int) {
+	n := len(s.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && after(s.h[l], s.h[worst]) {
+			worst = l
+		}
+		if r < n && after(s.h[r], s.h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		s.h[i], s.h[worst] = s.h[worst], s.h[i]
+		i = worst
+	}
+}
+
+// finish returns the kept items in ranking order.
+func (s *selector) finish() []Item {
+	Sort(s.h)
+	return s.h
+}

@@ -1,0 +1,215 @@
+package rank
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// sortSelect is the reference implementation TopK must match exactly:
+// materialize everything, full sort under the ranking order, truncate.
+func sortSelect(scores []float64, ids []int, k int) []Item {
+	all := make([]Item, len(scores))
+	for i, s := range scores {
+		doc := i
+		if ids != nil {
+			doc = ids[i]
+		}
+		all[i] = Item{Doc: doc, Score: s}
+	}
+	Sort(all)
+	if k > len(all) {
+		k = len(all)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return all[:k]
+}
+
+// TestTopKMatchesSortProperty is the parity property test: across random
+// score vectors — with heavy deliberate ties from quantization — heap
+// selection must be byte-identical to the sort-based ranking, for every
+// k, with and without an id mapping, serial and parallel.
+func TestTopKMatchesSortProperty(t *testing.T) {
+	old := runtime.GOMAXPROCS(4) // exercise the sharded path even on 1 CPU
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(400)
+		if trial%7 == 0 {
+			n = selectParallelCutoff + rng.Intn(5000) // force the parallel shards
+		}
+		scores := make([]float64, n)
+		levels := 1 + rng.Intn(8) // few distinct values → many exact ties
+		for i := range scores {
+			scores[i] = float64(rng.Intn(levels)) / float64(levels)
+		}
+		var ids []int
+		if trial%2 == 1 {
+			ids = rng.Perm(n * 2)[:n] // non-identity, non-monotone doc ids
+		}
+		for _, k := range []int{0, 1, 2, 3, n / 2, n - 1, n, n + 10} {
+			got := TopK(scores, ids, k)
+			want := sortSelect(scores, ids, k)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d n=%d k=%d: heap top-k diverges from sort\n got %v\nwant %v",
+					trial, n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestTopKAllTied(t *testing.T) {
+	scores := make([]float64, 100)
+	got := TopK(scores, nil, 7)
+	for i, it := range got {
+		if it.Doc != i || it.Score != 0 {
+			t.Fatalf("tied scores must select lowest doc ids in order: %v", got)
+		}
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *dense.Matrix {
+	m := dense.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestEngineScoresMatchCosine pins the cached-norm scan to the textbook
+// cosine within floating-point slack.
+func TestEngineScoresMatchCosine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	docs := randomMatrix(rng, 300, 12)
+	// A zero document row must score 0, matching the cosine convention.
+	for j := 0; j < 12; j++ {
+		docs.Set(17, j, 0)
+	}
+	e := NewEngine(docs)
+	q := make([]float64, 12)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	scores := e.Scores(q)
+	for i := 0; i < docs.Rows; i++ {
+		want := dense.Cosine(q, docs.Row(i))
+		if d := scores[i] - want; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("doc %d: engine %v cosine %v", i, scores[i], want)
+		}
+	}
+	if scores[17] != 0 {
+		t.Fatalf("zero document scored %v", scores[17])
+	}
+	zq := make([]float64, 12)
+	for _, s := range e.Scores(zq) {
+		if s != 0 {
+			t.Fatal("zero query must score 0 everywhere")
+		}
+	}
+}
+
+// TestEngineTopKMatchesScores: the fused score+select path must equal
+// selecting over the materialized score vector byte-for-byte.
+func TestEngineTopKMatchesScores(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 50, 3000} {
+		docs := randomMatrix(rng, n, 16)
+		// Duplicate some rows to manufacture exact score ties.
+		for i := 2; i < n; i += 5 {
+			copy(docs.Row(i), docs.Row(i-1))
+		}
+		e := NewEngine(docs)
+		q := make([]float64, 16)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		for _, k := range []int{1, 5, n} {
+			got := e.TopK(q, k)
+			want := TopK(e.Scores(q), nil, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d k=%d: fused top-k diverges\n got %v\nwant %v", n, k, got, want)
+			}
+		}
+	}
+}
+
+// TestEngineBatchMatchesSingle: the gemm-scored batch path must be
+// byte-identical to per-query TopK (same normalization, same dot order,
+// same selection).
+func TestEngineBatchMatchesSingle(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(3))
+	docs := randomMatrix(rng, 2500, 20)
+	e := NewEngine(docs)
+	queries := randomMatrix(rng, batchBlock+11, 20) // spans two gemm blocks
+	batch := e.TopKBatch(queries, 8)
+	if len(batch) != queries.Rows {
+		t.Fatalf("batch returned %d results for %d queries", len(batch), queries.Rows)
+	}
+	for r := 0; r < queries.Rows; r++ {
+		single := e.TopK(queries.Row(r), 8)
+		if !reflect.DeepEqual(batch[r], single) {
+			t.Fatalf("query %d: batch diverges from single\n got %v\nwant %v", r, batch[r], single)
+		}
+	}
+}
+
+func TestEngineExtend(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	all := randomMatrix(rng, 120, 10)
+	base := NewEngine(all.Slice(0, 80, 0, 10))
+	ext := base.Extend(all.Slice(80, 120, 0, 10))
+	full := NewEngine(all)
+	if ext.NumDocs() != 120 {
+		t.Fatalf("extended engine covers %d docs", ext.NumDocs())
+	}
+	if base.NumDocs() != 80 {
+		t.Fatal("Extend mutated the base engine")
+	}
+	q := make([]float64, 10)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	if !reflect.DeepEqual(ext.Scores(q), full.Scores(q)) {
+		t.Fatal("extended engine scores differ from a fresh build")
+	}
+}
+
+// TestEngineConcurrentReaders hammers one engine from many goroutines —
+// engines are immutable, so -race must stay quiet.
+func TestEngineConcurrentReaders(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(5))
+	e := NewEngine(randomMatrix(rng, 4000, 10))
+	q := make([]float64, 10)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	want := e.TopK(q, 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if got := e.TopK(q, 5); !reflect.DeepEqual(got, want) {
+					panic("nondeterministic top-k")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@
 // over algorithms and article descriptions. Endpoints:
 //
 //	GET  /search?q=words&n=10     ranked documents for a free-text query
+//	POST /search/batch            rank a block of queries in one gemm pass
 //	GET  /terms?w=word&n=10       nearest indexed terms (online thesaurus)
 //	POST /documents               fold a new document into the database
 //	GET  /stats                   model dimensions and fold-in diagnostics
@@ -46,6 +47,7 @@ func New(coll *corpus.Collection, model *core.Model) (*Server, error) {
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("/terms", s.handleTerms)
 	s.mux.HandleFunc("/documents", s.handleDocuments)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -82,13 +84,71 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, []SearchResult{})
 		return
 	}
-	ranked := s.model.Rank(raw)
-	if n > len(ranked) {
-		n = len(ranked)
-	}
-	out := make([]SearchResult, n)
-	for i, h := range ranked[:n] {
+	// Bounded selection: only the n requested documents are ranked, not
+	// the whole collection.
+	ranked := s.model.RankTop(raw, n)
+	out := make([]SearchResult, len(ranked))
+	for i, h := range ranked {
 		out[i] = SearchResult{ID: s.docs[h.Doc].ID, Cosine: h.Score, Text: s.docs[h.Doc].Text}
+	}
+	writeJSON(w, out)
+}
+
+// maxBatchQueries bounds one /search/batch request; a block this size is
+// already enough to amortize the gemm, and an unbounded request is a
+// memory foot-gun on a public endpoint.
+const maxBatchQueries = 1024
+
+// BatchSearchRequest is the /search/batch POST body.
+type BatchSearchRequest struct {
+	Queries []string `json:"queries"`
+	N       int      `json:"n"`
+}
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchSearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) == 0 {
+		http.Error(w, "empty queries", http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		http.Error(w, fmt.Sprintf("too many queries: %d > %d", len(req.Queries), maxBatchQueries), http.StatusBadRequest)
+		return
+	}
+	n := req.N
+	if n <= 0 {
+		n = 10
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Vectorize every query; the non-empty ones are scored together as one
+	// blocked gemm against the normalized document matrix.
+	out := make([][]SearchResult, len(req.Queries))
+	raws := make([][]float64, 0, len(req.Queries))
+	slots := make([]int, 0, len(req.Queries))
+	for i, q := range req.Queries {
+		raw := s.coll.QueryVector(q)
+		if allZero(raw) {
+			out[i] = []SearchResult{}
+			continue
+		}
+		raws = append(raws, raw)
+		slots = append(slots, i)
+	}
+	for bi, ranked := range s.model.RankBatch(raws, n) {
+		res := make([]SearchResult, len(ranked))
+		for j, h := range ranked {
+			res[j] = SearchResult{ID: s.docs[h.Doc].ID, Cosine: h.Score, Text: s.docs[h.Doc].Text}
+		}
+		out[slots[bi]] = res
 	}
 	writeJSON(w, out)
 }

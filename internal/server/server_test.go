@@ -2,9 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -186,22 +190,110 @@ func TestNewRejectsMismatchedModel(t *testing.T) {
 	}
 }
 
+func postBatch(t *testing.T, s *Server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/search/batch", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestBatchSearchMatchesSequential(t *testing.T) {
+	s, _ := testServer(t)
+	queries := []string{
+		"age blood abnormalities",
+		"oestrogen detected rise",
+		"of the zzzz", // vectorizes to zero: must get an empty slot, not shift others
+		"depressed patients fast culture",
+	}
+	body, _ := json.Marshal(BatchSearchRequest{Queries: queries, N: 4})
+	rec := postBatch(t, s, string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var batch [][]SearchResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("got %d result lists for %d queries", len(batch), len(queries))
+	}
+	if len(batch[2]) != 0 {
+		t.Fatalf("zero-word query slot not empty: %v", batch[2])
+	}
+	for i, q := range queries {
+		rec := get(t, s, "/search?q="+strings.ReplaceAll(q, " ", "+")+"&n=4")
+		var single []SearchResult
+		if err := json.Unmarshal(rec.Body.Bytes(), &single); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], single) {
+			t.Fatalf("query %d: batch diverges from /search\n got %v\nwant %v", i, batch[i], single)
+		}
+	}
+}
+
+func TestBatchSearchValidation(t *testing.T) {
+	s, _ := testServer(t)
+	// Wrong method.
+	req := httptest.NewRequest(http.MethodGet, "/search/batch", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /search/batch: status %d", rec.Code)
+	}
+	if rec := postBatch(t, s, "{bad json"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d", rec.Code)
+	}
+	if rec := postBatch(t, s, `{"queries":[]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty queries: status %d", rec.Code)
+	}
+	big, _ := json.Marshal(BatchSearchRequest{Queries: make([]string, maxBatchQueries+1)})
+	if rec := postBatch(t, s, string(big)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d", rec.Code)
+	}
+}
+
+// TestConcurrentSearchAndFold hammers /search and /search/batch from
+// several goroutines while documents fold in concurrently. Fold-in
+// grows the document matrix and lazily extends the norm cache, so this
+// (run under -race) is the proof that the cache's internal locking is
+// sound against the server's RLock-only read path.
 func TestConcurrentSearchAndFold(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
 	s, _ := testServer(t)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for i := 0; i < 20; i++ {
-			body := strings.NewReader(`{"text":"depressed patients fast"}`)
+			body := strings.NewReader(fmt.Sprintf(`{"text":"depressed patients fast %d"}`, i))
 			req := httptest.NewRequest(http.MethodPost, "/documents", body)
 			s.ServeHTTP(httptest.NewRecorder(), req)
 		}
 	}()
-	for i := 0; i < 50; i++ {
-		rec := get(t, s, "/search?q=blood+culture&n=5")
-		if rec.Code != http.StatusOK {
-			t.Fatalf("search during folding: status %d", rec.Code)
-		}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if g%2 == 0 {
+					rec := get(t, s, "/search?q=blood+culture&n=5")
+					if rec.Code != http.StatusOK {
+						t.Errorf("search during folding: status %d", rec.Code)
+						return
+					}
+				} else {
+					rec := postBatch(t, s, `{"queries":["blood culture","oestrogen rise"],"n":5}`)
+					if rec.Code != http.StatusOK {
+						t.Errorf("batch search during folding: status %d", rec.Code)
+						return
+					}
+				}
+			}
+		}(g)
 	}
+	wg.Wait()
 	<-done
 }

@@ -109,13 +109,45 @@ func (x *Idx) Search(query string, n int) []Hit {
 	if !nz {
 		return nil
 	}
-	ranked := x.inner.Model.Rank(raw)
-	if n > len(ranked) {
-		n = len(ranked)
-	}
-	out := make([]Hit, n)
-	for i, r := range ranked[:n] {
+	ranked := x.inner.Model.RankTop(raw, n)
+	out := make([]Hit, len(ranked))
+	for i, r := range ranked {
 		out[i] = Hit{ID: x.docs[r.Doc].ID, Text: x.docs[r.Doc].Text, Cosine: r.Score}
+	}
+	return out
+}
+
+// SearchBatch answers several free-text queries in one pass: the block is
+// scored against the document matrix as a single cache-blocked gemm, so
+// throughput-oriented callers (offline evaluation, request coalescing)
+// pay far less per query than repeated Search calls. Result i corresponds
+// to query i; queries with no indexed words get an empty slice.
+func (x *Idx) SearchBatch(queries []string, n int) [][]Hit {
+	out := make([][]Hit, len(queries))
+	raws := make([][]float64, 0, len(queries))
+	slots := make([]int, 0, len(queries))
+	for i, q := range queries {
+		raw := x.inner.Coll.QueryVector(q)
+		nz := false
+		for _, v := range raw {
+			if v != 0 {
+				nz = true
+				break
+			}
+		}
+		if !nz {
+			out[i] = []Hit{}
+			continue
+		}
+		raws = append(raws, raw)
+		slots = append(slots, i)
+	}
+	for bi, ranked := range x.inner.Model.RankBatch(raws, n) {
+		hits := make([]Hit, len(ranked))
+		for j, r := range ranked {
+			hits[j] = Hit{ID: x.docs[r.Doc].ID, Text: x.docs[r.Doc].Text, Cosine: r.Score}
+		}
+		out[slots[bi]] = hits
 	}
 	return out
 }
@@ -134,7 +166,8 @@ func (x *Idx) SearchSimilar(id string, n int) ([]Hit, error) {
 	if ref < 0 {
 		return nil, fmt.Errorf("lsi: no document %q", id)
 	}
-	ranked := x.inner.Model.RankVector(x.inner.Model.DocVector(ref))
+	// n+1 covers the reference document occupying one of the top slots.
+	ranked := x.inner.Model.RankVectorTop(x.inner.Model.DocVector(ref), n+1)
 	out := make([]Hit, 0, n)
 	for _, r := range ranked {
 		if r.Doc == ref {
