@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test race vet bench
+.PHONY: check build test race race-hot vet bench bench-build
 
-check: vet build race
+check: vet build test race-hot
 
 vet:
 	$(GO) vet ./...
@@ -16,7 +16,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-hot runs the race detector on the packages with parallel kernels and
+# shared-state fast paths — the places a data race would actually live —
+# keeping `make check` much faster than a full -race sweep.
+race-hot:
+	$(GO) test -race ./internal/lanczos/... ./internal/sparse/...
+
 # bench regenerates the query-serving performance record (engine vs the
 # seed scoring path) consumed by BENCH_query.json.
 bench:
 	$(GO) run ./cmd/lsibench -queryperf -out BENCH_query.json
+
+# bench-build regenerates the SVD build-time record (blocked vs seed
+# Lanczos) consumed by BENCH_build.json.
+bench-build:
+	$(GO) run ./cmd/lsibench -buildperf -out BENCH_build.json

@@ -1,0 +1,125 @@
+// SVD build performance harness: times the blocked Lanczos build path
+// against the frozen seed implementation (lanczos.TruncatedSVDReference) on
+// paper-scale sparse term-by-document matrices and writes the numbers to a
+// JSON file. "The bulk of LSI processing time is spent in computing the
+// truncated SVD" (§1) — this file tracks that bulk across PRs.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/lanczos"
+	"repro/internal/sparse"
+)
+
+// buildPerfCase is one (shape, k) seed-vs-blocked measurement.
+type buildPerfCase struct {
+	Terms          int     `json:"terms"`
+	Docs           int     `json:"docs"`
+	NNZ            int     `json:"nnz"`
+	K              int     `json:"k"`
+	MaxSteps       int     `json:"max_steps"`
+	SeedSeconds    float64 `json:"seed_seconds"`
+	BlockedSeconds float64 `json:"blocked_seconds"`
+	Speedup        float64 `json:"speedup"`
+	SeedMatVecs    int     `json:"seed_matvecs"`
+	BlockedMatVecs int     `json:"blocked_matvecs"`
+	SeedSteps      int     `json:"seed_steps"`
+	BlockedSteps   int     `json:"blocked_steps"`
+	SeedVerify     float64 `json:"seed_verify_residual"`
+	BlockedVerify  float64 `json:"blocked_verify_residual"`
+}
+
+type buildPerfReport struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoMaxProcs  int             `json:"gomaxprocs"`
+	Cases       []buildPerfCase `json:"cases"`
+}
+
+// zipfTermDoc synthesizes a term-by-document count matrix with a Zipfian
+// term distribution — the shape real text has: a few terms in most
+// documents, a long tail of rare terms. docLen nonzeros per document.
+func zipfTermDoc(terms, docs, docLen int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.1, 1, uint64(terms-1))
+	b := sparse.NewBuilder(terms, docs)
+	for j := 0; j < docs; j++ {
+		for q := 0; q < docLen; q++ {
+			b.Add(int(z.Uint64()), j, 1+float64(rng.Intn(3)))
+		}
+	}
+	return b.Build()
+}
+
+func runBuildPerf(out string, seed int64) error {
+	shapes := []struct {
+		terms, docs, docLen, k int
+	}{
+		{10000, 5000, 40, 100},
+		{20000, 10000, 50, 100},
+		{40000, 16000, 60, 100},
+	}
+	report := buildPerfReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	for _, sh := range shapes {
+		a := zipfTermDoc(sh.terms, sh.docs, sh.docLen, seed)
+		op := lanczos.OpCSR(a)
+		// Fixed iteration budget and a realistic tolerance: both solvers run
+		// the same recurrence, so equal budgets mean the timing difference is
+		// pure implementation. ErrNotConverged is tolerated — residuals are
+		// recorded either way and judged directly.
+		opts := lanczos.Options{K: sh.k, MaxSteps: 256, Tol: 1e-8, Seed: seed}
+
+		t0 := time.Now()
+		seedRes, err := lanczos.TruncatedSVDReference(op, opts)
+		if err != nil && err != lanczos.ErrNotConverged {
+			return fmt.Errorf("seed path %dx%d: %w", sh.terms, sh.docs, err)
+		}
+		seedSec := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		blockedRes, err := lanczos.TruncatedSVD(op, opts)
+		if err != nil && err != lanczos.ErrNotConverged {
+			return fmt.Errorf("blocked path %dx%d: %w", sh.terms, sh.docs, err)
+		}
+		blockedSec := time.Since(t0).Seconds()
+
+		c := buildPerfCase{
+			Terms:          sh.terms,
+			Docs:           sh.docs,
+			NNZ:            a.NNZ(),
+			K:              sh.k,
+			MaxSteps:       opts.MaxSteps,
+			SeedSeconds:    seedSec,
+			BlockedSeconds: blockedSec,
+			Speedup:        seedSec / blockedSec,
+			SeedMatVecs:    seedRes.MatVecs,
+			BlockedMatVecs: blockedRes.MatVecs,
+			SeedSteps:      seedRes.Steps,
+			BlockedSteps:   blockedRes.Steps,
+			SeedVerify:     lanczos.Verify(op, seedRes),
+			BlockedVerify:  lanczos.Verify(op, blockedRes),
+		}
+		report.Cases = append(report.Cases, c)
+		fmt.Fprintf(os.Stderr, "buildperf: %d×%d (nnz %d) k=%d: seed %.2fs, blocked %.2fs (%.2fx), verify %.1e vs %.1e\n",
+			sh.terms, sh.docs, c.NNZ, sh.k, seedSec, blockedSec, c.Speedup, c.SeedVerify, c.BlockedVerify)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -7,6 +7,7 @@
 //	lsibench -exp all             # everything, in paper order
 //	lsibench -exp retrieval -seed 7
 //	lsibench -queryperf -out BENCH_query.json
+//	lsibench -buildperf -out BENCH_build.json
 //
 // Output is a plain-text report per experiment: the regenerated
 // table/figure data, the paper's corresponding claim, and named metrics.
@@ -28,15 +29,33 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	asJSON := flag.Bool("json", false, "emit one JSON object per experiment instead of text")
 	queryPerf := flag.Bool("queryperf", false, "measure query-serving latency/throughput (engine vs seed path) and exit")
-	perfOut := flag.String("out", "BENCH_query.json", "output file for -queryperf")
+	buildPerf := flag.Bool("buildperf", false, "measure truncated-SVD build time (blocked vs seed Lanczos) and exit")
+	perfOut := flag.String("out", "", "output file for -queryperf (default BENCH_query.json) / -buildperf (default BENCH_build.json)")
 	flag.Parse()
 
 	if *queryPerf {
-		if err := runQueryPerf(*perfOut, *seed); err != nil {
+		out := *perfOut
+		if out == "" {
+			out = "BENCH_query.json"
+		}
+		if err := runQueryPerf(out, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "lsibench: queryperf: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("query performance written to %s\n", *perfOut)
+		fmt.Printf("query performance written to %s\n", out)
+		return
+	}
+
+	if *buildPerf {
+		out := *perfOut
+		if out == "" {
+			out = "BENCH_build.json"
+		}
+		if err := runBuildPerf(out, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "lsibench: buildperf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("build performance written to %s\n", out)
 		return
 	}
 

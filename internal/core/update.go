@@ -31,12 +31,24 @@ func (m *Model) UpdateDocs(d *sparse.CSR) error {
 		return ErrFoldedModel
 	}
 	k, p := m.K, d.Cols
-	// Weighted new-document block, projected: U_kᵀ·W(D) is k×p.
-	utd := dense.New(k, p)
-	for j := 0; j < p; j++ {
-		w := m.weightQuery(d.Col(j))
-		utd.SetCol(j, dense.MulVecT(m.U, w))
+	// Weighted copy of D sharing the sparsity skeleton: W(D)[i,j] =
+	// Local(D[i,j])·global[i]. Local(0) = 0, so weighting never fills in a
+	// structural zero and RowPtr/ColIdx can be shared outright.
+	wval := make([]float64, len(d.Val))
+	for i := 0; i < d.Rows; i++ {
+		g := 1.0
+		if i < len(m.global) {
+			g = m.global[i]
+		}
+		for q := d.RowPtr[i]; q < d.RowPtr[i+1]; q++ {
+			wval[q] = m.Scheme.Local.Apply(d.Val[q]) * g
+		}
 	}
+	dw := &sparse.CSR{Rows: d.Rows, Cols: d.Cols, RowPtr: d.RowPtr, ColIdx: d.ColIdx, Val: wval}
+	// Weighted new-document block, projected: U_kᵀ·W(D) is k×p, computed as
+	// (W(D)ᵀ·U_k)ᵀ — one blocked pass over D instead of p column matvecs
+	// against a densified column.
+	utd := (&dense.Matrix{Rows: p, Cols: k, Data: dw.MulDenseT(m.U.Data, k)}).T()
 	// F = (Σ_k | U_kᵀD), k×(k+p).
 	f := dense.Diag(m.S).AugmentCols(utd)
 	sf := dense.SVD(f).Truncate(k)
@@ -71,16 +83,16 @@ func (m *Model) UpdateTerms(t *sparse.CSR) error {
 		return ErrFoldedModel
 	}
 	k, q := m.K, t.Rows
-	// T·V_k is q×k.
-	tv := dense.New(q, k)
-	raw := make([]float64, t.Cols)
-	for i := 0; i < q; i++ {
-		for j := range raw {
-			raw[j] = 0
-		}
-		t.Row(i, func(j int, v float64) { raw[j] = m.Scheme.Local.Apply(v) })
-		copy(tv.Row(i), dense.MulVecT(m.V, raw))
+	// Locally-weighted copy of T sharing the sparsity skeleton (new terms
+	// carry global weight 1, so only the local transform applies).
+	wval := make([]float64, len(t.Val))
+	for p, v := range t.Val {
+		wval[p] = m.Scheme.Local.Apply(v)
 	}
+	tw := &sparse.CSR{Rows: t.Rows, Cols: t.Cols, RowPtr: t.RowPtr, ColIdx: t.ColIdx, Val: wval}
+	// W(T)·V_k is q×k — one blocked pass over T instead of q densified-row
+	// matvecs.
+	tv := &dense.Matrix{Rows: q, Cols: k, Data: tw.MulDense(m.V.Data, k)}
 	// H = (Σ_k ; T·V_k), (k+q)×k.
 	h := dense.Diag(m.S).AugmentRows(tv)
 	sh := dense.SVD(h).Truncate(k)

@@ -1,0 +1,150 @@
+package dense
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file holds the in-place, parallel matrix–vector kernels behind the
+// blocked Lanczos build path. All of them are bit-stable for any worker
+// count: work is partitioned so that every output element is produced by
+// exactly one worker summing contributions in ascending index order — the
+// same order the serial kernel uses — so GOMAXPROCS changes wall-clock
+// time, never the rounded result (the same discipline as MulT/MulBTInto).
+
+// dotUnrolled is Dot with four independent accumulators folded in a fixed
+// order. Go does not auto-vectorize reductions, so the serial Dot chains
+// every add through one register; splitting the sum gives the CPU
+// instruction-level parallelism worth ~2-3× on long vectors. The
+// accumulator layout is constant, so the result is deterministic (though
+// it rounds differently from the single-accumulator Dot).
+func dotUnrolled(x, y []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// MulVecInto computes y = a·x into the caller's buffer (len(y) == a.Rows).
+// Rows are partitioned across workers; each y[i] is one unrolled dot
+// product, so the result is identical for any worker count.
+func MulVecInto(a *Matrix, x, y []float64) {
+	if a.Cols != len(x) || a.Rows != len(y) {
+		panic(fmt.Sprintf("dense: MulVecInto dims x=%d y=%d want %d,%d", len(x), len(y), a.Cols, a.Rows))
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if a.Rows*a.Cols < parallelThreshold || nw < 2 || a.Rows < 2 {
+		mulVecRange(a, x, y, 0, a.Rows)
+		return
+	}
+	if nw > a.Rows {
+		nw = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulVecRange(a, x, y, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func mulVecRange(a *Matrix, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] = dotUnrolled(a.Row(i), x)
+	}
+}
+
+// MulVecTInto computes y = aᵀ·x into the caller's buffer
+// (len(y) == a.Cols), overwriting it.
+func MulVecTInto(a *Matrix, x, y []float64) {
+	if a.Rows != len(x) || a.Cols != len(y) {
+		panic(fmt.Sprintf("dense: MulVecTInto dims x=%d y=%d want %d,%d", len(x), len(y), a.Rows, a.Cols))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	mulVecTAcc(a, 1, x, y)
+}
+
+// MulVecTAddInto computes y += alpha·aᵀ·x in place — the second half of a
+// blocked reorthogonalization step (v ← v − Bᵀ·c is alpha = −1).
+func MulVecTAddInto(alpha float64, a *Matrix, x, y []float64) {
+	if a.Rows != len(x) || a.Cols != len(y) {
+		panic(fmt.Sprintf("dense: MulVecTAddInto dims x=%d y=%d want %d,%d", len(x), len(y), a.Rows, a.Cols))
+	}
+	mulVecTAcc(a, alpha, x, y)
+}
+
+// mulVecTAcc accumulates y += alpha·aᵀ·x. The output index range is
+// partitioned across workers; each y[j] receives its contributions in
+// ascending row order regardless of the partition, so the sum — and its
+// rounding — is the same for any worker count. Traversal is row-major
+// (k outer), keeping every memory access contiguous.
+func mulVecTAcc(a *Matrix, alpha float64, x, y []float64) {
+	nw := runtime.GOMAXPROCS(0)
+	if a.Rows*a.Cols < parallelThreshold || nw < 2 || a.Cols < 2 {
+		mulVecTAccRange(a, alpha, x, y, 0, a.Cols)
+		return
+	}
+	if nw > a.Cols {
+		nw = a.Cols
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Cols + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > a.Cols {
+			hi = a.Cols
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulVecTAccRange(a, alpha, x, y, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func mulVecTAccRange(a *Matrix, alpha float64, x, y []float64, lo, hi int) {
+	for k := 0; k < a.Rows; k++ {
+		s := alpha * x[k]
+		if s == 0 {
+			continue
+		}
+		row := a.Row(k)[lo:hi]
+		out := y[lo:hi]
+		i := 0
+		for ; i+4 <= len(row); i += 4 {
+			out[i] += s * row[i]
+			out[i+1] += s * row[i+1]
+			out[i+2] += s * row[i+2]
+			out[i+3] += s * row[i+3]
+		}
+		for ; i < len(row); i++ {
+			out[i] += s * row[i]
+		}
+	}
+}

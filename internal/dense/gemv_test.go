@@ -1,0 +1,156 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestDotUnrolledMatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 64, 1001} {
+		x, y := randVec(rng, n), randVec(rng, n)
+		got := dotUnrolled(x, y)
+		want := Dot(x, y)
+		// Different accumulator layouts round differently; agreement must be
+		// to relative machine precision, not bitwise.
+		scale := 1.0
+		for i := range x {
+			scale += math.Abs(x[i] * y[i])
+		}
+		if math.Abs(got-want) > 1e-13*scale {
+			t.Fatalf("n=%d: dotUnrolled=%v Dot=%v", n, got, want)
+		}
+	}
+}
+
+func TestMulVecIntoMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, tc := range []struct{ r, c int }{{1, 1}, {3, 7}, {40, 25}, {300, 300}} {
+		a := randMat(rng, tc.r, tc.c)
+		x := randVec(rng, tc.c)
+		want := MulVec(a, x)
+		got := make([]float64, tc.r)
+		MulVecInto(a, x, got)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("%dx%d: y[%d]=%v want %v", tc.r, tc.c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulVecTIntoMatchesMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, tc := range []struct{ r, c int }{{1, 1}, {7, 3}, {25, 40}, {300, 300}} {
+		a := randMat(rng, tc.r, tc.c)
+		x := randVec(rng, tc.r)
+		want := MulVecT(a, x)
+		got := randVec(rng, tc.c) // nonzero garbage: must be overwritten
+		MulVecTInto(a, x, got)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("%dx%d: y[%d]=%v want %v", tc.r, tc.c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulVecTAddIntoAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := randMat(rng, 13, 9)
+	x := randVec(rng, 13)
+	y0 := randVec(rng, 9)
+	y := append([]float64(nil), y0...)
+	MulVecTAddInto(-2.5, a, x, y)
+	atx := MulVecT(a, x)
+	for i := range y {
+		want := y0[i] - 2.5*atx[i]
+		if math.Abs(y[i]-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("y[%d]=%v want %v", i, y[i], want)
+		}
+	}
+}
+
+// The parallel kernels must be bit-stable: identical output for any worker
+// count, because each output element is always summed in the same order.
+func TestGemvKernelsWorkerCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	// 600×600 = 360000 > parallelThreshold, so GOMAXPROCS(4) engages the
+	// parallel paths.
+	a := randMat(rng, 600, 600)
+	x := randVec(rng, 600)
+
+	old := runtime.GOMAXPROCS(1)
+	y1 := make([]float64, 600)
+	MulVecInto(a, x, y1)
+	z1 := make([]float64, 600)
+	MulVecTInto(a, x, z1)
+	w1 := randVec(rand.New(rand.NewSource(26)), 600)
+	w1b := append([]float64(nil), w1...)
+	MulVecTAddInto(-1, a, x, w1b)
+
+	runtime.GOMAXPROCS(4)
+	y4 := make([]float64, 600)
+	MulVecInto(a, x, y4)
+	z4 := make([]float64, 600)
+	MulVecTInto(a, x, z4)
+	w4b := append([]float64(nil), w1...)
+	MulVecTAddInto(-1, a, x, w4b)
+	runtime.GOMAXPROCS(old)
+
+	for i := 0; i < 600; i++ {
+		if y1[i] != y4[i] {
+			t.Fatalf("MulVecInto not worker-count invariant at %d: %v vs %v", i, y1[i], y4[i])
+		}
+		if z1[i] != z4[i] {
+			t.Fatalf("MulVecTInto not worker-count invariant at %d: %v vs %v", i, z1[i], z4[i])
+		}
+		if w1b[i] != w4b[i] {
+			t.Fatalf("MulVecTAddInto not worker-count invariant at %d: %v vs %v", i, w1b[i], w4b[i])
+		}
+	}
+}
+
+func TestMulVecIntoPanicsOnDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := New(3, 4)
+	MulVecInto(a, make([]float64, 4), make([]float64, 2))
+}
+
+func BenchmarkMulVecInto1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(27))
+	a := randMat(rng, 1000, 1000)
+	x := randVec(rng, 1000)
+	y := make([]float64, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulVecInto(a, x, y)
+	}
+}
+
+func BenchmarkMulVecTAddInto1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(28))
+	a := randMat(rng, 1000, 1000)
+	x := randVec(rng, 1000)
+	y := make([]float64, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulVecTAddInto(-1, a, x, y)
+	}
+}

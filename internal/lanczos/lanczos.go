@@ -9,6 +9,15 @@
 // sparse.CSR, dense.Matrix, or composites (A_k | D) without materializing
 // anything; its per-iteration cost is one Ax, one Aᵀx, and the
 // reorthogonalization sweeps, exactly the cost model of Table 7.
+//
+// The build path is blocked: the Lanczos bases live in contiguous
+// row-major dense.Matrix blocks, each two-pass reorthogonalization is a
+// pair of Level-2 kernels (c = B·v, v ← v − Bᵀ·c) that parallelize with a
+// worker-count-independent reduction order, the Ritz mapping is one tiled
+// gemm per side, and all per-step workspace is preallocated so the
+// iteration loop performs no heap allocations after warm-up. The seed
+// implementation is preserved as TruncatedSVDReference for property tests
+// and the -buildperf benchmark.
 package lanczos
 
 import (
@@ -31,36 +40,92 @@ type Operator interface {
 	ApplyT(x, y []float64)
 }
 
+// BlockOperator is an Operator that can apply itself to a whole block of
+// vectors at once — one pass over the matrix instead of one per vector.
+// The randomized and subspace solvers use it for their power iterations;
+// plain Operators fall back to column-at-a-time application.
+type BlockOperator interface {
+	Operator
+	// ApplyBlock returns A·X for X cols×l (columns are vectors).
+	ApplyBlock(x *dense.Matrix) *dense.Matrix
+	// ApplyTBlock returns Aᵀ·X for X rows×l.
+	ApplyTBlock(x *dense.Matrix) *dense.Matrix
+}
+
 // csrOp adapts sparse.CSR to Operator.
 type csrOp struct{ m *sparse.CSR }
 
 func (o csrOp) Dims() (int, int)      { return o.m.Rows, o.m.Cols }
 func (o csrOp) Apply(x, y []float64)  { o.m.MulVec(x, y) }
 func (o csrOp) ApplyT(x, y []float64) { o.m.MulVecT(x, y) }
+func (o csrOp) ApplyBlock(x *dense.Matrix) *dense.Matrix {
+	return &dense.Matrix{Rows: o.m.Rows, Cols: x.Cols, Data: o.m.MulDense(x.Data, x.Cols)}
+}
+func (o csrOp) ApplyTBlock(x *dense.Matrix) *dense.Matrix {
+	return &dense.Matrix{Rows: o.m.Cols, Cols: x.Cols, Data: o.m.MulDenseT(x.Data, x.Cols)}
+}
 
 // OpCSR wraps a sparse matrix as an Operator.
 func OpCSR(m *sparse.CSR) Operator { return csrOp{m} }
 
-// denseOp adapts dense.Matrix to Operator.
+// denseOp adapts dense.Matrix to Operator. Apply/ApplyT write straight
+// into the caller's buffer — no intermediate allocation.
 type denseOp struct{ m *dense.Matrix }
 
-func (o denseOp) Dims() (int, int) { return o.m.Rows, o.m.Cols }
-func (o denseOp) Apply(x, y []float64) {
-	copy(y, dense.MulVec(o.m, x))
-}
-func (o denseOp) ApplyT(x, y []float64) {
-	copy(y, dense.MulVecT(o.m, x))
-}
+func (o denseOp) Dims() (int, int)                          { return o.m.Rows, o.m.Cols }
+func (o denseOp) Apply(x, y []float64)                      { dense.MulVecInto(o.m, x, y) }
+func (o denseOp) ApplyT(x, y []float64)                     { dense.MulVecTInto(o.m, x, y) }
+func (o denseOp) ApplyBlock(x *dense.Matrix) *dense.Matrix  { return dense.Mul(o.m, x) }
+func (o denseOp) ApplyTBlock(x *dense.Matrix) *dense.Matrix { return dense.MulT(o.m, x) }
 
 // OpDense wraps a dense matrix as an Operator.
 func OpDense(m *dense.Matrix) Operator { return denseOp{m} }
+
+// applyBlock computes A·X, using the block fast path when available.
+func applyBlock(a Operator, x *dense.Matrix) *dense.Matrix {
+	if bo, ok := a.(BlockOperator); ok {
+		return bo.ApplyBlock(x)
+	}
+	m, _ := a.Dims()
+	y := dense.New(m, x.Cols)
+	xc := make([]float64, x.Rows)
+	yc := make([]float64, m)
+	for c := 0; c < x.Cols; c++ {
+		for i := 0; i < x.Rows; i++ {
+			xc[i] = x.At(i, c)
+		}
+		a.Apply(xc, yc)
+		y.SetCol(c, yc)
+	}
+	return y
+}
+
+// applyTBlock computes Aᵀ·X, using the block fast path when available.
+func applyTBlock(a Operator, x *dense.Matrix) *dense.Matrix {
+	if bo, ok := a.(BlockOperator); ok {
+		return bo.ApplyTBlock(x)
+	}
+	_, n := a.Dims()
+	y := dense.New(n, x.Cols)
+	xc := make([]float64, x.Rows)
+	yc := make([]float64, n)
+	for c := 0; c < x.Cols; c++ {
+		for i := 0; i < x.Rows; i++ {
+			xc[i] = x.At(i, c)
+		}
+		a.ApplyT(xc, yc)
+		y.SetCol(c, yc)
+	}
+	return y
+}
 
 // Reorth selects the reorthogonalization policy.
 type Reorth int
 
 const (
 	// FullReorth orthogonalizes every new Lanczos vector against the whole
-	// basis (two passes). Always accurate; O(j·n) extra per step.
+	// basis (classical Gram–Schmidt, second pass applied adaptively).
+	// Always accurate; O(j·n) extra per step.
 	FullReorth Reorth = iota
 	// NoReorth runs the textbook three-term recurrence untouched. Fast but
 	// loses orthogonality and produces spurious duplicate Ritz values; kept
@@ -128,15 +193,45 @@ func (r *Result) Factors() *dense.SVDFactors {
 
 var ErrNotConverged = errors.New("lanczos: not converged within MaxSteps")
 
+// reorthEta is the Daniel–Gragg–Kaufman criterion for the adaptive second
+// Gram–Schmidt pass: if one pass left at least 1/√2 of the vector's norm,
+// the projection was benign and the pass is not repeated; otherwise heavy
+// cancellation occurred and a second (rarely, third) pass runs. This keeps
+// the basis orthogonal to machine precision at roughly half the sweeps of
+// an unconditional two-pass scheme.
+const reorthEta = 0.70710678118654752
+
+// reorthBlocked orthogonalizes v against the rows of basis with classical
+// Gram–Schmidt expressed as two Level-2 kernels: c = B·v, then
+// v ← v − Bᵀ·c. coef is caller-owned workspace of length basis.Rows. The
+// pass repeats (up to twice more) only while the DGK criterion detects
+// heavy cancellation.
+func reorthBlocked(basis *dense.Matrix, v, coef []float64) {
+	if basis.Rows == 0 {
+		return
+	}
+	prev := dense.Norm2(v)
+	for pass := 0; pass < 3; pass++ {
+		dense.MulVecInto(basis, v, coef)
+		dense.MulVecTAddInto(-1, basis, coef, v)
+		nrm := dense.Norm2(v)
+		if nrm >= reorthEta*prev {
+			return
+		}
+		prev = nrm
+	}
+}
+
 // TruncatedSVD computes the K largest singular triplets of A.
 //
 // It runs Golub–Kahan bidiagonalization A·V_j = U_j·B_j,
-// Aᵀ·U_j = V_j·B_jᵀ + β_j v_{j+1} e_jᵀ, computes the dense SVD of the small
-// bidiagonal B_j each sweep, and stops when the K-th Ritz residual
-// β_j·|p_K[j]| falls below Tol·σ₁. With Options.Reorth == FullReorth the
-// Lanczos bases keep orthogonality to machine precision, which is what
-// las2-style single-vector Lanczos achieves through selective
-// reorthogonalization.
+// Aᵀ·U_j = V_j·B_jᵀ + β_j v_{j+1} e_jᵀ, keeping both Lanczos bases in
+// contiguous row-major blocks so reorthogonalization runs as blocked gemv
+// pairs. Every Options.K/4 steps it computes the dense SVD of the small
+// projected bidiagonal B_j (reusing one buffer) and checks the K-th Ritz
+// residual β_j·|p_K[j]| against Tol·σ₁ from B_j's left factor alone; the
+// full-space Ritz vectors are materialized — one tiled gemm per side —
+// only once the residuals actually pass (or the recurrence runs out).
 //
 // If convergence is not reached, the best available estimate is returned
 // together with ErrNotConverged so callers can retry with larger MaxSteps.
@@ -150,182 +245,165 @@ func TruncatedSVD(a Operator, opts Options) (*Result, error) {
 	steps := opts.MaxSteps
 	rng := rand.New(rand.NewSource(opts.Seed + 0x1db))
 
-	// Lanczos bases, stored row-per-vector for cache-friendly
-	// reorthogonalization sweeps.
-	us := make([][]float64, 0, steps) // each length m
-	vs := make([][]float64, 0, steps) // each length n
+	// Contiguous Lanczos bases: row j of ub/vb is u_j/v_j. Preallocated at
+	// the recurrence cap so the iteration loop never grows them; uview and
+	// vview are reusable window headers over the filled prefixes.
+	ub := dense.New(steps, m)
+	vb := dense.New(steps+1, n)
+	uview := &dense.Matrix{Cols: m}
+	vview := &dense.Matrix{Cols: n}
 	alphas := make([]float64, 0, steps)
 	betas := make([]float64, 0, steps)
+	coef := make([]float64, steps+1) // reorthogonalization coefficients
+
+	// Reused buffer for the projected bidiagonal matrix B_j.
+	var bbuf []float64
+	bmat := &dense.Matrix{}
+	projected := func(j int) *dense.SVDFactors {
+		if cap(bbuf) < j*j {
+			bbuf = make([]float64, j*j)
+		}
+		data := bbuf[:j*j]
+		for i := range data {
+			data[i] = 0
+		}
+		for i := 0; i < j; i++ {
+			data[i*j+i] = alphas[i]
+			if i+1 < j {
+				data[i*j+i+1] = betas[i]
+			}
+		}
+		bmat.Rows, bmat.Cols, bmat.Data = j, j, data
+		return dense.SVD(bmat)
+	}
 
 	// Start inside the row space of A: v₁ ∝ Aᵀu₀ for random u₀. A plain
 	// random v₁ carries a null-space component that can never be purged by
 	// the recurrence; starting in the row space guarantees breakdown at
 	// rank(A) steps with an exact factorization.
-	v := make([]float64, n)
-	a.ApplyT(randomUnit(rng, m), v)
-	if dense.Normalize(v) == 0 {
+	v0 := vb.Row(0)
+	a.ApplyT(randomUnit(rng, m), v0)
+	matvecs := 1
+	if dense.Normalize(v0) == 0 {
 		// Aᵀ annihilated a random vector: treat A as (numerically) zero.
-		return &Result{U: dense.New(m, 0), S: nil, V: dense.New(n, 0), Converged: true, MatVecs: 1}, nil
+		return &Result{U: dense.New(m, 0), S: nil, V: dense.New(n, 0), Converged: true, MatVecs: matvecs}, nil
 	}
-	vs = append(vs, v)
-
-	tmpM := make([]float64, m)
-	tmpN := make([]float64, n)
-	matvecs := 0
 
 	checkEvery := maxInt(1, k/4)
-
-	breakdown := false
-	var lastResult *Result
+	nu := 0 // completed basis vectors on each side
 	for j := 0; j < steps; j++ {
-		// u_j = A v_j − β_{j−1} u_{j−1}
-		a.Apply(vs[j], tmpM)
+		// u_j = A v_j − β_{j−1} u_{j−1}, reorthogonalized and normalized,
+		// written directly into its basis row.
+		urow := ub.Row(j)
+		a.Apply(vb.Row(j), urow)
 		matvecs++
-		u := append([]float64(nil), tmpM...)
 		if j > 0 {
-			dense.Axpy(-betas[j-1], us[j-1], u)
+			dense.Axpy(-betas[j-1], ub.Row(j-1), urow)
 		}
-		if opts.Reorth == FullReorth {
-			reorthogonalize(u, us)
+		if opts.Reorth == FullReorth && j > 0 {
+			uview.Rows, uview.Data = j, ub.Data[:j*m]
+			reorthBlocked(uview, urow, coef[:j])
 		}
-		alpha := dense.Normalize(u)
+		alpha := dense.Normalize(urow)
 		if alpha <= 1e-300 {
 			// Invariant subspace: the operator has rank ≤ j. Everything we
 			// can get is already in hand.
-			breakdown = true
 			break
 		}
-		us = append(us, u)
+		nu = j + 1
 		alphas = append(alphas, alpha)
 
-		// v_{j+1} = Aᵀ u_j − α_j v_j
-		a.ApplyT(u, tmpN)
+		// v_{j+1} = Aᵀ u_j − α_j v_j, same treatment.
+		vrow := vb.Row(j + 1)
+		a.ApplyT(urow, vrow)
 		matvecs++
-		vNext := append([]float64(nil), tmpN...)
-		dense.Axpy(-alpha, vs[j], vNext)
+		dense.Axpy(-alpha, vb.Row(j), vrow)
 		if opts.Reorth == FullReorth {
-			reorthogonalize(vNext, vs)
+			vview.Rows, vview.Data = j+1, vb.Data[:(j+1)*n]
+			reorthBlocked(vview, vrow, coef[:j+1])
 		}
-		beta := dense.Normalize(vNext)
+		beta := dense.Normalize(vrow)
 		betas = append(betas, beta)
 		if beta <= 1e-300 {
 			// Exact invariant subspace on the right: factorization is exact
 			// with j+1 steps.
-			breakdown = true
 			break
 		}
-		vs = append(vs, vNext)
 
-		// Convergence check on the projected problem.
+		// Amortized convergence check: SVD of the small projected problem
+		// only — residuals come from the last row of its left factor, and
+		// no full-space Ritz vector is touched unless they all pass.
 		if j+1 >= k && ((j+1)%checkEvery == 0 || j+1 == steps) {
-			res, done := extract(a, us, vs[:len(us)], alphas, betas, k, opts.Tol, false)
-			res.MatVecs = matvecs
-			lastResult = res
-			if done {
+			f := projected(nu)
+			if ritzConverged(f, nu, k, betas[nu-1], opts.Tol) {
+				res := materializeRitz(ub, vb, f, nu, k, m, n)
 				res.Converged = true
+				res.MatVecs = matvecs
 				return res, nil
 			}
 		}
 	}
 
-	// Ran out of steps (or hit an invariant subspace). If the basis spans
-	// the whole smaller dimension, or a breakdown occurred, the
-	// factorization is exact.
-	exact := breakdown || len(us) >= minInt(m, n)
-	if len(us) == 0 {
+	// Ran out of steps or hit an invariant subspace. If the basis spans
+	// the whole smaller dimension, or a breakdown occurred (nu < steps),
+	// the factorization is exact.
+	if nu == 0 {
 		// A is (numerically) zero.
-		z := &Result{U: dense.New(m, 0), S: nil, V: dense.New(n, 0), Converged: true, MatVecs: matvecs}
-		return z, nil
+		return &Result{U: dense.New(m, 0), S: nil, V: dense.New(n, 0), Converged: true, MatVecs: matvecs}, nil
 	}
-	res, done := extract(a, us, vs[:len(us)], alphas, betas, minInt(k, len(us)), opts.Tol, exact)
+	exact := nu < steps || nu >= minInt(m, n)
+	kk := minInt(k, nu)
+	f := projected(nu)
+	betaLast := 0.0
+	if len(betas) >= nu {
+		betaLast = betas[nu-1]
+	}
+	done := exact || ritzConverged(f, nu, kk, betaLast, opts.Tol)
+	res := materializeRitz(ub, vb, f, nu, kk, m, n)
 	res.MatVecs = matvecs
-	if done || exact {
+	if done {
 		res.Converged = true
 		return res, nil
-	}
-	if lastResult != nil && len(lastResult.S) >= len(res.S) {
-		res = lastResult
 	}
 	return res, ErrNotConverged
 }
 
-// reorthogonalize removes the components of v along every basis vector,
-// with a second pass for numerical safety (the "twice is enough" rule).
-func reorthogonalize(v []float64, basis [][]float64) {
-	for pass := 0; pass < 2; pass++ {
-		for _, b := range basis {
-			dense.Axpy(-dense.Dot(b, v), b, v)
-		}
-	}
-}
-
-// extract solves the small projected SVD and maps Ritz vectors back to the
-// full space. Returns the rank-k result and whether all k residuals
-// converged.
-func extract(a Operator, us, vs [][]float64, alphas, betas []float64, k int, tol float64, exact bool) (*Result, bool) {
-	j := len(us)
-	// Build the (upper) bidiagonal projected matrix B: diag = alphas,
-	// superdiag = betas[0..j-2].
-	b := dense.New(j, j)
-	for i := 0; i < j; i++ {
-		b.Set(i, i, alphas[i])
-		if i+1 < j {
-			b.Set(i, i+1, betas[i])
-		}
-	}
-	f := dense.SVD(b)
-	if k > j {
-		k = j
-	}
-
-	m := len(us[0])
-	n := len(vs[0])
-	u := dense.New(m, k)
-	v := dense.New(n, k)
-	s := make([]float64, k)
-	copy(s, f.S[:k])
-
-	// U_out = [u_1 … u_j]·P_k ; V_out = [v_1 … v_j]·Q_k.
-	ucol := make([]float64, m)
-	vcol := make([]float64, n)
-	for c := 0; c < k; c++ {
-		for i := range ucol {
-			ucol[i] = 0
-		}
-		for i := range vcol {
-			vcol[i] = 0
-		}
-		for r := 0; r < j; r++ {
-			if pu := f.U.At(r, c); pu != 0 {
-				dense.Axpy(pu, us[r], ucol)
-			}
-			if pv := f.V.At(r, c); pv != 0 {
-				dense.Axpy(pv, vs[r], vcol)
-			}
-		}
-		u.SetCol(c, ucol)
-		v.SetCol(c, vcol)
-	}
-
-	res := &Result{U: u, S: s, V: v, Steps: j}
-	if exact {
-		return res, true
-	}
-	// Residual of triplet i: β_j·|P[j-1, i]| where β_j is the last beta.
-	betaLast := 0.0
-	if len(betas) >= j {
-		betaLast = betas[j-1]
-	}
+// ritzConverged checks the K Ritz residuals of the projected factorization
+// f (of the j×j bidiagonal B_j) against tol·σ₁. Residual of triplet i is
+// β_j·|U_B[j−1, i]| — last row of the small left factor only, no
+// full-space work.
+func ritzConverged(f *dense.SVDFactors, j, k int, betaLast, tol float64) bool {
 	sigma1 := 1.0
 	if len(f.S) > 0 && f.S[0] > 0 {
 		sigma1 = f.S[0]
 	}
 	for i := 0; i < k; i++ {
 		if betaLast*math.Abs(f.U.At(j-1, i)) > tol*sigma1 {
-			return res, false
+			return false
 		}
 	}
-	return res, true
+	return true
+}
+
+// materializeRitz maps the projected singular vectors back to the full
+// space: U_out = [u_1 … u_j]ᵀ-block · P_k and likewise for V — one tiled
+// parallel gemm per side instead of k·j per-column Axpy sweeps.
+func materializeRitz(ub, vb *dense.Matrix, f *dense.SVDFactors, j, k, m, n int) *Result {
+	if k > j {
+		k = j
+	}
+	s := make([]float64, k)
+	copy(s, f.S[:k])
+	pu := f.U.Slice(0, j, 0, k)
+	pv := f.V.Slice(0, j, 0, k)
+	uBasis := &dense.Matrix{Rows: j, Cols: m, Data: ub.Data[:j*m]}
+	vBasis := &dense.Matrix{Rows: j, Cols: n, Data: vb.Data[:j*n]}
+	return &Result{
+		U:     dense.MulT(uBasis, pu), // (j×m)ᵀ·(j×k) = m×k
+		S:     s,
+		V:     dense.MulT(vBasis, pv), // (j×n)ᵀ·(j×k) = n×k
+		Steps: j,
+	}
 }
 
 func randomUnit(rng *rand.Rand, n int) []float64 {

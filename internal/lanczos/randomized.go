@@ -25,6 +25,11 @@ type RandomizedOptions struct {
 // answer, included here as the forward-looking ablation against Lanczos:
 // it trades a fixed, small number of passes over A for slightly lower
 // accuracy on tightly clustered spectra.
+//
+// Every multiply against A is blocked: the whole l-column sketch moves
+// through the operator in one pass (BlockOperator fast path — for CSR that
+// is one sweep over the nonzeros per stage instead of l separate matvec
+// sweeps).
 func RandomizedSVD(a Operator, opts RandomizedOptions) *Result {
 	m, n := a.Dims()
 	if opts.K <= 0 {
@@ -42,47 +47,32 @@ func RandomizedSVD(a Operator, opts RandomizedOptions) *Result {
 	rng := rand.New(rand.NewSource(opts.Seed + 0x5eed))
 
 	matvecs := 0
-	// Y = A·Ω, Ω ~ N(0,1)^{n×l}.
-	y := dense.New(m, l)
-	x := make([]float64, n)
-	col := make([]float64, m)
+	// Ω ~ N(0,1)^{n×l}, filled column-by-column so the rng draw sequence —
+	// and therefore every result for a given seed — is unchanged from the
+	// per-column implementation this replaced.
+	omega := dense.New(n, l)
 	for c := 0; c < l; c++ {
-		for i := range x {
-			x[i] = rng.NormFloat64()
+		for i := 0; i < n; i++ {
+			omega.Set(i, c, rng.NormFloat64())
 		}
-		a.Apply(x, col)
-		matvecs++
-		y.SetCol(c, col)
 	}
+	// Y = A·Ω in one blocked pass.
+	y := applyBlock(a, omega)
+	matvecs += l
 	// Power iteration with QR re-normalization between passes to avoid the
 	// sketch collapsing onto the dominant singular direction.
 	for q := 0; q < opts.PowerIters; q++ {
 		y = dense.GramSchmidt(y)
-		z := dense.New(n, l)
-		zc := make([]float64, n)
-		for c := 0; c < l; c++ {
-			a.ApplyT(y.Col(c), zc)
-			matvecs++
-			z.SetCol(c, zc)
-		}
-		z = dense.GramSchmidt(z)
-		for c := 0; c < l; c++ {
-			a.Apply(z.Col(c), col)
-			matvecs++
-			y.SetCol(c, col)
-		}
+		z := dense.GramSchmidt(applyTBlock(a, y))
+		matvecs += l
+		y = applyBlock(a, z)
+		matvecs += l
 	}
 	q := dense.GramSchmidt(y)
 
-	// B = Qᵀ·A is l×n: row i of B is Aᵀ·q_i.
-	b := dense.New(l, n)
-	bt := make([]float64, n)
-	for i := 0; i < l; i++ {
-		a.ApplyT(q.Col(i), bt)
-		matvecs++
-		b.Row(i) // ensure bounds
-		copy(b.Row(i), bt)
-	}
+	// B = Qᵀ·A, computed as (Aᵀ·Q)ᵀ — one blocked adjoint pass, l×n.
+	b := applyTBlock(a, q).T()
+	matvecs += l
 	f := dense.SVD(b)
 	k := minInt(opts.K, len(f.S))
 	u := dense.Mul(q, f.U.Slice(0, l, 0, k))

@@ -1,0 +1,128 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// Regression for the integer-division collapse: with NNZ < nw the per-chunk
+// target rounded to 0, every interior bound stayed at row 0, and the whole
+// matrix landed on the last worker — the "parallel" path ran serial.
+func TestNNZPartitionTinyNNZManyWorkers(t *testing.T) {
+	// 100 rows, 3 nonzeros at rows 10, 50, 90.
+	b := NewBuilder(100, 4)
+	b.Add(10, 0, 1)
+	b.Add(50, 1, 2)
+	b.Add(90, 2, 3)
+	m := b.Build()
+
+	for _, nw := range []int{2, 4, 8, 16, 64} {
+		bounds := m.nnzPartition(nw)
+		if len(bounds) != nw+1 {
+			t.Fatalf("nw=%d: %d bounds want %d", nw, len(bounds), nw+1)
+		}
+		if bounds[0] != 0 || bounds[nw] != m.Rows {
+			t.Fatalf("nw=%d: bounds must span [0,%d], got %v", nw, m.Rows, bounds)
+		}
+		for w := 0; w < nw; w++ {
+			if bounds[w] > bounds[w+1] {
+				t.Fatalf("nw=%d: bounds not monotone: %v", nw, bounds)
+			}
+		}
+		// No single chunk may hold all three nonzeros when nw ≥ 2: the clamp
+		// must spread them.
+		for w := 0; w < nw; w++ {
+			nnz := m.RowPtr[bounds[w+1]] - m.RowPtr[bounds[w]]
+			if nnz == m.NNZ() {
+				t.Fatalf("nw=%d: chunk [%d,%d) holds all %d nonzeros: %v",
+					nw, bounds[w], bounds[w+1], nnz, bounds)
+			}
+		}
+	}
+}
+
+func TestNNZPartitionEmptyMatrix(t *testing.T) {
+	m := NewBuilder(5, 5).Build()
+	bounds := m.nnzPartition(4)
+	if bounds[0] != 0 || bounds[len(bounds)-1] != 5 {
+		t.Fatalf("empty matrix bounds %v", bounds)
+	}
+	for w := 0; w+1 < len(bounds); w++ {
+		if bounds[w] > bounds[w+1] {
+			t.Fatalf("bounds not monotone: %v", bounds)
+		}
+	}
+}
+
+// MulDenseT must agree with k separate MulVecT calls on the columns.
+func TestMulDenseTMatchesMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ r, c, k int }{
+		{9, 14, 1}, {9, 14, 3}, {40, 25, 7}, {3, 200, 5},
+	} {
+		m := randomCSR(rng, tc.r, tc.c, 0.3)
+		b := make([]float64, tc.r*tc.k)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got := m.MulDenseT(b, tc.k)
+		x := make([]float64, tc.r)
+		y := make([]float64, tc.c)
+		for col := 0; col < tc.k; col++ {
+			for i := 0; i < tc.r; i++ {
+				x[i] = b[i*tc.k+col]
+			}
+			m.MulVecT(x, y)
+			for j := 0; j < tc.c; j++ {
+				if math.Abs(got[j*tc.k+col]-y[j]) > 1e-12 {
+					t.Fatalf("%dx%d k=%d: out[%d,%d] = %v want %v",
+						tc.r, tc.c, tc.k, j, col, got[j*tc.k+col], y[j])
+				}
+			}
+		}
+	}
+}
+
+// The parallel column-strip path must produce bit-identical output to the
+// serial loop: each output element is summed in ascending row order no
+// matter how the strips are cut.
+func TestMulDenseTParallelBitStable(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := rand.New(rand.NewSource(12))
+	// Large enough that NNZ*k clears the parallel cutoff.
+	m := randomCSR(rng, 400, 300, 0.15)
+	k := 8
+	b := make([]float64, m.Rows*k)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	got := m.MulDenseT(b, k)
+
+	// Serial reference via the same kernel with the cutoff forced off by a
+	// k=1 column-at-a-time sweep.
+	for col := 0; col < k; col++ {
+		x := make([]float64, m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			x[i] = b[i*k+col]
+		}
+		single := m.MulDenseT(x, 1)
+		for j := 0; j < m.Cols; j++ {
+			if got[j*k+col] != single[j] {
+				t.Fatalf("parallel MulDenseT not bit-stable at (%d,%d): %v vs %v",
+					j, col, got[j*k+col], single[j])
+			}
+		}
+	}
+}
+
+func TestMulDenseTPanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := randomCSR(rand.New(rand.NewSource(13)), 4, 5, 0.5)
+	m.MulDenseT(make([]float64, 7), 2)
+}

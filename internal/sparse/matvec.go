@@ -56,11 +56,17 @@ func (m *CSR) mulVecRange(x, y []float64, lo, hi int) {
 }
 
 // nnzPartition returns nw+1 row boundaries splitting the matrix into chunks
-// of roughly equal nonzero count.
+// of roughly equal nonzero count. The per-chunk target is clamped to at
+// least one nonzero: with NNZ < nw an integer target of 0 would make every
+// interior bound collapse to row 0, leaving all rows on a single worker —
+// the opposite of what the partition is for.
 func (m *CSR) nnzPartition(nw int) []int {
 	bounds := make([]int, nw+1)
 	bounds[nw] = m.Rows
 	target := m.NNZ() / nw
+	if target < 1 {
+		target = 1
+	}
 	row := 0
 	for w := 1; w < nw; w++ {
 		want := w * target
@@ -131,7 +137,9 @@ func (m *CSR) mulVecTRange(x, y []float64, lo, hi int) {
 
 // MulDense computes A·B for a dense column-major-agnostic B given as rows
 // (B is Cols×k, result is Rows×k, both as flat row-major with stride k).
-// Used to form A·V_k when extracting left singular vectors.
+// Used to form A·V_k when extracting left singular vectors, and as the
+// sparse side of blocked power iterations (one pass over A for a whole
+// block of vectors instead of k separate matvec sweeps).
 func (m *CSR) MulDense(b []float64, k int) []float64 {
 	if len(b) != m.Cols*k {
 		panic(fmt.Sprintf("sparse: MulDense b len %d want %d", len(b), m.Cols*k))
@@ -163,6 +171,59 @@ func (m *CSR) MulDense(b []float64, k int) []float64 {
 		lo, hi := bounds[w], bounds[w+1]
 		if lo >= hi {
 			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			run(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// MulDenseT computes Aᵀ·B for a dense B given as rows (B is Rows×k, result
+// is Cols×k, both flat row-major with stride k) — the adjoint companion of
+// MulDense, used by blocked power iterations and the SVD-updating paths.
+// The parallel path partitions the k block columns across workers: each
+// worker scans the whole CSR structure but scatters into a disjoint column
+// strip of the output, so no accumulator copies are needed and every
+// output element is summed in the same ascending-row order as the serial
+// loop (the result does not depend on the worker count).
+func (m *CSR) MulDenseT(b []float64, k int) []float64 {
+	if len(b) != m.Rows*k {
+		panic(fmt.Sprintf("sparse: MulDenseT b len %d want %d", len(b), m.Rows*k))
+	}
+	out := make([]float64, m.Cols*k)
+	run := func(c0, c1 int) {
+		for i := 0; i < m.Rows; i++ {
+			brow := b[i*k+c0 : i*k+c1]
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				v := m.Val[p]
+				orow := out[m.ColIdx[p]*k+c0 : m.ColIdx[p]*k+c1]
+				for c, bv := range brow {
+					orow[c] += v * bv
+				}
+			}
+		}
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if m.NNZ()*k < matvecParallelCutoff || nw < 2 || k < 2 {
+		run(0, k)
+		return out
+	}
+	if nw > k {
+		nw = k
+	}
+	chunk := (k + nw - 1) / nw
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > k {
+			hi = k
+		}
+		if lo >= hi {
+			break
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
