@@ -1,11 +1,26 @@
 GO ?= go
 
-.PHONY: check build test race race-hot vet bench bench-build
+.PHONY: check check-full build test race race-hot vet lint bench bench-build
 
-check: vet build test race-hot
+# check is the fast pre-commit loop: vet, build, tests, the race detector
+# on the hot parallel packages only, and the project linter. Run it on
+# every change.
+check: vet build test race-hot lint
+
+# check-full is the slow full sweep — the race detector over every
+# package plus everything in check. Run it before merging, or whenever
+# concurrency-adjacent code (server, rank, lanczos, sparse) changed.
+check-full: vet build lint
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs lsilint, the in-tree static analyzer (internal/lint): the
+# determinism, lock-discipline, and //lsilint:noalloc hot-path checks
+# described in docs/STATIC_ANALYSIS.md.
+lint:
+	$(GO) run ./cmd/lsilint ./...
 
 build:
 	$(GO) build ./...

@@ -5,6 +5,9 @@
 // truncated SVD" (§1) — this file tracks that bulk across PRs.
 package main
 
+// benchmark harness: wall-clock timing is the product.
+//lsilint:file-ignore walltime
+
 import (
 	"encoding/json"
 	"fmt"

@@ -13,6 +13,9 @@
 // table/figure data, the paper's corresponding claim, and named metrics.
 package main
 
+// benchmark harness: wall-clock timing is the product.
+//lsilint:file-ignore walltime
+
 import (
 	"encoding/json"
 	"flag"

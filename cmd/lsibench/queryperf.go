@@ -4,6 +4,9 @@
 // latency/throughput trajectory.
 package main
 
+// benchmark harness: wall-clock timing is the product.
+//lsilint:file-ignore walltime
+
 import (
 	"encoding/json"
 	"fmt"
@@ -60,7 +63,7 @@ func seedRank(v *dense.Matrix, qhat []float64) []core.Ranked {
 		out[j] = core.Ranked{Doc: j, Score: dense.Cosine(qhat, v.Row(j))}
 	}
 	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
+		if out[a].Score != out[b].Score { //lsilint:ignore floatcmp — total-order tie-break needs bit equality
 			return out[a].Score > out[b].Score
 		}
 		return out[a].Doc < out[b].Doc

@@ -1,0 +1,132 @@
+// lsilint is the project's static-analysis driver: it loads every
+// package in the module with the stdlib go/parser + go/types toolchain
+// and runs the internal/lint suite — determinism, concurrency, and
+// hot-path allocation checks that encode invariants the compiler cannot
+// see (bit-identical parallel reductions, lock discipline, zero-alloc
+// kernels). See docs/STATIC_ANALYSIS.md for every check ID and the
+// //lsilint:noalloc / //lsilint:ignore annotations.
+//
+// Usage:
+//
+//	lsilint [-checks id,id] [-list] [patterns...]
+//
+// Patterns default to ./... and follow the go tool's shape. Exit status
+// is 1 when any finding survives the suppression directives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		checksFlag = flag.String("checks", "", "comma-separated check IDs to run (default: all)")
+		listFlag   = flag.Bool("list", false, "list registered checks and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, c := range lint.Checks() {
+			fmt.Printf("%-12s %s\n", c.ID, c.Doc)
+		}
+		return
+	}
+
+	selected, err := selectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsilint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsilint:", err)
+		os.Exit(2)
+	}
+
+	mod, err := lint.LoadModule(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsilint:", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	linted, findings := 0, 0
+	for _, pkg := range mod.Pkgs {
+		if !pkg.Matched {
+			continue
+		}
+		linted++
+		for _, d := range lint.RunChecks(pkg, selected) {
+			findings++
+			fmt.Println(relativize(cwd, d))
+		}
+	}
+	nChecks := len(selected)
+	if selected == nil {
+		nChecks = len(lint.Checks())
+	}
+	fmt.Fprintf(os.Stderr, "lsilint: %d package(s), %d check(s), %d finding(s)\n",
+		linted, nChecks, findings)
+	if findings > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectChecks resolves the -checks flag, nil meaning the full suite.
+func selectChecks(spec string) ([]*lint.Check, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []*lint.Check
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		c, ok := lint.Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (see -list)", id)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relativize shortens a finding's path to be cwd-relative when possible,
+// so terminal output is clickable and greppable.
+func relativize(cwd string, d lint.Diagnostic) string {
+	if cwd != "" {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+	}
+	return d.String()
+}

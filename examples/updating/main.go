@@ -4,6 +4,9 @@
 // Table 7 side by side.
 package main
 
+// example prints wall-clock timings by design.
+//lsilint:file-ignore walltime
+
 import (
 	"fmt"
 	"log"

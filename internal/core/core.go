@@ -436,7 +436,7 @@ func rankScores(scores []float64) []Ranked {
 // determinism — the same total order the rank package selects under.
 func sortRanked(out []Ranked) {
 	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
+		if out[a].Score != out[b].Score { //lsilint:ignore floatcmp — total-order tie-break needs bit equality
 			return out[a].Score > out[b].Score
 		}
 		return out[a].Doc < out[b].Doc

@@ -55,6 +55,8 @@ func mulInto(out, a, b *Matrix) {
 }
 
 // mulRange computes rows [lo,hi) of out = a·b with an ikj loop order.
+//
+//lsilint:noalloc
 func mulRange(out, a, b *Matrix, lo, hi int) {
 	n := b.Cols
 	for i := lo; i < hi; i++ {
@@ -151,6 +153,8 @@ func MulT(a, b *Matrix) *Matrix {
 // mulTRange computes output rows [lo,hi) of out = aᵀ·b:
 // out[i][j] = Σ_k a[k][i]·b[k][j], k ascending (same order as the serial
 // kernel regardless of how [lo,hi) is partitioned).
+//
+//lsilint:noalloc
 func mulTRange(out, a, b *Matrix, lo, hi int) {
 	n := b.Cols
 	for k := 0; k < a.Rows; k++ {
@@ -171,6 +175,8 @@ func mulTRange(out, a, b *Matrix, lo, hi int) {
 
 // mulTStrip accumulates the contribution of shared-dimension rows [lo,hi)
 // into p (the full output shape).
+//
+//lsilint:noalloc
 func mulTStrip(p, a, b *Matrix, lo, hi int) {
 	n := b.Cols
 	for k := lo; k < hi; k++ {
@@ -267,6 +273,8 @@ const mulBTBlock = 48
 
 // mulBTRange fills out[i][j] = a.Row(i)·b.Row(j) for i in [i0,i1), j in
 // [j0,j1), blocking over j for cache reuse.
+//
+//lsilint:noalloc
 func mulBTRange(out, a, b *Matrix, i0, i1, j0, j1 int) {
 	for jb := j0; jb < j1; jb += mulBTBlock {
 		jend := jb + mulBTBlock
@@ -330,6 +338,8 @@ func ScaleCols(a *Matrix, d []float64) *Matrix {
 }
 
 // Dot returns the inner product of x and y.
+//
+//lsilint:noalloc
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("dense: Dot lens %d != %d", len(x), len(y)))
@@ -342,6 +352,8 @@ func Dot(x, y []float64) float64 {
 }
 
 // Norm2 returns the Euclidean norm of x, guarding against overflow.
+//
+//lsilint:noalloc
 func Norm2(x []float64) float64 {
 	var scale, ssq float64 = 0, 1
 	for _, v := range x {
@@ -366,6 +378,8 @@ func Norm2(x []float64) float64 {
 }
 
 // Axpy computes y += alpha*x in place.
+//
+//lsilint:noalloc
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("dense: Axpy lens %d != %d", len(x), len(y)))
@@ -376,6 +390,8 @@ func Axpy(alpha float64, x, y []float64) {
 }
 
 // ScaleVec multiplies x by alpha in place.
+//
+//lsilint:noalloc
 func ScaleVec(alpha float64, x []float64) {
 	for i := range x {
 		x[i] *= alpha
@@ -384,6 +400,8 @@ func ScaleVec(alpha float64, x []float64) {
 
 // Normalize scales x to unit Euclidean norm and returns the original norm.
 // A zero vector is left untouched and 0 is returned.
+//
+//lsilint:noalloc
 func Normalize(x []float64) float64 {
 	n := Norm2(x)
 	if n == 0 {

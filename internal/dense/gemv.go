@@ -19,6 +19,8 @@ import (
 // instruction-level parallelism worth ~2-3× on long vectors. The
 // accumulator layout is constant, so the result is deterministic (though
 // it rounds differently from the single-accumulator Dot).
+//
+//lsilint:noalloc
 func dotUnrolled(x, y []float64) float64 {
 	var s0, s1, s2, s3 float64
 	i := 0
@@ -68,6 +70,7 @@ func MulVecInto(a *Matrix, x, y []float64) {
 	wg.Wait()
 }
 
+//lsilint:noalloc
 func mulVecRange(a *Matrix, x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		y[i] = dotUnrolled(a.Row(i), x)
@@ -128,6 +131,7 @@ func mulVecTAcc(a *Matrix, alpha float64, x, y []float64) {
 	wg.Wait()
 }
 
+//lsilint:noalloc
 func mulVecTAccRange(a *Matrix, alpha float64, x, y []float64, lo, hi int) {
 	for k := 0; k < a.Rows; k++ {
 		s := alpha * x[k]

@@ -174,11 +174,11 @@ func SVDGolubReinsch(a *Matrix) (*SVDFactors, error) {
 			var l, nm int
 			for l = k; l >= 0; l-- {
 				nm = l - 1
-				if math.Abs(rv1[l])+anorm == anorm {
+				if math.Abs(rv1[l])+anorm == anorm { //lsilint:ignore floatcmp — negligibility test: exact equality after absorption is the point
 					flag = false
 					break
 				}
-				if math.Abs(w[nm])+anorm == anorm {
+				if math.Abs(w[nm])+anorm == anorm { //lsilint:ignore floatcmp — negligibility test
 					break
 				}
 			}
@@ -188,7 +188,7 @@ func SVDGolubReinsch(a *Matrix) (*SVDFactors, error) {
 				for i := l; i <= k; i++ {
 					f := s * rv1[i]
 					rv1[i] = c * rv1[i]
-					if math.Abs(f)+anorm == anorm {
+					if math.Abs(f)+anorm == anorm { //lsilint:ignore floatcmp — negligibility test
 						break
 					}
 					g = w[i]

@@ -1,5 +1,8 @@
 package experiments
 
+// timing experiment: fold-in vs update vs recompute wall-clock is the measurement.
+//lsilint:file-ignore walltime
+
 import (
 	"fmt"
 	"time"

@@ -122,7 +122,7 @@ func (p *Profile) RankStream(m *core.Model, rawDocs [][]float64) []int {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		if scores[idx[a]] != scores[idx[b]] {
+		if scores[idx[a]] != scores[idx[b]] { //lsilint:ignore floatcmp — total-order tie-break needs bit equality
 			return scores[idx[a]] > scores[idx[b]]
 		}
 		return idx[a] < idx[b]

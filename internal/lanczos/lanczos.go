@@ -206,6 +206,8 @@ const reorthEta = 0.70710678118654752
 // v ← v − Bᵀ·c. coef is caller-owned workspace of length basis.Rows. The
 // pass repeats (up to twice more) only while the DGK criterion detects
 // heavy cancellation.
+//
+//lsilint:noalloc
 func reorthBlocked(basis *dense.Matrix, v, coef []float64) {
 	if basis.Rows == 0 {
 		return
@@ -220,6 +222,45 @@ func reorthBlocked(basis *dense.Matrix, v, coef []float64) {
 		}
 		prev = nrm
 	}
+}
+
+// bidiagStep advances the Golub–Kahan recurrence by one step, writing
+// u_j and v_{j+1} directly into rows j of ub and j+1 of vb:
+//
+//	u_j = A·v_j − β_{j−1}·u_{j−1}, reorthogonalized, normalized
+//	v_{j+1} = Aᵀ·u_j − α_j·v_j, same treatment
+//
+// It returns (α_j, β_j); when α_j underflows, β_j is 0 and the second
+// matvec never ran (the caller's MatVecs accounting relies on this).
+// uview/vview are reusable window headers and coef is scratch of length
+// ≥ j+1, all caller-owned so the step itself stays allocation-free.
+//
+//lsilint:noalloc
+func bidiagStep(a Operator, ub, vb, uview, vview *dense.Matrix, coef []float64, betaPrev float64, j int, reorth Reorth) (alpha, beta float64) {
+	m, n := a.Dims()
+	urow := ub.Row(j)
+	a.Apply(vb.Row(j), urow)
+	if j > 0 {
+		dense.Axpy(-betaPrev, ub.Row(j-1), urow)
+	}
+	if reorth == FullReorth && j > 0 {
+		uview.Rows, uview.Data = j, ub.Data[:j*m]
+		reorthBlocked(uview, urow, coef[:j])
+	}
+	alpha = dense.Normalize(urow)
+	if alpha <= 1e-300 {
+		return alpha, 0
+	}
+
+	vrow := vb.Row(j + 1)
+	a.ApplyT(urow, vrow)
+	dense.Axpy(-alpha, vb.Row(j), vrow)
+	if reorth == FullReorth {
+		vview.Rows, vview.Data = j+1, vb.Data[:(j+1)*n]
+		reorthBlocked(vview, vrow, coef[:j+1])
+	}
+	beta = dense.Normalize(vrow)
+	return alpha, beta
 }
 
 // TruncatedSVD computes the K largest singular triplets of A.
@@ -292,37 +333,20 @@ func TruncatedSVD(a Operator, opts Options) (*Result, error) {
 	checkEvery := maxInt(1, k/4)
 	nu := 0 // completed basis vectors on each side
 	for j := 0; j < steps; j++ {
-		// u_j = A v_j − β_{j−1} u_{j−1}, reorthogonalized and normalized,
-		// written directly into its basis row.
-		urow := ub.Row(j)
-		a.Apply(vb.Row(j), urow)
-		matvecs++
+		betaPrev := 0.0
 		if j > 0 {
-			dense.Axpy(-betas[j-1], ub.Row(j-1), urow)
+			betaPrev = betas[j-1]
 		}
-		if opts.Reorth == FullReorth && j > 0 {
-			uview.Rows, uview.Data = j, ub.Data[:j*m]
-			reorthBlocked(uview, urow, coef[:j])
-		}
-		alpha := dense.Normalize(urow)
+		alpha, beta := bidiagStep(a, ub, vb, uview, vview, coef, betaPrev, j, opts.Reorth)
+		matvecs++ // A·v_j
 		if alpha <= 1e-300 {
 			// Invariant subspace: the operator has rank ≤ j. Everything we
 			// can get is already in hand.
 			break
 		}
+		matvecs++ // Aᵀ·u_j
 		nu = j + 1
 		alphas = append(alphas, alpha)
-
-		// v_{j+1} = Aᵀ u_j − α_j v_j, same treatment.
-		vrow := vb.Row(j + 1)
-		a.ApplyT(urow, vrow)
-		matvecs++
-		dense.Axpy(-alpha, vb.Row(j), vrow)
-		if opts.Reorth == FullReorth {
-			vview.Rows, vview.Data = j+1, vb.Data[:(j+1)*n]
-			reorthBlocked(vview, vrow, coef[:j+1])
-		}
-		beta := dense.Normalize(vrow)
 		betas = append(betas, beta)
 		if beta <= 1e-300 {
 			// Exact invariant subspace on the right: factorization is exact

@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The concurrency checks encode the locking discipline the parallel
+// kernels and the serving layer rely on: every acquired mutex is released
+// on every path, WaitGroup counters are bumped before the goroutine that
+// will Done them exists, and lock-holding values are never split by a
+// copy.
+
+func init() {
+	register(&Check{
+		ID:  "lockbalance",
+		Doc: "Lock/RLock without a deferred or same-block dominating Unlock",
+		Run: runLockBalance,
+	})
+	register(&Check{
+		ID:  "wgadd",
+		Doc: "WaitGroup.Add called inside the spawned goroutine (races with Wait)",
+		Run: runWgAdd,
+	})
+	register(&Check{
+		ID:  "mutexcopy",
+		Doc: "lock-containing type copied or passed by value",
+		Run: runMutexCopy,
+	})
+}
+
+// unlockFor maps an acquire method to its release.
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// runLockBalance analyzes each function body independently: for every
+// mutex acquire it requires either a matching defer (directly or inside
+// a deferred closure) anywhere in the same function, or a matching
+// release statement later in the same block with no possible return or
+// branch escape in between. Conditional releases buried in branches are
+// not accepted — restructure or //lsilint:ignore lockbalance with a
+// comment explaining why the path is safe.
+func runLockBalance(p *Pass) {
+	for _, f := range p.Files {
+		forEachFuncBody(f, func(owner ast.Node, body *ast.BlockStmt) {
+			checkLockBalance(p, body)
+		})
+	}
+}
+
+func checkLockBalance(p *Pass, body *ast.BlockStmt) {
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, typeName, method, ok := syncMethodCall(p.Info, call)
+		release, acquires := unlockFor[method]
+		if !ok || !acquires || (typeName != "Mutex" && typeName != "RWMutex") {
+			return true
+		}
+		recvStr := types.ExprString(recv)
+		if hasMatchingDefer(p, body, recvStr, release) {
+			return true
+		}
+		if dominatedByUnlock(p, body, call, recvStr, release) {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"%s.%s() has no deferred %s and no dominating same-block release; a panic or early return leaks the lock",
+			recvStr, method, release)
+		return true
+	})
+}
+
+// hasMatchingDefer reports whether the function defers recvStr.release(),
+// either directly or inside a deferred closure.
+func hasMatchingDefer(p *Pass, body *ast.BlockStmt, recvStr, release string) bool {
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok || found {
+			return !found
+		}
+		if isReleaseCall(p, ds.Call, recvStr, release) {
+			found = true
+			return false
+		}
+		if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(inner ast.Node) bool {
+				if c, ok := inner.(*ast.CallExpr); ok && isReleaseCall(p, c, recvStr, release) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func isReleaseCall(p *Pass, call *ast.CallExpr, recvStr, release string) bool {
+	recv, _, method, ok := syncMethodCall(p.Info, call)
+	return ok && method == release && types.ExprString(recv) == recvStr
+}
+
+// dominatedByUnlock reports whether the statement containing the acquire
+// is followed, in its innermost enclosing statement list, by a direct
+// recvStr.release() statement with no statement in between that can leave
+// the function or the block (return, goto, break, continue, panic call).
+func dominatedByUnlock(p *Pass, body *ast.BlockStmt, acquire *ast.CallExpr, recvStr, release string) bool {
+	list := enclosingStmtList(body, acquire)
+	if list == nil {
+		return false
+	}
+	idx := -1
+	for i, stmt := range list {
+		if nodeContains(stmt, acquire) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	for _, stmt := range list[idx+1:] {
+		if es, ok := stmt.(*ast.ExprStmt); ok {
+			if c, ok := es.X.(*ast.CallExpr); ok && isReleaseCall(p, c, recvStr, release) {
+				return true
+			}
+		}
+		if canEscape(stmt) {
+			return false
+		}
+	}
+	return false
+}
+
+// enclosingStmtList finds the innermost statement list (block, case, or
+// comm clause body) containing the given node.
+func enclosingStmtList(body *ast.BlockStmt, target ast.Node) []ast.Stmt {
+	var best []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		for _, stmt := range list {
+			if nodeContains(stmt, target) {
+				best = list // keep descending: a deeper list wins
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// nodeContains reports whether target's position range lies within n.
+func nodeContains(n, target ast.Node) bool {
+	return n.Pos() <= target.Pos() && target.End() <= n.End()
+}
+
+// canEscape reports whether executing stmt can transfer control out of
+// the current statement list before the statements after it run —
+// conservatively including any nested return/branch/panic, even inside
+// an if body, but not inside nested function literals.
+func canEscape(stmt ast.Stmt) bool {
+	escape := false
+	inspectSkippingFuncLits(stmt, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			escape = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				escape = true
+			}
+		}
+		return !escape
+	})
+	return escape
+}
+
+// runWgAdd flags WaitGroup.Add executed inside the goroutine it accounts
+// for: if the scheduler runs Wait before the goroutine starts, the
+// counter is still zero and Wait returns early. Add must happen in the
+// spawning goroutine, before the `go` statement.
+func runWgAdd(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(inner ast.Node) bool {
+				call, ok := inner.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, typeName, method, ok := syncMethodCall(p.Info, call); ok &&
+					typeName == "WaitGroup" && method == "Add" {
+					p.Reportf(call.Pos(),
+						"WaitGroup.Add inside the spawned goroutine races with Wait; call Add before the go statement")
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// runMutexCopy flags by-value traffic in lock-containing types: value
+// receivers, value parameters, explicit dereference copies, and range
+// statements that copy lock-holding elements.
+func runMutexCopy(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				if node.Recv != nil {
+					checkLockField(p, node.Recv.List, "receiver")
+				}
+				if node.Type.Params != nil {
+					checkLockField(p, node.Type.Params.List, "parameter")
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range node.Rhs {
+					if star, ok := ast.Unparen(rhs).(*ast.StarExpr); ok && containsLock(p.TypeOf(star)) {
+						p.Reportf(rhs.Pos(),
+							"dereference copies %s, splitting its lock state; keep the pointer", types.TypeString(p.TypeOf(star), nil))
+					}
+				}
+			case *ast.RangeStmt:
+				if node.Value == nil {
+					return true
+				}
+				if t := p.TypeOf(node.Value); containsLock(t) {
+					p.Reportf(node.Value.Pos(),
+						"range copies lock-containing %s per element; range over indices or pointers", types.TypeString(t, nil))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkLockField(p *Pass, fields []*ast.Field, kind string) {
+	for _, field := range fields {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(t) {
+			p.Reportf(field.Pos(),
+				"%s passes lock-containing %s by value; use a pointer", kind, types.TypeString(t, nil))
+		}
+	}
+}

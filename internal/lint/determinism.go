@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The determinism checks guard the repository's core promise: the same
+// corpus and seed produce bit-identical models, rankings, and reports on
+// every run and every GOMAXPROCS. Go deliberately randomizes map
+// iteration order, so any map range whose body accumulates floats (the
+// rounding of a float sum depends on summation order), appends to a
+// slice that reaches output unsorted, or prints directly is a silent
+// reproducibility bug.
+
+func init() {
+	register(&Check{
+		ID:  "maporder",
+		Doc: "map-range body feeds a float accumulation, unsorted append, or formatted output",
+		Run: runMapOrder,
+	})
+	register(&Check{
+		ID:  "randglobal",
+		Doc: "use of math/rand's package-level (unseeded) source; use rand.New(rand.NewSource(seed))",
+		Run: runRandGlobal,
+	})
+	register(&Check{
+		ID:  "walltime",
+		Doc: "wall-clock read (time.Now/Since/Until) outside the benchmark allowlist",
+		Run: runWallTime,
+	})
+	register(&Check{
+		ID:  "floatcmp",
+		Doc: "float == / != against a non-zero operand is rounding-fragile",
+		Run: runFloatCmp,
+	})
+}
+
+// runMapOrder flags map-range bodies that feed order-sensitive sinks. The
+// canonical fix — collect keys, sort, iterate the slice — is recognized:
+// an append target that is later passed to a sort.* call in the same
+// function is not flagged.
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		forEachFuncBody(f, func(owner ast.Node, body *ast.BlockStmt) {
+			inspectSkippingFuncLits(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMap(p.TypeOf(rs.X)) {
+					return true
+				}
+				mapOrderBody(p, body, rs)
+				return true
+			})
+		})
+	}
+}
+
+// mapOrderBody inspects one map-range body; funcBody is the enclosing
+// function body used to look for a downstream sort of append targets.
+func mapOrderBody(p *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			switch node.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(node.Lhs) == 1 && isFloat(p.TypeOf(node.Lhs[0])) {
+					p.Reportf(node.Pos(),
+						"float accumulation in map-iteration order rounds nondeterministically; iterate sorted keys")
+				}
+			}
+		case *ast.CallExpr:
+			if builtinName(p.Info, node) == "append" {
+				if target := appendTarget(node); target == nil || !sortedLater(p, funcBody, target) {
+					p.Reportf(node.Pos(),
+						"append in map-iteration order builds nondeterministic output; collect keys and sort first")
+				}
+				return true
+			}
+			if fn := calleeFunc(p.Info, node); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "fmt" && strings.Contains(fn.Name(), "rint") {
+				p.Reportf(node.Pos(),
+					"fmt output in map-iteration order is nondeterministic; iterate sorted keys")
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget returns the identifier receiving an append's result when
+// the call is the canonical `x = append(x, …)` shape, else nil.
+func appendTarget(call *ast.CallExpr) *ast.Ident {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	id, _ := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return id
+}
+
+// sortedLater reports whether the object named by target is passed to a
+// sort-package call somewhere in the same function body — the
+// collect-then-sort idiom that makes a map-order append deterministic.
+func sortedLater(p *Pass, funcBody *ast.BlockStmt, target *ast.Ident) bool {
+	obj := p.Info.ObjectOf(target)
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted {
+			return !sorted
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				sorted = true
+				break
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// shared, randomly-seeded global source. rand.New and rand.NewSource are
+// the deterministic alternative and stay legal.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+	// math/rand/v2 additions.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint32N": true, "Uint64N": true, "UintN": true,
+	"Uint": true, "N": true,
+}
+
+func runRandGlobal(p *Pass) {
+	forEachUse(p, func(id *ast.Ident, obj types.Object) {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		path := fn.Pkg().Path()
+		if (path != "math/rand" && path != "math/rand/v2") || !globalRandFuncs[fn.Name()] {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return // *rand.Rand methods are fine: the caller seeded them
+		}
+		p.Reportf(id.Pos(),
+			"%s.%s uses the global nondeterministic source; use rand.New(rand.NewSource(seed))", path, fn.Name())
+	})
+}
+
+func runWallTime(p *Pass) {
+	forEachUse(p, func(id *ast.Ident, obj types.Object) {
+		if isPkgFunc(asFunc(obj), "time", "Now") ||
+			isPkgFunc(asFunc(obj), "time", "Since") ||
+			isPkgFunc(asFunc(obj), "time", "Until") {
+			p.Reportf(id.Pos(),
+				"wall-clock read makes output run-dependent; benchmark/CLI timing code may //lsilint:file-ignore walltime")
+		}
+	})
+}
+
+func asFunc(obj types.Object) *types.Func {
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// forEachUse visits every resolved identifier use in the package.
+func forEachUse(p *Pass, f func(*ast.Ident, types.Object)) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj, ok := p.Info.Uses[id]; ok {
+					f(id, obj)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// runFloatCmp flags == and != where either operand is floating-point,
+// except comparisons against an exact constant zero: IEEE-754 represents
+// zero exactly, and `if norm == 0` guards are idiomatic and safe, while
+// comparing two computed floats for equality silently depends on
+// summation order and FMA contraction.
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(be.X)) && !isFloat(p.TypeOf(be.Y)) {
+				return true
+			}
+			if isZeroConstant(p.Info, be.X) || isZeroConstant(p.Info, be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos,
+				"float %s comparison is rounding-fragile; compare |a-b| against a tolerance (or //lsilint:ignore floatcmp if bit equality is the point)", be.Op)
+			return true
+		})
+	}
+}

@@ -1,0 +1,150 @@
+// Package lint is a from-scratch static-analysis framework for this
+// repository, built only on the stdlib go/ast, go/parser, and go/types
+// packages (no x/tools dependency). It enforces the invariants the
+// numerical fast paths rely on but the compiler cannot see:
+//
+//   - determinism: results must be bit-identical across runs and across
+//     GOMAXPROCS values (map-iteration order must not feed float
+//     accumulation or serialized output; no unseeded global math/rand;
+//     no wall-clock reads; no rounding-fragile float ==).
+//   - concurrency: lock/unlock discipline, WaitGroup.Add placement, and
+//     no by-value copies of lock-containing types.
+//   - hot-path allocation: functions annotated //lsilint:noalloc must not
+//     heap-allocate in their bodies.
+//
+// Each check is registered under a stable ID so findings are greppable
+// and suppressible with //lsilint:ignore <id> (see directives.go). The
+// cmd/lsilint driver loads every package in the module and runs the
+// whole suite; docs/STATIC_ANALYSIS.md describes each check and how to
+// add a new one.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the stable ID of the check that
+// produced it, and a human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String formats the finding as file:line:col: [id] message — the shape
+// the driver prints and grep targets.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Check is one static-analysis rule. Run inspects the package carried by
+// the Pass and reports findings through it.
+type Check struct {
+	// ID is the stable, lowercase identifier used in output and in
+	// //lsilint:ignore directives.
+	ID string
+	// Doc is a one-line description shown by `lsilint -list`.
+	Doc string
+	// Run executes the check over one type-checked package.
+	Run func(*Pass)
+}
+
+var registry []*Check
+
+// register adds a check to the suite; called from each check's init.
+func register(c *Check) { registry = append(registry, c) }
+
+// Checks returns the registered suite sorted by ID.
+func Checks() []*Check {
+	out := make([]*Check, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds a check by ID.
+func Lookup(id string) (*Check, bool) {
+	for _, c := range registry {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Pass carries one type-checked package through one check.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	check *Check
+	dirs  *directives
+	out   *[]Diagnostic
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Reportf records a finding at pos unless a directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.dirs.suppressed(p.check.ID, position) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Pos:     position,
+		Check:   p.check.ID,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// RunChecks executes the given checks (all registered ones when nil) over
+// one loaded package and returns the surviving findings sorted by
+// position then check ID.
+func RunChecks(pkg *Package, checks []*Check) []Diagnostic {
+	if checks == nil {
+		checks = Checks()
+	}
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, c := range checks {
+		pass := &Pass{
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+			check: c,
+			dirs:  dirs,
+			out:   &out,
+		}
+		c.Run(pass)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// sortDiagnostics orders findings by file, line, column, then check ID so
+// output is stable across runs.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}

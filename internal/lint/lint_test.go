@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"bufio"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture parses and type-checks one testdata file as a standalone
+// package and runs a single check over it.
+func loadFixture(t *testing.T, checkID, filename string) []Diagnostic {
+	t.Helper()
+	path := filepath.Join("testdata", filename)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	pkg, err := TypeCheckFiles(fset, "fixtures", []*ast.File{f})
+	if err != nil {
+		t.Fatalf("type-check %s: %v", path, err)
+	}
+	check, ok := Lookup(checkID)
+	if !ok {
+		t.Fatalf("no registered check %q", checkID)
+	}
+	return RunChecks(pkg, []*Check{check})
+}
+
+// wantMarkers scans a fixture for "// want id [id...]" markers and
+// returns the expected diagnostic count per (line, id).
+func wantMarkers(t *testing.T, filename string) map[int]map[string]int {
+	t.Helper()
+	fh, err := os.Open(filepath.Join("testdata", filename))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	want := map[int]map[string]int{}
+	sc := bufio.NewScanner(fh)
+	line := 0
+	for sc.Scan() {
+		line++
+		_, marker, found := strings.Cut(sc.Text(), "// want ")
+		if !found {
+			continue
+		}
+		for _, id := range strings.Fields(marker) {
+			if want[line] == nil {
+				want[line] = map[string]int{}
+			}
+			want[line][id]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// fixtureCases pairs every check with its fixture file. Each fixture
+// contains positive lines (flagged without the check's logic, the test
+// fails) and negative lines (flagged spuriously, the test also fails).
+var fixtureCases = []struct {
+	check string
+	file  string
+}{
+	{"maporder", "maporder.go"},
+	{"randglobal", "randglobal.go"},
+	{"walltime", "walltime.go"},
+	{"floatcmp", "floatcmp.go"},
+	{"lockbalance", "lockbalance.go"},
+	{"wgadd", "wgadd.go"},
+	{"mutexcopy", "mutexcopy.go"},
+	{"noalloc", "noalloc.go"},
+}
+
+func TestFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.check, func(t *testing.T) {
+			diags := loadFixture(t, tc.check, tc.file)
+			want := wantMarkers(t, tc.file)
+
+			got := map[int]map[string]int{}
+			for _, d := range diags {
+				if got[d.Pos.Line] == nil {
+					got[d.Pos.Line] = map[string]int{}
+				}
+				got[d.Pos.Line][d.Check]++
+			}
+			for line, ids := range want {
+				for id, n := range ids {
+					if got[line][id] != n {
+						t.Errorf("line %d: want %d diagnostic(s) of %q, got %d", line, n, id, got[line][id])
+					}
+				}
+			}
+			for line, ids := range got {
+				for id, n := range ids {
+					if want[line][id] != n {
+						t.Errorf("line %d: unexpected diagnostic [%s] (%d)", line, id, n)
+					}
+				}
+			}
+			if t.Failed() {
+				for _, d := range diags {
+					t.Logf("reported: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestEveryCheckHasAFixture keeps the suite honest: a newly registered
+// check without fixture coverage fails here.
+func TestEveryCheckHasAFixture(t *testing.T) {
+	covered := map[string]bool{}
+	for _, tc := range fixtureCases {
+		covered[tc.check] = true
+	}
+	for _, c := range Checks() {
+		if !covered[c.ID] {
+			t.Errorf("check %q has no fixture in fixtureCases", c.ID)
+		}
+		if c.Doc == "" {
+			t.Errorf("check %q has no Doc line", c.ID)
+		}
+	}
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	verb, ids, ok := splitDirective("//lsilint:ignore floatcmp maporder")
+	if !ok || verb != "ignore" || len(ids) != 2 || ids[0] != "floatcmp" {
+		t.Fatalf("splitDirective = %q %v %v", verb, ids, ok)
+	}
+	if _, _, ok := splitDirective("// lsilint:ignore x"); ok {
+		t.Fatal("space after // must not parse as a directive")
+	}
+	if _, _, ok := splitDirective("//nolint:foo"); ok {
+		t.Fatal("foreign directives must not parse")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "a/b.go", Line: 3, Column: 7},
+		Check:   "noalloc",
+		Message: "make allocates",
+	}
+	want := "a/b.go:3:7: [noalloc] make allocates"
+	if d.String() != want {
+		t.Fatalf("String() = %q, want %q", d.String(), want)
+	}
+}
+
+// TestMatchPattern pins the driver's pattern semantics.
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pat, rel string
+		want     bool
+	}{
+		{"./...", "internal/dense", true},
+		{"./...", ".", true},
+		{"./internal/...", "internal/dense", true},
+		{"./internal/...", "internal", true},
+		{"./internal/...", "cmd/lsilint", false},
+		{"./cmd/lsilint", "cmd/lsilint", true},
+		{"./cmd/lsilint", "cmd", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.pat, c.rel); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.pat, c.rel, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	// Path is the import path ("repro/internal/dense").
+	Path string
+	// Dir is the absolute directory holding the sources.
+	Dir string
+	// Matched reports whether the package matched the load patterns (its
+	// dependencies are loaded regardless, but only matched packages are
+	// linted).
+	Matched bool
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a loaded Go module: every non-test package, parsed and
+// type-checked in dependency order with nothing but the standard library
+// toolchain (no x/tools).
+type Module struct {
+	Root string // absolute directory containing go.mod
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // topological (dependency-first) order
+}
+
+// LoadModule parses and type-checks the module rooted at root. Patterns
+// follow the go tool's shape relative to the root: "./..." for
+// everything, "./dir/..." for a subtree, "./dir" for one package. All
+// local packages are loaded (dependencies must type-check), but only
+// those matching a pattern are flagged Matched.
+//
+// Test files (_test.go) are skipped: the invariants the suite enforces
+// are production-code properties, and tests legitimately use wall-clock
+// time, ad-hoc rand, and allocation-heavy helpers.
+func LoadModule(root string, patterns []string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	mod := &Module{Root: root, Path: modPath, Fset: token.NewFileSet()}
+
+	// Parse every candidate directory that holds non-test Go files.
+	byPath := map[string]*rawPkg{}
+	for _, dir := range dirs {
+		files, err := parseDir(mod.Fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + rel
+		}
+		p := &Package{
+			Path:    importPath,
+			Dir:     dir,
+			Matched: matchAny(patterns, rel),
+			Fset:    mod.Fset,
+			Files:   files,
+		}
+		byPath[importPath] = &rawPkg{pkg: p, imports: localImports(files, modPath)}
+	}
+
+	order, err := topoSort(byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	// Type-check in dependency order; each checked package becomes
+	// importable by the ones after it.
+	imp := newChainImporter(mod.Fset)
+	for _, path := range order {
+		raw := byPath[path]
+		if err := typeCheck(mod.Fset, raw.pkg, imp); err != nil {
+			return nil, err
+		}
+		imp.locals[path] = raw.pkg.Types
+		mod.Pkgs = append(mod.Pkgs, raw.pkg)
+	}
+	return mod, nil
+}
+
+// TypeCheckFiles type-checks a standalone set of parsed files (stdlib
+// imports only) as one package — the entry point fixture tests use.
+func TypeCheckFiles(fset *token.FileSet, path string, files []*ast.File) (*Package, error) {
+	p := &Package{Path: path, Fset: fset, Files: files, Matched: true}
+	if err := typeCheck(fset, p, newChainImporter(fset)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// typeCheck runs go/types over one package, filling p.Types and p.Info.
+func typeCheck(fset *token.FileSet, p *Package, imp types.Importer) error {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.Path, fset, p.Files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", p.Path, err)
+	}
+	p.Types = tpkg
+	p.Info = info
+	return nil
+}
+
+// chainImporter resolves module-local packages from the already-checked
+// set and everything else from the toolchain: compiled export data when
+// available, falling back to type-checking the dependency from source.
+type chainImporter struct {
+	locals map[string]*types.Package
+	gc     types.Importer
+	source types.Importer
+	cache  map[string]*types.Package
+}
+
+func newChainImporter(fset *token.FileSet) *chainImporter {
+	return &chainImporter{
+		locals: map[string]*types.Package{},
+		gc:     importer.Default(),
+		source: importer.ForCompiler(fset, "source", nil),
+		cache:  map[string]*types.Package{},
+	}
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.locals[path]; ok {
+		return p, nil
+	}
+	if p, ok := c.cache[path]; ok {
+		return p, nil
+	}
+	p, err := c.gc.Import(path)
+	if err != nil {
+		p, err = c.source.Import(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: importing %q: %w", path, err)
+	}
+	c.cache[path] = p
+	return p, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w (is the working directory inside the module?)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// packageDirs walks the module for directories that can hold packages,
+// skipping hidden directories, testdata, and vendor trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of one directory, returning nil
+// when the directory holds no Go sources.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// localImports lists the module-local import paths of a file set.
+func localImports(files []*ast.File, modPath string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if (path == modPath || strings.HasPrefix(path, modPath+"/")) && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rawPkg is a parsed-but-not-yet-type-checked package.
+type rawPkg struct {
+	pkg     *Package
+	imports []string
+}
+
+// topoSort orders packages dependency-first, erroring on import cycles.
+func topoSort(pkgs map[string]*rawPkg) ([]string, error) {
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = visiting
+		raw, ok := pkgs[path]
+		if !ok {
+			return fmt.Errorf("lint: local import %q has no source directory", path)
+		}
+		for _, dep := range raw.imports {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, path)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// matchAny reports whether the slash-separated module-relative directory
+// rel matches any pattern ("./...", "./dir/...", "./dir", "dir").
+func matchAny(patterns []string, rel string) bool {
+	for _, pat := range patterns {
+		if matchPattern(pat, rel) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchPattern(pat, rel string) bool {
+	pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+	switch {
+	case pat == "..." || pat == "":
+		return true
+	case strings.HasSuffix(pat, "/..."):
+		prefix := strings.TrimSuffix(pat, "/...")
+		return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+	default:
+		return rel == pat
+	}
+}

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The noalloc check enforces the hot-path contract established by the
+// build and scoring work: functions annotated //lsilint:noalloc — the
+// Lanczos step, the scoring kernels, the gemv/gemm inner routines — must
+// not heap-allocate per call. The garbage they would generate is paid on
+// every iteration of loops that run millions of times, and the runtime
+// benchmarks (`make bench`, `make bench-build`) assume zero allocs/op
+// after warm-up.
+//
+// Flagged constructs: make/new, append (may grow), slice and map
+// composite literals, address-of composite literals, string
+// concatenation and string<->[]byte/[]rune conversions, closures that
+// capture variables, and implicit conversions of concrete values to
+// interface types (call arguments, assignments, returns).
+//
+// Deliberately not flagged:
+//   - calls into other functions: the contract is per-function, not
+//     transitive — annotate the callee too if it must not allocate;
+//   - anything inside a panic(...) argument: dimension-mismatch panics
+//     are failure paths that never execute per-iteration;
+//   - plain (non-address-taken) struct composite literals, which stay on
+//     the stack when they do not escape.
+
+func init() {
+	register(&Check{
+		ID:  "noalloc",
+		Doc: "allocation in a function annotated //lsilint:noalloc",
+		Run: runNoAlloc,
+	})
+}
+
+func runNoAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoallocDirective(fd) {
+				continue
+			}
+			checkNoAlloc(p, fd)
+		}
+	}
+}
+
+func checkNoAlloc(p *Pass, fd *ast.FuncDecl) {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return false // failure path: skip the whole argument subtree
+			}
+			switch builtinName(p.Info, node) {
+			case "make":
+				p.Reportf(node.Pos(), "make allocates in noalloc function %s", fd.Name.Name)
+			case "new":
+				p.Reportf(node.Pos(), "new allocates in noalloc function %s", fd.Name.Name)
+			case "append":
+				p.Reportf(node.Pos(), "append may grow and allocate in noalloc function %s; preallocate capacity outside", fd.Name.Name)
+			}
+			if msg := allocatingConversion(p, node); msg != "" {
+				p.Reportf(node.Pos(), "%s allocates in noalloc function %s", msg, fd.Name.Name)
+			}
+			reportInterfaceArgs(p, node, fd.Name.Name)
+		case *ast.CompositeLit:
+			t := p.TypeOf(node)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(node.Pos(), "slice literal allocates in noalloc function %s", fd.Name.Name)
+			case *types.Map:
+				p.Reportf(node.Pos(), "map literal allocates in noalloc function %s", fd.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					p.Reportf(node.Pos(), "&composite literal escapes to the heap in noalloc function %s", fd.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD {
+				if t := p.TypeOf(node); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						p.Reportf(node.Pos(), "string concatenation allocates in noalloc function %s", fd.Name.Name)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(p, node, fd); capt != "" {
+				p.Reportf(node.Pos(), "closure captures %q and allocates in noalloc function %s", capt, fd.Name.Name)
+			}
+			// Keep descending: the literal's body runs on the hot path too.
+		case *ast.GoStmt:
+			p.Reportf(node.Pos(), "go statement allocates a goroutine in noalloc function %s", fd.Name.Name)
+		case *ast.AssignStmt:
+			reportInterfaceAssign(p, node, fd.Name.Name)
+		case *ast.ReturnStmt:
+			reportInterfaceReturn(p, node, fd)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+}
+
+// allocatingConversion recognizes type conversions that copy memory:
+// string(bytes), []byte(s), []rune(s).
+func allocatingConversion(p *Pass, call *ast.CallExpr) string {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return ""
+	}
+	to := tv.Type.Underlying()
+	from := p.TypeOf(call.Args[0])
+	if from == nil {
+		return ""
+	}
+	fromU := from.Underlying()
+	if b, ok := to.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		if _, isSlice := fromU.(*types.Slice); isSlice {
+			return "[]byte/[]rune-to-string conversion"
+		}
+	}
+	if s, ok := to.(*types.Slice); ok {
+		if b, ok := fromU.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			_ = s
+			return "string-to-slice conversion"
+		}
+	}
+	return ""
+}
+
+// reportInterfaceArgs flags call arguments implicitly converted from a
+// concrete type to an interface parameter — the conversion boxes the
+// value on the heap when it escapes (and fmt-style variadics always do).
+func reportInterfaceArgs(p *Pass, call *ast.CallExpr, fname string) {
+	if builtinName(p.Info, call) != "" {
+		return
+	}
+	ft := p.TypeOf(call.Fun)
+	if ft == nil {
+		return
+	}
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		if at := p.TypeOf(arg); at != nil && !types.IsInterface(at) && !isUntypedNil(p, arg) {
+			p.Reportf(arg.Pos(),
+				"implicit conversion of %s to interface %s may allocate in noalloc function %s",
+				types.TypeString(at, nil), types.TypeString(param, nil), fname)
+		}
+	}
+}
+
+// reportInterfaceAssign flags assignments of concrete values into
+// interface-typed destinations.
+func reportInterfaceAssign(p *Pass, as *ast.AssignStmt, fname string) {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := p.TypeOf(lhs)
+		rt := p.TypeOf(as.Rhs[i])
+		if lt != nil && rt != nil && types.IsInterface(lt) && !types.IsInterface(rt) && !isUntypedNil(p, as.Rhs[i]) {
+			p.Reportf(as.Rhs[i].Pos(),
+				"assigning %s into interface %s may allocate in noalloc function %s",
+				types.TypeString(rt, nil), types.TypeString(lt, nil), fname)
+		}
+	}
+}
+
+// reportInterfaceReturn flags returns whose declared result type is an
+// interface while the returned expression is concrete.
+func reportInterfaceReturn(p *Pass, ret *ast.ReturnStmt, fd *ast.FuncDecl) {
+	obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Results().Len() != len(ret.Results) {
+		return // bare return or comma-ok shapes: nothing converted here
+	}
+	for i, res := range ret.Results {
+		want := sig.Results().At(i).Type()
+		if got := p.TypeOf(res); types.IsInterface(want) && got != nil && !types.IsInterface(got) && !isUntypedNil(p, res) {
+			p.Reportf(res.Pos(),
+				"returning concrete %s as interface %s may allocate in noalloc function %s",
+				types.TypeString(got, nil), types.TypeString(want, nil), fd.Name.Name)
+		}
+	}
+}
+
+func isUntypedNil(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return false
+	}
+	b, isBasic := tv.Type.(*types.Basic)
+	return isBasic && b.Kind() == types.UntypedNil
+}
+
+// capturedVar returns the name of a variable the function literal
+// captures from its enclosing function, or "" when it captures nothing.
+// Package-level variables do not count: referencing them needs no
+// closure environment, so the literal stays a static function value.
+func capturedVar(p *Pass, lit *ast.FuncLit, fd *ast.FuncDecl) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Parent() == nil || obj.Pkg() == nil {
+			return true
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return true // package-level
+		}
+		// Declared outside the literal but inside the enclosing function:
+		// that's a capture.
+		if obj.Pos() < lit.Pos() && obj.Pos() >= fd.Pos() {
+			captured = obj.Name()
+		}
+		return true
+	})
+	return captured
+}

@@ -1,0 +1,28 @@
+// Fixture for the floatcmp check.
+package fixtures
+
+func compare(a, b float64, xs []float64) bool {
+	if a == b { // want floatcmp
+		return true
+	}
+	if a != 1.5 { // want floatcmp
+		return false
+	}
+	if a == 0 { // exact-zero guard: no diagnostic
+		return false
+	}
+	if 0.0 != b { // zero on either side: no diagnostic
+		return true
+	}
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	return total != a // want floatcmp
+}
+
+func intCompareIsFine(a, b int) bool { return a == b }
+
+func intended(a, b float64) bool {
+	return a != b //lsilint:ignore floatcmp — total-order tie-break needs bit equality
+}

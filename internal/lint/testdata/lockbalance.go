@@ -1,0 +1,64 @@
+// Fixture for the lockbalance check.
+package fixtures
+
+import "sync"
+
+type guarded struct {
+	mu  sync.RWMutex
+	val int
+}
+
+func deferredUnlock(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.val++
+	return g.val
+}
+
+func sameBlockUnlock(g *guarded) int {
+	g.mu.RLock()
+	v := g.val
+	g.mu.RUnlock()
+	return v
+}
+
+func deferredClosureUnlock(g *guarded) {
+	g.mu.Lock()
+	defer func() {
+		g.val = 0
+		g.mu.Unlock()
+	}()
+	g.val++
+}
+
+func missingUnlock(g *guarded) int {
+	g.mu.Lock() // want lockbalance
+	return g.val
+}
+
+func earlyReturnLeaks(g *guarded, cond bool) int {
+	g.mu.Lock() // want lockbalance
+	if cond {
+		return -1 // leaves the mutex held
+	}
+	v := g.val
+	g.mu.Unlock()
+	return v
+}
+
+func wrongKindLeaks(g *guarded) {
+	g.mu.RLock() // want lockbalance
+	g.mu.Unlock()
+}
+
+func eachLiteralIsItsOwnScope(g *guarded) func() {
+	return func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		g.val++
+	}
+}
+
+func acknowledgedHandoff(g *guarded) {
+	g.mu.Lock() //lsilint:ignore lockbalance — ownership transfers to the caller
+}

@@ -1,0 +1,64 @@
+// Fixture for the maporder check. Lines expecting a diagnostic carry a
+// trailing want-marker comment naming the check ID; all other lines must
+// stay clean.
+package fixtures
+
+import (
+	"fmt"
+	"sort"
+)
+
+func floatAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want maporder
+	}
+	return sum
+}
+
+func intAccumulationIsFine(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer addition commutes exactly: no diagnostic
+	}
+	return n
+}
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below: the canonical fix, no diagnostic
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printedOutput(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want maporder
+	}
+}
+
+func sliceRangeIsFine(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // slices iterate in order: no diagnostic
+	}
+	return sum
+}
+
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //lsilint:ignore maporder — commutative within test tolerance here
+	}
+	return sum
+}

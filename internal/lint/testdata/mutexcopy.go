@@ -1,0 +1,49 @@
+// Fixture for the mutexcopy check.
+package fixtures
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+type wrapper struct{ inner store } // embedding by value is fine to declare…
+
+func byPointer(s *store) {} // pointer: no diagnostic
+
+func byValue(s store) {} // want mutexcopy
+
+func (s store) get(k string) int { // want mutexcopy
+	return s.data[k]
+}
+
+func (s *store) set(k string, v int) { // pointer receiver: no diagnostic
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[k] = v
+}
+
+func transitive(w wrapper) {} // want mutexcopy
+
+func derefCopy(s *store) {
+	local := *s // want mutexcopy
+	_ = local
+}
+
+func rangeCopy(ss []store) {
+	for _, s := range ss { // want mutexcopy
+		_ = s
+	}
+	for i := range ss { // index-only range: no diagnostic
+		_ = i
+	}
+}
+
+func plainStructIsFine(m map[string]int) {
+	type plain struct{ n int }
+	var p plain
+	q := p // no lock inside: no diagnostic
+	_ = q
+	_ = m
+}

@@ -1,0 +1,64 @@
+// Fixture for the noalloc check.
+package fixtures
+
+import "fmt"
+
+// kernel is hot-path code: every allocating construct must be flagged.
+//
+//lsilint:noalloc
+func kernel(out, x []float64, n int) float64 {
+	buf := make([]float64, n) // want noalloc
+	out = append(out, 1.0)    // want noalloc
+	p := new(float64)         // want noalloc
+	lit := []float64{1, 2}    // want noalloc
+	m := map[int]int{}        // want noalloc
+	s := "a" + "b"            // want noalloc
+	bs := []byte(s)           // want noalloc
+	str := string(bs)         // want noalloc
+	fmt.Println(n)            // want noalloc
+	var sum float64
+	for i, v := range x {
+		sum += v * float64(i) // arithmetic and numeric conversions: no diagnostic
+	}
+	add := func() { sum += buf[0] } // want noalloc
+	add()
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // failure path: no diagnostic
+	}
+	_, _, _, _, _ = p, lit, m, str, out
+	return sum
+}
+
+// unannotated may allocate freely: no diagnostics anywhere in here.
+func unannotated(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	fmt.Println(len(out))
+	return out
+}
+
+//lsilint:noalloc
+func interfaceReturn(n int) interface{} {
+	return n // want noalloc
+}
+
+//lsilint:noalloc
+func interfaceAssign(sink *interface{}, n int) {
+	*sink = n // want noalloc
+}
+
+//lsilint:noalloc
+func cleanKernel(x, y []float64) float64 {
+	var s0, s1 float64
+	i := 0
+	for ; i+2 <= len(x); i += 2 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return s0 + s1
+}

@@ -1,0 +1,16 @@
+// Fixture for the randglobal check.
+package fixtures
+
+import "math/rand"
+
+func globalSource() (int, float64) {
+	a := rand.Intn(10)                 // want randglobal
+	b := rand.Float64()                // want randglobal
+	rand.Shuffle(3, func(i, j int) {}) // want randglobal
+	return a, b
+}
+
+func seededSourceIsFine(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() // method on a seeded *rand.Rand: no diagnostic
+}

@@ -1,0 +1,17 @@
+// Fixture for the walltime check.
+package fixtures
+
+import "time"
+
+func reads() time.Duration {
+	t0 := time.Now()      // want walltime
+	return time.Since(t0) // want walltime
+}
+
+func durationsAreFine() time.Duration {
+	return 3 * time.Second // constants and arithmetic: no diagnostic
+}
+
+func suppressed() time.Time {
+	return time.Now() //lsilint:ignore walltime — benchmark harness timing
+}

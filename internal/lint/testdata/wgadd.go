@@ -1,0 +1,26 @@
+// Fixture for the wgadd check.
+package fixtures
+
+import "sync"
+
+func addOutside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1) // before the go statement: no diagnostic
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func addInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want wgadd
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type (including untyped float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isMap reports whether t's underlying type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// builtinName returns the name of the builtin a call invokes ("append",
+// "make", …) or "" when the callee is not a builtin.
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// calleeFunc resolves the function or method a call invokes, following
+// selections so promoted methods (an embedded sync.Mutex's Lock) resolve
+// to their original declaration. Returns nil for builtins, conversions,
+// and calls through function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call (fmt.Println) has no Selection entry.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name
+// (methods never match: they have a receiver).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// syncMethodCall reports whether call invokes a method of a sync type
+// (directly or via embedding), returning the receiver expression, the
+// sync type name ("Mutex", "RWMutex", "WaitGroup", …), and the method
+// name ("Lock", "RUnlock", "Add", …).
+func syncMethodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, typeName, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return nil, "", "", false
+	}
+	rt := sig.Recv().Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return nil, "", "", false
+	}
+	return sel.X, named.Obj().Name(), fn.Name(), true
+}
+
+// lockHolder names the sync types whose by-value copy or misuse the
+// concurrency checks care about.
+var lockHolder = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+}
+
+// containsLock reports whether a value of type t holds sync state that
+// must not be copied: one of the sync types above, or a struct/array
+// containing one (transitively). Pointers are fine — copying a pointer
+// shares the lock instead of splitting it.
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, map[types.Type]bool{})
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockHolder[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// isZeroConstant reports whether e is a compile-time constant equal to
+// zero — the one float comparison the determinism suite allows, since
+// IEEE zero comparisons (guards like `if norm == 0`) are exact.
+func isZeroConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// inspectSkippingFuncLits walks the subtree rooted at n, calling f for
+// every node but not descending into nested function literals — their
+// bodies execute in their own dynamic context, not the enclosing one.
+func inspectSkippingFuncLits(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, isLit := node.(*ast.FuncLit); isLit && node != n {
+			return false
+		}
+		return f(node)
+	})
+}
+
+// forEachFuncBody invokes f once per function body in the file: every
+// declared function plus every function literal. The node passed is the
+// FuncDecl or FuncLit owning the body.
+func forEachFuncBody(file *ast.File, f func(owner ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				f(fn, fn.Body)
+			}
+		case *ast.FuncLit:
+			f(fn, fn.Body)
+		}
+		return true
+	})
+}

@@ -73,16 +73,32 @@ func (e *Engine) Scores(q []float64) []float64 {
 	return out
 }
 
+// scoreSpan writes the cosine of qn against document rows [lo, hi) into
+// out — the serial kernel every scoring goroutine runs, so it must not
+// allocate per call.
+//
+//lsilint:noalloc
+func (e *Engine) scoreSpan(out, qn []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = dense.Dot(qn, e.docs.Row(i))
+	}
+}
+
+// offerSpan scores rows [lo, hi) and feeds them through the bounded
+// selector — the fused score+select kernel behind TopK shards.
+//
+//lsilint:noalloc
+func (e *Engine) offerSpan(s *selector, qn []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s.offer(Item{Doc: i, Score: dense.Dot(qn, e.docs.Row(i))})
+	}
+}
+
 func (e *Engine) scoreRange(out []float64, qn []float64) {
 	n := e.docs.Rows
-	score := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = dense.Dot(qn, e.docs.Row(i))
-		}
-	}
 	nw := runtime.GOMAXPROCS(0)
 	if n*e.docs.Cols < scoreParallelCutoff || nw < 2 || n < 2 {
-		score(0, n)
+		e.scoreSpan(out, qn, 0, n)
 		return
 	}
 	if nw > n {
@@ -101,7 +117,7 @@ func (e *Engine) scoreRange(out []float64, qn []float64) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			score(lo, hi)
+			e.scoreSpan(out, qn, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -126,9 +142,7 @@ func (e *Engine) TopK(q []float64, k int) []Item {
 	nw := runtime.GOMAXPROCS(0)
 	if n*e.docs.Cols < scoreParallelCutoff || nw < 2 || n < 2 {
 		s := newSelector(k)
-		for i := 0; i < n; i++ {
-			s.offer(Item{Doc: i, Score: dense.Dot(qn, e.docs.Row(i))})
-		}
+		e.offerSpan(s, qn, 0, n)
 		return s.finish()
 	}
 	if nw > n {
@@ -149,9 +163,7 @@ func (e *Engine) TopK(q []float64, k int) []Item {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			s := newSelector(k)
-			for i := lo; i < hi; i++ {
-				s.offer(Item{Doc: i, Score: dense.Dot(qn, e.docs.Row(i))})
-			}
+			e.offerSpan(s, qn, lo, hi)
 			sels[w] = s
 		}(w, lo, hi)
 	}

@@ -36,7 +36,7 @@ type Item struct {
 // in the package uses, so heap-selected prefixes are byte-identical to
 // sorted full rankings.
 func Less(a, b Item) bool {
-	if a.Score != b.Score {
+	if a.Score != b.Score { //lsilint:ignore floatcmp — total-order tie-break needs bit equality
 		return a.Score > b.Score
 	}
 	return a.Doc < b.Doc

@@ -73,7 +73,7 @@ func (a *Assigner) Assign(abstracts []string, reviewersPerPaper, maxPerReviewer 
 		}
 	}
 	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].score != pairs[j].score {
+		if pairs[i].score != pairs[j].score { //lsilint:ignore floatcmp — total-order tie-break needs bit equality
 			return pairs[i].score > pairs[j].score
 		}
 		if pairs[i].paper != pairs[j].paper {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -56,6 +57,38 @@ func TestSearchEndpoint(t *testing.T) {
 	for i := 1; i < len(results); i++ {
 		if results[i-1].Cosine < results[i].Cosine {
 			t.Fatal("results not sorted")
+		}
+	}
+}
+
+// TestSearchByteStable pins the determinism contract for user-visible
+// output: identical /search and /terms requests must produce
+// byte-identical response bodies, both on repeated requests against one
+// server and across two independently built models. Everything feeding
+// these bodies — tokenization, SVD, scoring, tie-breaking, JSON
+// encoding — is deterministic; lsilint's maporder check guards the rest
+// of the tree against map-iteration order leaking into output.
+func TestSearchByteStable(t *testing.T) {
+	s1, _ := testServer(t)
+	s2, _ := testServer(t)
+	paths := []string{
+		"/search?q=age+blood+abnormalities+culture&n=10",
+		"/terms?w=oestrogen&n=6",
+	}
+	for _, path := range paths {
+		first := get(t, s1, path)
+		if first.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, first.Code, first.Body)
+		}
+		for i := 0; i < 5; i++ {
+			if rec := get(t, s1, path); !bytes.Equal(rec.Body.Bytes(), first.Body.Bytes()) {
+				t.Fatalf("%s: request %d diverged from first response\n got %s\nwant %s",
+					path, i, rec.Body, first.Body)
+			}
+		}
+		if rec := get(t, s2, path); !bytes.Equal(rec.Body.Bytes(), first.Body.Bytes()) {
+			t.Fatalf("%s: independently built model diverged\n got %s\nwant %s",
+				path, rec.Body, first.Body)
 		}
 	}
 }

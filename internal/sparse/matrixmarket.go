@@ -30,6 +30,13 @@ func (m *CSR) WriteMatrixMarket(w io.Writer) error {
 	return bw.Flush()
 }
 
+// maxMMDim caps the dimensions accepted from a MatrixMarket size line.
+// Build allocates rows+1 row pointers up front, so without a bound a
+// one-line header like "9000000000 1 0" forces a multi-gigabyte
+// allocation before a single entry is parsed. 1<<24 is two orders of
+// magnitude beyond the TREC-scale collections this code targets.
+const maxMMDim = 1 << 24
+
 // ReadMatrixMarket parses a MatrixMarket coordinate file (real, general).
 // Comment lines (%) are skipped; duplicate entries are summed, matching
 // Builder semantics.
@@ -39,6 +46,9 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 
 	// Header line.
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("sparse: empty MatrixMarket input")
 	}
 	header := strings.Fields(strings.ToLower(sc.Text()))
@@ -67,6 +77,9 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	}
 	if rows <= 0 || cols <= 0 || nnz < 0 {
 		return nil, fmt.Errorf("sparse: bad dimensions %d×%d nnz=%d", rows, cols, nnz)
+	}
+	if rows > maxMMDim || cols > maxMMDim {
+		return nil, fmt.Errorf("sparse: dimensions %d×%d exceed limit %d", rows, cols, maxMMDim)
 	}
 	b := NewBuilder(rows, cols)
 	seen := 0

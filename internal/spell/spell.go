@@ -124,7 +124,7 @@ func BaselineGramOverlap(ix *corpus.NGramIndex, word string, n int) []Suggestion
 		out[j] = Suggestion{Word: ix.Words[j], Score: s}
 	}
 	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
+		if out[a].Score != out[b].Score { //lsilint:ignore floatcmp — total-order tie-break needs bit equality
 			return out[a].Score > out[b].Score
 		}
 		return out[a].Word < out[b].Word

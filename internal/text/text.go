@@ -18,10 +18,16 @@ func Tokenize(s string) []string {
 	var toks []string
 	var b strings.Builder
 	flush := func() {
-		if b.Len() > 0 {
-			toks = append(toks, normalizeToken(b.String()))
-			b.Reset()
+		if b.Len() == 0 {
+			return
 		}
+		// Normalization can consume the whole token (a bare "'" or "'s"):
+		// emit nothing rather than an empty string, which would otherwise
+		// become a phantom vocabulary term.
+		if t := normalizeToken(b.String()); t != "" {
+			toks = append(toks, t)
+		}
+		b.Reset()
 	}
 	for _, r := range s {
 		switch {
@@ -40,10 +46,18 @@ func Tokenize(s string) []string {
 
 func normalizeToken(t string) string {
 	// Strip possessive suffixes and stray apostrophes: users' -> users,
-	// user's -> user.
-	t = strings.Trim(t, "'")
-	t = strings.TrimSuffix(t, "'s")
-	return t
+	// user's -> user. Repeat until stable so stacked possessives
+	// ("x's's") cannot leave a token that would normalize differently on
+	// a second pass — Vocabulary.Count must map query tokens exactly as
+	// BuildVocabulary mapped document tokens.
+	for {
+		u := strings.Trim(t, "'")
+		u = strings.TrimSuffix(u, "'s")
+		if u == t {
+			return t
+		}
+		t = u
+	}
 }
 
 // defaultStopwords is the compact SMART-style function-word list used by

@@ -78,7 +78,7 @@ func (m *Model) Rank(rawQuery []float64) []Ranked {
 		out[j] = Ranked{Doc: j, Score: s}
 	}
 	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
+		if out[a].Score != out[b].Score { //lsilint:ignore floatcmp — total-order tie-break needs bit equality
 			return out[a].Score > out[b].Score
 		}
 		return out[a].Doc < out[b].Doc

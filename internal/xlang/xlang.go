@@ -71,7 +71,7 @@ func (ix *Index) Query(q string) []Ranked {
 		out[i] = Ranked{Doc: i, Score: dense.Cosine(qhat, ix.Model.DocVector(base+i))}
 	}
 	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
+		if out[a].Score != out[b].Score { //lsilint:ignore floatcmp — total-order tie-break needs bit equality
 			return out[a].Score > out[b].Score
 		}
 		return out[a].Doc < out[b].Doc
