@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-full build test race race-hot vet lint bench bench-build
+.PHONY: check check-full build test race race-hot stress vet lint bench bench-build
 
 # check is the fast pre-commit loop: vet, build, tests, the race detector
 # on the hot parallel packages only, and the project linter. Run it on
@@ -8,9 +8,10 @@ GO ?= go
 check: vet build test race-hot lint
 
 # check-full is the slow full sweep — the race detector over every
-# package plus everything in check. Run it before merging, or whenever
-# concurrency-adjacent code (server, rank, lanczos, sparse) changed.
-check-full: vet build lint
+# package plus everything in check and a double pass over the serving
+# pipeline. Run it before merging, or whenever concurrency-adjacent code
+# (engine, server, rank, lanczos, sparse) changed.
+check-full: vet build lint stress
 	$(GO) test -race ./...
 
 vet:
@@ -36,6 +37,13 @@ race:
 # keeping `make check` much faster than a full -race sweep.
 race-hot:
 	$(GO) test -race ./internal/lanczos/... ./internal/sparse/...
+
+# stress runs the snapshot-isolation stress suites (readers hammering
+# immutable snapshots while the updater folds in and compacts) under the
+# race detector, twice, so scheduling-dependent interleavings get a
+# second roll of the dice.
+stress:
+	$(GO) test -race -count=2 ./internal/engine/... ./internal/server/...
 
 # bench regenerates the query-serving performance record (engine vs the
 # seed scoring path) consumed by BENCH_query.json.

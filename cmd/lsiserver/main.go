@@ -1,6 +1,8 @@
 // Command lsiserver serves an LSI index over HTTP — the paper's NETLIB
 // fuzzy-search deployment shape (§5.4). It indexes a directory of .txt
-// files and exposes /search, /terms, /documents and /stats.
+// files and exposes /search, /search/batch, /terms, /documents, /stats
+// and /metrics, served from immutable snapshots so reads never block on
+// fold-ins or compactions (see docs/SERVING.md).
 //
 // Usage:
 //
@@ -12,19 +14,32 @@
 //	curl 'localhost:8080/terms?w=matrix'
 //	curl -X POST -d '{"id":"new1","text":"..."}' localhost:8080/documents
 //	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/metrics'
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener stops, the
+// fold-in queue drains, and every acknowledged document is part of the
+// final state before the process exits.
+//
+//lsilint:file-ignore walltime — server lifecycle timeouts are wall-clock by nature
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/server"
 	"repro/internal/text"
 	"repro/internal/weight"
@@ -36,6 +51,12 @@ func main() {
 	dir := flag.String("dir", "", "directory of *.txt files to index")
 	k := flag.Int("k", 100, "number of LSI factors")
 	addr := flag.String("addr", ":8080", "listen address")
+	queueSize := flag.Int("queue", 256, "fold-in queue capacity (full queue => 503 + Retry-After)")
+	batchTick := flag.Duration("batch-tick", 2*time.Millisecond, "fold-in batching window")
+	compactAt := flag.Float64("compact-threshold", 0.05,
+		"doc-orthogonality loss triggering SVD-update compaction; 0 disables")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline; 0 disables")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining queued fold-ins")
 	flag.Parse()
 	if *dir == "" {
 		log.Fatal("-dir is required")
@@ -69,11 +90,44 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := server.New(coll, model)
+	srv, err := server.NewWithOptions(coll, model, server.Options{
+		Engine: engine.Config{
+			QueueSize:        *queueSize,
+			BatchTick:        *batchTick,
+			CompactThreshold: *compactAt,
+			Logf:             log.Printf,
+		},
+		RequestTimeout: *reqTimeout,
+		Logf:           log.Printf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("indexed %d docs, %d terms, k=%d; listening on %s",
 		coll.Size(), coll.Terms(), model.K, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down: draining in-flight requests and queued fold-ins")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(shutCtx); err != nil {
+		log.Printf("engine drain: %v", err)
+		os.Exit(1)
+	}
+	st := srv.Engine().Stats()
+	log.Printf("drained: %d documents in final snapshot (generation %d)", st.Documents, st.Generation)
 }

@@ -214,6 +214,32 @@ func (m *Model) Clone() *Model {
 	}
 }
 
+// SharedClone returns a copy-on-write clone for snapshot publication: the
+// large factor matrices U and V are shared with the receiver while the
+// small per-model slices (S, global) are copied, so cloning costs O(k + m)
+// instead of O((m+n)·k). The clone is safe to mutate concurrently with
+// readers of the original because every mutating method replaces factors
+// wholesale rather than writing through them: fold-in builds a new V with
+// AugmentRows, and the SVD-updating phases multiply into freshly allocated
+// matrices (the in-place sign convention runs on those fresh factors only).
+//
+// Contract: at most one goroutine may mutate any given clone, and a model
+// that has been SharedClone'd must itself no longer be mutated — the
+// intended discipline is a single background updater that clones the
+// current published snapshot, mutates the clone, and publishes it.
+func (m *Model) SharedClone() *Model {
+	return &Model{
+		K:        m.K,
+		U:        m.U,
+		S:        append([]float64(nil), m.S...),
+		V:        m.V,
+		Scheme:   m.Scheme,
+		global:   append([]float64(nil), m.global...),
+		svdDocs:  m.svdDocs,
+		svdTerms: m.svdTerms,
+	}
+}
+
 // NumTerms returns the current term count (rows of U, including folded-in
 // terms).
 func (m *Model) NumTerms() int { return m.U.Rows }

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// cloneFixture builds a small unfolded model plus a frozen byte-copy of
+// its factors for mutation checks.
+func cloneFixture(t *testing.T) (*corpus.Collection, *Model, []float64, []float64, []float64) {
+	t.Helper()
+	coll := corpus.MED()
+	m, err := BuildCollection(coll, Config{K: 2, Method: MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := append([]float64(nil), m.U.Data...)
+	v := append([]float64(nil), m.V.Data...)
+	s := append([]float64(nil), m.S...)
+	return coll, m, u, v, s
+}
+
+func sliceEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] { //lsilint:ignore floatcmp — byte-identity is the property under test
+			return false
+		}
+	}
+	return true
+}
+
+// TestSharedCloneSharesFactors pins the cheapness contract: U and V are
+// the same backing storage, while S and the global-weight table are
+// independent copies.
+func TestSharedCloneSharesFactors(t *testing.T) {
+	_, m, _, _, _ := cloneFixture(t)
+	c := m.SharedClone()
+	if c.U != m.U || c.V != m.V {
+		t.Fatal("SharedClone must share the factor matrices")
+	}
+	if &c.S[0] == &m.S[0] {
+		t.Fatal("SharedClone must copy S")
+	}
+	if len(c.global) > 0 && &c.global[0] == &m.global[0] {
+		t.Fatal("SharedClone must copy the global weight table")
+	}
+	if c.NumDocs() != m.NumDocs() || c.NumTerms() != m.NumTerms() || c.FoldedDocs() != 0 {
+		t.Fatalf("clone shape diverged: %d docs %d terms", c.NumDocs(), c.NumTerms())
+	}
+}
+
+// TestSharedCloneFoldInLeavesOriginal folds documents into the clone and
+// asserts the original model is byte-identical afterwards — the property
+// that makes a published snapshot safe to keep serving while the updater
+// mutates a clone.
+func TestSharedCloneFoldInLeavesOriginal(t *testing.T) {
+	coll, m, u0, v0, s0 := cloneFixture(t)
+	c := m.SharedClone()
+	c.FoldInDocs(coll.DocVectors(corpus.MEDUpdateTopics))
+	if c.NumDocs() != m.NumDocs()+len(corpus.MEDUpdateTopics) {
+		t.Fatalf("clone has %d docs", c.NumDocs())
+	}
+	if m.NumDocs() != len(v0)/m.K {
+		t.Fatalf("original doc count moved to %d", m.NumDocs())
+	}
+	if !sliceEq(m.U.Data, u0) || !sliceEq(m.V.Data, v0) || !sliceEq(m.S, s0) {
+		t.Fatal("fold-in on clone mutated the original factors")
+	}
+	// The shared prefix of the clone's V is bit-identical too (fold-in
+	// never moves existing coordinates).
+	if !sliceEq(c.V.Data[:len(v0)], v0) {
+		t.Fatal("fold-in moved existing document coordinates")
+	}
+}
+
+// TestSharedCloneUpdateDocsLeavesOriginal runs the document SVD-update
+// phase — which rotates every coordinate — on a clone and asserts the
+// original is untouched: the update writes freshly allocated factors and
+// only sign-fixes those.
+func TestSharedCloneUpdateDocsLeavesOriginal(t *testing.T) {
+	coll, m, u0, v0, s0 := cloneFixture(t)
+	c := m.SharedClone()
+	if err := c.UpdateDocs(coll.DocVectors(corpus.MEDUpdateTopics)); err != nil {
+		t.Fatal(err)
+	}
+	if !sliceEq(m.U.Data, u0) || !sliceEq(m.V.Data, v0) || !sliceEq(m.S, s0) {
+		t.Fatal("UpdateDocs on clone mutated the original factors")
+	}
+	if c.FoldedDocs() != 0 {
+		t.Fatalf("updated clone reports %d folded docs", c.FoldedDocs())
+	}
+	if got := c.DocOrthogonality(); got > 1e-8 {
+		t.Fatalf("updated clone orthogonality %g", got)
+	}
+	// And the results of the update match the same update on a deep clone:
+	// sharing changed nothing about the algebra.
+	d := m.Clone()
+	if err := d.UpdateDocs(coll.DocVectors(corpus.MEDUpdateTopics)); err != nil {
+		t.Fatal(err)
+	}
+	if !sliceEq(c.V.Data, d.V.Data) || !sliceEq(c.U.Data, d.U.Data) || !sliceEq(c.S, d.S) {
+		t.Fatal("SharedClone update diverged from deep-clone update")
+	}
+}
+
+// TestSharedCloneRankingParity: rankings computed through a clone equal
+// the original's, byte for byte.
+func TestSharedCloneRankingParity(t *testing.T) {
+	coll, m, _, _, _ := cloneFixture(t)
+	c := m.SharedClone()
+	raw := coll.QueryVector("age blood abnormalities culture")
+	a := m.RankTop(raw, 5)
+	b := c.RankTop(raw, 5)
+	if len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package engine is the snapshot-isolated serving core behind the HTTP
+// server: reads never block on writes, the shape §5.4's NETLIB deployment
+// needs once the database grows by folding-in (§4.3) while queries keep
+// arriving.
+//
+// The design is a single-writer copy-on-write pipeline:
+//
+//   - Readers load an immutable *Snapshot (model + docs + normalized
+//     scoring cache) through one atomic pointer load and never take a
+//     lock — a snapshot, once published, is never mutated.
+//   - All mutation lives in one background updater goroutine fed by a
+//     bounded queue. Each batch tick it drains the queue, folds the whole
+//     batch into a SharedClone of the current model with one FoldInDocs
+//     call (Eq 7), extends the scoring cache by just the new rows, and
+//     publishes the successor snapshot.
+//   - Folding-in corrupts V's orthogonality (§4.3); when the published
+//     model's DocOrthogonality crosses the configured threshold the
+//     updater launches an SVD-update compaction (core.UpdateDocs, Eq 10)
+//     off to the side: the last pure-SVD base absorbs every document
+//     folded since, while reads — and further fold-ins — continue on the
+//     current snapshots. When the compaction lands, documents folded in
+//     the meantime are re-folded onto the compacted base and the result
+//     is published; orthogonality drops back to zero without the service
+//     ever pausing.
+//
+// Backpressure is explicit: a full queue rejects submissions immediately
+// (the HTTP layer maps that to 503 + Retry-After), and Close drains every
+// accepted fold-in before returning, so an acknowledged-or-queued document
+// is never lost on graceful shutdown.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/rank"
+)
+
+// Exported error sentinels; the HTTP layer switches on these.
+var (
+	// ErrQueueFull means the fold-in queue is at capacity; retry later.
+	ErrQueueFull = errors.New("engine: fold-in queue full")
+	// ErrDuplicateID means a submitted document ID already exists.
+	ErrDuplicateID = errors.New("engine: duplicate document id")
+	// ErrClosed means the engine is shutting down or closed.
+	ErrClosed = errors.New("engine: closed")
+)
+
+// Config parameterizes the update pipeline. The zero value gets sensible
+// defaults from New; CompactThreshold 0 disables automatic compaction.
+type Config struct {
+	// QueueSize bounds the fold-in queue (default 256). Submissions beyond
+	// it fail fast with ErrQueueFull.
+	QueueSize int
+	// BatchTick is the batching window: the updater drains the queue and
+	// folds one batch per tick (default 2ms).
+	BatchTick time.Duration
+	// CompactThreshold is the DocOrthogonality (‖V̂ᵀV̂−I‖_F, §4.3) level
+	// above which the updater triggers an SVD-update compaction; 0 (or
+	// negative) disables automatic compaction.
+	CompactThreshold float64
+	// Logf receives diagnostics (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Stats is a point-in-time view of the pipeline for /stats and /metrics.
+type Stats struct {
+	Generation      uint64
+	QueueDepth      int
+	Compactions     int64
+	Compacting      bool
+	Documents       int
+	FoldedDocuments int
+}
+
+type submitResult struct {
+	id  string
+	err error
+}
+
+type submission struct {
+	doc   corpus.Document
+	reply chan submitResult
+}
+
+type compactResult struct {
+	model *core.Model // base with pending docs absorbed; FoldedDocs()==0
+	count int         // how many pending docs it absorbed
+	err   error
+}
+
+// Engine owns the serving snapshot and the background update pipeline.
+type Engine struct {
+	cfg  Config
+	coll *corpus.Collection
+
+	snap atomic.Pointer[Snapshot]
+
+	queue chan submission
+	stop  chan struct{}
+	done  chan struct{}
+
+	// closeMu orders Submit's enqueue against Close: Submit holds the read
+	// side while it checks closed and sends, so once Close holds the write
+	// side no further submission can slip into the queue and the final
+	// drain is complete. Readers never touch this (or any) lock.
+	closeMu sync.RWMutex
+	closed  bool
+
+	compactions atomic.Int64
+	compacting  atomic.Bool
+
+	// Updater-goroutine-owned state (no locking: single owner).
+	base      *core.Model       // last pure-SVD model; nil disables compaction
+	pending   []corpus.Document // docs folded in since base was computed
+	ids       map[string]struct{}
+	nextID    int
+	compactCh chan compactResult
+}
+
+// New builds an engine serving the given collection and model and starts
+// its background updater. The model must have been built from the
+// collection and must not be mutated by the caller afterwards; the engine
+// owns it from here on.
+func New(coll *corpus.Collection, model *core.Model, cfg Config) (*Engine, error) {
+	if model.NumDocs() != coll.Size() {
+		return nil, fmt.Errorf("engine: model has %d docs, collection %d", model.NumDocs(), coll.Size())
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 256
+	}
+	if cfg.BatchTick <= 0 {
+		cfg.BatchTick = 2 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	e := &Engine{
+		cfg:       cfg,
+		coll:      coll,
+		queue:     make(chan submission, cfg.QueueSize),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		ids:       make(map[string]struct{}, coll.Size()),
+		compactCh: make(chan compactResult, 1),
+	}
+	docs := append([]corpus.Document(nil), coll.Docs...)
+	for _, d := range docs {
+		e.ids[d.ID] = struct{}{}
+	}
+	e.nextID = len(docs)
+	if model.FoldedDocs() == 0 && model.FoldedTerms() == 0 {
+		e.base = model
+	} else if cfg.CompactThreshold > 0 {
+		cfg.Logf("engine: model contains folded rows; automatic compaction disabled")
+	}
+	e.snap.Store(&Snapshot{Gen: 1, Model: model, Eng: rank.NewEngine(model.V), Docs: docs})
+	go e.run()
+	return e, nil
+}
+
+// Snapshot returns the current serving snapshot: one atomic load, no
+// locks, safe to use for the rest of the request even while newer
+// snapshots are published.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Stats reports pipeline state for monitoring.
+func (e *Engine) Stats() Stats {
+	s := e.Snapshot()
+	return Stats{
+		Generation:      s.Gen,
+		QueueDepth:      len(e.queue),
+		Compactions:     e.compactions.Load(),
+		Compacting:      e.compacting.Load(),
+		Documents:       s.NumDocs(),
+		FoldedDocuments: s.Model.FoldedDocs(),
+	}
+}
+
+// Submit queues one document for fold-in and waits for the batch that
+// contains it to be published, returning the (possibly auto-assigned)
+// document ID. A full queue fails immediately with ErrQueueFull. If ctx
+// expires while waiting, Submit returns ctx.Err() — but the document has
+// been accepted and will still be folded in (and drained on Close).
+func (e *Engine) Submit(ctx context.Context, doc corpus.Document) (string, error) {
+	sub := submission{doc: doc, reply: make(chan submitResult, 1)}
+	if err := e.enqueue(sub); err != nil {
+		return "", err
+	}
+	select {
+	case res := <-sub.reply:
+		return res.id, res.err
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+// enqueue places a submission on the queue under the read side of
+// closeMu, so it can never race past Close's final drain.
+func (e *Engine) enqueue(sub submission) error {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case e.queue <- sub:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Close stops accepting submissions, drains every queued fold-in, waits
+// for an in-flight compaction to land, and shuts the updater down. It is
+// idempotent; ctx bounds the wait.
+func (e *Engine) Close(ctx context.Context) error {
+	e.closeMu.Lock()
+	already := e.closed
+	e.closed = true
+	e.closeMu.Unlock()
+	if !already {
+		close(e.stop)
+	}
+	select {
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run is the single updater goroutine: the only mutator of serving state.
+func (e *Engine) run() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.cfg.BatchTick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			e.applyBatch(e.drainQueue())
+		case res := <-e.compactCh:
+			e.finishCompaction(res)
+		case <-e.stop:
+			// Final drain: Close holds closeMu exclusively before
+			// signalling, so nothing can be added behind this drain.
+			e.applyBatch(e.drainQueue())
+			if e.compacting.Load() {
+				e.finishCompaction(<-e.compactCh)
+			}
+			return
+		}
+	}
+}
+
+// drainQueue empties the queue without blocking; items stay in the
+// channel between ticks so queue-full backpressure is honest.
+func (e *Engine) drainQueue() []submission {
+	var batch []submission
+	for {
+		select {
+		case sub := <-e.queue:
+			batch = append(batch, sub)
+		default:
+			return batch
+		}
+	}
+}
+
+// applyBatch validates a batch, folds the accepted documents into a
+// copy-on-write clone of the current model as one FoldInDocs call,
+// publishes the successor snapshot, and acknowledges every submitter.
+func (e *Engine) applyBatch(batch []submission) {
+	if len(batch) == 0 {
+		return
+	}
+	cur := e.snap.Load()
+	accepted := make([]corpus.Document, 0, len(batch))
+	replies := make([]submission, 0, len(batch))
+	for _, sub := range batch {
+		id := sub.doc.ID
+		if id == "" {
+			// Auto-assigned IDs skip over anything a user already took, so
+			// they can never collide with an explicit ID.
+			for {
+				id = fmt.Sprintf("doc-%d", e.nextID)
+				e.nextID++
+				if _, taken := e.ids[id]; !taken {
+					break
+				}
+			}
+		} else if _, dup := e.ids[id]; dup {
+			sub.reply <- submitResult{err: fmt.Errorf("%w: %q", ErrDuplicateID, id)}
+			continue
+		}
+		e.ids[id] = struct{}{}
+		accepted = append(accepted, corpus.Document{ID: id, Text: sub.doc.Text})
+		sub.doc.ID = id
+		replies = append(replies, sub)
+	}
+	if len(accepted) > 0 {
+		next := cur.Model.SharedClone()
+		oldN := next.NumDocs()
+		next.FoldInDocs(e.coll.DocVectors(accepted))
+		eng := cur.Eng.Extend(next.V.Slice(oldN, next.NumDocs(), 0, next.V.Cols))
+		docs := append(cur.Docs, accepted...)
+		e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: next, Eng: eng, Docs: docs})
+		e.pending = append(e.pending, accepted...)
+	}
+	for _, sub := range replies {
+		sub.reply <- submitResult{id: sub.doc.ID}
+	}
+	e.maybeCompact()
+}
+
+// maybeCompact launches an SVD-update compaction when the published
+// model's orthogonality loss exceeds the threshold. At most one
+// compaction runs at a time; it works from the immutable base model and a
+// frozen copy of the pending fold-ins, so reads and further fold-ins
+// proceed untouched while it runs.
+func (e *Engine) maybeCompact() {
+	if e.cfg.CompactThreshold <= 0 || e.base == nil || e.compacting.Load() || len(e.pending) == 0 {
+		return
+	}
+	select {
+	case <-e.stop: // shutting down: don't start work nobody will serve
+		return
+	default:
+	}
+	if e.snap.Load().Model.DocOrthogonality() <= e.cfg.CompactThreshold {
+		return
+	}
+	base := e.base.SharedClone()
+	d := e.coll.DocVectors(e.pending)
+	count := len(e.pending)
+	e.compacting.Store(true)
+	go func() {
+		err := base.UpdateDocs(d)
+		e.compactCh <- compactResult{model: base, count: count, err: err}
+	}()
+}
+
+// finishCompaction reconciles a landed compaction with whatever folded in
+// while it ran: documents beyond the compacted prefix are re-folded onto
+// the fresh base, and the result is published as the next generation. The
+// document list is unchanged — only the latent coordinates moved.
+func (e *Engine) finishCompaction(res compactResult) {
+	e.compacting.Store(false)
+	if res.err != nil {
+		// Should be unreachable (the base is unfolded by construction);
+		// keep serving the folded snapshots and leave pending intact.
+		e.cfg.Logf("engine: compaction failed: %v", res.err)
+		return
+	}
+	leftover := append([]corpus.Document(nil), e.pending[res.count:]...)
+	serving := res.model.SharedClone()
+	if len(leftover) > 0 {
+		serving.FoldInDocs(e.coll.DocVectors(leftover))
+	}
+	cur := e.snap.Load()
+	// Compaction rotated every document coordinate, so the scoring cache
+	// is rebuilt rather than extended.
+	e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: serving, Eng: rank.NewEngine(serving.V), Docs: cur.Docs})
+	e.base = res.model
+	e.pending = leftover
+	e.compactions.Add(1)
+	// The leftover fold-ins may already exceed the threshold again.
+	e.maybeCompact()
+}

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dense"
+	"repro/internal/rank"
+)
+
+// Snapshot is one immutable, internally consistent view of the serving
+// state: the LSI model, the document list it ranks over, and the
+// unit-normalized scoring cache built from the model's document vectors.
+// Readers obtain a Snapshot with a single atomic load and use it without
+// any locking; the background updater publishes successors but never
+// mutates a snapshot that has been published.
+//
+// Invariants: Model.NumDocs() == len(Docs) == Eng.NumDocs(), and Gen
+// strictly increases across publications.
+type Snapshot struct {
+	// Gen is the publication generation: 1 for the initial snapshot,
+	// incremented by every fold-in batch and every compaction.
+	Gen uint64
+	// Model is the LSI model; treated as immutable once published.
+	Model *core.Model
+	// Eng is the snapshot-owned normalized document cache — the norm cache
+	// lives on the snapshot, not behind the model's internal lock, so the
+	// read path touches no mutex at all.
+	Eng *rank.Engine
+	// Docs maps document index → document; the slice prefix is shared
+	// across snapshots (the updater only appends).
+	Docs []corpus.Document
+}
+
+// NumDocs returns how many documents the snapshot serves.
+func (s *Snapshot) NumDocs() int { return len(s.Docs) }
+
+// Doc returns document j.
+func (s *Snapshot) Doc(j int) corpus.Document { return s.Docs[j] }
+
+// RankTop projects a raw query vector and returns the n best documents in
+// ranking order, scored against the snapshot's normalized cache. The
+// computation is identical to core.Model.RankTop — same projection, same
+// normalized matrix, same bounded selection — so results are byte-stable
+// with the model's own scoring path; it just reads the snapshot-owned
+// cache instead of the model's lock-guarded one.
+func (s *Snapshot) RankTop(raw []float64, n int) []core.Ranked {
+	return toRanked(s.Eng.TopK(s.Model.ProjectQuery(raw), n))
+}
+
+// RankBatch scores a block of raw query vectors as one gemm pass and
+// returns the top n documents for each, matching core.Model.RankBatch.
+func (s *Snapshot) RankBatch(raws [][]float64, n int) [][]core.Ranked {
+	if len(raws) == 0 {
+		return nil
+	}
+	qhats := make([][]float64, len(raws))
+	for i, raw := range raws {
+		qhats[i] = s.Model.ProjectQuery(raw)
+	}
+	res := s.Eng.TopKBatch(dense.NewFromRows(qhats), n)
+	out := make([][]core.Ranked, len(res))
+	for i, items := range res {
+		out[i] = toRanked(items)
+	}
+	return out
+}
+
+func toRanked(items []rank.Item) []core.Ranked {
+	out := make([]core.Ranked, len(items))
+	for i, it := range items {
+		out[i] = core.Ranked{Doc: it.Doc, Score: it.Score}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/synonym"
+)
+
+// TestStressSnapshotIsolation is the core race/stress proof for the
+// serving engine: reader goroutines hammer ranking, batch ranking, and
+// term lookup off atomic snapshots while a writer streams fold-ins and a
+// tiny compaction threshold forces repeated SVD-update compactions. Run
+// under -race (make stress) this demonstrates that:
+//
+//   - readers never block on the updater (they only load a pointer; any
+//     lock shared with the writer would show as contention or a race),
+//   - every observed snapshot is internally consistent (doc indices
+//     resolve, scores sorted, model/docs/cache agree on the doc count),
+//   - results for the same query against the same snapshot generation are
+//     deterministic, and
+//   - the generation observed by each reader increases monotonically
+//     while at least two compactions complete.
+func TestStressSnapshotIsolation(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	e, coll := testEngine(t, Config{
+		QueueSize:        1024,
+		BatchTick:        200 * time.Microsecond,
+		CompactThreshold: 1e-9, // every fold crosses it: maximum churn
+	})
+	const (
+		writers = 40 // documents streamed in
+		readers = 4
+		reads   = 120
+	)
+	queries := [][]float64{
+		coll.QueryVector("age blood abnormalities"),
+		coll.QueryVector("depressed patients fast culture"),
+		coll.QueryVector("oestrogen detected rise"),
+	}
+
+	// Per-generation result pinning: the first reader to see a generation
+	// records its result; everyone else landing on that generation must
+	// match exactly.
+	var pinMu sync.Mutex
+	pinned := make(map[uint64][]string)
+
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		ctx := context.Background()
+		for i := 0; i < writers; i++ {
+			if _, err := e.Submit(ctx, corpus.Document{Text: fmt.Sprintf("depressed rats culture pressure %d", i)}); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var lastGen uint64
+			for i := 0; i < reads; i++ {
+				s := e.Snapshot()
+				if s.Gen < lastGen {
+					t.Errorf("reader %d: generation went backwards %d -> %d", g, lastGen, s.Gen)
+					return
+				}
+				lastGen = s.Gen
+				if s.Model.NumDocs() != s.NumDocs() || s.Eng.NumDocs() != s.NumDocs() {
+					t.Errorf("reader %d: inconsistent snapshot: model=%d docs=%d eng=%d",
+						g, s.Model.NumDocs(), s.NumDocs(), s.Eng.NumDocs())
+					return
+				}
+				switch i % 3 {
+				case 0:
+					ranked := s.RankTop(queries[i%len(queries)], 8)
+					keys := make([]string, 0, len(ranked))
+					for j, r := range ranked {
+						if r.Doc < 0 || r.Doc >= s.NumDocs() || s.Doc(r.Doc).ID == "" {
+							t.Errorf("reader %d: unresolvable doc index %d", g, r.Doc)
+							return
+						}
+						if j > 0 && ranked[j-1].Score < r.Score {
+							t.Errorf("reader %d: scores not sorted", g)
+							return
+						}
+						keys = append(keys, fmt.Sprintf("%s:%x", s.Doc(r.Doc).ID, r.Score))
+					}
+					if i%len(queries) == 0 {
+						pinMu.Lock()
+						if prev, ok := pinned[s.Gen]; ok {
+							if !reflect.DeepEqual(prev, keys) {
+								t.Errorf("reader %d: generation %d results diverged\n got %v\nwant %v", g, s.Gen, keys, prev)
+							}
+						} else {
+							pinned[s.Gen] = keys
+						}
+						pinMu.Unlock()
+					}
+				case 1:
+					batch := s.RankBatch(queries, 5)
+					if len(batch) != len(queries) {
+						t.Errorf("reader %d: batch size %d", g, len(batch))
+						return
+					}
+					for _, ranked := range batch {
+						for _, r := range ranked {
+							if r.Doc < 0 || r.Doc >= s.NumDocs() {
+								t.Errorf("reader %d: batch doc index %d out of range %d", g, r.Doc, s.NumDocs())
+								return
+							}
+						}
+					}
+				case 2:
+					if _, err := synonym.NearestTerms(s.Model, coll.Vocab, "blood", 5); err != nil {
+						t.Errorf("reader %d: terms: %v", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	<-writerDone
+
+	// Let the pipeline settle, then check the end state.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := e.Stats()
+		if st.Documents == 14+writers && !st.Compacting && st.QueueDepth == 0 && st.Compactions >= 2 && st.FoldedDocuments == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline did not settle: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := e.Stats()
+	if st.Compactions < 2 {
+		t.Fatalf("only %d compactions; stress target is ≥2", st.Compactions)
+	}
+	s := e.Snapshot()
+	if s.Gen < uint64(st.Compactions)+1 {
+		t.Fatalf("generation %d lower than compaction count %d", s.Gen, st.Compactions)
+	}
+	// Every streamed document is present exactly once.
+	seen := make(map[string]int)
+	for j := 0; j < s.NumDocs(); j++ {
+		seen[s.Doc(j).ID]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("id %s appears %d times", id, n)
+		}
+	}
+	if len(seen) != 14+writers {
+		t.Fatalf("%d unique ids want %d", len(seen), 14+writers)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dense"
 )
@@ -15,11 +16,27 @@ const scoreParallelCutoff = 1 << 15
 
 // Engine scores queries against a unit-normalized copy of a document
 // matrix. Rows are normalized once at construction, so a query cosine is
-// a single dot product against each row. Engines are immutable: Extend
-// returns a new Engine, which is what lets concurrent readers keep using
-// a snapshot while a writer swaps in an extended one.
+// a single dot product against each row. Engines are immutable from a
+// reader's point of view: Extend returns a new Engine, which is what lets
+// concurrent readers keep using a snapshot while a writer swaps in an
+// extended one.
 type Engine struct {
 	docs *dense.Matrix // n×dim; rows unit-normalized (zero rows stay zero)
+	// claimed tracks, for the backing allocation under docs.Data, how many
+	// elements have been handed out to some Engine in the sharing chain.
+	// Extend appends new rows into the allocation's spare capacity only
+	// after winning a compare-and-swap from this engine's own length — so
+	// exactly one successor per chain link reuses the tail, and a second
+	// Extend of the same engine (or of an ancestor) falls back to copying.
+	claimed *atomic.Int64
+}
+
+// newEngineFor wraps an already-normalized matrix whose backing slice is
+// exclusively owned by the new engine.
+func newEngineFor(docs *dense.Matrix) *Engine {
+	claimed := new(atomic.Int64)
+	claimed.Store(int64(len(docs.Data)))
+	return &Engine{docs: docs, claimed: claimed}
 }
 
 // NewEngine builds the normalized cache from an n×dim matrix of document
@@ -29,12 +46,22 @@ func NewEngine(vectors *dense.Matrix) *Engine {
 	for i := 0; i < docs.Rows; i++ {
 		dense.Normalize(docs.Row(i))
 	}
-	return &Engine{docs: docs}
+	return newEngineFor(docs)
 }
 
 // Extend returns a new Engine covering the old documents plus the given
 // newly-appended rows — the incremental path for folding-in, which only
 // ever appends document vectors.
+//
+// When the backing allocation has spare capacity and no other engine in
+// the sharing chain has claimed it, the new rows are written into that
+// tail and the returned Engine shares the prefix storage — an O(new rows)
+// append instead of an O(all rows) copy, which is what keeps per-batch
+// snapshot publication cheap as a collection grows. Existing readers are
+// unaffected: they only ever touch rows below their own length, and the
+// tail is written before the new Engine is published (callers hand the
+// result to readers through a synchronized publish such as an atomic
+// snapshot pointer or a mutex, which orders the writes).
 func (e *Engine) Extend(more *dense.Matrix) *Engine {
 	if more.Cols != e.docs.Cols {
 		panic(fmt.Sprintf("rank: Extend dim %d want %d", more.Cols, e.docs.Cols))
@@ -43,7 +70,27 @@ func (e *Engine) Extend(more *dense.Matrix) *Engine {
 	for i := 0; i < norm.Rows; i++ {
 		dense.Normalize(norm.Row(i))
 	}
-	return &Engine{docs: e.docs.AugmentRows(norm)}
+	oldLen := len(e.docs.Data)
+	need := oldLen + len(norm.Data)
+	if e.claimed != nil && cap(e.docs.Data) >= need &&
+		e.claimed.CompareAndSwap(int64(oldLen), int64(need)) {
+		data := e.docs.Data[:need]
+		copy(data[oldLen:], norm.Data)
+		return &Engine{
+			docs:    &dense.Matrix{Rows: e.docs.Rows + norm.Rows, Cols: e.docs.Cols, Data: data},
+			claimed: e.claimed,
+		}
+	}
+	// Copy path: a fresh allocation with headroom so subsequent extends of
+	// the chain amortize to O(new rows).
+	capacity := 2 * oldLen
+	if capacity < need {
+		capacity = need
+	}
+	data := make([]float64, need, capacity)
+	copy(data, e.docs.Data)
+	copy(data[oldLen:], norm.Data)
+	return newEngineFor(&dense.Matrix{Rows: e.docs.Rows + norm.Rows, Cols: e.docs.Cols, Data: data})
 }
 
 // NumDocs returns how many document rows the engine covers.

@@ -187,6 +187,78 @@ func TestEngineExtend(t *testing.T) {
 	}
 }
 
+// TestEngineExtendChainShares pins the cheap-append contract: the first
+// Extend of a fresh engine copies (a Clone has no spare capacity), but
+// once the chain owns an allocation with headroom, the next Extend claims
+// the tail and shares prefix storage with its parent instead of copying.
+func TestEngineExtendChainShares(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	all := randomMatrix(rng, 60, 8)
+	e0 := NewEngine(all.Slice(0, 40, 0, 8))
+	e1 := e0.Extend(all.Slice(40, 50, 0, 8)) // copy path, allocates headroom
+	e2 := e1.Extend(all.Slice(50, 60, 0, 8)) // must reuse e1's tail
+	if &e2.docs.Data[0] != &e1.docs.Data[0] {
+		t.Fatal("second extend did not share the chain's backing allocation")
+	}
+	if e2.claimed != e1.claimed {
+		t.Fatal("second extend did not stay on the chain's claim token")
+	}
+	full := NewEngine(all)
+	q := make([]float64, 8)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	if !reflect.DeepEqual(e2.Scores(q), full.Scores(q)) {
+		t.Fatal("chained engine scores differ from a fresh build")
+	}
+	// Parents still serve their own prefixes untouched.
+	if !reflect.DeepEqual(e1.Scores(q), NewEngine(all.Slice(0, 50, 0, 8)).Scores(q)) {
+		t.Fatal("extending mutated the parent engine's rows")
+	}
+	if e0.NumDocs() != 40 || e1.NumDocs() != 50 || e2.NumDocs() != 60 {
+		t.Fatalf("chain lengths %d/%d/%d", e0.NumDocs(), e1.NumDocs(), e2.NumDocs())
+	}
+}
+
+// TestEngineExtendSiblingsDoNotAlias extends the same parent twice: only
+// one sibling may win the spare capacity, and the loser must fall back to
+// a private copy rather than clobbering the winner's rows.
+func TestEngineExtendSiblingsDoNotAlias(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := randomMatrix(rng, 50, 8)
+	rowsA := randomMatrix(rng, 10, 8)
+	rowsB := randomMatrix(rng, 10, 8)
+	parent := NewEngine(base.Slice(0, 40, 0, 8)).Extend(base.Slice(40, 50, 0, 8))
+	a := parent.Extend(rowsA) // claims the tail
+	b := parent.Extend(rowsB) // claim CAS must fail → copy
+	if &a.docs.Data[0] != &parent.docs.Data[0] {
+		t.Fatal("first sibling should have claimed the parent's spare capacity")
+	}
+	if &b.docs.Data[0] == &parent.docs.Data[0] {
+		t.Fatal("second sibling reused claimed capacity")
+	}
+	q := make([]float64, 8)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	wantA := NewEngine(base.AugmentRows(rowsA)).Scores(q)
+	wantB := NewEngine(base.AugmentRows(rowsB)).Scores(q)
+	gotA := a.Scores(q)
+	gotB := b.Scores(q)
+	if !reflect.DeepEqual(gotA, wantA) {
+		t.Fatal("first sibling corrupted")
+	}
+	if !reflect.DeepEqual(gotB, wantB) {
+		t.Fatal("second sibling corrupted")
+	}
+	// Extending b (which owns a fresh allocation with headroom) must not
+	// disturb a either.
+	c := b.Extend(rowsA)
+	if !reflect.DeepEqual(a.Scores(q), wantA) || c.NumDocs() != 70 {
+		t.Fatal("extending the copied sibling disturbed the winner")
+	}
+}
+
 // TestEngineConcurrentReaders hammers one engine from many goroutines —
 // engines are immutable, so -race must stay quiet.
 func TestEngineConcurrentReaders(t *testing.T) {

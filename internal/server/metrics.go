@@ -1,0 +1,106 @@
+//lsilint:file-ignore walltime — request latency measurement is wall-clock by definition
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, roughly
+// quarter-decade spaced from 100µs to 10s — wide enough to cover a cache
+// hit and an SVD-update alike.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// endpointMetrics is one endpoint's counters: requests by status class
+// and a cumulative latency histogram. Everything is atomic so the hot
+// path never takes a lock.
+type endpointMetrics struct {
+	name    string
+	byClass [6]atomic.Int64 // index = status/100 (1xx..5xx; 0 unused)
+	buckets []atomic.Int64  // len(latencyBuckets); cumulative on render
+	sumNs   atomic.Int64
+	count   atomic.Int64
+}
+
+func (m *endpointMetrics) observe(status int, d time.Duration) {
+	c := status / 100
+	if c < 1 || c > 5 {
+		c = 5
+	}
+	m.byClass[c].Add(1)
+	sec := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.buckets[i].Add(1)
+			break
+		}
+	}
+	m.sumNs.Add(int64(d))
+	m.count.Add(1)
+}
+
+// metrics aggregates per-endpoint counters. The endpoint set is fixed at
+// construction, so lookups are reads of an immutable map.
+type metrics struct {
+	order []string
+	byEP  map[string]*endpointMetrics
+}
+
+func newMetrics(endpoints ...string) *metrics {
+	m := &metrics{order: endpoints, byEP: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, ep := range endpoints {
+		m.byEP[ep] = &endpointMetrics{name: ep, buckets: make([]atomic.Int64, len(latencyBuckets))}
+	}
+	return m
+}
+
+func (m *metrics) observe(endpoint string, status int, d time.Duration) {
+	if ep, ok := m.byEP[endpoint]; ok {
+		ep.observe(status, d)
+	}
+}
+
+// render writes the Prometheus text exposition format. Output order is
+// the fixed construction order, so scrapes are deterministic.
+func (m *metrics) render(w io.Writer, gauges []gauge) {
+	fmt.Fprintf(w, "# HELP lsi_requests_total Requests served, by endpoint and status class.\n")
+	fmt.Fprintf(w, "# TYPE lsi_requests_total counter\n")
+	for _, name := range m.order {
+		ep := m.byEP[name]
+		for c := 1; c <= 5; c++ {
+			if n := ep.byClass[c].Load(); n > 0 {
+				fmt.Fprintf(w, "lsi_requests_total{endpoint=%q,code=\"%dxx\"} %d\n", name, c, n)
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP lsi_request_seconds Request latency histogram, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE lsi_request_seconds histogram\n")
+	for _, name := range m.order {
+		ep := m.byEP[name]
+		if ep.count.Load() == 0 {
+			continue
+		}
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += ep.buckets[i].Load()
+			fmt.Fprintf(w, "lsi_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", name, ub, cum)
+		}
+		fmt.Fprintf(w, "lsi_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, ep.count.Load())
+		fmt.Fprintf(w, "lsi_request_seconds_sum{endpoint=%q} %g\n", name, time.Duration(ep.sumNs.Load()).Seconds())
+		fmt.Fprintf(w, "lsi_request_seconds_count{endpoint=%q} %d\n", name, ep.count.Load())
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", g.name, g.help, g.name, g.kind, g.name, g.value)
+	}
+}
+
+// gauge is one engine-level scalar exported by /metrics.
+type gauge struct {
+	name, help, kind string
+	value            any
+}

@@ -7,56 +7,150 @@
 //	GET  /terms?w=word&n=10       nearest indexed terms (online thesaurus)
 //	POST /documents               fold a new document into the database
 //	GET  /stats                   model dimensions and fold-in diagnostics
+//	GET  /metrics                 Prometheus text: counters, latencies, pipeline gauges
 //
-// New documents are folded in (Eq 7), so the service degrades gracefully
-// exactly the way §4.3 describes: /stats reports the orthogonality loss so
-// an operator can decide when to SVD-update or recompute offline.
+// Requests are served from immutable snapshots published by the
+// internal/engine update pipeline: the read path performs one atomic
+// pointer load and never takes a lock, while fold-ins queue to a single
+// background updater that batches them (Eq 7) and compacts via
+// SVD-updating (§4.2) when the §4.3 orthogonality loss crosses its
+// threshold. Search responses carry an X-LSI-Generation header naming the
+// snapshot that served them; responses with equal generations are
+// byte-identical for identical requests.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
-	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/synonym"
 )
 
-// Server wraps a collection and its LSI model with an http.Handler.
-type Server struct {
-	mu    sync.RWMutex
-	coll  *corpus.Collection
-	model *core.Model
-	docs  []corpus.Document // all documents, including folded-in ones
-	mux   *http.ServeMux
+// Options configures the HTTP layer and its underlying engine.
+type Options struct {
+	// Engine parameterizes the snapshot/update pipeline (queue size,
+	// batch tick, compaction threshold).
+	Engine engine.Config
+	// RequestTimeout bounds each request via its context; 0 disables.
+	// An expired deadline yields 504 Gateway Timeout.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint clients receive with a 503 when the fold-in
+	// queue is full (default 1s, rounded up to whole seconds).
+	RetryAfter time.Duration
+	// Logf receives diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
-// New builds a server around an existing collection and model. The model
-// must have been built from the collection (same vocabulary and documents).
+// Server wraps a collection and its LSI model with an http.Handler.
+type Server struct {
+	eng     *engine.Engine
+	coll    *corpus.Collection
+	mux     *http.ServeMux
+	metrics *metrics
+	timeout time.Duration
+	retry   time.Duration
+	logf    func(format string, args ...any)
+}
+
+// New builds a server around an existing collection and model with
+// default options. The model must have been built from the collection
+// (same vocabulary and documents).
 func New(coll *corpus.Collection, model *core.Model) (*Server, error) {
-	if model.NumDocs() != coll.Size() {
-		return nil, fmt.Errorf("server: model has %d docs, collection %d", model.NumDocs(), coll.Size())
+	return NewWithOptions(coll, model, Options{})
+}
+
+// NewWithOptions is New with explicit pipeline and HTTP options. The
+// engine takes ownership of the model: the caller must not mutate it
+// afterwards.
+func NewWithOptions(coll *corpus.Collection, model *core.Model, opts Options) (*Server, error) {
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	if opts.Engine.Logf == nil {
+		opts.Engine.Logf = opts.Logf
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	eng, err := engine.New(coll, model, opts.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{
-		coll:  coll,
-		model: model,
-		docs:  append([]corpus.Document(nil), coll.Docs...),
-		mux:   http.NewServeMux(),
+		eng:     eng,
+		coll:    coll,
+		mux:     http.NewServeMux(),
+		metrics: newMetrics("search", "search_batch", "terms", "documents", "stats", "metrics"),
+		timeout: opts.RequestTimeout,
+		retry:   opts.RetryAfter,
+		logf:    opts.Logf,
 	}
-	s.mux.HandleFunc("/search", s.handleSearch)
-	s.mux.HandleFunc("/search/batch", s.handleSearchBatch)
-	s.mux.HandleFunc("/terms", s.handleTerms)
-	s.mux.HandleFunc("/documents", s.handleDocuments)
-	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/search", s.instrument("search", s.handleSearch))
+	s.mux.HandleFunc("/search/batch", s.instrument("search_batch", s.handleSearchBatch))
+	s.mux.HandleFunc("/terms", s.instrument("terms", s.handleTerms))
+	s.mux.HandleFunc("/documents", s.instrument("documents", s.handleDocuments))
+	s.mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	return s, nil
 }
+
+// Engine exposes the underlying pipeline (for shutdown wiring and tests).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Close drains the fold-in queue and stops the update pipeline; after it
+// returns, every acknowledged or queued document is part of the final
+// snapshot. Use it for graceful shutdown after http.Server.Shutdown.
+func (s *Server) Close(ctx context.Context) error { return s.eng.Close(ctx) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the robustness plumbing shared by every
+// endpoint: a per-request context deadline (when configured), an
+// up-front check that the deadline hasn't already expired, and
+// status/latency recording for /metrics.
+//
+//lsilint:file-ignore walltime — request deadlines and latency metrics are wall-clock by nature
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if err := r.Context().Err(); err != nil {
+			// The client is gone or the deadline already passed: don't
+			// start work nobody will read.
+			http.Error(sw, "request deadline exceeded", http.StatusGatewayTimeout)
+		} else {
+			h(sw, r)
+		}
+		s.metrics.observe(name, sw.code, time.Since(start))
+	}
 }
 
 // SearchResult is one /search response row.
@@ -64,6 +158,12 @@ type SearchResult struct {
 	ID     string  `json:"id"`
 	Cosine float64 `json:"cosine"`
 	Text   string  `json:"text,omitempty"`
+}
+
+// setGeneration stamps the snapshot generation that served a read, so
+// clients (and the stress suite) can correlate responses with snapshots.
+func setGeneration(w http.ResponseWriter, snap *engine.Snapshot) {
+	w.Header().Set("X-LSI-Generation", strconv.FormatUint(snap.Gen, 10))
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -76,22 +176,32 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
 		return
 	}
-	n := intParam(r, "n", 10)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	n, err := intParam(r, "n", 10)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// One atomic load pins an immutable view for the whole request: no
+	// lock is held while a concurrent fold-in or compaction publishes.
+	snap := s.eng.Snapshot()
+	setGeneration(w, snap)
 	raw := s.coll.QueryVector(q)
 	if allZero(raw) {
-		writeJSON(w, []SearchResult{})
+		s.writeJSON(w, []SearchResult{})
 		return
 	}
 	// Bounded selection: only the n requested documents are ranked, not
 	// the whole collection.
-	ranked := s.model.RankTop(raw, n)
+	s.writeJSON(w, s.results(snap, snap.RankTop(raw, n)))
+}
+
+func (s *Server) results(snap *engine.Snapshot, ranked []core.Ranked) []SearchResult {
 	out := make([]SearchResult, len(ranked))
 	for i, h := range ranked {
-		out[i] = SearchResult{ID: s.docs[h.Doc].ID, Cosine: h.Score, Text: s.docs[h.Doc].Text}
+		d := snap.Doc(h.Doc)
+		out[i] = SearchResult{ID: d.ID, Cosine: h.Score, Text: d.Text}
 	}
-	writeJSON(w, out)
+	return out
 }
 
 // maxBatchQueries bounds one /search/batch request; a block this size is
@@ -127,10 +237,10 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if n <= 0 {
 		n = 10
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	snap := s.eng.Snapshot()
+	setGeneration(w, snap)
 	// Vectorize every query; the non-empty ones are scored together as one
-	// blocked gemm against the normalized document matrix.
+	// blocked gemm against the snapshot's normalized document matrix.
 	out := make([][]SearchResult, len(req.Queries))
 	raws := make([][]float64, 0, len(req.Queries))
 	slots := make([]int, 0, len(req.Queries))
@@ -143,14 +253,10 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		raws = append(raws, raw)
 		slots = append(slots, i)
 	}
-	for bi, ranked := range s.model.RankBatch(raws, n) {
-		res := make([]SearchResult, len(ranked))
-		for j, h := range ranked {
-			res[j] = SearchResult{ID: s.docs[h.Doc].ID, Cosine: h.Score, Text: s.docs[h.Doc].Text}
-		}
-		out[slots[bi]] = res
+	for bi, ranked := range snap.RankBatch(raws, n) {
+		out[slots[bi]] = s.results(snap, ranked)
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 // TermResult is one /terms response row.
@@ -168,10 +274,14 @@ func (s *Server) handleTerms(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing w parameter", http.StatusBadRequest)
 		return
 	}
-	n := intParam(r, "n", 10)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	near, err := synonym.NearestTerms(s.model, s.coll.Vocab, word, n)
+	n, err := intParam(r, "n", 10)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	snap := s.eng.Snapshot()
+	setGeneration(w, snap)
+	near, err := synonym.NearestTerms(snap.Model, s.coll.Vocab, word, n)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -180,7 +290,7 @@ func (s *Server) handleTerms(w http.ResponseWriter, r *http.Request) {
 	for i, t := range near {
 		out[i] = TermResult{Term: t}
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 // AddDocumentRequest is the /documents POST body.
@@ -203,16 +313,26 @@ func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty document text", http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if req.ID == "" {
-		req.ID = fmt.Sprintf("doc-%d", len(s.docs))
+	id, err := s.eng.Submit(r.Context(), corpus.Document{ID: req.ID, Text: req.Text})
+	switch {
+	case err == nil:
+		w.WriteHeader(http.StatusCreated)
+		s.writeJSON(w, map[string]string{"id": id})
+	case errors.Is(err, engine.ErrQueueFull):
+		// Backpressure, not failure: tell the client when to come back.
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.retry+time.Second-1)/time.Second)))
+		http.Error(w, "fold-in queue full, retry later", http.StatusServiceUnavailable)
+	case errors.Is(err, engine.ErrDuplicateID):
+		http.Error(w, fmt.Sprintf("document id %q already exists", req.ID), http.StatusConflict)
+	case errors.Is(err, engine.ErrClosed):
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		// The document was accepted and will fold in; only the wait for
+		// its batch timed out.
+		http.Error(w, "request deadline exceeded before fold-in was published", http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
-	doc := corpus.Document{ID: req.ID, Text: req.Text}
-	s.model.FoldInDocs(s.coll.DocVectors([]corpus.Document{doc}))
-	s.docs = append(s.docs, doc)
-	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, map[string]string{"id": req.ID})
 }
 
 // Stats is the /stats response.
@@ -223,6 +343,9 @@ type Stats struct {
 	Factors           int     `json:"factors"`
 	Sigma1            float64 `json:"sigma1"`
 	OrthogonalityLoss float64 `json:"orthogonality_loss"`
+	Generation        uint64  `json:"generation"`
+	QueueDepth        int     `json:"queue_depth"`
+	Compactions       int64   `json:"compactions"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -230,28 +353,51 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	writeJSON(w, Stats{
-		Terms:             s.model.NumTerms(),
-		Documents:         s.model.NumDocs(),
-		FoldedDocuments:   s.model.FoldedDocs(),
-		Factors:           s.model.K,
-		Sigma1:            s.model.S[0],
-		OrthogonalityLoss: s.model.DocOrthogonality(),
+	snap := s.eng.Snapshot()
+	setGeneration(w, snap)
+	st := s.eng.Stats()
+	s.writeJSON(w, Stats{
+		Terms:             snap.Model.NumTerms(),
+		Documents:         snap.Model.NumDocs(),
+		FoldedDocuments:   snap.Model.FoldedDocs(),
+		Factors:           snap.Model.K,
+		Sigma1:            snap.Model.S[0],
+		OrthogonalityLoss: snap.Model.DocOrthogonality(),
+		Generation:        st.Generation,
+		QueueDepth:        st.QueueDepth,
+		Compactions:       st.Compactions,
 	})
 }
 
-func intParam(r *http.Request, name string, def int) int {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	st := s.eng.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, []gauge{
+		{"lsi_snapshot_generation", "Current serving snapshot generation (monotonic).", "gauge", st.Generation},
+		{"lsi_queue_depth", "Fold-in submissions waiting for the next batch tick.", "gauge", st.QueueDepth},
+		{"lsi_compactions_total", "SVD-update compactions completed.", "counter", st.Compactions},
+		{"lsi_documents", "Documents in the serving snapshot.", "gauge", st.Documents},
+		{"lsi_folded_documents", "Documents folded in since the last SVD state.", "gauge", st.FoldedDocuments},
+	})
+}
+
+// intParam parses a positive integer query parameter, returning def when
+// absent and an error — which handlers turn into 400 — when present but
+// not a positive integer.
+func intParam(r *http.Request, name string, def int) (int, error) {
 	v := r.URL.Query().Get(name)
 	if v == "" {
-		return def
+		return def, nil
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil || n <= 0 {
-		return def
+		return 0, fmt.Errorf("parameter %s must be a positive integer, got %q", name, v)
 	}
-	return n
+	return n, nil
 }
 
 func allZero(xs []float64) bool {
@@ -263,10 +409,13 @@ func allZero(xs []float64) bool {
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
+// writeJSON encodes v onto the response. By the time encoding fails the
+// status line and part of the body may already be on the wire, so there
+// is no valid way to switch to an error response — http.Error here would
+// just interleave garbage into the stream. Log and drop instead.
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are gone; nothing useful left to do but note it.
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.logf("server: encoding response: %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,22 +12,38 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 )
 
 func testServer(t *testing.T) (*Server, *corpus.Collection) {
+	return testServerOpts(t, Options{})
+}
+
+func testServerOpts(t *testing.T, opts Options) (*Server, *corpus.Collection) {
 	t.Helper()
 	coll := corpus.MED()
 	model, err := core.BuildCollection(coll, core.Config{K: 2, Method: core.MethodDense})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(coll, model)
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	s, err := NewWithOptions(coll, model, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
 	return s, coll
 }
 
@@ -284,6 +301,320 @@ func TestBatchSearchValidation(t *testing.T) {
 	big, _ := json.Marshal(BatchSearchRequest{Queries: make([]string, maxBatchQueries+1)})
 	if rec := postBatch(t, s, string(big)); rec.Code != http.StatusBadRequest {
 		t.Fatalf("oversized batch: status %d", rec.Code)
+	}
+}
+
+// postDoc POSTs one document body to /documents.
+func postDoc(s *Server, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/documents", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// expiredRequest builds a request whose context is already done, so the
+// handler must bail with a timeout status instead of doing work.
+func expiredRequest(method, path, body string) *http.Request {
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return req.WithContext(ctx)
+}
+
+// TestIntParam is the table-driven regression for the old silent
+// coercion: invalid n must surface as an error, not the default.
+func TestIntParam(t *testing.T) {
+	cases := []struct {
+		raw     string
+		want    int
+		wantErr bool
+	}{
+		{"", 10, false},
+		{"n=5", 5, false},
+		{"n=1", 1, false},
+		{"n=abc", 0, true},
+		{"n=-3", 0, true},
+		{"n=0", 0, true},
+		{"n=2.5", 0, true},
+		{"n=+++", 0, true},
+	}
+	for _, tc := range cases {
+		r := httptest.NewRequest(http.MethodGet, "/search?"+tc.raw, nil)
+		got, err := intParam(r, "n", 10)
+		if (err != nil) != tc.wantErr || (!tc.wantErr && got != tc.want) {
+			t.Errorf("intParam(%q) = (%d, %v), want (%d, err=%v)", tc.raw, got, err, tc.want, tc.wantErr)
+		}
+	}
+}
+
+// TestInvalidNReturns400 checks the HTTP surface of the same fix on both
+// parameterized endpoints.
+func TestInvalidNReturns400(t *testing.T) {
+	s, _ := testServer(t)
+	for _, path := range []string{
+		"/search?q=blood&n=abc",
+		"/search?q=blood&n=-3",
+		"/search?q=blood&n=0",
+		"/terms?w=blood&n=abc",
+		"/terms?w=blood&n=-1",
+	} {
+		if rec := get(t, s, path); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d want 400", path, rec.Code)
+		}
+	}
+	// Valid n still works.
+	if rec := get(t, s, "/search?q=blood&n=2"); rec.Code != http.StatusOK {
+		t.Errorf("valid n: status %d", rec.Code)
+	}
+}
+
+// TestWriteJSONEncodeFailure: when encoding fails after the header has
+// gone out, the server must log and drop — not call http.Error into a
+// half-written body (the old behavior, which corrupted the stream and
+// triggered a superfluous WriteHeader).
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	var logged []string
+	s := &Server{logf: func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}}
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, map[string]any{"bad": make(chan int)}) // unencodable
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status rewritten to %d after partial write", rec.Code)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "encoding response") {
+		t.Fatalf("expected one encode-failure log, got %v", logged)
+	}
+	if strings.Contains(rec.Body.String(), "chan") {
+		t.Fatalf("error text leaked into body: %q", rec.Body.String())
+	}
+}
+
+// TestDuplicateDocumentID pins the ID-collision satellite: an explicit
+// duplicate is rejected with 409, and the auto-generated doc-%d can no
+// longer collide with a user-supplied ID.
+func TestDuplicateDocumentID(t *testing.T) {
+	s, _ := testServer(t)
+	if rec := postDoc(s, `{"id":"X1","text":"pressure in depressed patients"}`); rec.Code != http.StatusCreated {
+		t.Fatalf("first add: status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := postDoc(s, `{"id":"X1","text":"another body"}`); rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate add: status %d want 409", rec.Code)
+	}
+	// Squat on the next auto id, then add an anonymous document: it must
+	// get a fresh id, not the squatted one (the old server produced a
+	// second doc-15 here).
+	if rec := postDoc(s, `{"id":"doc-15","text":"squatter"}`); rec.Code != http.StatusCreated {
+		t.Fatalf("squatter add: status %d", rec.Code)
+	}
+	rec := postDoc(s, `{"text":"anonymous document about rats"}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("anonymous add: status %d", rec.Code)
+	}
+	var resp map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["id"] == "doc-15" {
+		t.Fatal("auto id collided with user-supplied id")
+	}
+	// Every document appears exactly once in the final snapshot.
+	snap := s.Engine().Snapshot()
+	seen := map[string]int{}
+	for j := 0; j < snap.NumDocs(); j++ {
+		seen[snap.Doc(j).ID]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("id %s appears %d times", id, n)
+		}
+	}
+}
+
+// TestQueueFullBackpressure: with a one-slot queue and a tick that never
+// fires, the second submission must get 503 with a Retry-After hint.
+func TestQueueFullBackpressure(t *testing.T) {
+	s, _ := testServerOpts(t, Options{
+		Engine:         engine.Config{QueueSize: 1, BatchTick: time.Hour},
+		RequestTimeout: 50 * time.Millisecond,
+		RetryAfter:     2 * time.Second,
+	})
+	// Fills the queue; the request deadline makes the call return without
+	// waiting for the (never-arriving) tick.
+	rec := postDoc(s, `{"text":"first, queued"}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("queued submit: status %d want 504", rec.Code)
+	}
+	rec = postDoc(s, `{"text":"second, rejected"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit: status %d want 503: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After %q want \"2\"", got)
+	}
+	// Close drains the accepted document; the rejected one is gone.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Engine().Snapshot().NumDocs(); n != 15 {
+		t.Fatalf("after drain: %d docs want 15", n)
+	}
+}
+
+// TestExpiredContextTimeout: a request whose context is already done gets
+// a timeout status on every endpoint, before any work happens.
+func TestExpiredContextTimeout(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []*http.Request{
+		expiredRequest(http.MethodGet, "/search?q=blood", ""),
+		expiredRequest(http.MethodPost, "/search/batch", `{"queries":["blood"]}`),
+		expiredRequest(http.MethodGet, "/terms?w=blood", ""),
+		expiredRequest(http.MethodPost, "/documents", `{"text":"doomed"}`),
+		expiredRequest(http.MethodGet, "/stats", ""),
+	}
+	for _, req := range cases {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusGatewayTimeout {
+			t.Errorf("%s %s: status %d want 504", req.Method, req.URL.Path, rec.Code)
+		}
+	}
+}
+
+// TestRequestTimeoutOnSubmitWait: the per-request deadline expires while
+// /documents waits for a batch that never comes → 504, but the document
+// was accepted and survives the drain.
+func TestRequestTimeoutOnSubmitWait(t *testing.T) {
+	s, _ := testServerOpts(t, Options{
+		Engine:         engine.Config{QueueSize: 8, BatchTick: time.Hour},
+		RequestTimeout: 20 * time.Millisecond,
+	})
+	rec := postDoc(s, `{"id":"slow","text":"accepted but unacknowledged"}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d want 504: %s", rec.Code, rec.Body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Engine().Snapshot()
+	found := false
+	for j := 0; j < snap.NumDocs(); j++ {
+		if snap.Doc(j).ID == "slow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("timed-out submission was lost instead of drained")
+	}
+}
+
+// TestShutdownDrainsQueuedFoldIns is the drain satellite: submissions
+// sitting in the queue when Close is called are folded in before it
+// returns, so the final snapshot's document count matches submissions.
+func TestShutdownDrainsQueuedFoldIns(t *testing.T) {
+	s, _ := testServerOpts(t, Options{
+		Engine:         engine.Config{QueueSize: 32, BatchTick: time.Hour},
+		RequestTimeout: 20 * time.Millisecond,
+	})
+	const n = 7
+	for i := 0; i < n; i++ {
+		rec := postDoc(s, fmt.Sprintf(`{"text":"queued doc %d"}`, i))
+		if rec.Code != http.StatusGatewayTimeout {
+			t.Fatalf("submit %d: status %d", i, rec.Code)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Engine().Snapshot().NumDocs(); got != 14+n {
+		t.Fatalf("after drain: %d docs want %d", got, 14+n)
+	}
+	// A post-shutdown submission is refused, not hung.
+	if rec := postDoc(s, `{"text":"late"}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close submit: status %d want 503", rec.Code)
+	}
+}
+
+// TestMetricsEndpoint: the stdlib exposition carries per-endpoint
+// counters, latency histograms, and the pipeline gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	get(t, s, "/search?q=blood&n=3")
+	get(t, s, "/search?q=") // 400: missing q
+	postDoc(s, `{"text":"metrics fodder"}`)
+	rec := get(t, s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`lsi_requests_total{endpoint="search",code="2xx"} 1`,
+		`lsi_requests_total{endpoint="search",code="4xx"} 1`,
+		`lsi_requests_total{endpoint="documents",code="2xx"} 1`,
+		`lsi_request_seconds_bucket{endpoint="search",le="+Inf"} 2`,
+		`lsi_request_seconds_count{endpoint="search"} 2`,
+		"lsi_snapshot_generation 2",
+		"lsi_queue_depth 0",
+		"lsi_compactions_total 0",
+		"lsi_documents 15",
+		"lsi_folded_documents 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestSearchParityWithLockedPath pins the acceptance criterion that the
+// snapshot read path returns byte-identical /search responses to the
+// pre-snapshot lock-based implementation: project the query on the model,
+// rank with the model's own cached engine (exactly what the old handler
+// did under RLock), encode with the same encoder, and compare bytes.
+func TestSearchParityWithLockedPath(t *testing.T) {
+	s, coll := testServer(t)
+	// An independently built, identical model stands in for the pre-PR
+	// server's state (builds are deterministic; TestSearchByteStable
+	// already pins that property).
+	model, err := core.BuildCollection(coll, core.Config{K: 2, Method: core.MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"age+blood+abnormalities&n=3",
+		"oestrogen+detected+rise&n=7",
+		"depressed+patients&n=14",
+	} {
+		rec := get(t, s, "/search?q="+q)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d", rec.Code)
+		}
+		parts := strings.SplitN(q, "&n=", 2)
+		raw := coll.QueryVector(strings.ReplaceAll(parts[0], "+", " "))
+		n := 10
+		fmt.Sscanf(parts[1], "%d", &n)
+		ranked := model.RankTop(raw, n) // the old locked path
+		want := make([]SearchResult, len(ranked))
+		for i, h := range ranked {
+			want[i] = SearchResult{ID: coll.Docs[h.Doc].ID, Cosine: h.Score, Text: coll.Docs[h.Doc].Text}
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), buf.Bytes()) {
+			t.Fatalf("query %q diverged from locked path\n got %s\nwant %s", q, rec.Body, buf.String())
+		}
 	}
 }
 
