@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-full build test race race-hot stress vet lint bench bench-build
+.PHONY: check check-full build test race race-hot stress vet lint bench bench-query bench-build
 
 # check is the fast pre-commit loop: vet, build, tests, the race detector
 # on the hot parallel packages only, and the project linter. Run it on
@@ -34,9 +34,11 @@ race:
 
 # race-hot runs the race detector on the packages with parallel kernels and
 # shared-state fast paths — the places a data race would actually live —
-# keeping `make check` much faster than a full -race sweep.
+# keeping `make check` much faster than a full -race sweep. internal/rank
+# is included for the screening-mirror Extend chain (shared-tail claims
+# racing against sibling copies).
 race-hot:
-	$(GO) test -race ./internal/lanczos/... ./internal/sparse/...
+	$(GO) test -race ./internal/lanczos/... ./internal/sparse/... ./internal/rank/...
 
 # stress runs the snapshot-isolation stress suites (readers hammering
 # immutable snapshots while the updater folds in and compacts) under the
@@ -45,10 +47,13 @@ race-hot:
 stress:
 	$(GO) test -race -count=2 ./internal/engine/... ./internal/server/...
 
-# bench regenerates the query-serving performance record (engine vs the
-# seed scoring path) consumed by BENCH_query.json.
-bench:
+# bench-query regenerates the query-serving performance record (seed
+# scoring path vs float64 engine vs the float32-screened two-stage path)
+# consumed by BENCH_query.json. bench is kept as an alias.
+bench-query:
 	$(GO) run ./cmd/lsibench -queryperf -out BENCH_query.json
+
+bench: bench-query
 
 # bench-build regenerates the SVD build-time record (blocked vs seed
 # Lanczos) consumed by BENCH_build.json.

@@ -19,9 +19,21 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dense"
+	"repro/internal/rank"
 )
 
-// queryPerfCase is one (collection size, factors) measurement.
+// candidateBucket is one bar of the rescore-candidate histogram: how many
+// sample queries needed at most MaxCandidates exact float64 rescores after
+// float32 screening.
+type candidateBucket struct {
+	MaxCandidates int `json:"max_candidates"`
+	Queries       int `json:"queries"`
+}
+
+// queryPerfCase is one (collection size, factors) measurement. The engine
+// columns keep their historical meaning — the pure float64 scoring engine
+// of PR 1 — and the screen columns measure the two-stage float32-screened
+// path against the same documents, so the file records both trajectories.
 type queryPerfCase struct {
 	Docs            int     `json:"docs"`
 	Factors         int     `json:"factors"`
@@ -32,6 +44,14 @@ type queryPerfCase struct {
 	BatchQueries    int     `json:"batch_queries"`
 	BatchNsPerQuery int64   `json:"batch_ns_per_query"`
 	BatchQPS        float64 `json:"batch_queries_per_sec"`
+
+	ScreenNsPerOp       int64             `json:"screen_ns_per_op"`
+	ScreenSpeedupVsEng  float64           `json:"screen_speedup_vs_engine"`
+	ScreenSpeedupVsSeed float64           `json:"screen_speedup_vs_seed"`
+	ScreenBatchNsPerQry int64             `json:"screen_batch_ns_per_query"`
+	ScreenBatchQPS      float64           `json:"screen_batch_queries_per_sec"`
+	MeanCandidates      float64           `json:"mean_rescore_candidates"`
+	CandidateHist       []candidateBucket `json:"rescore_candidate_hist"`
 }
 
 type queryPerfReport struct {
@@ -96,9 +116,13 @@ func runQueryPerf(out string, seed int64) error {
 			}
 			qhats[b] = q
 		}
-		// Warm the norm cache outside the timed region; a serving process
-		// pays this once at startup.
-		m.RankVectorTop(qhat, topK)
+		// Bench the two cache flavors directly so the columns keep exact
+		// meanings: exact is the PR 1 float64 engine, screened is the
+		// two-stage mirror path over the same vectors. Construction happens
+		// outside the timed region; a serving process pays it once.
+		exact := rank.NewEngineExact(m.V)
+		screened := rank.NewEngine(m.V)
+		qbatch := dense.NewFromRows(qhats)
 
 		seedRes := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -109,19 +133,61 @@ func runQueryPerf(out string, seed int64) error {
 		})
 		engRes := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if r := m.RankVectorTop(qhat, topK); len(r) != topK {
+				if r := exact.TopK(qhat, topK); len(r) != topK {
 					b.Fatal("bad engine rank")
+				}
+			}
+		})
+		scrRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r := screened.TopK(qhat, topK); len(r) != topK {
+					b.Fatal("bad screened rank")
 				}
 			}
 		})
 		batchRes := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if r := m.RankVectorBatch(qhats, topK); len(r) != batchQueries {
+				if r := exact.TopKBatch(qbatch, topK); len(r) != batchQueries {
 					b.Fatal("bad batch rank")
 				}
 			}
 		})
+		scrBatchRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r := screened.TopKBatch(qbatch, topK); len(r) != batchQueries {
+					b.Fatal("bad screened batch rank")
+				}
+			}
+		})
+		// Candidate-set sizes over the batch queries: how many rows survived
+		// the float32 screen and were rescored in float64, bucketed by
+		// powers of two.
+		hist := map[int]int{}
+		var totalCand int
+		for _, q := range qhats {
+			items, st := screened.TopKWithStats(q, topK)
+			if len(items) != topK || !st.Screened {
+				return fmt.Errorf("queryperf: screened stats missing at %d docs", docs)
+			}
+			bucket := 1
+			for bucket < st.Candidates {
+				bucket *= 2
+			}
+			hist[bucket]++
+			totalCand += st.Candidates
+		}
+		buckets := make([]int, 0, len(hist))
+		for b := range hist {
+			buckets = append(buckets, b)
+		}
+		sort.Ints(buckets)
+		var candHist []candidateBucket
+		for _, b := range buckets {
+			candHist = append(candHist, candidateBucket{MaxCandidates: b, Queries: hist[b]})
+		}
+
 		perQuery := batchRes.NsPerOp() / int64(batchQueries)
+		scrPerQuery := scrBatchRes.NsPerOp() / int64(batchQueries)
 		c := queryPerfCase{
 			Docs:            docs,
 			Factors:         factors,
@@ -132,10 +198,19 @@ func runQueryPerf(out string, seed int64) error {
 			BatchQueries:    batchQueries,
 			BatchNsPerQuery: perQuery,
 			BatchQPS:        1e9 / float64(perQuery),
+
+			ScreenNsPerOp:       scrRes.NsPerOp(),
+			ScreenSpeedupVsEng:  float64(engRes.NsPerOp()) / float64(scrRes.NsPerOp()),
+			ScreenSpeedupVsSeed: float64(seedRes.NsPerOp()) / float64(scrRes.NsPerOp()),
+			ScreenBatchNsPerQry: scrPerQuery,
+			ScreenBatchQPS:      1e9 / float64(scrPerQuery),
+			MeanCandidates:      float64(totalCand) / float64(len(qhats)),
+			CandidateHist:       candHist,
 		}
 		report.Cases = append(report.Cases, c)
-		fmt.Fprintf(os.Stderr, "queryperf: %d docs × %d factors: seed %d ns/op, engine top-%d %d ns/op (%.2fx), batch %d ns/query\n",
-			docs, factors, c.SeedNsPerOp, topK, c.EngineNsPerOp, c.Speedup, perQuery)
+		fmt.Fprintf(os.Stderr, "queryperf: %d docs × %d factors: seed %d ns/op, engine top-%d %d ns/op (%.2fx), screened %d ns/op (%.2fx vs engine), batch %d ns/query (screened %d), mean candidates %.1f\n",
+			docs, factors, c.SeedNsPerOp, topK, c.EngineNsPerOp, c.Speedup,
+			c.ScreenNsPerOp, c.ScreenSpeedupVsEng, perQuery, scrPerQuery, c.MeanCandidates)
 	}
 	f, err := os.Create(out)
 	if err != nil {

@@ -55,6 +55,8 @@ func main() {
 	batchTick := flag.Duration("batch-tick", 2*time.Millisecond, "fold-in batching window")
 	compactAt := flag.Float64("compact-threshold", 0.05,
 		"doc-orthogonality loss triggering SVD-update compaction; 0 disables")
+	noScreen := flag.Bool("no-screen", false,
+		"disable the float32 screening mirror; every query runs the pure float64 path (identical results, more memory traffic)")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline; 0 disables")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining queued fold-ins")
 	flag.Parse()
@@ -95,6 +97,7 @@ func main() {
 			QueueSize:        *queueSize,
 			BatchTick:        *batchTick,
 			CompactThreshold: *compactAt,
+			DisableScreening: *noScreen,
 			Logf:             log.Printf,
 		},
 		RequestTimeout: *reqTimeout,

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dense"
 	"repro/internal/rank"
 )
 
@@ -67,6 +68,12 @@ type Config struct {
 	CompactThreshold float64
 	// Logf receives diagnostics (default: discard).
 	Logf func(format string, args ...any)
+	// DisableScreening turns off the float32 screening mirror: scoring
+	// caches are built with rank.NewEngineExact, so every query runs the
+	// pure float64 path. Results are byte-identical either way — this is
+	// an operational opt-out (a third less cache memory, simpler
+	// performance profile), not a correctness knob.
+	DisableScreening bool
 }
 
 // Stats is a point-in-time view of the pipeline for /stats and /metrics.
@@ -77,6 +84,9 @@ type Stats struct {
 	Compacting      bool
 	Documents       int
 	FoldedDocuments int
+	// Screening reports whether the serving scoring cache carries the
+	// float32 screening mirror (false when Config.DisableScreening).
+	Screening bool
 }
 
 type submitResult struct {
@@ -160,9 +170,20 @@ func New(coll *corpus.Collection, model *core.Model, cfg Config) (*Engine, error
 	} else if cfg.CompactThreshold > 0 {
 		cfg.Logf("engine: model contains folded rows; automatic compaction disabled")
 	}
-	e.snap.Store(&Snapshot{Gen: 1, Model: model, Eng: rank.NewEngine(model.V), Docs: docs})
+	e.snap.Store(&Snapshot{Gen: 1, Model: model, Eng: e.newRankEngine(model.V), Docs: docs})
 	go e.run()
 	return e, nil
+}
+
+// newRankEngine builds a scoring cache for freshly computed document
+// coordinates, honoring the screening opt-out. Fold-in extensions go
+// through rank.Engine.Extend instead, which preserves whichever mode the
+// chain started with.
+func (e *Engine) newRankEngine(v *dense.Matrix) *rank.Engine {
+	if e.cfg.DisableScreening {
+		return rank.NewEngineExact(v)
+	}
+	return rank.NewEngine(v)
 }
 
 // Snapshot returns the current serving snapshot: one atomic load, no
@@ -180,6 +201,7 @@ func (e *Engine) Stats() Stats {
 		Compacting:      e.compacting.Load(),
 		Documents:       s.NumDocs(),
 		FoldedDocuments: s.Model.FoldedDocs(),
+		Screening:       s.Eng.Screening(),
 	}
 }
 
@@ -366,7 +388,7 @@ func (e *Engine) finishCompaction(res compactResult) {
 	cur := e.snap.Load()
 	// Compaction rotated every document coordinate, so the scoring cache
 	// is rebuilt rather than extended.
-	e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: serving, Eng: rank.NewEngine(serving.V), Docs: cur.Docs})
+	e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: serving, Eng: e.newRankEngine(serving.V), Docs: cur.Docs})
 	e.base = res.model
 	e.pending = leftover
 	e.compactions.Add(1)

@@ -49,6 +49,36 @@ func interfaceAssign(sink *interface{}, n int) {
 	*sink = n // want noalloc
 }
 
+// cleanKernelF32 mirrors the float32 screening kernels: unrolled
+// multiply-adds, float32↔float64 numeric conversions, and slice indexing
+// are all allocation-free.
+//
+//lsilint:noalloc
+func cleanKernelF32(x, y []float32, eps []float64, low float64) float64 {
+	var s0, s1 float32
+	i := 0
+	for ; i+2 <= len(x); i += 2 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	sc := float64(s0 + s1) // widening conversion: no diagnostic
+	if sc+eps[0] >= low {
+		return sc
+	}
+	return float64(float32(low)) // narrowing round-trip: no diagnostic
+}
+
+//lsilint:noalloc
+func kernelF32(n int) float32 {
+	buf := make([]float32, n)     // want noalloc
+	m32 := []float32{1, 2}        // want noalloc
+	buf = append(buf, float32(n)) // want noalloc
+	return buf[0] + m32[0]
+}
+
 //lsilint:noalloc
 func cleanKernel(x, y []float64) float64 {
 	var s0, s1 float64

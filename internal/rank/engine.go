@@ -16,38 +16,70 @@ const scoreParallelCutoff = 1 << 15
 
 // Engine scores queries against a unit-normalized copy of a document
 // matrix. Rows are normalized once at construction, so a query cosine is
-// a single dot product against each row. Engines are immutable from a
-// reader's point of view: Extend returns a new Engine, which is what lets
-// concurrent readers keep using a snapshot while a writer swaps in an
-// extended one.
+// a single dot product against each row. Alongside the float64 cache the
+// engine keeps a float32 screening mirror (same values rounded to half
+// the bytes, plus a per-row quantization residual) that TopK/TopKBatch
+// scan first, rescoring only provable candidates in float64 — results
+// stay byte-identical to the pure float64 path while the first pass
+// moves half the memory traffic (see screen.go). Engines are immutable
+// from a reader's point of view: Extend returns a new Engine, which is
+// what lets concurrent readers keep using a snapshot while a writer
+// swaps in an extended one.
 type Engine struct {
 	docs *dense.Matrix // n×dim; rows unit-normalized (zero rows stay zero)
+	// mir is the float32 screening mirror; nil on engines built with
+	// NewEngineExact, which serve every query through the float64 path.
+	mir *mirror
 	// claimed tracks, for the backing allocation under docs.Data, how many
 	// elements have been handed out to some Engine in the sharing chain.
 	// Extend appends new rows into the allocation's spare capacity only
 	// after winning a compare-and-swap from this engine's own length — so
 	// exactly one successor per chain link reuses the tail, and a second
 	// Extend of the same engine (or of an ancestor) falls back to copying.
+	// The mirror's arrays are allocated with matching capacities and
+	// written in lockstep, so the same CAS guards their tails too.
 	claimed *atomic.Int64
 }
 
 // newEngineFor wraps an already-normalized matrix whose backing slice is
-// exclusively owned by the new engine.
-func newEngineFor(docs *dense.Matrix) *Engine {
+// exclusively owned by the new engine, building the screening mirror
+// unless the engine is exact-only.
+func newEngineFor(docs *dense.Matrix, withMirror bool) *Engine {
 	claimed := new(atomic.Int64)
 	claimed.Store(int64(len(docs.Data)))
-	return &Engine{docs: docs, claimed: claimed}
+	e := &Engine{docs: docs, claimed: claimed}
+	if withMirror {
+		e.mir = buildMirror(docs)
+	}
+	return e
 }
 
-// NewEngine builds the normalized cache from an n×dim matrix of document
-// vectors (a copy; the input is not retained or mutated).
+// NewEngine builds the normalized cache — and its float32 screening
+// mirror — from an n×dim matrix of document vectors (a copy; the input
+// is not retained or mutated).
 func NewEngine(vectors *dense.Matrix) *Engine {
+	return newEngine(vectors, true)
+}
+
+// NewEngineExact is NewEngine without the screening mirror: every query
+// runs the float64 path directly. It trades the two-stage speedup for a
+// third less memory — the opt-out behind the server's screening flag,
+// and the reference the parity tests pin the screened path against.
+func NewEngineExact(vectors *dense.Matrix) *Engine {
+	return newEngine(vectors, false)
+}
+
+func newEngine(vectors *dense.Matrix, withMirror bool) *Engine {
 	docs := vectors.Clone()
 	for i := 0; i < docs.Rows; i++ {
 		dense.Normalize(docs.Row(i))
 	}
-	return newEngineFor(docs)
+	return newEngineFor(docs, withMirror)
 }
+
+// Screening reports whether this engine carries a float32 screening
+// mirror (it may still serve small collections through the exact path).
+func (e *Engine) Screening() bool { return e.mir != nil }
 
 // Extend returns a new Engine covering the old documents plus the given
 // newly-appended rows — the incremental path for folding-in, which only
@@ -57,11 +89,14 @@ func NewEngine(vectors *dense.Matrix) *Engine {
 // the sharing chain has claimed it, the new rows are written into that
 // tail and the returned Engine shares the prefix storage — an O(new rows)
 // append instead of an O(all rows) copy, which is what keeps per-batch
-// snapshot publication cheap as a collection grows. Existing readers are
-// unaffected: they only ever touch rows below their own length, and the
-// tail is written before the new Engine is published (callers hand the
-// result to readers through a synchronized publish such as an atomic
-// snapshot pointer or a mutex, which orders the writes).
+// snapshot publication cheap as a collection grows. The screening mirror
+// extends the same way: its arrays carry matching spare capacity, and the
+// claim CAS covers their tails as well, so mirror rows stay bit-equal to
+// the float32 conversion of the float64 rows along every chain. Existing
+// readers are unaffected: they only ever touch rows below their own
+// length, and the tail is written before the new Engine is published
+// (callers hand the result to readers through a synchronized publish such
+// as an atomic snapshot pointer or a mutex, which orders the writes).
 func (e *Engine) Extend(more *dense.Matrix) *Engine {
 	if more.Cols != e.docs.Cols {
 		panic(fmt.Sprintf("rank: Extend dim %d want %d", more.Cols, e.docs.Cols))
@@ -76,10 +111,12 @@ func (e *Engine) Extend(more *dense.Matrix) *Engine {
 		e.claimed.CompareAndSwap(int64(oldLen), int64(need)) {
 		data := e.docs.Data[:need]
 		copy(data[oldLen:], norm.Data)
-		return &Engine{
-			docs:    &dense.Matrix{Rows: e.docs.Rows + norm.Rows, Cols: e.docs.Cols, Data: data},
-			claimed: e.claimed,
+		docs := &dense.Matrix{Rows: e.docs.Rows + norm.Rows, Cols: e.docs.Cols, Data: data}
+		next := &Engine{docs: docs, claimed: e.claimed}
+		if e.mir != nil {
+			next.mir = e.mir.extendShared(docs, e.docs.Rows)
 		}
+		return next
 	}
 	// Copy path: a fresh allocation with headroom so subsequent extends of
 	// the chain amortize to O(new rows).
@@ -90,7 +127,8 @@ func (e *Engine) Extend(more *dense.Matrix) *Engine {
 	data := make([]float64, need, capacity)
 	copy(data, e.docs.Data)
 	copy(data[oldLen:], norm.Data)
-	return newEngineFor(&dense.Matrix{Rows: e.docs.Rows + norm.Rows, Cols: e.docs.Cols, Data: data})
+	return newEngineFor(&dense.Matrix{Rows: e.docs.Rows + norm.Rows, Cols: e.docs.Cols, Data: data},
+		e.mir != nil)
 }
 
 // NumDocs returns how many document rows the engine covers.
@@ -109,7 +147,9 @@ func normalizeCopy(q []float64) []float64 {
 }
 
 // Scores returns the cosine of q against every document: one dot product
-// per row against the normalized cache.
+// per row against the normalized cache. Every score is materialized, so
+// there is nothing for screening to skip — this is always the float64
+// path.
 func (e *Engine) Scores(q []float64) []float64 {
 	if len(q) != e.docs.Cols {
 		panic(fmt.Sprintf("rank: query dim %d want %d", len(q), e.docs.Cols))
@@ -132,7 +172,7 @@ func (e *Engine) scoreSpan(out, qn []float64, lo, hi int) {
 }
 
 // offerSpan scores rows [lo, hi) and feeds them through the bounded
-// selector — the fused score+select kernel behind TopK shards.
+// selector — the fused score+select kernel behind exact TopK shards.
 //
 //lsilint:noalloc
 func (e *Engine) offerSpan(s *selector, qn []float64, lo, hi int) {
@@ -170,11 +210,18 @@ func (e *Engine) scoreRange(out []float64, qn []float64) {
 	wg.Wait()
 }
 
-// TopK returns the k best documents for q in ranking order. Scoring and
-// selection are fused per worker: each shard scores its rows into a
-// bounded heap, and the shard survivors merge at the barrier — the full
-// score vector is never materialized.
+// TopK returns the k best documents for q in ranking order, screening
+// through the float32 mirror when profitable and rescoring candidates in
+// float64 — byte-identical to the exact path either way.
 func (e *Engine) TopK(q []float64, k int) []Item {
+	items, _ := e.TopKWithStats(q, k)
+	return items
+}
+
+// TopKWithStats is TopK plus a report of what the two-stage path did —
+// whether screening ran and how many rows were rescored exactly. The
+// items are identical to TopK's.
+func (e *Engine) TopKWithStats(q []float64, k int) ([]Item, ScreenStats) {
 	if len(q) != e.docs.Cols {
 		panic(fmt.Sprintf("rank: query dim %d want %d", len(q), e.docs.Cols))
 	}
@@ -183,9 +230,21 @@ func (e *Engine) TopK(q []float64, k int) []Item {
 		k = n
 	}
 	if k <= 0 {
-		return []Item{}
+		return []Item{}, ScreenStats{}
 	}
 	qn := normalizeCopy(q)
+	if e.screenable(k) {
+		return e.topKScreened(qn, k)
+	}
+	return e.topKExact(qn, k), ScreenStats{}
+}
+
+// topKExact is the pure float64 path: scoring and selection fused per
+// worker — each shard scores its rows into a bounded heap, and the shard
+// survivors merge at the barrier; the full score vector is never
+// materialized.
+func (e *Engine) topKExact(qn []float64, k int) []Item {
+	n := e.docs.Rows
 	nw := runtime.GOMAXPROCS(0)
 	if n*e.docs.Cols < scoreParallelCutoff || nw < 2 || n < 2 {
 		s := newSelector(k)
@@ -223,16 +282,22 @@ func (e *Engine) TopK(q []float64, k int) []Item {
 const batchBlock = 32
 
 // TopKBatch ranks every row of queries (q×dim) against the documents,
-// scoring each block of queries as one gemm Q_norm·D_normᵀ via the tiled
-// parallel dense.MulBT. Per-element summation order matches the
-// single-query dot products, so results are byte-identical to calling
-// TopK per query.
+// scoring each block of queries as one gemm. When the engine screens, the
+// gemm is the float32 Q32·M32ᵀ against the mirror and each query row then
+// runs the certified rescore; otherwise the float64 Q·D̂ᵀ feeds bounded
+// selection directly. Per-element summation order of every float64 score
+// matches the single-query dot products, so results are byte-identical to
+// calling TopK per query — screened or not.
 func (e *Engine) TopKBatch(queries *dense.Matrix, k int) [][]Item {
 	if queries.Cols != e.docs.Cols {
 		panic(fmt.Sprintf("rank: batch query dim %d want %d", queries.Cols, e.docs.Cols))
 	}
 	out := make([][]Item, queries.Rows)
 	if queries.Rows == 0 {
+		return out
+	}
+	if k > 0 && e.screenable(minInt(k, e.docs.Rows)) {
+		e.topKBatchScreened(out, queries, minInt(k, e.docs.Rows))
 		return out
 	}
 	scores := dense.New(minInt(batchBlock, queries.Rows), e.docs.Rows)
@@ -247,7 +312,9 @@ func (e *Engine) TopKBatch(queries *dense.Matrix, k int) [][]Item {
 		}
 		block := scores
 		if qn.Rows != scores.Rows {
-			block = dense.New(qn.Rows, e.docs.Rows)
+			// Final ragged block: a row-prefix view of the existing buffer —
+			// same backing array, no fresh allocation.
+			block = &dense.Matrix{Rows: qn.Rows, Cols: scores.Cols, Data: scores.Data[:qn.Rows*scores.Cols]}
 		}
 		dense.MulBTInto(block, qn, e.docs)
 		for r := 0; r < qn.Rows; r++ {
@@ -255,6 +322,39 @@ func (e *Engine) TopKBatch(queries *dense.Matrix, k int) [][]Item {
 		}
 	}
 	return out
+}
+
+// topKBatchScreened fills out with the two-stage batch path: one float32
+// gemm per query block against the mirror, then the per-row certified
+// rescore. Callers guarantee screenable(k) and 0 < k < NumDocs.
+func (e *Engine) topKBatchScreened(out [][]Item, queries *dense.Matrix, k int) {
+	blockRows := minInt(batchBlock, queries.Rows)
+	scores := dense.NewF32(blockRows, e.docs.Rows)
+	q32s := dense.NewF32(blockRows, queries.Cols)
+	for b0 := 0; b0 < queries.Rows; b0 += batchBlock {
+		b1 := b0 + batchBlock
+		if b1 > queries.Rows {
+			b1 = queries.Rows
+		}
+		qn := queries.Slice(b0, b1, 0, queries.Cols)
+		block, q32blk := scores, q32s
+		if qn.Rows != scores.Rows {
+			// Final ragged block: row-prefix views of the existing buffers.
+			block = &dense.MatrixF32{Rows: qn.Rows, Cols: scores.Cols, Data: scores.Data[:qn.Rows*scores.Cols]}
+			q32blk = &dense.MatrixF32{Rows: qn.Rows, Cols: q32s.Cols, Data: q32s.Data[:qn.Rows*q32s.Cols]}
+		}
+		for r := 0; r < qn.Rows; r++ {
+			dense.Normalize(qn.Row(r))
+			dense.ConvertF32(q32blk.Row(r), qn.Row(r))
+		}
+		dense.MulBTF32Into(block, q32blk, e.mir.docs)
+		for r := 0; r < qn.Rows; r++ {
+			qnr := qn.Row(r)
+			slack := e.screenSlack(qnr, q32blk.Row(r))
+			low := e.lbThreshold(block.Row(r), slack, k)
+			out[b0+r], _ = e.rescorePass(block.Row(r), qnr, slack, k, low)
+		}
+	}
 }
 
 func minInt(a, b int) int {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package rank
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-budget assertions are meaningless under its overhead.
+const raceEnabled = false

@@ -1,0 +1,354 @@
+package rank
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dense"
+)
+
+// Two-stage exact top-k: a float32 screening mirror of the normalized
+// document cache is scanned first (half the memory traffic, unrolled
+// float32 dot products), and only rows whose screened score could — under
+// a provable rounding bound — still reach the running kth-best are
+// rescored with the float64 kernels. The final result is byte-identical
+// to the pure float64 path (pinned by test): the rescore uses exactly the
+// dense.Dot the exact path uses, and the candidate set provably contains
+// every true top-k row.
+//
+// The bound, per document row v (float64, unit-normalized) with float32
+// mirror v32, query qn (float64, unit-normalized) with mirror q32:
+//
+//	|fl64(qn·v) − fl32(q32·v32)|
+//	  ≤ γ64·‖qn‖·‖v‖            (float64 summation rounding)
+//	  + ‖qn‖·‖v − v32‖          (row quantization, Cauchy–Schwarz)
+//	  + ‖qn − q32‖·‖v32‖        (query quantization, Cauchy–Schwarz)
+//	  + γ32·‖q32‖·‖v32‖         (float32 summation rounding)
+//
+// with γp = (n+1)·u_p/(1 − (n+1)·u_p) the standard dot-product bound for
+// any summation order (u32 = 2⁻²⁴, u64 = 2⁻⁵³). The row residual
+// ‖v − v32‖ is computed once per row when the mirror is built or
+// extended; everything else collapses to one query-time scalar using
+// ‖v‖ ≤ 1 and ‖v32‖ ≤ 1 + maxEps. Both pieces are inflated by boundSlack
+// to absorb the float64 rounding of evaluating the bound itself.
+//
+// Screening then works on certified brackets: lb_i = s32_i − ε_i is a
+// lower bound and ub_i = s32_i + ε_i an upper bound on the exact float64
+// score of row i. Let L be the kth largest lb. Every true top-k row j has
+// s64_j ≥ (kth largest s64) ≥ L, hence ub_j ≥ s64_j ≥ L — so rescoring
+// exactly the rows with ub_i ≥ L (ties included, because the comparison
+// is ≥) and selecting among them under the usual total order reproduces
+// the full float64 selection bit for bit.
+
+// boundSlack inflates every computed error bound so the float64 rounding
+// of the bound arithmetic itself (relative error ~1e-16 per operation)
+// can never shave a true candidate below the threshold.
+const boundSlack = 1 + 1e-9
+
+// screenCutoff is the docs×dim element count below which TopK skips the
+// two-stage path: tiny collections fit in cache, where the mirror's
+// bandwidth saving cannot pay for the second pass over the score buffer.
+const screenCutoff = 1 << 14
+
+// mirror is the float32 screening companion of the float64 cache. Its
+// backing slices are allocated with the same element capacity as the
+// float64 allocation and extended in lockstep along the same
+// capacity-claiming chain, so a single CAS on Engine.claimed guards the
+// tails of all three arrays.
+type mirror struct {
+	docs *dense.MatrixF32 // row-converted float32 copy of the float64 rows
+	// eps[i] = ‖row64_i − row32_i‖₂ · boundSlack: the per-row worst-case
+	// quantization residual, computed once at build/extend time.
+	eps []float64
+	// maxEps bounds ‖row32‖ ≤ ‖row64‖ + ‖row64 − row32‖ ≤ 1 + maxEps for
+	// every row, monotone along an Extend chain.
+	maxEps float64
+}
+
+// buildMirror converts every row of docs, allocating the float32 data
+// and per-row residuals with capacities matching cap(docs.Data) so the
+// mirror can ride the same spare-capacity claim chain as the float64
+// cache.
+func buildMirror(docs *dense.Matrix) *mirror {
+	capElems := cap(docs.Data)
+	capRows := docs.Rows
+	if docs.Cols > 0 {
+		capRows = capElems / docs.Cols
+	}
+	m := &mirror{
+		docs: &dense.MatrixF32{Rows: docs.Rows, Cols: docs.Cols,
+			Data: make([]float32, len(docs.Data), capElems)},
+		eps: make([]float64, docs.Rows, capRows),
+	}
+	m.fillRows(docs, 0)
+	return m
+}
+
+// fillRows converts rows [from, docs.Rows) from the float64 cache into
+// the mirror's (already sized) slices and folds their residuals into
+// maxEps. Callers guarantee exclusive ownership of that row range.
+func (m *mirror) fillRows(docs *dense.Matrix, from int) {
+	for i := from; i < docs.Rows; i++ {
+		r64 := docs.Row(i)
+		r32 := m.docs.Row(i)
+		dense.ConvertF32(r32, r64)
+		e := dense.ResidualF32(r64, r32) * boundSlack
+		m.eps[i] = e
+		if e > m.maxEps {
+			m.maxEps = e
+		}
+	}
+}
+
+// extendShared returns a successor mirror covering docs (the already
+// claimed, already written float64 matrix) by writing the new rows into
+// this mirror's spare capacity — only the winner of the chain's claim
+// CAS may call it, with oldRows the parent's row count.
+func (m *mirror) extendShared(docs *dense.Matrix, oldRows int) *mirror {
+	next := &mirror{
+		docs: &dense.MatrixF32{Rows: docs.Rows, Cols: docs.Cols,
+			Data: m.docs.Data[:len(docs.Data)]},
+		eps:    m.eps[:docs.Rows],
+		maxEps: m.maxEps,
+	}
+	next.fillRows(docs, oldRows)
+	return next
+}
+
+// ScreenStats describes what the two-stage path did for one query.
+type ScreenStats struct {
+	// Screened reports whether the float32 screening pass ran at all; a
+	// false value means the exact float64 path served the query directly.
+	Screened bool
+	// Candidates is how many rows survived screening and were rescored in
+	// float64 (k ≤ Candidates ≤ NumDocs when Screened).
+	Candidates int
+}
+
+// screenable reports whether a top-k query should take the two-stage
+// path: there must be a mirror, the selection must be a strict subset
+// (k ≥ n degenerates to a full scan where screening saves nothing), and
+// the scan must be big enough for the saved bandwidth to matter.
+func (e *Engine) screenable(k int) bool {
+	return e.mir != nil && k < e.docs.Rows && e.docs.Cols > 0 &&
+		e.docs.Rows*e.docs.Cols >= screenCutoff
+}
+
+// screenSlack computes the query-dependent part of the per-row error
+// bound: everything in the bracket derivation above except the stored
+// per-row residual.
+func (e *Engine) screenSlack(qn []float64, q32 []float32) float64 {
+	n1 := float64(len(qn) + 1)
+	const u32, u64 = 0x1p-24, 0x1p-53
+	g32 := n1 * u32 / (1 - n1*u32)
+	g64 := n1 * u64 / (1 - n1*u64)
+	rq := dense.ResidualF32(qn, q32)
+	n32q := dense.Norm2F32(q32)
+	nv32 := 1 + e.mir.maxEps // ‖row32‖ ≤ ‖row64‖ + residual
+	return ((rq+g32*n32q)*nv32 + g64*(1+1e-12)) * boundSlack
+}
+
+// screenBuf recycles per-query float32 score buffers: one slot per
+// concurrent query, each sized to the largest collection it has served,
+// so steady-state screening allocates nothing proportional to n.
+var screenBuf = sync.Pool{New: func() any { return new([]float32) }}
+
+func getScreenBuf(n int) *[]float32 {
+	p := screenBuf.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// topKScreened runs the two-stage scan for a normalized query. Callers
+// guarantee screenable(k).
+func (e *Engine) topKScreened(qn []float64, k int) ([]Item, ScreenStats) {
+	q32 := make([]float32, len(qn))
+	dense.ConvertF32(q32, qn)
+	slack := e.screenSlack(qn, q32)
+	bufp := getScreenBuf(e.docs.Rows)
+	buf := *bufp
+	low := e.screenPass(buf, q32, slack, k)
+	items, cands := e.rescorePass(buf, qn, slack, k, low)
+	screenBuf.Put(bufp)
+	return items, ScreenStats{Screened: true, Candidates: cands}
+}
+
+// screenPass fills buf with the float32 screened score of every row and
+// returns the kth largest certified lower bound — the screening
+// threshold L. The scan shards exactly like the float64 scoring scan.
+func (e *Engine) screenPass(buf []float32, q32 []float32, slack float64, k int) float64 {
+	n := e.docs.Rows
+	nw := runtime.GOMAXPROCS(0)
+	if n*e.docs.Cols < scoreParallelCutoff || nw < 2 || n < 2 {
+		s := newSelector(k)
+		e.screenSpan(s, buf, q32, slack, 0, n)
+		return s.finish()[k-1].Score
+	}
+	if nw > n {
+		nw = n
+	}
+	sels := make([]*selector, nw)
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := newSelector(k)
+			e.screenSpan(s, buf, q32, slack, lo, hi)
+			sels[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Every row was offered and n > k, so the merge holds exactly k items.
+	return mergeSelectors(sels, k)[k-1].Score
+}
+
+// screenSpan is the stage-1 kernel: float32 dot against mirror rows
+// [lo, hi), recording the raw screened score and feeding the certified
+// lower bound through the selector.
+//
+//lsilint:noalloc
+func (e *Engine) screenSpan(s *selector, buf []float32, q32 []float32, slack float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sc := dense.DotF32(q32, e.mir.docs.Row(i))
+		buf[i] = sc
+		s.offer(Item{Doc: i, Score: float64(sc) - e.mir.eps[i] - slack})
+	}
+}
+
+// rescorePass rescans the screened scores, rescoring in float64 every
+// row whose upper bound clears the threshold, and returns the exact
+// top-k plus the candidate count. The rescore uses the same dense.Dot
+// the exact path uses, so surviving scores are bit-identical to it.
+func (e *Engine) rescorePass(buf []float32, qn []float64, slack float64, k int, low float64) ([]Item, int) {
+	n := e.docs.Rows
+	nw := runtime.GOMAXPROCS(0)
+	if n*e.docs.Cols < scoreParallelCutoff || nw < 2 || n < 2 {
+		s := newSelector(k)
+		cands := e.rescoreSpan(s, buf, qn, slack, low, 0, n)
+		return s.finish(), cands
+	}
+	if nw > n {
+		nw = n
+	}
+	sels := make([]*selector, nw)
+	counts := make([]int, nw)
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := newSelector(k)
+			counts[w] = e.rescoreSpan(s, buf, qn, slack, low, lo, hi)
+			sels[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	cands := 0
+	for _, c := range counts {
+		cands += c
+	}
+	return mergeSelectors(sels, k), cands
+}
+
+// rescoreSpan is the stage-2 kernel over rows [lo, hi): cheap float32
+// upper-bound test, exact float64 rescore only for survivors.
+//
+//lsilint:noalloc
+func (e *Engine) rescoreSpan(s *selector, buf []float32, qn []float64, slack float64, low float64, lo, hi int) int {
+	cands := 0
+	for i := lo; i < hi; i++ {
+		if float64(buf[i])+e.mir.eps[i]+slack >= low {
+			s.offer(Item{Doc: i, Score: dense.Dot(qn, e.docs.Row(i))})
+			cands++
+		}
+	}
+	return cands
+}
+
+// lbThreshold computes the screening threshold for a score row that was
+// already screened by a batched gemm (stage 1 of TopKBatch): the kth
+// largest certified lower bound over buf.
+func (e *Engine) lbThreshold(buf []float32, slack float64, k int) float64 {
+	n := len(buf)
+	nw := runtime.GOMAXPROCS(0)
+	if n < selectParallelCutoff || nw < 2 {
+		s := newSelector(k)
+		e.lbSpan(s, buf, slack, 0, n)
+		return s.finish()[k-1].Score
+	}
+	if nw > n {
+		nw = n
+	}
+	sels := make([]*selector, nw)
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := newSelector(k)
+			e.lbSpan(s, buf, slack, lo, hi)
+			sels[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return mergeSelectors(sels, k)[k-1].Score
+}
+
+// lbSpan offers the certified lower bound of already-screened rows
+// [lo, hi) through the selector.
+//
+//lsilint:noalloc
+func (e *Engine) lbSpan(s *selector, buf []float32, slack float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s.offer(Item{Doc: i, Score: float64(buf[i]) - e.mir.eps[i] - slack})
+	}
+}
+
+// checkMirror panics if the mirror has drifted from the float64 cache —
+// a development invariant used by tests.
+func (e *Engine) checkMirror() {
+	if e.mir == nil {
+		return
+	}
+	if e.mir.docs.Rows != e.docs.Rows || e.mir.docs.Cols != e.docs.Cols {
+		panic("rank: mirror shape drift")
+	}
+	for i := 0; i < e.docs.Rows; i++ {
+		r64 := e.docs.Row(i)
+		r32 := e.mir.docs.Row(i)
+		for j, v := range r64 {
+			if math.Float32bits(r32[j]) != math.Float32bits(float32(v)) {
+				panic("rank: mirror row not bit-equal to converted float64 row")
+			}
+		}
+	}
+}

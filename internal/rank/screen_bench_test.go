@@ -1,0 +1,73 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+const (
+	benchDocs = 50000
+	benchDim  = 100
+)
+
+func benchEngines(b *testing.B) (*Engine, *Engine, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(41))
+	m := randomMatrix(rng, benchDocs, benchDim)
+	q := make([]float64, benchDim)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	return NewEngineExact(m), NewEngine(m), q
+}
+
+func BenchmarkTopKExact(b *testing.B) {
+	exact, _, q := benchEngines(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(exact.TopK(q, 10)) != 10 {
+			b.Fatal()
+		}
+	}
+}
+
+func BenchmarkTopKScreened(b *testing.B) {
+	_, screened, q := benchEngines(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(screened.TopK(q, 10)) != 10 {
+			b.Fatal()
+		}
+	}
+}
+
+var benchSink64 float64
+var benchSink32 float32
+
+func BenchmarkScanDot64(b *testing.B) {
+	exact, _, q := benchEngines(b)
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		var s float64
+		for i := 0; i < benchDocs; i++ {
+			s += dense.Dot(q, exact.docs.Row(i))
+		}
+		benchSink64 = s
+	}
+}
+
+func BenchmarkScanDotF32(b *testing.B) {
+	_, screened, q := benchEngines(b)
+	q32 := make([]float32, benchDim)
+	dense.ConvertF32(q32, q)
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		var s float32
+		for i := 0; i < benchDocs; i++ {
+			s += dense.DotF32(q32, screened.mir.docs.Row(i))
+		}
+		benchSink32 = s
+	}
+}

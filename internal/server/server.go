@@ -346,6 +346,7 @@ type Stats struct {
 	Generation        uint64  `json:"generation"`
 	QueueDepth        int     `json:"queue_depth"`
 	Compactions       int64   `json:"compactions"`
+	Screening         bool    `json:"screening"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -366,6 +367,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Generation:        st.Generation,
 		QueueDepth:        st.QueueDepth,
 		Compactions:       st.Compactions,
+		Screening:         st.Screening,
 	})
 }
 
@@ -382,6 +384,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"lsi_compactions_total", "SVD-update compactions completed.", "counter", st.Compactions},
 		{"lsi_documents", "Documents in the serving snapshot.", "gauge", st.Documents},
 		{"lsi_folded_documents", "Documents folded in since the last SVD state.", "gauge", st.FoldedDocuments},
+		{"lsi_screening_enabled", "1 when the float32 screening mirror serves queries, 0 on the exact-only path.", "gauge", boolGauge(st.Screening)},
 	})
 }
 
@@ -398,6 +401,13 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 		return 0, fmt.Errorf("parameter %s must be a positive integer, got %q", name, v)
 	}
 	return n, nil
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func allZero(xs []float64) bool {

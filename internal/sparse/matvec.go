@@ -56,11 +56,31 @@ func (m *CSR) mulVecRange(x, y []float64, lo, hi int) {
 }
 
 // nnzPartition returns nw+1 row boundaries splitting the matrix into chunks
-// of roughly equal nonzero count. The per-chunk target is clamped to at
-// least one nonzero: with NNZ < nw an integer target of 0 would make every
-// interior bound collapse to row 0, leaving all rows on a single worker —
-// the opposite of what the partition is for.
+// of roughly equal nonzero count. The bounds depend only on the immutable
+// RowPtr structure, so they are computed once per (matrix, nw) and cached
+// — without the cache every matvec rescans RowPtr, which for the Lanczos
+// inner loop means millions of pointless comparisons per build. Callers
+// must treat the returned slice as read-only (they all do: it is consumed
+// as loop bounds).
 func (m *CSR) nnzPartition(nw int) []int {
+	m.partMu.Lock()
+	defer m.partMu.Unlock()
+	if b, ok := m.parts[nw]; ok {
+		return b
+	}
+	b := m.computeNNZPartition(nw)
+	if m.parts == nil {
+		m.parts = make(map[int][]int, 4)
+	}
+	m.parts[nw] = b
+	return b
+}
+
+// computeNNZPartition does the actual boundary scan. The per-chunk target
+// is clamped to at least one nonzero: with NNZ < nw an integer target of 0
+// would make every interior bound collapse to row 0, leaving all rows on a
+// single worker — the opposite of what the partition is for.
+func (m *CSR) computeNNZPartition(nw int) []int {
 	bounds := make([]int, nw+1)
 	bounds[nw] = m.Rows
 	target := m.NNZ() / nw
@@ -97,7 +117,7 @@ func (m *CSR) MulVecT(x, y []float64) {
 		nw = m.Rows
 	}
 	bounds := m.nnzPartition(nw)
-	partials := make([][]float64, nw)
+	partials := make([]*[]float64, nw)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		lo, hi := bounds[w], bounds[w+1]
@@ -107,21 +127,43 @@ func (m *CSR) MulVecT(x, y []float64) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			acc := make([]float64, m.Cols)
-			m.mulVecTRange(x, acc, lo, hi)
+			acc := m.getAcc()
+			m.mulVecTRange(x, *acc, lo, hi)
 			partials[w] = acc
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	// Reduce in worker order — deterministic summation — then hand each
+	// accumulator back to the pool for the next call.
 	for _, acc := range partials {
 		if acc == nil {
 			continue
 		}
-		for i, v := range acc {
+		for i, v := range *acc {
 			y[i] += v
 		}
+		m.putAcc(acc)
 	}
 }
+
+// getAcc returns a zeroed Cols-sized accumulator, reusing a pooled one
+// when available. Pool entries are pointers so Put does not re-box the
+// slice header on every cycle.
+func (m *CSR) getAcc() *[]float64 {
+	if v := m.acc.Get(); v != nil {
+		p := v.(*[]float64)
+		if acc := *p; len(acc) == m.Cols {
+			for i := range acc {
+				acc[i] = 0
+			}
+			return p
+		}
+	}
+	acc := make([]float64, m.Cols)
+	return &acc
+}
+
+func (m *CSR) putAcc(p *[]float64) { m.acc.Put(p) }
 
 func (m *CSR) mulVecTRange(x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {

@@ -1,0 +1,109 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// bigCSR builds a matrix whose nonzero count clears the parallel cutoff,
+// so MulVecT takes the sharded path with per-worker accumulators.
+func bigCSR(t *testing.T) *CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	m := randomCSR(rng, 2000, 1500, 0.02)
+	if m.NNZ() < matvecParallelCutoff {
+		t.Fatalf("fixture too sparse: %d nnz < cutoff %d", m.NNZ(), matvecParallelCutoff)
+	}
+	return m
+}
+
+// TestNNZPartitionCached pins the satellite contract: the bounds depend
+// only on the immutable structure, so repeated calls return the identical
+// cached slice, which matches a fresh computation for every worker count.
+func TestNNZPartitionCached(t *testing.T) {
+	m := bigCSR(t)
+	for _, nw := range []int{1, 2, 3, 4, 7, 16} {
+		first := m.nnzPartition(nw)
+		fresh := m.computeNNZPartition(nw)
+		if !reflect.DeepEqual(first, fresh) {
+			t.Fatalf("nw=%d: cached bounds %v != fresh %v", nw, first, fresh)
+		}
+		for rep := 0; rep < 3; rep++ {
+			again := m.nnzPartition(nw)
+			if !reflect.DeepEqual(again, first) {
+				t.Fatalf("nw=%d: repeated call changed bounds: %v -> %v", nw, first, again)
+			}
+			if &again[0] != &first[0] {
+				t.Fatalf("nw=%d: repeated call recomputed instead of hitting the cache", nw)
+			}
+		}
+	}
+	// Distinct worker counts get distinct cached entries.
+	if &m.nnzPartition(2)[0] == &m.nnzPartition(4)[0] {
+		t.Fatal("different worker counts share one cache entry")
+	}
+}
+
+// TestMulVecTScratchReuse asserts the accumulator pool does its job: the
+// steady-state heap traffic of a parallel Aᵀx must stay far below one
+// Cols-sized accumulator per call, let alone the GOMAXPROCS of them the
+// unpooled path allocated. Goroutine spawns and the partials slice still
+// allocate a few dozen bytes each — the budget of half an accumulator
+// leaves them room while failing loudly if the big buffers come back.
+func TestMulVecTScratchReuse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates per-op allocations past any honest budget")
+	}
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	m := bigCSR(t)
+	x := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y := make([]float64, m.Cols)
+	want := make([]float64, m.Cols)
+	m.MulVecT(x, want) // warm the pool and the partition cache
+
+	const runs = 50
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		m.MulVecT(x, y)
+	}
+	runtime.ReadMemStats(&after)
+	perOp := float64(after.TotalAlloc-before.TotalAlloc) / runs
+	if budget := float64(m.Cols * 8 / 2); perOp > budget {
+		t.Fatalf("MulVecT allocates %.0f B/op; want < %.0f (accumulators not reused)", perOp, budget)
+	}
+	if !reflect.DeepEqual(y, want) {
+		t.Fatal("pooled accumulators changed the result")
+	}
+}
+
+// TestMulVecTPooledParity re-checks numeric parity against the serial
+// kernel now that accumulators are recycled (a stale, un-zeroed buffer
+// would corrupt exactly this).
+func TestMulVecTPooledParity(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	m := bigCSR(t)
+	rng := rand.New(rand.NewSource(12))
+	x := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	serial := make([]float64, m.Cols)
+	m.mulVecTRange(x, serial, 0, m.Rows)
+	got := make([]float64, m.Cols)
+	for rep := 0; rep < 5; rep++ {
+		m.MulVecT(x, got)
+		for j := range got {
+			if d := got[j] - serial[j]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("rep %d col %d: parallel %v serial %v", rep, j, got[j], serial[j])
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Coord is one explicit entry of a matrix under construction.
@@ -91,6 +92,19 @@ type CSR struct {
 	RowPtr     []int
 	ColIdx     []int
 	Val        []float64
+
+	// acc recycles the Cols-sized per-worker accumulators MulVecT needs:
+	// the Lanczos inner loop calls Aᵀx thousands of times, and without
+	// reuse each call churns GOMAXPROCS fresh slices through the heap.
+	// The zero value is ready to use, so literal construction sites need
+	// no changes; Clone and T deliberately do not share it.
+	acc sync.Pool
+
+	// partMu guards parts, the cached nnzPartition bounds per worker
+	// count. The structure arrays are immutable after Build, so cached
+	// bounds never need invalidating.
+	partMu sync.Mutex
+	parts  map[int][]int
 }
 
 // NNZ returns the number of stored nonzeros.
