@@ -48,8 +48,10 @@ stress:
 	$(GO) test -race -count=2 ./internal/engine/... ./internal/server/...
 
 # bench-query regenerates the query-serving performance record (seed
-# scoring path vs float64 engine vs the float32-screened two-stage path)
-# consumed by BENCH_query.json. bench is kept as an alias.
+# scoring path vs float64 engine vs the float32-screened two-stage path
+# vs the cluster-pruned IVF path) consumed by BENCH_query.json: each
+# collection at gomaxprocs=1 and NumCPU, with clusters-scanned columns
+# and a measured recall@10 nprobe sweep. bench is kept as an alias.
 bench-query:
 	$(GO) run ./cmd/lsibench -queryperf -out BENCH_query.json
 

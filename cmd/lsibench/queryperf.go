@@ -1,7 +1,11 @@
 // Query-serving performance harness: measures the scoring engine against
 // the seed query path (per-document cosine recomputation + full sort) and
 // writes the numbers to a JSON file so successive PRs can track the
-// latency/throughput trajectory.
+// latency/throughput trajectory. Each collection is measured twice — at
+// gomaxprocs=1 (per-core cost) and at gomaxprocs=NumCPU (what a serving
+// process actually gets from the tiled parallel kernels) — and the
+// cluster-pruned IVF path is reported alongside the flat screen, in exact
+// mode and across an nprobe sweep with measured recall@k.
 package main
 
 // benchmark harness: wall-clock timing is the product.
@@ -30,14 +34,28 @@ type candidateBucket struct {
 	Queries       int `json:"queries"`
 }
 
-// queryPerfCase is one (collection size, factors) measurement. The engine
-// columns keep their historical meaning — the pure float64 scoring engine
-// of PR 1 — and the screen columns measure the two-stage float32-screened
-// path against the same documents, so the file records both trajectories.
+// nprobePoint is one step of the approximate-mode sweep: latency and
+// measured recall@k against the exact engine on the same query set.
+type nprobePoint struct {
+	NProbe              int     `json:"nprobe"`
+	NsPerOp             int64   `json:"ns_per_op"`
+	RecallAtK           float64 `json:"recall_at_k"`
+	MeanClustersScanned float64 `json:"mean_clusters_scanned"`
+}
+
+// queryPerfCase is one (collection size, factors, gomaxprocs)
+// measurement. The engine columns keep their historical meaning — the
+// pure float64 scoring engine of PR 1 — the screen columns measure the
+// two-stage float32-screened path of PR 5, and the ivf columns measure
+// the cluster-pruned exact path over the same documents, so the file
+// records all three trajectories.
 type queryPerfCase struct {
-	Docs            int     `json:"docs"`
-	Factors         int     `json:"factors"`
-	TopK            int     `json:"top_k"`
+	Docs       int  `json:"docs"`
+	Factors    int  `json:"factors"`
+	TopK       int  `json:"top_k"`
+	GoMaxProcs int  `json:"gomaxprocs"`
+	Clustered  bool `json:"clustered_data"`
+
 	SeedNsPerOp     int64   `json:"seed_ns_per_op"`
 	EngineNsPerOp   int64   `json:"engine_ns_per_op"`
 	Speedup         float64 `json:"speedup"`
@@ -52,11 +70,23 @@ type queryPerfCase struct {
 	ScreenBatchQPS      float64           `json:"screen_batch_queries_per_sec"`
 	MeanCandidates      float64           `json:"mean_rescore_candidates"`
 	CandidateHist       []candidateBucket `json:"rescore_candidate_hist"`
+
+	// Exact cluster-pruned path: same byte-identical results as the
+	// engine/screen columns, scanning only clusters the certified bound
+	// cannot rule out.
+	IVFClusters          int           `json:"ivf_clusters"`
+	IVFNsPerOp           int64         `json:"ivf_ns_per_op"`
+	IVFSpeedupVsScreen   float64       `json:"ivf_speedup_vs_screen"`
+	IVFBatchNsPerQry     int64         `json:"ivf_batch_ns_per_query"`
+	IVFBatchQPS          float64       `json:"ivf_batch_queries_per_sec"`
+	IVFMeanClustersScans float64       `json:"ivf_mean_clusters_scanned"`
+	IVFMeanScannedRows   float64       `json:"ivf_mean_scanned_rows"`
+	Approx               []nprobePoint `json:"approx_nprobe_sweep"`
 }
 
 type queryPerfReport struct {
 	GeneratedAt string          `json:"generated_at"`
-	GoMaxProcs  int             `json:"gomaxprocs"`
+	NumCPU      int             `json:"num_cpu"`
 	Cases       []queryPerfCase `json:"cases"`
 }
 
@@ -68,6 +98,35 @@ func syntheticRankModel(docs, k int, seed int64) *core.Model {
 	for i := range v.Data {
 		v.Data[i] = rng.NormFloat64()
 	}
+	return wrapRankModel(v, k)
+}
+
+// clusteredRankModel draws document vectors around centers well-separated
+// unit directions with the given spread — latent coordinates with real
+// neighborhood structure, where cluster pruning has something to prune
+// (isotropic gaussians give every cluster a radius near √2, so certified
+// bounds can never exclude anything).
+func clusteredRankModel(docs, k, centers int, spread float64, seed int64) *core.Model {
+	rng := rand.New(rand.NewSource(seed))
+	cents := dense.New(centers, k)
+	for i := range cents.Data {
+		cents.Data[i] = rng.NormFloat64()
+	}
+	for i := 0; i < centers; i++ {
+		dense.Normalize(cents.Row(i))
+	}
+	v := dense.New(docs, k)
+	for i := 0; i < docs; i++ {
+		c := cents.Row(rng.Intn(centers))
+		row := v.Row(i)
+		for j := range row {
+			row[j] = c[j] + spread*rng.NormFloat64()
+		}
+	}
+	return wrapRankModel(v, k)
+}
+
+func wrapRankModel(v *dense.Matrix, k int) *core.Model {
 	s := make([]float64, k)
 	for i := range s {
 		s[i] = 1
@@ -91,6 +150,19 @@ func seedRank(v *dense.Matrix, qhat []float64) []core.Ranked {
 	return out
 }
 
+// queryPerfWorkload is one collection plus its query set; engines are
+// built once (at full parallelism) and timed at each gomaxprocs setting.
+type queryPerfWorkload struct {
+	docs      int
+	clustered bool
+	model     *core.Model
+	qhat      []float64
+	qhats     [][]float64
+	exact     *rank.Engine
+	screened  *rank.Engine
+	ivf       *rank.Engine
+}
+
 func runQueryPerf(out string, seed int64) error {
 	const (
 		factors      = 100
@@ -99,118 +171,66 @@ func runQueryPerf(out string, seed int64) error {
 	)
 	report := queryPerfReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 	}
-	for _, docs := range []int{10000, 50000} {
-		m := syntheticRankModel(docs, factors, seed)
+	shapes := []struct {
+		docs      int
+		clustered bool
+	}{
+		{10000, false},
+		{50000, false},
+		// The pruning showcase: 200k docs around 256 tight centers —
+		// the neighborhood structure real latent coordinates have, at a
+		// size where a full scan is painful.
+		{200000, true},
+	}
+	procSettings := []int{1, runtime.NumCPU()}
+	if runtime.NumCPU() == 1 {
+		procSettings = procSettings[:1]
+	}
+	for _, shape := range shapes {
+		var m *core.Model
+		if shape.clustered {
+			m = clusteredRankModel(shape.docs, factors, 256, 0.05, seed)
+		} else {
+			m = syntheticRankModel(shape.docs, factors, seed)
+		}
 		rng := rand.New(rand.NewSource(seed + 7))
-		qhat := make([]float64, factors)
-		for i := range qhat {
-			qhat[i] = rng.NormFloat64()
-		}
-		qhats := make([][]float64, batchQueries)
-		for b := range qhats {
+		sample := func() []float64 {
 			q := make([]float64, factors)
-			for i := range q {
-				q[i] = rng.NormFloat64()
-			}
-			qhats[b] = q
-		}
-		// Bench the two cache flavors directly so the columns keep exact
-		// meanings: exact is the PR 1 float64 engine, screened is the
-		// two-stage mirror path over the same vectors. Construction happens
-		// outside the timed region; a serving process pays it once.
-		exact := rank.NewEngineExact(m.V)
-		screened := rank.NewEngine(m.V)
-		qbatch := dense.NewFromRows(qhats)
-
-		seedRes := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if r := seedRank(m.V, qhat); len(r) != docs {
-					b.Fatal("bad seed rank")
+			if shape.clustered {
+				// Queries land near documents — the serving distribution a
+				// clustered corpus implies, and the one recall@k is defined
+				// over.
+				copy(q, m.V.Row(rng.Intn(shape.docs)))
+				for i := range q {
+					q[i] += 0.02 * rng.NormFloat64()
+				}
+			} else {
+				for i := range q {
+					q[i] = rng.NormFloat64()
 				}
 			}
-		})
-		engRes := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if r := exact.TopK(qhat, topK); len(r) != topK {
-					b.Fatal("bad engine rank")
-				}
-			}
-		})
-		scrRes := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if r := screened.TopK(qhat, topK); len(r) != topK {
-					b.Fatal("bad screened rank")
-				}
-			}
-		})
-		batchRes := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if r := exact.TopKBatch(qbatch, topK); len(r) != batchQueries {
-					b.Fatal("bad batch rank")
-				}
-			}
-		})
-		scrBatchRes := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if r := screened.TopKBatch(qbatch, topK); len(r) != batchQueries {
-					b.Fatal("bad screened batch rank")
-				}
-			}
-		})
-		// Candidate-set sizes over the batch queries: how many rows survived
-		// the float32 screen and were rescored in float64, bucketed by
-		// powers of two.
-		hist := map[int]int{}
-		var totalCand int
-		for _, q := range qhats {
-			items, st := screened.TopKWithStats(q, topK)
-			if len(items) != topK || !st.Screened {
-				return fmt.Errorf("queryperf: screened stats missing at %d docs", docs)
-			}
-			bucket := 1
-			for bucket < st.Candidates {
-				bucket *= 2
-			}
-			hist[bucket]++
-			totalCand += st.Candidates
+			return q
 		}
-		buckets := make([]int, 0, len(hist))
-		for b := range hist {
-			buckets = append(buckets, b)
+		w := queryPerfWorkload{docs: shape.docs, clustered: shape.clustered, model: m, qhat: sample()}
+		for b := 0; b < batchQueries; b++ {
+			w.qhats = append(w.qhats, sample())
 		}
-		sort.Ints(buckets)
-		var candHist []candidateBucket
-		for _, b := range buckets {
-			candHist = append(candHist, candidateBucket{MaxCandidates: b, Queries: hist[b]})
+		// Build the three cache flavors once, outside every timed region —
+		// a serving process pays construction once. exact is the PR 1
+		// float64 engine, screened the PR 5 two-stage mirror, ivf the
+		// cluster-pruned engine over the same mirror.
+		w.exact = rank.NewEngineExact(m.V)
+		w.screened = rank.NewEngine(m.V)
+		w.ivf = w.screened.BuildIVF(rank.IVFConfig{})
+		for _, procs := range procSettings {
+			c, err := benchQueryCase(&w, procs, topK, batchQueries)
+			if err != nil {
+				return err
+			}
+			report.Cases = append(report.Cases, c)
 		}
-
-		perQuery := batchRes.NsPerOp() / int64(batchQueries)
-		scrPerQuery := scrBatchRes.NsPerOp() / int64(batchQueries)
-		c := queryPerfCase{
-			Docs:            docs,
-			Factors:         factors,
-			TopK:            topK,
-			SeedNsPerOp:     seedRes.NsPerOp(),
-			EngineNsPerOp:   engRes.NsPerOp(),
-			Speedup:         float64(seedRes.NsPerOp()) / float64(engRes.NsPerOp()),
-			BatchQueries:    batchQueries,
-			BatchNsPerQuery: perQuery,
-			BatchQPS:        1e9 / float64(perQuery),
-
-			ScreenNsPerOp:       scrRes.NsPerOp(),
-			ScreenSpeedupVsEng:  float64(engRes.NsPerOp()) / float64(scrRes.NsPerOp()),
-			ScreenSpeedupVsSeed: float64(seedRes.NsPerOp()) / float64(scrRes.NsPerOp()),
-			ScreenBatchNsPerQry: scrPerQuery,
-			ScreenBatchQPS:      1e9 / float64(scrPerQuery),
-			MeanCandidates:      float64(totalCand) / float64(len(qhats)),
-			CandidateHist:       candHist,
-		}
-		report.Cases = append(report.Cases, c)
-		fmt.Fprintf(os.Stderr, "queryperf: %d docs × %d factors: seed %d ns/op, engine top-%d %d ns/op (%.2fx), screened %d ns/op (%.2fx vs engine), batch %d ns/query (screened %d), mean candidates %.1f\n",
-			docs, factors, c.SeedNsPerOp, topK, c.EngineNsPerOp, c.Speedup,
-			c.ScreenNsPerOp, c.ScreenSpeedupVsEng, perQuery, scrPerQuery, c.MeanCandidates)
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -223,4 +243,182 @@ func runQueryPerf(out string, seed int64) error {
 		return err
 	}
 	return f.Close()
+}
+
+// benchQueryCase times every path of one workload at the given
+// gomaxprocs and assembles the case row.
+func benchQueryCase(w *queryPerfWorkload, procs, topK, batchQueries int) (queryPerfCase, error) {
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+
+	qbatch := dense.NewFromRows(w.qhats)
+	seedRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := seedRank(w.model.V, w.qhat); len(r) != w.docs {
+				b.Fatal("bad seed rank")
+			}
+		}
+	})
+	engRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := w.exact.TopK(w.qhat, topK); len(r) != topK {
+				b.Fatal("bad engine rank")
+			}
+		}
+	})
+	scrRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := w.screened.TopK(w.qhat, topK); len(r) != topK {
+				b.Fatal("bad screened rank")
+			}
+		}
+	})
+	ivfRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := w.ivf.TopK(w.qhat, topK); len(r) != topK {
+				b.Fatal("bad ivf rank")
+			}
+		}
+	})
+	batchRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := w.exact.TopKBatch(qbatch, topK); len(r) != batchQueries {
+				b.Fatal("bad batch rank")
+			}
+		}
+	})
+	scrBatchRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := w.screened.TopKBatch(qbatch, topK); len(r) != batchQueries {
+				b.Fatal("bad screened batch rank")
+			}
+		}
+	})
+	ivfBatchRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := w.ivf.TopKBatch(qbatch, topK); len(r) != batchQueries {
+				b.Fatal("bad ivf batch rank")
+			}
+		}
+	})
+
+	// Candidate-set and cluster-scan statistics over the batch queries,
+	// verifying byte-parity of the pruned path against the exact engine
+	// on the way (the bench must not report a number a wrong result
+	// produced).
+	hist := map[int]int{}
+	var totalCand, totalScans, totalRows int
+	clusters, _, _ := w.ivf.IVF()
+	for _, q := range w.qhats {
+		items, st := w.ivf.TopKWithStats(q, topK)
+		if len(items) != topK || !st.Screened {
+			return queryPerfCase{}, fmt.Errorf("queryperf: ivf stats missing at %d docs", w.docs)
+		}
+		exactItems := w.exact.TopK(q, topK)
+		for i := range items {
+			if items[i] != exactItems[i] {
+				return queryPerfCase{}, fmt.Errorf("queryperf: ivf result diverges from exact at %d docs", w.docs)
+			}
+		}
+		bucket := 1
+		for bucket < st.Candidates {
+			bucket *= 2
+		}
+		hist[bucket]++
+		totalCand += st.Candidates
+		totalScans += st.ClustersScanned
+		totalRows += st.ScannedRows
+	}
+	buckets := make([]int, 0, len(hist))
+	for b := range hist {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	var candHist []candidateBucket
+	for _, b := range buckets {
+		candHist = append(candHist, candidateBucket{MaxCandidates: b, Queries: hist[b]})
+	}
+
+	// Approximate-mode sweep: per-query recall@k against the exact
+	// engine on the same query set — a measured recall curve, not a
+	// claimed one.
+	var sweep []nprobePoint
+	for _, nprobe := range []int{1, 4, 16} {
+		if nprobe > clusters {
+			break
+		}
+		var hits, scans int
+		for _, q := range w.qhats {
+			got, st := w.ivf.TopKProbe(q, topK, nprobe)
+			scans += st.ClustersScanned
+			want := w.exact.TopK(q, topK)
+			inWant := make(map[int]bool, topK)
+			for _, it := range want {
+				inWant[it.Doc] = true
+			}
+			for _, it := range got {
+				if inWant[it.Doc] {
+					hits++
+				}
+			}
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r, _ := w.ivf.TopKProbe(w.qhat, topK, nprobe); len(r) != topK {
+					b.Fatal("bad probe rank")
+				}
+			}
+		})
+		sweep = append(sweep, nprobePoint{
+			NProbe:              nprobe,
+			NsPerOp:             res.NsPerOp(),
+			RecallAtK:           float64(hits) / float64(len(w.qhats)*topK),
+			MeanClustersScanned: float64(scans) / float64(len(w.qhats)),
+		})
+	}
+
+	perQuery := batchRes.NsPerOp() / int64(batchQueries)
+	scrPerQuery := scrBatchRes.NsPerOp() / int64(batchQueries)
+	ivfPerQuery := ivfBatchRes.NsPerOp() / int64(batchQueries)
+	nq := float64(len(w.qhats))
+	c := queryPerfCase{
+		Docs:       w.docs,
+		Factors:    w.model.K,
+		TopK:       topK,
+		GoMaxProcs: procs,
+		Clustered:  w.clustered,
+
+		SeedNsPerOp:     seedRes.NsPerOp(),
+		EngineNsPerOp:   engRes.NsPerOp(),
+		Speedup:         float64(seedRes.NsPerOp()) / float64(engRes.NsPerOp()),
+		BatchQueries:    batchQueries,
+		BatchNsPerQuery: perQuery,
+		BatchQPS:        1e9 / float64(perQuery),
+
+		ScreenNsPerOp:       scrRes.NsPerOp(),
+		ScreenSpeedupVsEng:  float64(engRes.NsPerOp()) / float64(scrRes.NsPerOp()),
+		ScreenSpeedupVsSeed: float64(seedRes.NsPerOp()) / float64(scrRes.NsPerOp()),
+		ScreenBatchNsPerQry: scrPerQuery,
+		ScreenBatchQPS:      1e9 / float64(scrPerQuery),
+		MeanCandidates:      float64(totalCand) / nq,
+		CandidateHist:       candHist,
+
+		IVFClusters:          clusters,
+		IVFNsPerOp:           ivfRes.NsPerOp(),
+		IVFSpeedupVsScreen:   float64(scrRes.NsPerOp()) / float64(ivfRes.NsPerOp()),
+		IVFBatchNsPerQry:     ivfPerQuery,
+		IVFBatchQPS:          1e9 / float64(ivfPerQuery),
+		IVFMeanClustersScans: float64(totalScans) / nq,
+		IVFMeanScannedRows:   float64(totalRows) / nq,
+		Approx:               sweep,
+	}
+	fmt.Fprintf(os.Stderr, "queryperf: %d docs × %d factors @ gomaxprocs=%d: seed %d ns/op, engine top-%d %d ns/op (%.2fx), screened %d ns/op (%.2fx vs engine), ivf %d ns/op (%.2fx vs screened, %.1f/%d clusters scanned)\n",
+		w.docs, w.model.K, procs, c.SeedNsPerOp, topK, c.EngineNsPerOp, c.Speedup,
+		c.ScreenNsPerOp, c.ScreenSpeedupVsEng, c.IVFNsPerOp, c.IVFSpeedupVsScreen,
+		c.IVFMeanClustersScans, clusters)
+	for _, p := range sweep {
+		fmt.Fprintf(os.Stderr, "queryperf:   nprobe=%d: %d ns/op, recall@%d %.3f\n",
+			p.NProbe, p.NsPerOp, topK, p.RecallAtK)
+	}
+	return c, nil
 }

@@ -57,6 +57,14 @@ func main() {
 		"doc-orthogonality loss triggering SVD-update compaction; 0 disables")
 	noScreen := flag.Bool("no-screen", false,
 		"disable the float32 screening mirror; every query runs the pure float64 path (identical results, more memory traffic)")
+	noIVF := flag.Bool("no-ivf", false,
+		"disable the cluster index over the screening mirror; queries screen every row (identical results, no cluster pruning)")
+	ivfClusters := flag.Int("ivf-clusters", 0,
+		"cluster-index cell count; 0 picks sqrt(docs)")
+	nprobe := flag.Int("nprobe", 0,
+		"approximate mode: max IVF cells scanned per query; 0 keeps queries exact (certified pruning only)")
+	ivfRebuildFrac := flag.Float64("ivf-rebuild-frac", 0.25,
+		"unclustered-tail fraction triggering a background cluster-index rebuild; negative disables size-triggered rebuilds")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline; 0 disables")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining queued fold-ins")
 	flag.Parse()
@@ -94,11 +102,15 @@ func main() {
 	}
 	srv, err := server.NewWithOptions(coll, model, server.Options{
 		Engine: engine.Config{
-			QueueSize:        *queueSize,
-			BatchTick:        *batchTick,
-			CompactThreshold: *compactAt,
-			DisableScreening: *noScreen,
-			Logf:             log.Printf,
+			QueueSize:          *queueSize,
+			BatchTick:          *batchTick,
+			CompactThreshold:   *compactAt,
+			DisableScreening:   *noScreen,
+			DisableIVF:         *noIVF,
+			IVFClusters:        *ivfClusters,
+			IVFNProbe:          *nprobe,
+			IVFRebuildFraction: *ivfRebuildFrac,
+			Logf:               log.Printf,
 		},
 		RequestTimeout: *reqTimeout,
 		Logf:           log.Printf,

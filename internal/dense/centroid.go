@@ -1,0 +1,68 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// Centroid kernels for the IVF cluster index (internal/rank/ivf.go):
+// k-means accumulation and assignment over the float32 screening mirror,
+// plus the float64 distance the certified cluster radii are computed
+// with. Like the blas32 screening kernels, the float32 routines only
+// shape the *candidate structure* (which rows land in which cluster) —
+// every certified quantity (centroid, radius, bound) is evaluated in
+// float64 against the float64 cache, so clustering quality affects
+// performance, never correctness.
+
+// AccumF32 adds x element-wise into the float64 accumulator dst — the
+// centroid update step, accumulated in float64 so summing many float32
+// rows cannot lose low bits to cancellation.
+//
+//lsilint:noalloc
+func AccumF32(dst []float64, x []float32) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("dense: AccumF32 lens %d != %d", len(dst), len(x)))
+	}
+	for i, v := range x {
+		dst[i] += float64(v)
+	}
+}
+
+// ArgBestF32 returns the index j maximizing dots[j] - adj[j], lowest
+// index on exact ties — the assignment step of k-means on unit-scale
+// rows, where nearest-centroid by squared Euclidean distance reduces to
+// argmax(row·c_j - ‖c_j‖²/2) and adj carries the precomputed ‖c_j‖²/2.
+// The scan order is fixed, so the result is deterministic for any
+// worker count upstream.
+//
+//lsilint:noalloc
+func ArgBestF32(dots, adj []float32) int {
+	if len(dots) != len(adj) || len(dots) == 0 {
+		panic(fmt.Sprintf("dense: ArgBestF32 lens %d, %d", len(dots), len(adj)))
+	}
+	best := 0
+	bv := dots[0] - adj[0]
+	for j := 1; j < len(dots); j++ {
+		if d := dots[j] - adj[j]; d > bv {
+			best, bv = j, d
+		}
+	}
+	return best
+}
+
+// DistNorm2 returns ‖x − y‖₂ in float64 — the certified cluster radius
+// ingredient. Inputs are unit-scale (normalized rows and centroids), so
+// plain squared accumulation cannot overflow.
+//
+//lsilint:noalloc
+func DistNorm2(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("dense: DistNorm2 lens %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

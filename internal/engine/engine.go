@@ -74,6 +74,25 @@ type Config struct {
 	// an operational opt-out (a third less cache memory, simpler
 	// performance profile), not a correctness knob.
 	DisableScreening bool
+	// DisableIVF turns off the cluster index over the screening mirror:
+	// queries screen every row instead of pruning whole cells. Implied by
+	// DisableScreening (the index lives on the mirror). Like screening,
+	// exact-mode results are byte-identical either way.
+	DisableIVF bool
+	// IVFClusters overrides the cell count of the cluster index
+	// (default ⌈√n⌉).
+	IVFClusters int
+	// IVFNProbe caps how many cells a query scans — the opt-in
+	// approximate mode. 0 keeps queries exact: cells are pruned only when
+	// the certified bound proves they cannot reach the top-k.
+	IVFNProbe int
+	// IVFRebuildFraction is the unclustered-tail fraction (tail rows over
+	// total rows) above which a background index rebuild is triggered
+	// (default 0.25; negative disables size-triggered rebuilds).
+	IVFRebuildFraction float64
+	// IVFMinRows is the smallest collection the engine bothers indexing
+	// (default rank.DefaultIVFMinRows).
+	IVFMinRows int
 }
 
 // Stats is a point-in-time view of the pipeline for /stats and /metrics.
@@ -87,6 +106,29 @@ type Stats struct {
 	// Screening reports whether the serving scoring cache carries the
 	// float32 screening mirror (false when Config.DisableScreening).
 	Screening bool
+	// MirrorMaxEps is the worst per-row quantization residual of the
+	// screening mirror — the scalar every screening bound is built from
+	// (0 without a mirror).
+	MirrorMaxEps float64
+	// IVFClusters is the cell count of the serving cluster index (0 when
+	// the snapshot carries no index).
+	IVFClusters int
+	// IVFUnclusteredTail is how many rows sit past the indexed prefix —
+	// appended since the last (re)build and always scanned. Grows with
+	// fold-ins, resets when a rebuild lands.
+	IVFUnclusteredTail int
+	// IVFRebuilds counts cluster-index builds that landed (including the
+	// initial one).
+	IVFRebuilds int64
+	// Cumulative query-path counters since the engine started. Queries
+	// counts ranked queries (batch rows count individually); the other
+	// three accumulate the per-query ScreenStats, so e.g.
+	// RescoreCandidates/Queries is the mean float64 rescore width and
+	// ClustersScanned/Queries the mean cells visited.
+	Queries           int64
+	RescoreCandidates int64
+	ClustersScanned   int64
+	ScannedRows       int64
 }
 
 type submitResult struct {
@@ -103,6 +145,35 @@ type compactResult struct {
 	model *core.Model // base with pending docs absorbed; FoldedDocs()==0
 	count int         // how many pending docs it absorbed
 	err   error
+}
+
+// ivfResult is a finished background cluster-index build. epoch tags the
+// coordinate generation the build read; compaction rotates every
+// coordinate, so a build from a previous epoch is discarded instead of
+// being attached to rows it no longer describes.
+type ivfResult struct {
+	idx   *rank.IVFIndex
+	epoch uint64
+}
+
+// queryCounters accumulates per-query ScreenStats across the engine's
+// lifetime. Snapshots carry a pointer to their engine's counters so the
+// lock-free read path can record without reaching back into the engine.
+type queryCounters struct {
+	queries         atomic.Int64
+	rescored        atomic.Int64
+	clustersScanned atomic.Int64
+	scannedRows     atomic.Int64
+}
+
+func (c *queryCounters) record(st rank.ScreenStats) {
+	if c == nil {
+		return
+	}
+	c.queries.Add(1)
+	c.rescored.Add(int64(st.Candidates))
+	c.clustersScanned.Add(int64(st.ClustersScanned))
+	c.scannedRows.Add(int64(st.ScannedRows))
 }
 
 // Engine owns the serving snapshot and the background update pipeline.
@@ -126,12 +197,20 @@ type Engine struct {
 	compactions atomic.Int64
 	compacting  atomic.Bool
 
+	ivfRebuilds atomic.Int64
+	ivfBuilding atomic.Bool
+	counters    queryCounters
+
 	// Updater-goroutine-owned state (no locking: single owner).
 	base      *core.Model       // last pure-SVD model; nil disables compaction
 	pending   []corpus.Document // docs folded in since base was computed
 	ids       map[string]struct{}
 	nextID    int
 	compactCh chan compactResult
+	ivfCh     chan ivfResult
+	// coordsEpoch tags the current coordinate generation; compaction
+	// increments it, invalidating in-flight index builds.
+	coordsEpoch uint64
 }
 
 // New builds an engine serving the given collection and model and starts
@@ -151,6 +230,12 @@ func New(coll *corpus.Collection, model *core.Model, cfg Config) (*Engine, error
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.IVFRebuildFraction == 0 {
+		cfg.IVFRebuildFraction = 0.25
+	}
+	if cfg.DisableScreening {
+		cfg.DisableIVF = true // the index lives on the mirror
+	}
 	e := &Engine{
 		cfg:       cfg,
 		coll:      coll,
@@ -159,6 +244,7 @@ func New(coll *corpus.Collection, model *core.Model, cfg Config) (*Engine, error
 		done:      make(chan struct{}),
 		ids:       make(map[string]struct{}, coll.Size()),
 		compactCh: make(chan compactResult, 1),
+		ivfCh:     make(chan ivfResult, 1),
 	}
 	docs := append([]corpus.Document(nil), coll.Docs...)
 	for _, d := range docs {
@@ -170,9 +256,28 @@ func New(coll *corpus.Collection, model *core.Model, cfg Config) (*Engine, error
 	} else if cfg.CompactThreshold > 0 {
 		cfg.Logf("engine: model contains folded rows; automatic compaction disabled")
 	}
-	e.snap.Store(&Snapshot{Gen: 1, Model: model, Eng: e.newRankEngine(model.V), Docs: docs})
+	eng := e.newRankEngine(model.V)
+	if !cfg.DisableIVF {
+		// The initial index builds synchronously: the engine is not serving
+		// yet, and starting with an indexed snapshot means the very first
+		// query already prunes.
+		if with := eng.BuildIVF(e.ivfConfig()); with != eng {
+			eng = with
+			e.ivfRebuilds.Add(1)
+		}
+	}
+	e.snap.Store(&Snapshot{Gen: 1, Model: model, Eng: eng, Docs: docs, counters: &e.counters})
 	go e.run()
 	return e, nil
+}
+
+// ivfConfig maps the engine config onto the rank-layer build knobs.
+func (e *Engine) ivfConfig() rank.IVFConfig {
+	return rank.IVFConfig{
+		Clusters: e.cfg.IVFClusters,
+		NProbe:   e.cfg.IVFNProbe,
+		MinRows:  e.cfg.IVFMinRows,
+	}
 }
 
 // newRankEngine builds a scoring cache for freshly computed document
@@ -194,15 +299,26 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 // Stats reports pipeline state for monitoring.
 func (e *Engine) Stats() Stats {
 	s := e.Snapshot()
-	return Stats{
-		Generation:      s.Gen,
-		QueueDepth:      len(e.queue),
-		Compactions:     e.compactions.Load(),
-		Compacting:      e.compacting.Load(),
-		Documents:       s.NumDocs(),
-		FoldedDocuments: s.Model.FoldedDocs(),
-		Screening:       s.Eng.Screening(),
+	st := Stats{
+		Generation:        s.Gen,
+		QueueDepth:        len(e.queue),
+		Compactions:       e.compactions.Load(),
+		Compacting:        e.compacting.Load(),
+		Documents:         s.NumDocs(),
+		FoldedDocuments:   s.Model.FoldedDocs(),
+		Screening:         s.Eng.Screening(),
+		MirrorMaxEps:      s.Eng.MirrorMaxEps(),
+		IVFRebuilds:       e.ivfRebuilds.Load(),
+		Queries:           e.counters.queries.Load(),
+		RescoreCandidates: e.counters.rescored.Load(),
+		ClustersScanned:   e.counters.clustersScanned.Load(),
+		ScannedRows:       e.counters.scannedRows.Load(),
 	}
+	if clusters, rows, ok := s.Eng.IVF(); ok {
+		st.IVFClusters = clusters
+		st.IVFUnclusteredTail = s.Eng.NumDocs() - rows
+	}
+	return st
 }
 
 // Submit queues one document for fold-in and waits for the batch that
@@ -269,12 +385,17 @@ func (e *Engine) run() {
 			e.applyBatch(e.drainQueue())
 		case res := <-e.compactCh:
 			e.finishCompaction(res)
+		case res := <-e.ivfCh:
+			e.finishIVFBuild(res)
 		case <-e.stop:
 			// Final drain: Close holds closeMu exclusively before
 			// signalling, so nothing can be added behind this drain.
 			e.applyBatch(e.drainQueue())
 			if e.compacting.Load() {
 				e.finishCompaction(<-e.compactCh)
+			}
+			if e.ivfBuilding.Load() {
+				e.finishIVFBuild(<-e.ivfCh)
 			}
 			return
 		}
@@ -332,13 +453,83 @@ func (e *Engine) applyBatch(batch []submission) {
 		next.FoldInDocs(e.coll.DocVectors(accepted))
 		eng := cur.Eng.Extend(next.V.Slice(oldN, next.NumDocs(), 0, next.V.Cols))
 		docs := append(cur.Docs, accepted...)
-		e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: next, Eng: eng, Docs: docs})
+		e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: next, Eng: eng, Docs: docs, counters: &e.counters})
 		e.pending = append(e.pending, accepted...)
 	}
 	for _, sub := range replies {
 		sub.reply <- submitResult{id: sub.doc.ID}
 	}
 	e.maybeCompact()
+	e.maybeRebuildIVF()
+}
+
+// maybeRebuildIVF launches a background cluster-index rebuild when the
+// unclustered tail — rows appended since the last (re)build, which every
+// query must scan — has grown past the configured fraction of the
+// collection. At most one build runs at a time; it reads only rows below
+// the captured engine's own length, which are immutable, so fold-ins and
+// reads proceed untouched while it runs. A stale index is a performance
+// matter only (the tail is always scanned), so there is no urgency
+// anywhere in this path.
+func (e *Engine) maybeRebuildIVF() {
+	if e.cfg.DisableIVF || e.cfg.IVFRebuildFraction < 0 || e.ivfBuilding.Load() {
+		return
+	}
+	select {
+	case <-e.stop: // shutting down: don't start work nobody will serve
+		return
+	default:
+	}
+	eng := e.snap.Load().Eng
+	n := eng.NumDocs()
+	minRows := e.cfg.IVFMinRows
+	if minRows <= 0 {
+		minRows = rank.DefaultIVFMinRows
+	}
+	if n < minRows {
+		return
+	}
+	_, clusteredRows, ok := eng.IVF()
+	tail := n - clusteredRows
+	if ok && float64(tail) <= e.cfg.IVFRebuildFraction*float64(n) {
+		return
+	}
+	cfg := e.ivfConfig()
+	epoch := e.coordsEpoch
+	e.ivfBuilding.Store(true)
+	go func() {
+		e.ivfCh <- ivfResult{idx: eng.BuildIVFIndex(cfg), epoch: epoch}
+	}()
+}
+
+// finishIVFBuild attaches a landed background index build to the current
+// snapshot and publishes the result. Builds from a previous coordinate
+// epoch (a compaction landed while they ran) are discarded — the rows
+// they clustered no longer exist in that form.
+func (e *Engine) finishIVFBuild(res ivfResult) {
+	e.ivfBuilding.Store(false)
+	if res.epoch != e.coordsEpoch {
+		// A compaction landed while this build ran, so the rows it
+		// clustered no longer exist in that coordinate frame. The
+		// post-compaction trigger was a no-op while this build was marked
+		// in flight, so the re-check here is what gets the fresh epoch its
+		// index when no further fold-in arrives.
+		e.maybeRebuildIVF()
+		return
+	}
+	if res.idx == nil {
+		return
+	}
+	cur := e.snap.Load()
+	// The build's source engine is an ancestor of cur.Eng in the same
+	// append-only chain (no compaction this epoch), so the index's row
+	// prefix is intact and rows beyond it form the new unclustered tail.
+	eng := cur.Eng.WithIVFIndex(res.idx)
+	e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: cur.Model, Eng: eng, Docs: cur.Docs, counters: &e.counters})
+	e.ivfRebuilds.Add(1)
+	// Fold-ins that landed while the build ran may already exceed the
+	// tail threshold again.
+	e.maybeRebuildIVF()
 }
 
 // maybeCompact launches an SVD-update compaction when the published
@@ -387,11 +578,16 @@ func (e *Engine) finishCompaction(res compactResult) {
 	}
 	cur := e.snap.Load()
 	// Compaction rotated every document coordinate, so the scoring cache
-	// is rebuilt rather than extended.
-	e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: serving, Eng: e.newRankEngine(serving.V), Docs: cur.Docs})
+	// is rebuilt rather than extended — and the coordinate epoch advances,
+	// invalidating any in-flight cluster-index build against the old
+	// coordinates. The fresh cache starts unindexed; the rebuild trigger
+	// below sees a 100% unclustered tail and starts a background build.
+	e.coordsEpoch++
+	e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: serving, Eng: e.newRankEngine(serving.V), Docs: cur.Docs, counters: &e.counters})
 	e.base = res.model
 	e.pending = leftover
 	e.compactions.Add(1)
 	// The leftover fold-ins may already exceed the threshold again.
 	e.maybeCompact()
+	e.maybeRebuildIVF()
 }

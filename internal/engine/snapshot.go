@@ -29,6 +29,10 @@ type Snapshot struct {
 	// Docs maps document index → document; the slice prefix is shared
 	// across snapshots (the updater only appends).
 	Docs []corpus.Document
+	// counters points at the owning engine's cumulative query counters;
+	// the lock-free read path records per-query ScreenStats here without
+	// reaching back into the engine. Nil on hand-built snapshots.
+	counters *queryCounters
 }
 
 // NumDocs returns how many documents the snapshot serves.
@@ -44,7 +48,9 @@ func (s *Snapshot) Doc(j int) corpus.Document { return s.Docs[j] }
 // with the model's own scoring path; it just reads the snapshot-owned
 // cache instead of the model's lock-guarded one.
 func (s *Snapshot) RankTop(raw []float64, n int) []core.Ranked {
-	return toRanked(s.Eng.TopK(s.Model.ProjectQuery(raw), n))
+	items, st := s.Eng.TopKWithStats(s.Model.ProjectQuery(raw), n)
+	s.counters.record(st)
+	return toRanked(items)
 }
 
 // RankBatch scores a block of raw query vectors as one gemm pass and
@@ -57,9 +63,10 @@ func (s *Snapshot) RankBatch(raws [][]float64, n int) [][]core.Ranked {
 	for i, raw := range raws {
 		qhats[i] = s.Model.ProjectQuery(raw)
 	}
-	res := s.Eng.TopKBatch(dense.NewFromRows(qhats), n)
+	res, stats := s.Eng.TopKBatchWithStats(dense.NewFromRows(qhats), n)
 	out := make([][]core.Ranked, len(res))
 	for i, items := range res {
+		s.counters.record(stats[i])
 		out[i] = toRanked(items)
 	}
 	return out

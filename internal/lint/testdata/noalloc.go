@@ -92,3 +92,35 @@ func cleanKernel(x, y []float64) float64 {
 	}
 	return s0 + s1
 }
+
+// cleanGather mirrors the IVF cluster-scan kernels: an int32-gathered
+// float32 sweep writing ids and scores into caller-owned scratch by
+// index, plus float64 centroid accumulation — all allocation-free.
+//
+//lsilint:noalloc
+func cleanGather(ids []int32, s32 []float32, acc []float64, mem []int32, rows []float32, m int) int {
+	for _, id := range mem {
+		i := int(id)
+		sc := rows[i]
+		ids[m] = id
+		s32[m] = sc
+		acc[i] += float64(sc) // float64 accumulation: no diagnostic
+		m++
+	}
+	return m
+}
+
+// gatherAlloc is the same shape gone wrong: growing the candidate list
+// with append (instead of indexed writes into pooled scratch) and
+// closing over state both allocate on the scan path.
+//
+//lsilint:noalloc
+func gatherAlloc(mem []int32, rows []float32) []float32 {
+	var out []float32
+	for _, id := range mem {
+		out = append(out, rows[int(id)]) // want noalloc
+	}
+	visit := func(i int32) float32 { return rows[i] } // want noalloc
+	_ = visit
+	return out
+}

@@ -39,6 +39,11 @@ type Engine struct {
 	// The mirror's arrays are allocated with matching capacities and
 	// written in lockstep, so the same CAS guards their tails too.
 	claimed *atomic.Int64
+	// ivf is the optional cluster index over a row prefix (see ivf.go);
+	// nil engines scan every mirror row. It propagates through Extend —
+	// the prefix it describes is append-only — and rows past ivf.Rows()
+	// form the always-scanned unclustered tail.
+	ivf *IVFIndex
 }
 
 // newEngineFor wraps an already-normalized matrix whose backing slice is
@@ -112,7 +117,7 @@ func (e *Engine) Extend(more *dense.Matrix) *Engine {
 		data := e.docs.Data[:need]
 		copy(data[oldLen:], norm.Data)
 		docs := &dense.Matrix{Rows: e.docs.Rows + norm.Rows, Cols: e.docs.Cols, Data: data}
-		next := &Engine{docs: docs, claimed: e.claimed}
+		next := &Engine{docs: docs, claimed: e.claimed, ivf: e.ivf}
 		if e.mir != nil {
 			next.mir = e.mir.extendShared(docs, e.docs.Rows)
 		}
@@ -127,8 +132,12 @@ func (e *Engine) Extend(more *dense.Matrix) *Engine {
 	data := make([]float64, need, capacity)
 	copy(data, e.docs.Data)
 	copy(data[oldLen:], norm.Data)
-	return newEngineFor(&dense.Matrix{Rows: e.docs.Rows + norm.Rows, Cols: e.docs.Cols, Data: data},
+	ne := newEngineFor(&dense.Matrix{Rows: e.docs.Rows + norm.Rows, Cols: e.docs.Cols, Data: data},
 		e.mir != nil)
+	// The cluster index describes a row prefix whose values are identical
+	// in the copy, so it stays valid across the copy path too.
+	ne.ivf = e.ivf
+	return ne
 }
 
 // NumDocs returns how many document rows the engine covers.
@@ -233,6 +242,11 @@ func (e *Engine) TopKWithStats(q []float64, k int) ([]Item, ScreenStats) {
 		return []Item{}, ScreenStats{}
 	}
 	qn := normalizeCopy(q)
+	if e.ivf != nil && e.screenable(k) {
+		q32 := make([]float32, len(qn))
+		dense.ConvertF32(q32, qn)
+		return e.topKIVF(qn, q32, e.screenSlack(qn, q32), k, e.ivf.nprobe)
+	}
 	if e.screenable(k) {
 		return e.topKScreened(qn, k)
 	}
@@ -289,16 +303,30 @@ const batchBlock = 32
 // matches the single-query dot products, so results are byte-identical to
 // calling TopK per query — screened or not.
 func (e *Engine) TopKBatch(queries *dense.Matrix, k int) [][]Item {
+	out, _ := e.TopKBatchWithStats(queries, k)
+	return out
+}
+
+// TopKBatchWithStats is TopKBatch plus one ScreenStats per query row,
+// reporting what each query's scan did. The items are identical to
+// TopKBatch's.
+func (e *Engine) TopKBatchWithStats(queries *dense.Matrix, k int) ([][]Item, []ScreenStats) {
 	if queries.Cols != e.docs.Cols {
 		panic(fmt.Sprintf("rank: batch query dim %d want %d", queries.Cols, e.docs.Cols))
 	}
 	out := make([][]Item, queries.Rows)
+	stats := make([]ScreenStats, queries.Rows)
 	if queries.Rows == 0 {
-		return out
+		return out, stats
 	}
 	if k > 0 && e.screenable(minInt(k, e.docs.Rows)) {
-		e.topKBatchScreened(out, queries, minInt(k, e.docs.Rows))
-		return out
+		kk := minInt(k, e.docs.Rows)
+		if e.ivf != nil {
+			e.topKBatchIVF(out, stats, queries, kk, e.ivf.nprobe)
+		} else {
+			e.topKBatchScreened(out, stats, queries, kk)
+		}
+		return out, stats
 	}
 	scores := dense.New(minInt(batchBlock, queries.Rows), e.docs.Rows)
 	for b0 := 0; b0 < queries.Rows; b0 += batchBlock {
@@ -321,13 +349,13 @@ func (e *Engine) TopKBatch(queries *dense.Matrix, k int) [][]Item {
 			out[b0+r] = TopK(block.Row(r), nil, k)
 		}
 	}
-	return out
+	return out, stats
 }
 
 // topKBatchScreened fills out with the two-stage batch path: one float32
 // gemm per query block against the mirror, then the per-row certified
 // rescore. Callers guarantee screenable(k) and 0 < k < NumDocs.
-func (e *Engine) topKBatchScreened(out [][]Item, queries *dense.Matrix, k int) {
+func (e *Engine) topKBatchScreened(out [][]Item, stats []ScreenStats, queries *dense.Matrix, k int) {
 	blockRows := minInt(batchBlock, queries.Rows)
 	scores := dense.NewF32(blockRows, e.docs.Rows)
 	q32s := dense.NewF32(blockRows, queries.Cols)
@@ -352,7 +380,10 @@ func (e *Engine) topKBatchScreened(out [][]Item, queries *dense.Matrix, k int) {
 			qnr := qn.Row(r)
 			slack := e.screenSlack(qnr, q32blk.Row(r))
 			low := e.lbThreshold(block.Row(r), slack, k)
-			out[b0+r], _ = e.rescorePass(block.Row(r), qnr, slack, k, low)
+			var cands int
+			out[b0+r], cands = e.rescorePass(block.Row(r), qnr, slack, k, low)
+			stats[b0+r] = ScreenStats{Screened: true, Candidates: cands,
+				ScannedRows: e.docs.Rows}
 		}
 	}
 }

@@ -124,6 +124,16 @@ type ScreenStats struct {
 	// Candidates is how many rows survived screening and were rescored in
 	// float64 (k ≤ Candidates ≤ NumDocs when Screened).
 	Candidates int
+	// ClustersTotal is how many IVF cells the engine's index holds; zero
+	// when the query ran without a cluster index.
+	ClustersTotal int
+	// ClustersScanned is how many of those cells the scan actually
+	// visited before the certified bound (or the nprobe cap) stopped it.
+	ClustersScanned int
+	// ScannedRows is how many mirror rows stage 1 touched: all of them on
+	// the flat screening path, cluster members plus the unclustered tail
+	// on the IVF path.
+	ScannedRows int
 }
 
 // screenable reports whether a top-k query should take the two-stage
@@ -174,7 +184,7 @@ func (e *Engine) topKScreened(qn []float64, k int) ([]Item, ScreenStats) {
 	low := e.screenPass(buf, q32, slack, k)
 	items, cands := e.rescorePass(buf, qn, slack, k, low)
 	screenBuf.Put(bufp)
-	return items, ScreenStats{Screened: true, Candidates: cands}
+	return items, ScreenStats{Screened: true, Candidates: cands, ScannedRows: e.docs.Rows}
 }
 
 // screenPass fills buf with the float32 screened score of every row and

@@ -347,6 +347,17 @@ type Stats struct {
 	QueueDepth        int     `json:"queue_depth"`
 	Compactions       int64   `json:"compactions"`
 	Screening         bool    `json:"screening"`
+	// Screening/IVF observability: the mirror's worst quantization
+	// residual, the serving cluster index shape, and cumulative query-path
+	// counters (see engine.Stats for semantics).
+	MirrorMaxEps       float64 `json:"mirror_max_eps"`
+	IVFClusters        int     `json:"ivf_clusters"`
+	IVFUnclusteredTail int     `json:"ivf_unclustered_tail"`
+	IVFRebuilds        int64   `json:"ivf_rebuilds"`
+	Queries            int64   `json:"queries"`
+	RescoreCandidates  int64   `json:"rescore_candidates"`
+	ClustersScanned    int64   `json:"clusters_scanned"`
+	ScannedRows        int64   `json:"scanned_rows"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -364,10 +375,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Factors:           snap.Model.K,
 		Sigma1:            snap.Model.S[0],
 		OrthogonalityLoss: snap.Model.DocOrthogonality(),
-		Generation:        st.Generation,
-		QueueDepth:        st.QueueDepth,
-		Compactions:       st.Compactions,
-		Screening:         st.Screening,
+		Generation:         st.Generation,
+		QueueDepth:         st.QueueDepth,
+		Compactions:        st.Compactions,
+		Screening:          st.Screening,
+		MirrorMaxEps:       st.MirrorMaxEps,
+		IVFClusters:        st.IVFClusters,
+		IVFUnclusteredTail: st.IVFUnclusteredTail,
+		IVFRebuilds:        st.IVFRebuilds,
+		Queries:            st.Queries,
+		RescoreCandidates:  st.RescoreCandidates,
+		ClustersScanned:    st.ClustersScanned,
+		ScannedRows:        st.ScannedRows,
 	})
 }
 
@@ -385,6 +404,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"lsi_documents", "Documents in the serving snapshot.", "gauge", st.Documents},
 		{"lsi_folded_documents", "Documents folded in since the last SVD state.", "gauge", st.FoldedDocuments},
 		{"lsi_screening_enabled", "1 when the float32 screening mirror serves queries, 0 on the exact-only path.", "gauge", boolGauge(st.Screening)},
+		{"lsi_mirror_max_eps", "Worst per-row quantization residual of the float32 screening mirror.", "gauge", st.MirrorMaxEps},
+		{"lsi_ivf_clusters", "Cells in the serving cluster index (0 when unindexed).", "gauge", st.IVFClusters},
+		{"lsi_ivf_unclustered_tail", "Rows appended since the last cluster-index build; always scanned.", "gauge", st.IVFUnclusteredTail},
+		{"lsi_ivf_rebuilds_total", "Cluster-index builds that have landed.", "counter", st.IVFRebuilds},
+		{"lsi_queries_total", "Ranked queries served (batch rows counted individually).", "counter", st.Queries},
+		{"lsi_rescore_candidates_total", "Rows rescored in float64 after certified screening, summed over queries.", "counter", st.RescoreCandidates},
+		{"lsi_ivf_clusters_scanned_total", "IVF cells visited before the certified bound or probe cap stopped the scan, summed over queries.", "counter", st.ClustersScanned},
+		{"lsi_scanned_rows_total", "Mirror rows touched by screening stage 1, summed over queries.", "counter", st.ScannedRows},
 	})
 }
 

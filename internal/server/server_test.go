@@ -192,6 +192,17 @@ func TestAddDocumentAndStats(t *testing.T) {
 		t.Fatal("orthogonality loss should grow after folding")
 	}
 
+	// Screening/IVF observability: the mirror serves MED (so its worst
+	// residual is a real positive scalar), the 14-doc collection is far
+	// below the index build floor (no clusters, no rebuilds), and the
+	// cumulative query counter ticked for the searches above.
+	if !after.Screening || after.MirrorMaxEps <= 0 {
+		t.Fatalf("mirror stats missing: %+v", after)
+	}
+	if after.IVFClusters != 0 || after.IVFUnclusteredTail != 0 || after.IVFRebuilds != 0 {
+		t.Fatalf("14-doc collection reports an IVF index: %+v", after)
+	}
+
 	// The folded document is retrievable.
 	sr := get(t, s, "/search?q=rats+oestrogen&n=15")
 	var results []SearchResult
@@ -206,6 +217,11 @@ func TestAddDocumentAndStats(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("folded-in M15 not in top 5 for its own words")
+	}
+
+	// The cumulative query counter ticked for the search above.
+	if final := stats(); final.Queries != after.Queries+1 {
+		t.Fatalf("query counter %d after one search on %d", final.Queries, after.Queries)
 	}
 }
 
@@ -569,6 +585,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		"lsi_compactions_total 0",
 		"lsi_documents 15",
 		"lsi_folded_documents 1",
+		"lsi_mirror_max_eps ",
+		"lsi_ivf_clusters 0",
+		"lsi_ivf_unclustered_tail 0",
+		"lsi_ivf_rebuilds_total 0",
+		"lsi_queries_total 1",
+		"lsi_rescore_candidates_total 0",
+		"lsi_ivf_clusters_scanned_total 0",
+		"lsi_scanned_rows_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output missing %q\n%s", want, body)
