@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-full build test race race-hot stress vet lint bench bench-query bench-build
+.PHONY: check check-full build test race race-hot stress vet lint bench bench-query bench-build bench-shard
 
 # check is the fast pre-commit loop: vet, build, tests, the race detector
 # on the hot parallel packages only, and the project linter. Run it on
@@ -41,11 +41,12 @@ race-hot:
 	$(GO) test -race ./internal/lanczos/... ./internal/sparse/... ./internal/rank/...
 
 # stress runs the snapshot-isolation stress suites (readers hammering
-# immutable snapshots while the updater folds in and compacts) under the
-# race detector, twice, so scheduling-dependent interleavings get a
+# immutable snapshots while the updater folds in and compacts, across
+# engine, the sharded scatter-gather tier, and the HTTP server) under
+# the race detector, twice, so scheduling-dependent interleavings get a
 # second roll of the dice.
 stress:
-	$(GO) test -race -count=2 ./internal/engine/... ./internal/server/...
+	$(GO) test -race -count=2 ./internal/engine/... ./internal/shard/... ./internal/server/...
 
 # bench-query regenerates the query-serving performance record (seed
 # scoring path vs float64 engine vs the float32-screened two-stage path
@@ -56,6 +57,14 @@ bench-query:
 	$(GO) run ./cmd/lsibench -queryperf -out BENCH_query.json
 
 bench: bench-query
+
+# bench-shard regenerates the scatter-gather scaling record: 1/2/4/8
+# shards over the 200k clustered corpus — single/batch query latency and
+# fold-in ingest throughput — merged into BENCH_query.json under the
+# "shard_scaling" key (the queryperf cases are preserved). Every shard
+# count is parity-gated against the 1-shard results before timing.
+bench-shard:
+	$(GO) run ./cmd/lsibench -shardperf -out BENCH_query.json
 
 # bench-build regenerates the SVD build-time record (blocked vs seed
 # Lanczos) consumed by BENCH_build.json.

@@ -7,6 +7,7 @@
 //	lsibench -exp all             # everything, in paper order
 //	lsibench -exp retrieval -seed 7
 //	lsibench -queryperf -out BENCH_query.json
+//	lsibench -shardperf -out BENCH_query.json
 //	lsibench -buildperf -out BENCH_build.json
 //
 // Output is a plain-text report per experiment: the regenerated
@@ -33,7 +34,8 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit one JSON object per experiment instead of text")
 	queryPerf := flag.Bool("queryperf", false, "measure query-serving latency/throughput (engine vs seed path) and exit")
 	buildPerf := flag.Bool("buildperf", false, "measure truncated-SVD build time (blocked vs seed Lanczos) and exit")
-	perfOut := flag.String("out", "", "output file for -queryperf (default BENCH_query.json) / -buildperf (default BENCH_build.json)")
+	shardPerf := flag.Bool("shardperf", false, "measure scatter-gather serving at 1/2/4/8 shards (exact merge, parity-gated) and exit")
+	perfOut := flag.String("out", "", "output file for -queryperf/-shardperf (default BENCH_query.json) / -buildperf (default BENCH_build.json)")
 	flag.Parse()
 
 	if *queryPerf {
@@ -46,6 +48,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("query performance written to %s\n", out)
+		return
+	}
+
+	if *shardPerf {
+		out := *perfOut
+		if out == "" {
+			out = "BENCH_query.json"
+		}
+		if err := runShardPerf(out, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "lsibench: shardperf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("shard scaling written to %s\n", out)
 		return
 	}
 

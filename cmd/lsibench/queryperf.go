@@ -88,6 +88,10 @@ type queryPerfReport struct {
 	GeneratedAt string          `json:"generated_at"`
 	NumCPU      int             `json:"num_cpu"`
 	Cases       []queryPerfCase `json:"cases"`
+	// ShardScaling is -shardperf's section, carried through verbatim so a
+	// -queryperf rerun doesn't erase the scatter-gather curve (and vice
+	// versa: shardperf merges around these keys too).
+	ShardScaling json.RawMessage `json:"shard_scaling,omitempty"`
 }
 
 // syntheticRankModel builds a Model directly from random document vectors;
@@ -230,6 +234,12 @@ func runQueryPerf(out string, seed int64) error {
 				return err
 			}
 			report.Cases = append(report.Cases, c)
+		}
+	}
+	if prev, err := os.ReadFile(out); err == nil {
+		var old queryPerfReport
+		if json.Unmarshal(prev, &old) == nil {
+			report.ShardScaling = old.ShardScaling
 		}
 	}
 	f, err := os.Create(out)

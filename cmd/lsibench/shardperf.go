@@ -1,0 +1,285 @@
+// Shard-scaling harness: measures the scatter–gather serving tier
+// (internal/shard) at 1/2/4/8 shards over the 200k clustered corpus —
+// single-query and batch top-10 latency plus fold-in ingest throughput —
+// and merges the curve into BENCH_query.json next to the single-engine
+// numbers. Parity is asserted inline before anything is timed: every
+// shard count must return byte-identical results to the 1-shard
+// reference, so the file can never report a number a wrong merge
+// produced.
+package main
+
+// benchmark harness: wall-clock timing is the product.
+//lsilint:file-ignore walltime
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dense"
+	"repro/internal/engine"
+	"repro/internal/shard"
+	"repro/internal/text"
+)
+
+// shardPerfRow is one shard-count measurement.
+type shardPerfRow struct {
+	Shards           int     `json:"shards"`
+	SingleNsPerOp    int64   `json:"single_ns_per_op"`
+	SingleSpeedupVs1 float64 `json:"single_speedup_vs_1shard"`
+	BatchNsPerQuery  int64   `json:"batch_ns_per_query"`
+	BatchQPS         float64 `json:"batch_queries_per_sec"`
+	BatchSpeedupVs1  float64 `json:"batch_speedup_vs_1shard"`
+	IngestDocs       int     `json:"ingest_docs"`
+	IngestDocsPerSec float64 `json:"ingest_docs_per_sec"`
+	IngestSpeedupVs1 float64 `json:"ingest_speedup_vs_1shard"`
+}
+
+// shardPerfReport is the "shard_scaling" section of BENCH_query.json.
+type shardPerfReport struct {
+	GeneratedAt   string         `json:"generated_at"`
+	NumCPU        int            `json:"num_cpu"`
+	GoMaxProcs    int            `json:"gomaxprocs"`
+	Docs          int            `json:"docs"`
+	Factors       int            `json:"factors"`
+	TopK          int            `json:"top_k"`
+	BatchQueries  int            `json:"batch_queries"`
+	ParityChecked bool           `json:"parity_checked"`
+	Note          string         `json:"note"`
+	Rows          []shardPerfRow `json:"rows"`
+}
+
+// shardPerfCollection builds a 100-token synthetic collection whose
+// documents are trivially short (tokenization is not what's measured)
+// paired with a hand-built model: U = I, Σ = I over the same 100 terms,
+// so ProjectQuery is the identity and queries are latent vectors
+// directly, while V carries the 200k clustered document coordinates the
+// query benches score — the same corpus shape queryperf's 200k case uses.
+func shardPerfCollection(docs, factors int, seed int64) (*corpus.Collection, *core.Model, error) {
+	tokens := make([]string, factors)
+	for i := range tokens {
+		tokens[i] = fmt.Sprintf("t%d", i)
+	}
+	cdocs := make([]corpus.Document, docs)
+	for j := range cdocs {
+		cdocs[j] = corpus.Document{
+			ID:   fmt.Sprintf("D%06d", j),
+			Text: tokens[j%factors] + " " + tokens[(j*7+13)%factors],
+		}
+	}
+	coll := corpus.New(cdocs, text.ParseOptions{})
+	if coll.Terms() != factors {
+		return nil, nil, fmt.Errorf("shardperf: vocabulary has %d terms, want %d", coll.Terms(), factors)
+	}
+	m := clusteredRankModel(docs, factors, 256, 0.05, seed)
+	m.U = dense.Identity(factors)
+	return coll, m, nil
+}
+
+func runShardPerf(out string, seed int64) error {
+	const (
+		docs         = 200000
+		factors      = 100
+		topK         = 10
+		batchQueries = 64
+		ingestDocs   = 2000
+	)
+	coll, model, err := shardPerfCollection(docs, factors, seed)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	sample := func() []float64 {
+		q := make([]float64, factors)
+		copy(q, model.V.Row(rng.Intn(docs)))
+		for i := range q {
+			q[i] += 0.02 * rng.NormFloat64()
+		}
+		return q
+	}
+	single := sample()
+	batch := make([][]float64, batchQueries)
+	for i := range batch {
+		batch[i] = sample()
+	}
+	ingestTexts := make([]string, ingestDocs)
+	for i := range ingestTexts {
+		ingestTexts[i] = fmt.Sprintf("t%d t%d t%d", i%factors, (i*3+1)%factors, (i*11+5)%factors)
+	}
+
+	report := shardPerfReport{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Docs:         docs,
+		Factors:      factors,
+		TopK:         topK,
+		BatchQueries: batchQueries,
+		Note: "exact scatter-gather: results byte-identical at every shard count (asserted before timing); " +
+			"speedups are what this host's core count admits — cross-shard parallelism cannot exceed gomaxprocs",
+	}
+
+	// 1-shard reference results for the parity gate.
+	var refBatch [][]shard.Hit
+	for _, shards := range []int{1, 2, 4, 8} {
+		row, batchRes, err := benchShardCase(coll, model, shards, single, batch, ingestTexts, topK)
+		if err != nil {
+			return err
+		}
+		if shards == 1 {
+			refBatch = batchRes
+		} else if err := sameShardHits(refBatch, batchRes); err != nil {
+			return fmt.Errorf("shardperf: %d shards: %w", shards, err)
+		}
+		if base := report.Rows; len(base) > 0 {
+			row.SingleSpeedupVs1 = float64(base[0].SingleNsPerOp) / float64(row.SingleNsPerOp)
+			row.BatchSpeedupVs1 = float64(base[0].BatchNsPerQuery) / float64(row.BatchNsPerQuery)
+			row.IngestSpeedupVs1 = row.IngestDocsPerSec / base[0].IngestDocsPerSec
+		} else {
+			row.SingleSpeedupVs1, row.BatchSpeedupVs1, row.IngestSpeedupVs1 = 1, 1, 1
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(os.Stderr, "shardperf: %d shard(s): single %d ns/op (%.2fx), batch %d ns/query (%.2fx, %.0f qps), ingest %.0f docs/s (%.2fx)\n",
+			shards, row.SingleNsPerOp, row.SingleSpeedupVs1, row.BatchNsPerQuery, row.BatchSpeedupVs1,
+			row.BatchQPS, row.IngestDocsPerSec, row.IngestSpeedupVs1)
+	}
+	report.ParityChecked = true
+	return mergeShardScaling(out, report)
+}
+
+// benchShardCase builds one router, gates on parity inputs, times the
+// query paths and the ingest throughput, and tears the router down.
+func benchShardCase(coll *corpus.Collection, model *core.Model, shards int, single []float64, batch [][]float64, ingestTexts []string, topK int) (shardPerfRow, [][]shard.Hit, error) {
+	r, err := shard.New(coll, model, shard.Config{
+		Shards: shards,
+		// The cluster index is orthogonal to the scaling story and its
+		// per-shard k-means build would dominate setup; the screened flat
+		// path is what scatters.
+		Engine: engine.Config{QueueSize: 4096, BatchTick: time.Millisecond, DisableIVF: true},
+	})
+	if err != nil {
+		return shardPerfRow{}, nil, err
+	}
+	closed := false
+	closeRouter := func() error {
+		if closed {
+			return nil
+		}
+		closed = true
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		return r.Close(ctx)
+	}
+	defer closeRouter() //nolint:errcheck — the explicit call below reports
+
+	batchRes, _ := r.SearchBatch(batch, topK)
+
+	singleBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if hits, _ := r.Search(single, topK); len(hits) != topK {
+				b.Fatal("bad shard rank")
+			}
+		}
+	})
+	batchBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rows, _ := r.SearchBatch(batch, topK); len(rows) != len(batch) {
+				b.Fatal("bad shard batch rank")
+			}
+		}
+	})
+
+	// Ingest: stream the documents fire-and-forget (the expired context
+	// acknowledges without waiting on each batch tick) and clock until
+	// every one is in a serving snapshot.
+	expired, cancelExpired := context.WithCancel(context.Background())
+	cancelExpired()
+	base := r.Stats().Documents
+	start := time.Now()
+	for i, tx := range ingestTexts {
+		for {
+			_, _, err := r.Submit(expired, corpus.Document{Text: tx})
+			if errors.Is(err, context.Canceled) {
+				break // acknowledged and queued
+			}
+			if errors.Is(err, engine.ErrQueueFull) {
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
+			return shardPerfRow{}, nil, fmt.Errorf("ingest submit %d: %v", i, err)
+		}
+	}
+	for r.Stats().Documents < base+len(ingestTexts) {
+		time.Sleep(200 * time.Microsecond)
+	}
+	ingestSecs := time.Since(start).Seconds()
+
+	if err := closeRouter(); err != nil {
+		return shardPerfRow{}, nil, err
+	}
+	runtime.GC() // release this router's V copies before the next config
+
+	perQuery := batchBench.NsPerOp() / int64(len(batch))
+	return shardPerfRow{
+		Shards:           shards,
+		SingleNsPerOp:    singleBench.NsPerOp(),
+		BatchNsPerQuery:  perQuery,
+		BatchQPS:         1e9 / float64(perQuery),
+		IngestDocs:       len(ingestTexts),
+		IngestDocsPerSec: float64(len(ingestTexts)) / ingestSecs,
+	}, batchRes, nil
+}
+
+// sameShardHits is the parity gate: identical IDs and score bits, row by
+// row, rank by rank.
+func sameShardHits(want, got [][]shard.Hit) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("parity: %d rows vs %d", len(got), len(want))
+	}
+	for q := range want {
+		if len(want[q]) != len(got[q]) {
+			return fmt.Errorf("parity: query %d: %d hits vs %d", q, len(got[q]), len(want[q]))
+		}
+		for i := range want[q] {
+			if want[q][i].ID != got[q][i].ID ||
+				math.Float64bits(want[q][i].Score) != math.Float64bits(got[q][i].Score) {
+				return fmt.Errorf("parity: query %d rank %d: %s/%v vs %s/%v",
+					q, i, got[q][i].ID, got[q][i].Score, want[q][i].ID, want[q][i].Score)
+			}
+		}
+	}
+	return nil
+}
+
+// mergeShardScaling writes the report under the "shard_scaling" key of
+// the (JSON object) output file, preserving every other key a -queryperf
+// run put there.
+func mergeShardScaling(out string, report shardPerfReport) error {
+	doc := map[string]any{}
+	if b, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return fmt.Errorf("shardperf: existing %s is not a JSON object: %w", out, err)
+		}
+	}
+	doc["shard_scaling"] = report
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

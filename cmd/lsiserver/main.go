@@ -51,7 +51,9 @@ func main() {
 	dir := flag.String("dir", "", "directory of *.txt files to index")
 	k := flag.Int("k", 100, "number of LSI factors")
 	addr := flag.String("addr", ":8080", "listen address")
-	queueSize := flag.Int("queue", 256, "fold-in queue capacity (full queue => 503 + Retry-After)")
+	shards := flag.Int("shards", 1,
+		"engine shards behind the scatter-gather tier; results are byte-identical for every value")
+	queueSize := flag.Int("queue", 256, "per-shard fold-in queue capacity (full queue => 503 + Retry-After)")
 	batchTick := flag.Duration("batch-tick", 2*time.Millisecond, "fold-in batching window")
 	compactAt := flag.Float64("compact-threshold", 0.05,
 		"doc-orthogonality loss triggering SVD-update compaction; 0 disables")
@@ -101,6 +103,7 @@ func main() {
 		log.Fatal(err)
 	}
 	srv, err := server.NewWithOptions(coll, model, server.Options{
+		Shards: *shards,
 		Engine: engine.Config{
 			QueueSize:          *queueSize,
 			BatchTick:          *batchTick,
@@ -118,8 +121,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("indexed %d docs, %d terms, k=%d; listening on %s",
-		coll.Size(), coll.Terms(), model.K, *addr)
+	log.Printf("indexed %d docs, %d terms, k=%d, %d shard(s); listening on %s",
+		coll.Size(), coll.Terms(), model.K, srv.Router().Shards(), *addr)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errCh := make(chan error, 1)
@@ -143,6 +146,6 @@ func main() {
 		log.Printf("engine drain: %v", err)
 		os.Exit(1)
 	}
-	st := srv.Engine().Stats()
-	log.Printf("drained: %d documents in final snapshot (generation %d)", st.Documents, st.Generation)
+	st := srv.Router().Stats()
+	log.Printf("drained: %d documents across %d shard(s) (generations %v)", st.Documents, st.Shards, st.Generations)
 }

@@ -240,6 +240,39 @@ func (m *Model) SharedClone() *Model {
 	}
 }
 
+// DocSubsetView returns a model over the document subset idx (rows of V,
+// kept in the given order), sharing the term-side factors (the U matrix
+// pointer) with the receiver and copying the small per-model slices —
+// the shard constructor: vocabulary and latent basis are global,
+// document rows are local. Query projection depends only on the shared
+// U, S, weights and Scheme, so a document folded into any view lands on
+// coordinates bit-identical to folding it into the full model. When the
+// receiver is unfolded the view is unfolded too (its rows count as SVD
+// rows, so it can serve as an SVD-update base); a receiver that already
+// contains folded document rows yields a view reporting every row
+// folded, which disables update compaction — the same degradation
+// engine.New applies to a folded model.
+func (m *Model) DocSubsetView(idx []int) *Model {
+	v := dense.New(len(idx), m.V.Cols)
+	for r, j := range idx {
+		copy(v.Row(r), m.V.Row(j))
+	}
+	svdDocs := len(idx)
+	if m.FoldedDocs() != 0 {
+		svdDocs = 0
+	}
+	return &Model{
+		K:        m.K,
+		U:        m.U,
+		S:        append([]float64(nil), m.S...),
+		V:        v,
+		Scheme:   m.Scheme,
+		global:   append([]float64(nil), m.global...),
+		svdDocs:  svdDocs,
+		svdTerms: m.svdTerms,
+	}
+}
+
 // NumTerms returns the current term count (rows of U, including folded-in
 // terms).
 func (m *Model) NumTerms() int { return m.U.Rows }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/dense"
 	"repro/internal/sparse"
@@ -13,22 +14,47 @@ import (
 // algebra of §4.2 assumes orthonormal U_k and V_k.
 var ErrFoldedModel = errors.New("core: SVD-updating requires an unfolded model (rebuild or update before folding in)")
 
-// UpdateDocs performs the document phase of SVD-updating (§4.2): it
-// computes the k largest singular triplets of B = (A_k | D) (Eq 10) from
-// the existing factors, without touching A. Following O'Brien's
-// derivation, with F = (Σ_k | U_kᵀD):
+// DocsUpdatePlan is the document phase of SVD-updating split into a
+// basis plan and its application. PlanDocsUpdate pays the SVD of F once;
+// applying the plan to a document row block is then an independent,
+// row-deterministic rotation — which is what lets the sharded serving
+// tier (internal/shard) compact N shards under ONE shared basis: the
+// router computes one plan over the global pending set and every shard
+// rotates only its own V rows, bit-identical to the rows it would get
+// from a single-engine UpdateDocs over the concatenated corpus.
+type DocsUpdatePlan struct {
+	// U is the rotated term basis U_k·U_F (m×k'), shared by every model
+	// the plan is applied to — the cross-shard invariant that keeps
+	// cosine scores comparable.
+	U *dense.Matrix
+	// S holds the updated singular values Σ_F.
+	S []float64
+	// VTop is V_F[:k] (k×k'): existing document rows map through
+	// RotateDocs as v ↦ v·VTop.
+	VTop *dense.Matrix
+	// VNew is V_F[k:] (p×k'): row i is the updated coordinate row of
+	// column i of the d the plan was computed from.
+	VNew *dense.Matrix
+}
+
+// PlanDocsUpdate computes the document SVD-update plan (§4.2): the k
+// largest singular triplets of B = (A_k | D) (Eq 10) from the existing
+// factors, without touching A. Following O'Brien's derivation, with
+// F = (Σ_k | U_kᵀD):
 //
 //	SVD(F) = U_F Σ_F V_Fᵀ,  U_B = U_k·U_F,  V_B = diag(V_k, I_p)·V_F.
 //
 // d is the m×p raw count matrix; the model's weighting is applied
-// internally. Unlike folding-in, every existing term and document
-// coordinate moves — the latent structure is re-diagonalized.
-func (m *Model) UpdateDocs(d *sparse.CSR) error {
+// internally. The receiver is not mutated, and the returned plan's
+// factors carry no sign convention yet — callers resolve signs with
+// SignCandidates/CombineSignFlips over the full conceptual V_B and then
+// ApplySigns (UpdateDocs does exactly this for the single-model case).
+func (m *Model) PlanDocsUpdate(d *sparse.CSR) (*DocsUpdatePlan, error) {
 	if d.Rows != m.NumTerms() {
-		return fmt.Errorf("core: UpdateDocs terms %d want %d", d.Rows, m.NumTerms())
+		return nil, fmt.Errorf("core: UpdateDocs terms %d want %d", d.Rows, m.NumTerms())
 	}
 	if m.FoldedDocs() != 0 || m.FoldedTerms() != 0 {
-		return ErrFoldedModel
+		return nil, ErrFoldedModel
 	}
 	k, p := m.K, d.Cols
 	// Weighted copy of D sharing the sparsity skeleton: W(D)[i,j] =
@@ -52,17 +78,149 @@ func (m *Model) UpdateDocs(d *sparse.CSR) error {
 	// F = (Σ_k | U_kᵀD), k×(k+p).
 	f := dense.Diag(m.S).AugmentCols(utd)
 	sf := dense.SVD(f).Truncate(k)
+	kp := sf.U.Cols // k' = k unless F was rank-deficient
+	return &DocsUpdatePlan{
+		U:    dense.Mul(m.U, sf.U),
+		S:    sf.S,
+		VTop: sf.V.Slice(0, k, 0, kp),
+		VNew: sf.V.Slice(k, k+p, 0, kp),
+	}, nil
+}
 
-	// U_B = U_k·U_F (m×k).
-	m.U = dense.Mul(m.U, sf.U)
-	// V_B = diag(V_k, I_p)·V_F ((n+p)×k): top block V_k·V_F[:k], bottom
-	// block V_F[k:].
-	top := dense.Mul(m.V, sf.V.Slice(0, k, 0, k))
-	bottom := sf.V.Slice(k, k+p, 0, k)
-	m.V = top.AugmentRows(bottom)
-	m.S = sf.S
-	m.svdDocs += p
-	m.fixSigns()
+// RotateDocs maps existing document rows into the plan's basis: V·VTop.
+// dense.Mul computes each output row independently with a fixed inner
+// summation order, so rotating any row block yields bytes identical to
+// the corresponding rows of rotating the full matrix — the property that
+// makes per-shard application of one global plan exact.
+func (p *DocsUpdatePlan) RotateDocs(v *dense.Matrix) *dense.Matrix {
+	return dense.Mul(v, p.VTop)
+}
+
+// ApplySigns flips the marked columns of the plan's shared factors (U
+// and VNew). Callers flip their independently rotated top blocks with
+// dense.FlipColumns using the same decision, computed once over the full
+// conceptual V_B via SignCandidates/CombineSignFlips.
+func (p *DocsUpdatePlan) ApplySigns(flip []bool) {
+	dense.FlipColumns(p.U, flip)
+	dense.FlipColumns(p.VNew, flip)
+}
+
+// Apply builds the compacted successor of base: a model over the plan's
+// basis whose document rows are v — typically RotateDocs(base.V) with
+// the caller's share of VNew appended, signs already applied
+// consistently to v and the plan. Every model the plan is applied to
+// shares the plan's U pointer, so all shards of a router serve one
+// latent basis. The result is unfolded (all rows count as SVD rows).
+func (p *DocsUpdatePlan) Apply(base *Model, v *dense.Matrix) *Model {
+	return &Model{
+		K:        base.K,
+		U:        p.U,
+		S:        append([]float64(nil), p.S...),
+		V:        v,
+		Scheme:   base.Scheme,
+		global:   append([]float64(nil), base.global...),
+		svdDocs:  v.Rows,
+		svdTerms: base.svdTerms,
+	}
+}
+
+// SignCandidate records, for one factor column, the dominant entry of a
+// row block: Val is the entry with the largest magnitude, Abs that
+// magnitude, and Ord the row's position in the canonical global row
+// order. Blocks scanned independently combine through CombineSignFlips
+// into exactly the decision FixSigns would make scanning the
+// concatenated matrix top to bottom.
+type SignCandidate struct {
+	Abs float64
+	Val float64
+	Ord int64
+}
+
+// SignCandidates scans v's rows and returns one candidate per column.
+// ords[i] is row i's position in the canonical global row order (the
+// order FixSigns would scan the concatenated matrix in); len(ords) must
+// equal v.Rows. A zero-row matrix yields candidates that lose to any
+// real entry.
+func SignCandidates(v *dense.Matrix, ords []int64) []SignCandidate {
+	if len(ords) != v.Rows {
+		panic(fmt.Sprintf("core: SignCandidates %d ords for %d rows", len(ords), v.Rows))
+	}
+	out := make([]SignCandidate, v.Cols)
+	for j := range out {
+		out[j] = SignCandidate{Abs: -1, Ord: int64(1) << 62}
+	}
+	for i := 0; i < v.Rows; i++ {
+		row := v.Row(i)
+		ord := ords[i]
+		for j, val := range row {
+			a := math.Abs(val)
+			c := &out[j]
+			if a > c.Abs || (a == c.Abs && ord < c.Ord) { //lsilint:ignore floatcmp — first-strict-max tie resolution needs bit equality
+				c.Abs, c.Val, c.Ord = a, val, ord
+			}
+		}
+	}
+	return out
+}
+
+// CombineSignFlips resolves per-block candidates into per-column flip
+// decisions: within a column the winner is the candidate with the
+// strictly largest magnitude, ties broken by the smallest global Ord —
+// which reproduces the sequential first-strict-max scan of
+// SVDFactors.FixSigns over the concatenated rows. A column flips when
+// its winning value is negative.
+func CombineSignFlips(groups ...[]SignCandidate) []bool {
+	var flip []bool
+	var best []SignCandidate
+	for _, g := range groups {
+		if best == nil {
+			best = append([]SignCandidate(nil), g...)
+			continue
+		}
+		if len(g) != len(best) {
+			panic(fmt.Sprintf("core: CombineSignFlips %d columns vs %d", len(g), len(best)))
+		}
+		for j, c := range g {
+			b := &best[j]
+			if c.Abs > b.Abs || (c.Abs == b.Abs && c.Ord < b.Ord) { //lsilint:ignore floatcmp — first-strict-max tie resolution needs bit equality
+				*b = c
+			}
+		}
+	}
+	flip = make([]bool, len(best))
+	for j, b := range best {
+		flip[j] = b.Val < 0
+	}
+	return flip
+}
+
+// UpdateDocs performs the document phase of SVD-updating (§4.2) on the
+// receiver: plan, rotate, resolve signs over the full V_B, apply. Unlike
+// folding-in, every existing term and document coordinate moves — the
+// latent structure is re-diagonalized. See PlanDocsUpdate for the
+// algebra; this is the single-model application of the same plan the
+// sharded compactor distributes.
+func (m *Model) UpdateDocs(d *sparse.CSR) error {
+	p, err := m.PlanDocsUpdate(d)
+	if err != nil {
+		return err
+	}
+	n, pnew := m.V.Rows, p.VNew.Rows
+	rot := p.RotateDocs(m.V)
+	ords := make([]int64, n+pnew)
+	for i := range ords {
+		ords[i] = int64(i)
+	}
+	flip := CombineSignFlips(
+		SignCandidates(rot, ords[:n]),
+		SignCandidates(p.VNew, ords[n:]),
+	)
+	p.ApplySigns(flip)
+	dense.FlipColumns(rot, flip)
+	m.U = p.U
+	m.S = p.S
+	m.V = rot.AugmentRows(p.VNew)
+	m.svdDocs += pnew
 	m.invalidateEngine()
 	return nil
 }

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// TestPlanDocsUpdateDistributedBitParity is the sharded-compaction
+// linchpin: computing ONE DocsUpdatePlan over the global pending set and
+// applying it per row block (rotate each block independently, resolve
+// signs from per-block candidates, append each block's share of VNew)
+// must reproduce, byte for byte, the factors a single UpdateDocs
+// produces over the concatenated corpus. Round-robin row placement
+// mirrors what shard.Router does.
+func TestPlanDocsUpdateDistributedBitParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		a := randomCounts(rng, 24, 18, 0.35)
+		d := randomCounts(rng, 24, 6, 0.35)
+		ref, err := Build(a, Config{K: 5, Method: MethodDense})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		n, p := ref.NumDocs(), d.Cols
+		shards := 3
+
+		// Shard views before the update: round-robin split of V rows.
+		idx := make([][]int, shards)
+		for j := 0; j < n; j++ {
+			idx[j%shards] = append(idx[j%shards], j)
+		}
+		views := make([]*Model, shards)
+		for s := range views {
+			views[s] = ref.DocSubsetView(idx[s])
+		}
+		// Pending docs (columns of d) round-robin too: shard s owns
+		// columns with global positions n+s, n+s+shards, …
+		pend := make([][]int, shards) // global VNew row indices per shard
+		for c := 0; c < p; c++ {
+			pend[c%shards] = append(pend[c%shards], c)
+		}
+
+		// Reference: the single-model update.
+		if err := ref.UpdateDocs(d); err != nil {
+			t.Fatalf("trial %d: UpdateDocs: %v", trial, err)
+		}
+
+		// Distributed: one plan (from any view — they share U/S), per-block
+		// rotation, candidate-combined sign resolution.
+		plan, err := views[0].PlanDocsUpdate(d)
+		if err != nil {
+			t.Fatalf("trial %d: PlanDocsUpdate: %v", trial, err)
+		}
+		rots := make([]*dense.Matrix, shards)
+		cands := make([][]SignCandidate, 0, shards+1)
+		for s := range views {
+			rots[s] = plan.RotateDocs(views[s].V)
+			ords := make([]int64, len(idx[s]))
+			for i, j := range idx[s] {
+				ords[i] = int64(j)
+			}
+			cands = append(cands, SignCandidates(rots[s], ords))
+		}
+		newOrds := make([]int64, p)
+		for c := range newOrds {
+			newOrds[c] = int64(n + c)
+		}
+		cands = append(cands, SignCandidates(plan.VNew, newOrds))
+		flip := CombineSignFlips(cands...)
+		plan.ApplySigns(flip)
+
+		if !bitEqualMatrix(plan.U, ref.U) {
+			t.Fatalf("trial %d: distributed U differs from UpdateDocs U", trial)
+		}
+		for c := range plan.S {
+			if math.Float64bits(plan.S[c]) != math.Float64bits(ref.S[c]) {
+				t.Fatalf("trial %d: S[%d] differs", trial, c)
+			}
+		}
+		for s := range views {
+			dense.FlipColumns(rots[s], flip)
+			mine := rots[s].AugmentRows(pickRows(plan.VNew, pend[s]))
+			shardModel := plan.Apply(views[s], mine)
+			if shardModel.FoldedDocs() != 0 {
+				t.Fatalf("trial %d: applied shard model reports folded rows", trial)
+			}
+			// Every shard row must match the corresponding global row.
+			for r, j := range idx[s] {
+				if !bitEqualRow(mine.Row(r), ref.V.Row(j)) {
+					t.Fatalf("trial %d shard %d: base row %d (global %d) differs", trial, s, r, j)
+				}
+			}
+			for r, c := range pend[s] {
+				got := mine.Row(len(idx[s]) + r)
+				if !bitEqualRow(got, ref.V.Row(n+c)) {
+					t.Fatalf("trial %d shard %d: new row %d (global %d) differs", trial, s, r, n+c)
+				}
+			}
+		}
+	}
+}
+
+// TestDocSubsetViewProjectionIdentity: folding a document into a shard
+// view lands on coordinates bit-identical to folding it into the full
+// model, because projection depends only on the shared term basis.
+func TestDocSubsetViewProjectionIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomCounts(rng, 20, 12, 0.4)
+	m, err := Build(a, Config{K: 4, Method: MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := m.DocSubsetView([]int{1, 4, 7, 10})
+	if view.NumDocs() != 4 || view.FoldedDocs() != 0 {
+		t.Fatalf("view: %d docs, %d folded", view.NumDocs(), view.FoldedDocs())
+	}
+	for r, j := range []int{1, 4, 7, 10} {
+		if !bitEqualRow(view.V.Row(r), m.V.Row(j)) {
+			t.Fatalf("view row %d != model row %d", r, j)
+		}
+	}
+	q := make([]float64, 20)
+	for i := range q {
+		q[i] = rng.Float64()
+	}
+	if !bitEqualRow(view.ProjectQuery(q), m.ProjectQuery(q)) {
+		t.Fatal("view projection differs from full-model projection")
+	}
+}
+
+func pickRows(m *dense.Matrix, rows []int) *dense.Matrix {
+	out := dense.New(len(rows), m.Cols)
+	for r, j := range rows {
+		copy(out.Row(r), m.Row(j))
+	}
+	return out
+}
+
+func bitEqualRow(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func bitEqualMatrix(a, b *dense.Matrix) bool {
+	return a.Rows == b.Rows && a.Cols == b.Cols && bitEqualRow(a.Data, b.Data)
+}

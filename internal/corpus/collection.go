@@ -80,6 +80,32 @@ func (c *Collection) DocVectors(docs []Document) *sparse.CSR {
 	return b.Build()
 }
 
+// Subset returns a Collection over the documents idx (kept in the given
+// order) sharing the receiver's vocabulary and parsing options — the
+// shard constructor: the vocabulary stays global so every shard parses,
+// weights and projects identically, while documents are local. TD
+// columns are re-extracted from the parent matrix in one O(nnz) pass.
+func (c *Collection) Subset(idx []int) *Collection {
+	docs := make([]Document, len(idx))
+	pos := make([]int, c.Size())
+	for j := range pos {
+		pos[j] = -1
+	}
+	for r, j := range idx {
+		docs[r] = c.Docs[j]
+		pos[j] = r
+	}
+	b := sparse.NewBuilder(c.Terms(), len(idx))
+	for i := 0; i < c.TD.Rows; i++ {
+		c.TD.Row(i, func(j int, v float64) {
+			if r := pos[j]; r >= 0 {
+				b.Add(i, r, v)
+			}
+		})
+	}
+	return &Collection{Docs: docs, Vocab: c.Vocab, TD: b.Build(), opts: c.opts}
+}
+
 // Extend returns a new Collection over the union of documents with a
 // vocabulary rebuilt under the same parsing options — the "recomputing the
 // SVD" path of §3.4, which lets new terms join the index.

@@ -391,3 +391,38 @@ func TestNoiseBurstRepeatsWords(t *testing.T) {
 		}
 	}
 }
+
+// TestSubsetSharesVocabAndExtractsColumns: a round-robin Subset keeps
+// the global vocabulary (same pointer), the selected docs in order, and
+// TD columns equal to the parent's.
+func TestSubsetSharesVocabAndExtractsColumns(t *testing.T) {
+	c := MED()
+	idx := []int{1, 4, 7, 10, 13}
+	s := c.Subset(idx)
+	if s.Vocab != c.Vocab {
+		t.Fatal("Subset rebuilt the vocabulary")
+	}
+	if s.ParseOptions().MinDocs != c.ParseOptions().MinDocs {
+		t.Fatal("Subset dropped parse options")
+	}
+	if s.Size() != len(idx) || s.Terms() != c.Terms() {
+		t.Fatalf("Subset shape %dx%d want %dx%d", s.Terms(), s.Size(), c.Terms(), len(idx))
+	}
+	parent := c.TD.Dense()
+	sub := s.TD.Dense()
+	for r, j := range idx {
+		if s.Docs[r].ID != c.Docs[j].ID {
+			t.Fatalf("doc %d = %q want %q", r, s.Docs[r].ID, c.Docs[j].ID)
+		}
+		for i := 0; i < c.Terms(); i++ {
+			if sub[i][r] != parent[i][j] {
+				t.Fatalf("TD(%d,%d) = %v want parent (%d,%d) = %v", i, r, sub[i][r], i, j, parent[i][j])
+			}
+		}
+	}
+	// Empty subset is well-formed.
+	e := c.Subset(nil)
+	if e.Size() != 0 || e.Terms() != c.Terms() {
+		t.Fatalf("empty subset shape %dx%d", e.Terms(), e.Size())
+	}
+}

@@ -166,6 +166,26 @@ func (m *Matrix) AugmentRows(b *Matrix) *Matrix {
 	return out
 }
 
+// FlipColumns negates the columns of m marked in flip, in place — the
+// applicator for a sign convention decided externally (FixSigns'
+// decision computed across distributed row blocks of one conceptual
+// matrix; see core.CombineSignFlips). Columns beyond len(flip) are left
+// alone.
+func FlipColumns(m *Matrix, flip []bool) {
+	w := len(flip)
+	if w > m.Cols {
+		w = m.Cols
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := 0; j < w; j++ {
+			if flip[j] {
+				row[j] = -row[j]
+			}
+		}
+	}
+}
+
 // Scale multiplies every element by s, in place, and returns m.
 func (m *Matrix) Scale(s float64) *Matrix {
 	for i := range m.Data {

@@ -184,8 +184,12 @@ type Engine struct {
 	snap atomic.Pointer[Snapshot]
 
 	queue chan submission
-	stop  chan struct{}
-	done  chan struct{}
+	// ops carries control requests (external compaction begin/finish)
+	// onto the updater goroutine, so they compose with batch application
+	// under the same single-owner discipline as everything else.
+	ops  chan func()
+	stop chan struct{}
+	done chan struct{}
 
 	// closeMu orders Submit's enqueue against Close: Submit holds the read
 	// side while it checks closed and sends, so once Close holds the write
@@ -208,6 +212,11 @@ type Engine struct {
 	nextID    int
 	compactCh chan compactResult
 	ivfCh     chan ivfResult
+	// external marks the in-flight compaction as externally driven (a
+	// shard router computing one shared-basis plan across engines): the
+	// result arrives through FinishExternalCompaction, never compactCh,
+	// so shutdown must not wait on the channel for it.
+	external bool
 	// coordsEpoch tags the current coordinate generation; compaction
 	// increments it, invalidating in-flight index builds.
 	coordsEpoch uint64
@@ -240,6 +249,7 @@ func New(coll *corpus.Collection, model *core.Model, cfg Config) (*Engine, error
 		cfg:       cfg,
 		coll:      coll,
 		queue:     make(chan submission, cfg.QueueSize),
+		ops:       make(chan func(), 4),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 		ids:       make(map[string]struct{}, coll.Size()),
@@ -383,6 +393,8 @@ func (e *Engine) run() {
 		select {
 		case <-ticker.C:
 			e.applyBatch(e.drainQueue())
+		case fn := <-e.ops:
+			fn()
 		case res := <-e.compactCh:
 			e.finishCompaction(res)
 		case res := <-e.ivfCh:
@@ -391,13 +403,55 @@ func (e *Engine) run() {
 			// Final drain: Close holds closeMu exclusively before
 			// signalling, so nothing can be added behind this drain.
 			e.applyBatch(e.drainQueue())
-			if e.compacting.Load() {
+			e.drainOps()
+			// An internally launched compaction always posts its result;
+			// an external one never will (its owner is the router, which
+			// sees ErrClosed from FinishExternalCompaction instead).
+			if e.compacting.Load() && !e.external {
 				e.finishCompaction(<-e.compactCh)
 			}
 			if e.ivfBuilding.Load() {
 				e.finishIVFBuild(<-e.ivfCh)
 			}
 			return
+		}
+	}
+}
+
+// drainOps runs every queued control request without blocking — the
+// shutdown path's guarantee that an accepted op either runs or its
+// sender observes ErrClosed, never silence.
+func (e *Engine) drainOps() {
+	for {
+		select {
+		case fn := <-e.ops:
+			fn()
+		default:
+			return
+		}
+	}
+}
+
+// onUpdater runs fn on the updater goroutine and waits for it to finish.
+// Returns ErrClosed when the engine shut down before fn could run.
+func (e *Engine) onUpdater(fn func()) error {
+	ran := make(chan struct{})
+	select {
+	case e.ops <- func() { fn(); close(ran) }:
+	case <-e.done:
+		return ErrClosed
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-e.done:
+		// The updater exited after accepting the op; its final drain runs
+		// everything still queued, so check once more before reporting.
+		select {
+		case <-ran:
+			return nil
+		default:
+			return ErrClosed
 		}
 	}
 }
@@ -558,6 +612,103 @@ func (e *Engine) maybeCompact() {
 		e.compactCh <- compactResult{model: base, count: count, err: err}
 	}()
 }
+
+// ExternalCompaction is the frozen per-engine state a coordinated
+// (router-driven) compaction works from: the last pure-SVD base, the
+// documents its V rows describe, and everything folded in since. The
+// engine keeps serving — and keeps folding — while the owner computes;
+// documents that arrive in the meantime are reconciled by
+// FinishExternalCompaction exactly like the internal path.
+type ExternalCompaction struct {
+	// Base is a copy-on-write clone of the last pure-SVD model
+	// (FoldedDocs() == 0); safe to read while the engine keeps serving.
+	Base *core.Model
+	// BaseDocs lists the documents Base's V rows describe, in row order.
+	BaseDocs []corpus.Document
+	// Pending lists the documents folded in since Base, in fold order —
+	// the docs the coordinated plan must absorb.
+	Pending []corpus.Document
+}
+
+// External-compaction error sentinels.
+var (
+	// ErrCompactionActive means a compaction (internal or external) is
+	// already in flight.
+	ErrCompactionActive = errors.New("engine: compaction already in flight")
+	// ErrNoBase means the engine has no pure-SVD base to update from (its
+	// initial model already contained folded rows).
+	ErrNoBase = errors.New("engine: no SVD base to compact from")
+	// ErrNotCompacting means Finish/Abort was called with no external
+	// compaction in flight.
+	ErrNotCompacting = errors.New("engine: no external compaction in flight")
+)
+
+// BeginExternalCompaction freezes the engine's compaction inputs and
+// marks a compaction in flight, blocking the internal trigger until
+// FinishExternalCompaction or AbortExternalCompaction. The engine keeps
+// serving and folding throughout; only one compaction (of either kind)
+// may be active.
+func (e *Engine) BeginExternalCompaction() (*ExternalCompaction, error) {
+	var st *ExternalCompaction
+	var err error
+	if opErr := e.onUpdater(func() {
+		switch {
+		case e.base == nil:
+			err = ErrNoBase
+		case e.compacting.Load():
+			err = ErrCompactionActive
+		default:
+			e.compacting.Store(true)
+			e.external = true
+			docs := e.snap.Load().Docs
+			st = &ExternalCompaction{
+				Base:     e.base.SharedClone(),
+				BaseDocs: docs[:e.base.NumDocs()],
+				Pending:  append([]corpus.Document(nil), e.pending...),
+			}
+		}
+	}); opErr != nil {
+		return nil, opErr
+	}
+	return st, err
+}
+
+// FinishExternalCompaction lands an externally computed compaction:
+// model must be the frozen Base with exactly the frozen Pending docs
+// absorbed (FoldedDocs() == 0, absorbed = len(Pending)). Reconciliation
+// matches the internal path — documents folded while the owner computed
+// are re-folded onto the new base and the result is published as the
+// next generation.
+func (e *Engine) FinishExternalCompaction(model *core.Model, absorbed int) error {
+	var err error
+	if opErr := e.onUpdater(func() {
+		if !e.external {
+			err = ErrNotCompacting
+			return
+		}
+		e.external = false
+		e.finishCompaction(compactResult{model: model, count: absorbed})
+	}); opErr != nil {
+		return opErr
+	}
+	return err
+}
+
+// AbortExternalCompaction releases the in-flight marker without
+// publishing anything — the owner failed or shut down mid-plan. A no-op
+// when no external compaction is active or the engine already closed.
+func (e *Engine) AbortExternalCompaction() {
+	_ = e.onUpdater(func() {
+		if e.external {
+			e.external = false
+			e.compacting.Store(false)
+		}
+	})
+}
+
+// QueueCapacity reports the fold-in queue's capacity — the denominator
+// for per-shard backpressure accounting (Retry-After estimation).
+func (e *Engine) QueueCapacity() int { return cap(e.queue) }
 
 // finishCompaction reconciles a landed compaction with whatever folded in
 // while it ran: documents beyond the compacted prefix are re-folded onto

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dense"
+)
+
+// TestExternalCompactionLifecycle drives the router-facing protocol by
+// hand: freeze, compute the update with the same core plan machinery the
+// shard router uses, land it, and check the published snapshot matches a
+// direct single-model UpdateDocs byte for byte.
+func TestExternalCompactionLifecycle(t *testing.T) {
+	e, coll := testEngine(t, Config{BatchTick: time.Millisecond})
+	ctx := context.Background()
+	texts := []string{
+		"generation of behavioural changes after oestrogen blood levels rise",
+		"fast generation of random close packing of spheres",
+	}
+	for _, tx := range texts {
+		if _, err := e.Submit(ctx, corpus.Document{Text: tx}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := e.BeginExternalCompaction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Pending) != 2 || st.Base.NumDocs() != 14 || len(st.BaseDocs) != 14 {
+		t.Fatalf("frozen state: %d pending, base %d docs, %d base docs",
+			len(st.Pending), st.Base.NumDocs(), len(st.BaseDocs))
+	}
+	// Second begin must refuse while one is in flight.
+	if _, err := e.BeginExternalCompaction(); !errors.Is(err, ErrCompactionActive) {
+		t.Fatalf("concurrent begin: %v", err)
+	}
+
+	// Reference: the same update on a plain clone.
+	ref := st.Base.SharedClone()
+	if err := ref.UpdateDocs(coll.DocVectors(st.Pending)); err != nil {
+		t.Fatal(err)
+	}
+
+	// External: plan + single-block application (one "shard" owning all
+	// rows) — the degenerate case of the distributed protocol.
+	plan, err := st.Base.PlanDocsUpdate(coll.DocVectors(st.Pending))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot := plan.RotateDocs(st.Base.V)
+	n, p := rot.Rows, plan.VNew.Rows
+	ords := make([]int64, n+p)
+	for i := range ords {
+		ords[i] = int64(i)
+	}
+	flip := core.CombineSignFlips(
+		core.SignCandidates(rot, ords[:n]),
+		core.SignCandidates(plan.VNew, ords[n:]),
+	)
+	plan.ApplySigns(flip)
+	dense.FlipColumns(rot, flip)
+	model := plan.Apply(st.Base, rot.AugmentRows(plan.VNew))
+
+	before := e.Snapshot().Gen
+	if err := e.FinishExternalCompaction(model, len(st.Pending)); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if snap.Gen <= before {
+		t.Fatalf("generation did not advance: %d -> %d", before, snap.Gen)
+	}
+	if snap.Model.FoldedDocs() != 0 {
+		t.Fatalf("folded docs after compaction: %d", snap.Model.FoldedDocs())
+	}
+	if got := e.Stats(); got.Compactions != 1 || got.Compacting {
+		t.Fatalf("stats after finish: %+v", got)
+	}
+	for j := 0; j < ref.NumDocs(); j++ {
+		a, b := snap.Model.V.Row(j), ref.V.Row(j)
+		for c := range a {
+			if math.Float64bits(a[c]) != math.Float64bits(b[c]) {
+				t.Fatalf("row %d col %d: external %v != reference %v", j, c, a[c], b[c])
+			}
+		}
+	}
+	// A second round must start from the new base.
+	st2, err := e.BeginExternalCompaction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Pending) != 0 || st2.Base.NumDocs() != 16 {
+		t.Fatalf("second freeze: %d pending, base %d docs", len(st2.Pending), st2.Base.NumDocs())
+	}
+	e.AbortExternalCompaction()
+	if got := e.Stats(); got.Compacting {
+		t.Fatal("still compacting after abort")
+	}
+}
+
+// TestCloseDuringExternalCompactionDoesNotHang: shutdown must not wait
+// on a compaction result that only the (external) owner could deliver.
+func TestCloseDuringExternalCompactionDoesNotHang(t *testing.T) {
+	coll := corpus.MED()
+	model, err := core.BuildCollection(coll, core.Config{K: 2, Method: core.MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(coll, model, Config{BatchTick: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(context.Background(), corpus.Document{Text: "rats rise"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.BeginExternalCompaction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Close(ctx); err != nil {
+		t.Fatalf("close hung or failed: %v", err)
+	}
+	// The owner's finish now reports closed instead of publishing.
+	if err := e.FinishExternalCompaction(st.Base, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("finish after close: %v", err)
+	}
+}

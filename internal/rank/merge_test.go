@@ -1,0 +1,85 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMergeTopKProperty is the scatter–gather identity: partition a
+// random corpus across N "shards" arbitrarily, take each shard's exact
+// local top-k, and MergeTopK of those lists must equal the global sort
+// of all items truncated to k — tie order included. Scores are drawn
+// from a small discrete set so ties are common and the (score desc, doc
+// asc) tie-break is actually exercised.
+func TestMergeTopKProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		k := 1 + rng.Intn(20)
+		shards := 1 + rng.Intn(6)
+		items := make([]Item, n)
+		for i := range items {
+			// Discrete scores force ties; a few NaN-free extremes too.
+			items[i] = Item{Doc: i, Score: float64(rng.Intn(7)) / 3}
+		}
+		// Arbitrary (random) placement, not round-robin: the merge must
+		// not care how docs were distributed.
+		lists := make([][]Item, shards)
+		for _, it := range items {
+			s := rng.Intn(shards)
+			lists[s] = append(lists[s], it)
+		}
+		perShard := make([][]Item, shards)
+		for s, l := range lists {
+			scores := make([]float64, len(l))
+			ids := make([]int, len(l))
+			for i, it := range l {
+				scores[i], ids[i] = it.Score, it.Doc
+			}
+			perShard[s] = TopK(scores, ids, k)
+		}
+		got := MergeTopK(k, perShard...)
+
+		want := append([]Item(nil), items...)
+		Sort(want)
+		if k < len(want) {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d items, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Doc != want[i].Doc ||
+				math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+				t.Fatalf("trial %d: item %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMergeTopKEdges pins the degenerate shapes: no lists, empty lists,
+// k larger than the union, k ≤ 0.
+func TestMergeTopKEdges(t *testing.T) {
+	if got := MergeTopK(5); len(got) != 0 {
+		t.Fatalf("merge of nothing = %v", got)
+	}
+	if got := MergeTopK(0, []Item{{Doc: 1, Score: 2}}); len(got) != 0 {
+		t.Fatalf("k=0 merge = %v", got)
+	}
+	a := []Item{{Doc: 0, Score: 1}}
+	b := []Item{{Doc: 3, Score: 1}, {Doc: 9, Score: 0.5}}
+	got := MergeTopK(10, a, nil, b)
+	want := []Item{{Doc: 0, Score: 1}, {Doc: 3, Score: 1}, {Doc: 9, Score: 0.5}}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v, want %v", got, want)
+		}
+	}
+	if a[0].Doc != 0 || b[0].Doc != 3 {
+		t.Fatal("MergeTopK mutated its inputs")
+	}
+}

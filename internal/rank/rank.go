@@ -107,21 +107,46 @@ func docID(ids []int, i int) int {
 	return ids[i]
 }
 
-// mergeSelectors concatenates the per-worker survivors (≤ k each), sorts
-// them under the same total order, and truncates: the global top-k is a
-// subset of the union of the per-shard top-ks.
-func mergeSelectors(sels []*selector, k int) []Item {
-	var all []Item
-	for _, s := range sels {
-		if s != nil {
-			all = append(all, s.h...)
-		}
+// MergeTopK merges per-source rankings into the global top-k under the
+// package's total order: concatenate, sort with Less, truncate. Because
+// Less is a strict total order, selection is permutation-invariant — as
+// long as each list holds an exact local top-k (or everything its source
+// has, when the source is smaller than k), the merge equals sorting the
+// union of all source items and truncating to k, tie order included.
+// This is the identity both the in-engine barrier merge (per-worker
+// selector survivors) and the sharded scatter–gather tier
+// (internal/shard, per-shard exact top-ks) rely on for byte-exact
+// results. The input lists are not mutated.
+func MergeTopK(k int, lists ...[]Item) []Item {
+	if k <= 0 {
+		return []Item{}
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	all := make([]Item, 0, total)
+	for _, l := range lists {
+		all = append(all, l...)
 	}
 	Sort(all)
 	if k < len(all) {
 		all = all[:k]
 	}
 	return all
+}
+
+// mergeSelectors merges the per-worker survivors (≤ k each) through
+// MergeTopK: the global top-k is a subset of the union of the per-shard
+// top-ks.
+func mergeSelectors(sels []*selector, k int) []Item {
+	lists := make([][]Item, 0, len(sels))
+	for _, s := range sels {
+		if s != nil {
+			lists = append(lists, s.h)
+		}
+	}
+	return MergeTopK(k, lists...)
 }
 
 // selector is a bounded min-heap on the ranking order: h[0] is the

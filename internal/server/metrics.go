@@ -67,7 +67,7 @@ func (m *metrics) observe(endpoint string, status int, d time.Duration) {
 
 // render writes the Prometheus text exposition format. Output order is
 // the fixed construction order, so scrapes are deterministic.
-func (m *metrics) render(w io.Writer, gauges []gauge) {
+func (m *metrics) render(w io.Writer, gauges []gauge, labeled []labeledGauge) {
 	fmt.Fprintf(w, "# HELP lsi_requests_total Requests served, by endpoint and status class.\n")
 	fmt.Fprintf(w, "# TYPE lsi_requests_total counter\n")
 	for _, name := range m.order {
@@ -97,10 +97,29 @@ func (m *metrics) render(w io.Writer, gauges []gauge) {
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", g.name, g.help, g.name, g.kind, g.name, g.value)
 	}
+	for _, lg := range labeled {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", lg.name, lg.help, lg.name, lg.kind)
+		for _, v := range lg.values {
+			fmt.Fprintf(w, "%s{%s=%q} %v\n", lg.name, lg.label, v.key, v.value)
+		}
+	}
 }
 
-// gauge is one engine-level scalar exported by /metrics.
+// gauge is one tier-level scalar exported by /metrics.
 type gauge struct {
 	name, help, kind string
 	value            any
+}
+
+// labeledGauge is one metric family with a per-shard (or similar) label:
+// HELP/TYPE once, then one sample per labeled value, in shard order.
+type labeledGauge struct {
+	name, help, kind string
+	label            string
+	values           []labeledValue
+}
+
+type labeledValue struct {
+	key   string
+	value any
 }

@@ -9,14 +9,20 @@
 //	GET  /stats                   model dimensions and fold-in diagnostics
 //	GET  /metrics                 Prometheus text: counters, latencies, pipeline gauges
 //
-// Requests are served from immutable snapshots published by the
-// internal/engine update pipeline: the read path performs one atomic
-// pointer load and never takes a lock, while fold-ins queue to a single
-// background updater that batches them (Eq 7) and compacts via
-// SVD-updating (§4.2) when the §4.3 orthogonality loss crosses its
-// threshold. Search responses carry an X-LSI-Generation header naming the
-// snapshot that served them; responses with equal generations are
-// byte-identical for identical requests.
+// Requests are served by a sharded scatter–gather tier
+// (internal/shard): Options.Shards engines each own a slice of the
+// corpus, queries fan out to all shards and merge exactly, and
+// submissions route to their owner shard (reported in the X-LSI-Shard
+// response header). Each shard serves immutable snapshots published by
+// its internal/engine update pipeline: the read path performs one atomic
+// pointer load per shard and never takes a lock, while fold-ins queue to
+// that shard's background updater, and the router coordinates
+// SVD-update compaction (§4.2) across shards when the global §4.3
+// orthogonality loss crosses its threshold. Search responses carry an
+// X-LSI-Generation header naming the per-shard generation vector
+// ("3,4,2"; a bare number when unsharded) that served them; responses
+// with equal generation vectors are byte-identical for identical
+// requests — sharding changes throughput, never bytes.
 package server
 
 import (
@@ -27,18 +33,25 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/engine"
+	"repro/internal/shard"
 	"repro/internal/synonym"
 )
 
-// Options configures the HTTP layer and its underlying engine.
+// Options configures the HTTP layer and its underlying serving tier.
 type Options struct {
-	// Engine parameterizes the snapshot/update pipeline (queue size,
-	// batch tick, compaction threshold).
+	// Shards is how many engine shards serve the corpus (default 1).
+	// Results are byte-identical for every value; shards scale the
+	// update pipeline and let concurrent query work spread across cores.
+	Shards int
+	// Engine parameterizes each shard's snapshot/update pipeline (queue
+	// size, batch tick). Its CompactThreshold drives the router's
+	// coordinated compaction monitor (shards never compact alone).
 	Engine engine.Config
 	// RequestTimeout bounds each request via its context; 0 disables.
 	// An expired deadline yields 504 Gateway Timeout.
@@ -52,7 +65,7 @@ type Options struct {
 
 // Server wraps a collection and its LSI model with an http.Handler.
 type Server struct {
-	eng     *engine.Engine
+	router  *shard.Router
 	coll    *corpus.Collection
 	mux     *http.ServeMux
 	metrics *metrics
@@ -69,8 +82,8 @@ func New(coll *corpus.Collection, model *core.Model) (*Server, error) {
 }
 
 // NewWithOptions is New with explicit pipeline and HTTP options. The
-// engine takes ownership of the model: the caller must not mutate it
-// afterwards.
+// serving tier takes ownership of the model: the caller must not mutate
+// it afterwards.
 func NewWithOptions(coll *corpus.Collection, model *core.Model, opts Options) (*Server, error) {
 	if opts.Logf == nil {
 		opts.Logf = log.Printf
@@ -81,12 +94,19 @@ func NewWithOptions(coll *corpus.Collection, model *core.Model, opts Options) (*
 	if opts.RetryAfter <= 0 {
 		opts.RetryAfter = time.Second
 	}
-	eng, err := engine.New(coll, model, opts.Engine)
+	router, err := shard.New(coll, model, shard.Config{
+		Shards: opts.Shards,
+		Engine: opts.Engine,
+		// The engine-level threshold becomes the router's global one: same
+		// measure (‖VᵀV−I‖_F over all document rows), coordinated landing.
+		CompactThreshold: opts.Engine.CompactThreshold,
+		Logf:             opts.Logf,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{
-		eng:     eng,
+		router:  router,
 		coll:    coll,
 		mux:     http.NewServeMux(),
 		metrics: newMetrics("search", "search_batch", "terms", "documents", "stats", "metrics"),
@@ -103,13 +123,20 @@ func NewWithOptions(coll *corpus.Collection, model *core.Model, opts Options) (*
 	return s, nil
 }
 
-// Engine exposes the underlying pipeline (for shutdown wiring and tests).
-func (s *Server) Engine() *engine.Engine { return s.eng }
+// Router exposes the sharded serving tier (for shutdown wiring, stats
+// and tests).
+func (s *Server) Router() *shard.Router { return s.router }
 
-// Close drains the fold-in queue and stops the update pipeline; after it
-// returns, every acknowledged or queued document is part of the final
+// Engine exposes shard 0's pipeline — the only one on an unsharded
+// server, which is what existing callers mean by "the engine". Sharded
+// callers should use Router.
+func (s *Server) Engine() *engine.Engine { return s.router.Shard(0) }
+
+// Close stops the compaction monitor, drains every shard's fold-in
+// queue and stops the update pipelines; after it returns, every
+// acknowledged or queued document is part of some shard's final
 // snapshot. Use it for graceful shutdown after http.Server.Shutdown.
-func (s *Server) Close(ctx context.Context) error { return s.eng.Close(ctx) }
+func (s *Server) Close(ctx context.Context) error { return s.router.Close(ctx) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -160,10 +187,15 @@ type SearchResult struct {
 	Text   string  `json:"text,omitempty"`
 }
 
-// setGeneration stamps the snapshot generation that served a read, so
-// clients (and the stress suite) can correlate responses with snapshots.
-func setGeneration(w http.ResponseWriter, snap *engine.Snapshot) {
-	w.Header().Set("X-LSI-Generation", strconv.FormatUint(snap.Gen, 10))
+// setGeneration stamps the per-shard generation vector that served a
+// read ("3,4,2"; a bare number when unsharded), so clients (and the
+// stress suite) can correlate responses with snapshots.
+func setGeneration(w http.ResponseWriter, gens []uint64) {
+	parts := make([]string, len(gens))
+	for i, g := range gens {
+		parts[i] = strconv.FormatUint(g, 10)
+	}
+	w.Header().Set("X-LSI-Generation", strings.Join(parts, ","))
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -181,25 +213,24 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// One atomic load pins an immutable view for the whole request: no
-	// lock is held while a concurrent fold-in or compaction publishes.
-	snap := s.eng.Snapshot()
-	setGeneration(w, snap)
 	raw := s.coll.QueryVector(q)
 	if allZero(raw) {
+		setGeneration(w, s.router.Generations())
 		s.writeJSON(w, []SearchResult{})
 		return
 	}
-	// Bounded selection: only the n requested documents are ranked, not
-	// the whole collection.
-	s.writeJSON(w, s.results(snap, snap.RankTop(raw, n)))
+	// Scatter–gather: one atomic load per shard pins immutable views, the
+	// per-shard exact top-n merge under (score desc, submission order asc),
+	// byte-identical to a single engine over the whole corpus.
+	hits, gens := s.router.Search(raw, n)
+	setGeneration(w, gens)
+	s.writeJSON(w, s.results(hits))
 }
 
-func (s *Server) results(snap *engine.Snapshot, ranked []core.Ranked) []SearchResult {
-	out := make([]SearchResult, len(ranked))
-	for i, h := range ranked {
-		d := snap.Doc(h.Doc)
-		out[i] = SearchResult{ID: d.ID, Cosine: h.Score, Text: d.Text}
+func (s *Server) results(hits []shard.Hit) []SearchResult {
+	out := make([]SearchResult, len(hits))
+	for i, h := range hits {
+		out[i] = SearchResult{ID: h.ID, Cosine: h.Score, Text: h.Text}
 	}
 	return out
 }
@@ -237,10 +268,9 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if n <= 0 {
 		n = 10
 	}
-	snap := s.eng.Snapshot()
-	setGeneration(w, snap)
-	// Vectorize every query; the non-empty ones are scored together as one
-	// blocked gemm against the snapshot's normalized document matrix.
+	// Vectorize every query; the non-empty ones scatter to every shard as
+	// one block — each shard runs its own gemm-tiled TopKBatch over the
+	// whole batch — and merge per query row.
 	out := make([][]SearchResult, len(req.Queries))
 	raws := make([][]float64, 0, len(req.Queries))
 	slots := make([]int, 0, len(req.Queries))
@@ -253,8 +283,10 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		raws = append(raws, raw)
 		slots = append(slots, i)
 	}
-	for bi, ranked := range snap.RankBatch(raws, n) {
-		out[slots[bi]] = s.results(snap, ranked)
+	rows, gens := s.router.SearchBatch(raws, n)
+	setGeneration(w, gens)
+	for bi, hits := range rows {
+		out[slots[bi]] = s.results(hits)
 	}
 	s.writeJSON(w, out)
 }
@@ -279,8 +311,10 @@ func (s *Server) handleTerms(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	snap := s.eng.Snapshot()
-	setGeneration(w, snap)
+	// The term basis (U, S) is identical on every shard by construction;
+	// shard 0's snapshot answers for all of them.
+	snap := s.router.ShardSnapshot(0)
+	setGeneration(w, s.router.Generations())
 	near, err := synonym.NearestTerms(snap.Model, s.coll.Vocab, word, n)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -313,15 +347,23 @@ func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty document text", http.StatusBadRequest)
 		return
 	}
-	id, err := s.eng.Submit(r.Context(), corpus.Document{ID: req.ID, Text: req.Text})
+	id, shardIdx, err := s.router.Submit(r.Context(), corpus.Document{ID: req.ID, Text: req.Text})
+	if shardIdx >= 0 {
+		// Which shard owns (or rejected) this document — placement is
+		// stable, so clients can correlate backpressure with a shard.
+		w.Header().Set("X-LSI-Shard", strconv.Itoa(shardIdx))
+	}
 	switch {
 	case err == nil:
 		w.WriteHeader(http.StatusCreated)
 		s.writeJSON(w, map[string]string{"id": id})
 	case errors.Is(err, engine.ErrQueueFull):
 		// Backpressure, not failure: tell the client when to come back.
+		// Only the owner shard's queue was full — other shards' backlogs
+		// neither cause nor clear this 503, and the error says which queue
+		// (with its depth/capacity) to wait for.
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.retry+time.Second-1)/time.Second)))
-		http.Error(w, "fold-in queue full, retry later", http.StatusServiceUnavailable)
+		http.Error(w, err.Error()+", retry later", http.StatusServiceUnavailable)
 	case errors.Is(err, engine.ErrDuplicateID):
 		http.Error(w, fmt.Sprintf("document id %q already exists", req.ID), http.StatusConflict)
 	case errors.Is(err, engine.ErrClosed):
@@ -335,7 +377,28 @@ func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Stats is the /stats response.
+// ShardStats is one shard's block in the /stats response.
+type ShardStats struct {
+	Shard              int     `json:"shard"`
+	Generation         uint64  `json:"generation"`
+	Documents          int     `json:"documents"`
+	FoldedDocuments    int     `json:"folded_documents"`
+	QueueDepth         int     `json:"queue_depth"`
+	Compactions        int64   `json:"compactions"`
+	Screening          bool    `json:"screening"`
+	MirrorMaxEps       float64 `json:"mirror_max_eps"`
+	IVFClusters        int     `json:"ivf_clusters"`
+	IVFUnclusteredTail int     `json:"ivf_unclustered_tail"`
+	IVFRebuilds        int64   `json:"ivf_rebuilds"`
+	Queries            int64   `json:"queries"`
+	RescoreCandidates  int64   `json:"rescore_candidates"`
+	ClustersScanned    int64   `json:"clusters_scanned"`
+	ScannedRows        int64   `json:"scanned_rows"`
+}
+
+// Stats is the /stats response: corpus-wide aggregates (sums over
+// shards; Generation is the highest shard generation, Compactions counts
+// coordinated cycles) plus the full per-shard blocks.
 type Stats struct {
 	Terms             int     `json:"terms"`
 	Documents         int     `json:"documents"`
@@ -350,14 +413,18 @@ type Stats struct {
 	// Screening/IVF observability: the mirror's worst quantization
 	// residual, the serving cluster index shape, and cumulative query-path
 	// counters (see engine.Stats for semantics).
-	MirrorMaxEps       float64 `json:"mirror_max_eps"`
-	IVFClusters        int     `json:"ivf_clusters"`
-	IVFUnclusteredTail int     `json:"ivf_unclustered_tail"`
-	IVFRebuilds        int64   `json:"ivf_rebuilds"`
-	Queries            int64   `json:"queries"`
-	RescoreCandidates  int64   `json:"rescore_candidates"`
-	ClustersScanned    int64   `json:"clusters_scanned"`
-	ScannedRows        int64   `json:"scanned_rows"`
+	MirrorMaxEps       float64      `json:"mirror_max_eps"`
+	IVFClusters        int          `json:"ivf_clusters"`
+	IVFUnclusteredTail int          `json:"ivf_unclustered_tail"`
+	IVFRebuilds        int64        `json:"ivf_rebuilds"`
+	Queries            int64        `json:"queries"`
+	RescoreCandidates  int64        `json:"rescore_candidates"`
+	ClustersScanned    int64        `json:"clusters_scanned"`
+	ScannedRows        int64        `json:"scanned_rows"`
+	Shards             int          `json:"shards"`
+	Generations        []uint64     `json:"generations"`
+	Compacting         bool         `json:"compacting"`
+	PerShard           []ShardStats `json:"per_shard"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -365,17 +432,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	snap := s.eng.Snapshot()
-	setGeneration(w, snap)
-	st := s.eng.Stats()
-	s.writeJSON(w, Stats{
-		Terms:             snap.Model.NumTerms(),
-		Documents:         snap.Model.NumDocs(),
-		FoldedDocuments:   snap.Model.FoldedDocs(),
-		Factors:           snap.Model.K,
-		Sigma1:            snap.Model.S[0],
-		OrthogonalityLoss: snap.Model.DocOrthogonality(),
-		Generation:         st.Generation,
+	st := s.router.Stats()
+	setGeneration(w, st.Generations)
+	// The term basis is shared; shard 0's snapshot answers for shape.
+	snap := s.router.ShardSnapshot(0)
+	out := Stats{
+		Terms:              snap.Model.NumTerms(),
+		Documents:          st.Documents,
+		FoldedDocuments:    st.FoldedDocuments,
+		Factors:            snap.Model.K,
+		Sigma1:             snap.Model.S[0],
+		OrthogonalityLoss:  s.router.Orthogonality(),
+		Generation:         maxGen(st.Generations),
 		QueueDepth:         st.QueueDepth,
 		Compactions:        st.Compactions,
 		Screening:          st.Screening,
@@ -387,7 +455,41 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RescoreCandidates:  st.RescoreCandidates,
 		ClustersScanned:    st.ClustersScanned,
 		ScannedRows:        st.ScannedRows,
-	})
+		Shards:             st.Shards,
+		Generations:        st.Generations,
+		Compacting:         st.Compacting,
+		PerShard:           make([]ShardStats, len(st.PerShard)),
+	}
+	for i, ss := range st.PerShard {
+		out.PerShard[i] = ShardStats{
+			Shard:              ss.Shard,
+			Generation:         ss.Generation,
+			Documents:          ss.Documents,
+			FoldedDocuments:    ss.FoldedDocuments,
+			QueueDepth:         ss.QueueDepth,
+			Compactions:        ss.Compactions,
+			Screening:          ss.Screening,
+			MirrorMaxEps:       ss.MirrorMaxEps,
+			IVFClusters:        ss.IVFClusters,
+			IVFUnclusteredTail: ss.IVFUnclusteredTail,
+			IVFRebuilds:        ss.IVFRebuilds,
+			Queries:            ss.Queries,
+			RescoreCandidates:  ss.RescoreCandidates,
+			ClustersScanned:    ss.ClustersScanned,
+			ScannedRows:        ss.ScannedRows,
+		}
+	}
+	s.writeJSON(w, out)
+}
+
+func maxGen(gens []uint64) uint64 {
+	var m uint64
+	for _, g := range gens {
+		if g > m {
+			m = g
+		}
+	}
+	return m
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -395,23 +497,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	st := s.eng.Stats()
+	st := s.router.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// Per-shard series for the gauges whose aggregate hides the thing an
+	// operator acts on: one hot queue, one shard lagging generations.
+	genSeries := make([]labeledValue, len(st.PerShard))
+	depthSeries := make([]labeledValue, len(st.PerShard))
+	docSeries := make([]labeledValue, len(st.PerShard))
+	for i, ss := range st.PerShard {
+		label := strconv.Itoa(ss.Shard)
+		genSeries[i] = labeledValue{label, ss.Generation}
+		depthSeries[i] = labeledValue{label, ss.QueueDepth}
+		docSeries[i] = labeledValue{label, ss.Documents}
+	}
 	s.metrics.render(w, []gauge{
-		{"lsi_snapshot_generation", "Current serving snapshot generation (monotonic).", "gauge", st.Generation},
-		{"lsi_queue_depth", "Fold-in submissions waiting for the next batch tick.", "gauge", st.QueueDepth},
-		{"lsi_compactions_total", "SVD-update compactions completed.", "counter", st.Compactions},
-		{"lsi_documents", "Documents in the serving snapshot.", "gauge", st.Documents},
-		{"lsi_folded_documents", "Documents folded in since the last SVD state.", "gauge", st.FoldedDocuments},
-		{"lsi_screening_enabled", "1 when the float32 screening mirror serves queries, 0 on the exact-only path.", "gauge", boolGauge(st.Screening)},
-		{"lsi_mirror_max_eps", "Worst per-row quantization residual of the float32 screening mirror.", "gauge", st.MirrorMaxEps},
-		{"lsi_ivf_clusters", "Cells in the serving cluster index (0 when unindexed).", "gauge", st.IVFClusters},
-		{"lsi_ivf_unclustered_tail", "Rows appended since the last cluster-index build; always scanned.", "gauge", st.IVFUnclusteredTail},
-		{"lsi_ivf_rebuilds_total", "Cluster-index builds that have landed.", "counter", st.IVFRebuilds},
-		{"lsi_queries_total", "Ranked queries served (batch rows counted individually).", "counter", st.Queries},
-		{"lsi_rescore_candidates_total", "Rows rescored in float64 after certified screening, summed over queries.", "counter", st.RescoreCandidates},
-		{"lsi_ivf_clusters_scanned_total", "IVF cells visited before the certified bound or probe cap stopped the scan, summed over queries.", "counter", st.ClustersScanned},
-		{"lsi_scanned_rows_total", "Mirror rows touched by screening stage 1, summed over queries.", "counter", st.ScannedRows},
+		{"lsi_snapshot_generation", "Highest shard serving-snapshot generation (monotonic).", "gauge", maxGen(st.Generations)},
+		{"lsi_queue_depth", "Fold-in submissions waiting for the next batch tick, summed over shards.", "gauge", st.QueueDepth},
+		{"lsi_compactions_total", "Coordinated SVD-update compaction cycles completed.", "counter", st.Compactions},
+		{"lsi_documents", "Documents in the serving snapshots, summed over shards.", "gauge", st.Documents},
+		{"lsi_folded_documents", "Documents folded in since the last SVD state, summed over shards.", "gauge", st.FoldedDocuments},
+		{"lsi_shards", "Engine shards serving the corpus.", "gauge", st.Shards},
+		{"lsi_screening_enabled", "1 when the float32 screening mirror serves queries on every shard, 0 on the exact-only path.", "gauge", boolGauge(st.Screening)},
+		{"lsi_mirror_max_eps", "Worst per-row quantization residual of the float32 screening mirror across shards.", "gauge", st.MirrorMaxEps},
+		{"lsi_ivf_clusters", "Cells in the serving cluster indexes, summed over shards (0 when unindexed).", "gauge", st.IVFClusters},
+		{"lsi_ivf_unclustered_tail", "Rows appended since the last cluster-index build, summed over shards; always scanned.", "gauge", st.IVFUnclusteredTail},
+		{"lsi_ivf_rebuilds_total", "Cluster-index builds that have landed, summed over shards.", "counter", st.IVFRebuilds},
+		{"lsi_queries_total", "Ranked queries served (batch rows counted individually), summed over shards.", "counter", st.Queries},
+		{"lsi_rescore_candidates_total", "Rows rescored in float64 after certified screening, summed over queries and shards.", "counter", st.RescoreCandidates},
+		{"lsi_ivf_clusters_scanned_total", "IVF cells visited before the certified bound or probe cap stopped the scan, summed over queries and shards.", "counter", st.ClustersScanned},
+		{"lsi_scanned_rows_total", "Mirror rows touched by screening stage 1, summed over queries and shards.", "counter", st.ScannedRows},
+	}, []labeledGauge{
+		{"lsi_shard_snapshot_generation", "Serving snapshot generation, by shard.", "gauge", "shard", genSeries},
+		{"lsi_shard_queue_depth", "Fold-in submissions waiting for the next batch tick, by shard.", "gauge", "shard", depthSeries},
+		{"lsi_shard_documents", "Documents in the serving snapshot, by shard.", "gauge", "shard", docSeries},
 	})
 }
 

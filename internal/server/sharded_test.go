@@ -1,0 +1,216 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/engine"
+)
+
+func shardedServer(t *testing.T, shards int) (*Server, *corpus.Collection) {
+	t.Helper()
+	return testServerOpts(t, Options{
+		Shards: shards,
+		Engine: engine.Config{BatchTick: time.Millisecond},
+	})
+}
+
+// TestShardedSearchParity: HTTP responses — status, body bytes — from a
+// sharded server match an unsharded one exactly, for /search and
+// /search/batch, both on the seed corpus and after identical submission
+// sequences. This is the tentpole acceptance pin at the protocol level.
+func TestShardedSearchParity(t *testing.T) {
+	s1, coll := shardedServer(t, 1)
+	s3, _ := shardedServer(t, 3)
+
+	queries := []string{
+		"/search?q=age+blood+abnormalities&n=5",
+		"/search?q=depressed+patients+fast+culture&n=8",
+		"/search?q=oestrogen+detected+rise",
+	}
+	batchBody := `{"queries":["age blood abnormalities","depressed patients","","oestrogen rise"],"n":6}`
+	check := func(stage string) {
+		t.Helper()
+		for _, q := range queries {
+			r1, r3 := get(t, s1, q), get(t, s3, q)
+			if r1.Code != http.StatusOK || r3.Code != http.StatusOK {
+				t.Fatalf("%s %s: status %d vs %d", stage, q, r1.Code, r3.Code)
+			}
+			if r1.Body.String() != r3.Body.String() {
+				t.Fatalf("%s %s: bodies diverge\n1 shard: %s\n3 shards: %s", stage, q, r1.Body, r3.Body)
+			}
+		}
+		b1 := postJSON(t, s1, "/search/batch", batchBody)
+		b3 := postJSON(t, s3, "/search/batch", batchBody)
+		if b1.Body.String() != b3.Body.String() {
+			t.Fatalf("%s batch: bodies diverge\n1 shard: %s\n3 shards: %s", stage, b1.Body, b3.Body)
+		}
+	}
+
+	check("static")
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"id":"par-%d","text":%q}`, i, coll.Docs[i].Text)
+		r1, r3 := postDoc(s1, body), postDoc(s3, body)
+		if r1.Code != http.StatusCreated || r3.Code != http.StatusCreated {
+			t.Fatalf("submit %d: status %d vs %d", i, r1.Code, r3.Code)
+		}
+		if r3.Header().Get("X-LSI-Shard") == "" {
+			t.Fatalf("submit %d: missing X-LSI-Shard header", i)
+		}
+	}
+	check("after submits")
+
+	// The generation header is a vector with one entry per shard.
+	if gens := strings.Split(get(t, s3, "/search?q=blood").Header().Get("X-LSI-Generation"), ","); len(gens) != 3 {
+		t.Fatalf("sharded generation header: %v", gens)
+	}
+	if gens := strings.Split(get(t, s1, "/search?q=blood").Header().Get("X-LSI-Generation"), ","); len(gens) != 1 {
+		t.Fatalf("unsharded generation header: %v", gens)
+	}
+}
+
+// TestShardedStatsAndMetrics: /stats grows per-shard blocks whose sums
+// match the aggregates, and /metrics exposes shard-labeled gauges next
+// to the corpus-wide ones.
+func TestShardedStatsAndMetrics(t *testing.T) {
+	s, coll := shardedServer(t, 3)
+	for i := 0; i < 4; i++ {
+		if rec := postDoc(s, fmt.Sprintf(`{"text":%q}`, coll.Docs[i].Text)); rec.Code != http.StatusCreated {
+			t.Fatalf("submit %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec := get(t, s, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	var st Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 3 || len(st.PerShard) != 3 || len(st.Generations) != 3 {
+		t.Fatalf("shard shape: %+v", st)
+	}
+	docs, folded, queries := 0, 0, int64(0)
+	for i, ss := range st.PerShard {
+		if ss.Shard != i {
+			t.Fatalf("per-shard block %d labeled %d", i, ss.Shard)
+		}
+		docs += ss.Documents
+		folded += ss.FoldedDocuments
+		queries += ss.Queries
+	}
+	if docs != st.Documents || folded != st.FoldedDocuments || queries != st.Queries {
+		t.Fatalf("aggregates diverge from per-shard sums: %+v", st)
+	}
+	if st.Documents != coll.Size()+4 {
+		t.Fatalf("%d documents want %d", st.Documents, coll.Size()+4)
+	}
+
+	body := get(t, s, "/metrics").Body.String()
+	for _, want := range []string{
+		"lsi_shards 3",
+		`lsi_shard_snapshot_generation{shard="0"}`,
+		`lsi_shard_snapshot_generation{shard="2"}`,
+		`lsi_shard_queue_depth{shard="1"}`,
+		`lsi_shard_documents{shard="0"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestShardedDuplicateAcrossShards: a duplicate ID is refused with 409
+// no matter which shard owns the original.
+func TestShardedDuplicateAcrossShards(t *testing.T) {
+	s, coll := shardedServer(t, 3)
+	body := fmt.Sprintf(`{"id":"dup","text":%q}`, coll.Docs[0].Text)
+	if rec := postDoc(s, body); rec.Code != http.StatusCreated {
+		t.Fatalf("first add: status %d", rec.Code)
+	}
+	if rec := postDoc(s, body); rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate add: status %d want 409", rec.Code)
+	}
+	// Seed-corpus IDs are registered too.
+	if rec := postDoc(s, fmt.Sprintf(`{"id":%q,"text":"x"}`, coll.Docs[5].ID)); rec.Code != http.StatusConflict {
+		t.Fatalf("seed duplicate: status %d want 409", rec.Code)
+	}
+}
+
+// TestShardedQueueFullIsPerShard: with never-draining one-slot queues,
+// filling one shard 503s only that shard — a document owned by another
+// shard is still accepted — and the 503 names the hot shard in both the
+// header and the body.
+func TestShardedQueueFullIsPerShard(t *testing.T) {
+	s, coll := testServerOpts(t, Options{
+		Shards:         2,
+		Engine:         engine.Config{QueueSize: 1, BatchTick: time.Hour},
+		RequestTimeout: 50 * time.Millisecond,
+		RetryAfter:     2 * time.Second,
+	})
+	// Find IDs per owner shard by probing: submission reports its shard.
+	submit := func(id string) *httptest.ResponseRecorder {
+		return postDoc(s, fmt.Sprintf(`{"id":%q,"text":%q}`, id, coll.Docs[0].Text))
+	}
+	first := submit("qf-seed")
+	if first.Code != http.StatusGatewayTimeout { // queued, tick never fires
+		t.Fatalf("first submit: status %d", first.Code)
+	}
+	owner := first.Header().Get("X-LSI-Shard")
+	if owner == "" {
+		t.Fatal("first submit: no shard header")
+	}
+	// One queue is now full. Probe until both outcomes are seen: a 503
+	// from the full shard, and an acceptance on the other shard — proof
+	// that one shard's backpressure never rejects another shard's
+	// documents. (The other shard's single slot eventually fills too; its
+	// 503s must then name ITSELF, never the first shard.)
+	acceptedOther, rejectedOwner := false, false
+	for i := 0; i < 64 && !(acceptedOther && rejectedOwner); i++ {
+		rec := submit(fmt.Sprintf("qf-probe-%d", i))
+		shard := rec.Header().Get("X-LSI-Shard")
+		switch rec.Code {
+		case http.StatusServiceUnavailable:
+			if got := rec.Header().Get("Retry-After"); got != "2" {
+				t.Fatalf("Retry-After %q want \"2\"", got)
+			}
+			if !strings.Contains(rec.Body.String(), "shard "+shard) {
+				t.Fatalf("503 body does not name its own shard %s: %s", shard, rec.Body)
+			}
+			if shard == owner {
+				rejectedOwner = true
+			} else if !acceptedOther {
+				t.Fatalf("probe %d: shard %s 503ed before accepting anything", i, shard)
+			}
+		case http.StatusGatewayTimeout: // accepted and queued
+			if shard != owner {
+				acceptedOther = true
+			} else {
+				t.Fatalf("probe %d: full shard %s accepted a document", i, shard)
+			}
+		default:
+			t.Fatalf("probe %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	if !acceptedOther || !rejectedOwner {
+		t.Fatalf("probes incomplete: acceptedOther=%v rejectedOwner=%v", acceptedOther, rejectedOwner)
+	}
+}
+
+func postJSON(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", path, rec.Code, rec.Body)
+	}
+	return rec
+}

@@ -1,0 +1,243 @@
+// Coordinated cross-shard compaction.
+//
+// A fold-in appends rows without touching the basis, so shards drift
+// apart only in the harmless sense of accumulating non-orthogonal rows.
+// An SVD-update (core.UpdateDocs) is different: it re-diagonalizes, so
+// if each shard updated independently each would end up scoring in its
+// own rotated latent space and cross-shard scores would stop being
+// comparable — exactness dies. The router therefore runs compaction as
+// one global plan applied locally:
+//
+//  1. Freeze every shard (engine.BeginExternalCompaction): each hands
+//     back its pure-SVD base (shared U/S across shards by construction)
+//     and its pending fold-ins, and keeps serving its current snapshot.
+//  2. Order the union of pending documents by global submission ordinal
+//     — exactly the fold order a single engine over the concatenated
+//     corpus would have used — and compute ONE core.PlanDocsUpdate from
+//     it: new U, new S, a k×k' rotation for existing rows, and the k'
+//     coordinates of the pending rows.
+//  3. Each shard rotates its own V block. Row rotation is row-local and
+//     dense.Mul is per-row deterministic, so a shard's rotated block is
+//     bit-identical to the corresponding rows of the rotated global V.
+//  4. Resolve fixSigns globally: each block reports, per column, its
+//     largest-|entry| candidate tagged with a canonical row key (base
+//     rows first by ordinal, then pending rows by ordinal — the single
+//     engine's V row order); core.CombineSignFlips picks the same
+//     winner the single-model scan would, every shard flips the same
+//     columns.
+//  5. Each shard assembles [rotated base ; its share of VNew in its own
+//     fold order], applies the plan against its base, and lands it
+//     (engine.FinishExternalCompaction) — which re-folds any documents
+//     that arrived during the window onto the NEW basis, bumps the
+//     coordinate epoch, and rebuilds the scoring cache and IVF index,
+//     exactly like a native compaction.
+//
+// Failure handling: any error before step 5 aborts every frozen shard
+// back to normal operation with nothing changed. The plan itself never
+// mutates shard state until Finish.
+package shard
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dense"
+	"repro/internal/engine"
+)
+
+// pendRow locates one pending document inside the frozen states: which
+// shard holds it, at which local queue position, and its global
+// submission ordinal.
+type pendRow struct {
+	shard, local int
+	ord          int64
+}
+
+// pendBlockOffset ranks every pending row's canonical sign key after
+// every base row's, matching the single engine's V layout (base rows
+// first, then pending in fold order). A document can be pending with a
+// LOWER ordinal than some base document — it arrived during a previous
+// compaction window and was re-folded as leftover — so plain ordinal
+// order over the union would be wrong.
+const pendBlockOffset = int64(1) << 40
+
+// Compact runs one coordinated compaction cycle synchronously and
+// returns once every shard serves the updated basis (or nothing changed:
+// zero pending documents is a no-op). Concurrent calls serialize; the
+// background monitor uses this same entry point.
+func (r *Router) Compact() error {
+	r.compactMu.Lock()
+	defer r.compactMu.Unlock()
+	r.compacting.Store(true)
+	defer r.compacting.Store(false)
+
+	// 1. Freeze everything, or nothing.
+	states := make([]*engine.ExternalCompaction, len(r.shards))
+	abort := func() {
+		for s, st := range states {
+			if st != nil {
+				r.shards[s].AbortExternalCompaction()
+			}
+		}
+	}
+	for s, e := range r.shards {
+		st, err := e.BeginExternalCompaction()
+		if err != nil {
+			abort()
+			return err
+		}
+		states[s] = st
+	}
+	total := 0
+	for _, st := range states {
+		total += len(st.Pending)
+	}
+	if total == 0 {
+		abort()
+		return nil
+	}
+
+	// 2. Global pending order = submission ordinal order, and one plan.
+	pend := make([]pendRow, 0, total)
+	for s, st := range states {
+		for i, d := range st.Pending {
+			pend = append(pend, pendRow{shard: s, local: i, ord: int64(r.ordOf(d.ID))})
+		}
+	}
+	sortPend(pend)
+	docs := make([]corpus.Document, total)
+	// globalRow[s][i] is shard s's i-th pending document's row in VNew.
+	globalRow := make([][]int, len(states))
+	for s, st := range states {
+		globalRow[s] = make([]int, len(st.Pending))
+	}
+	for g, p := range pend {
+		docs[g] = states[p.shard].Pending[p.local]
+		globalRow[p.shard][p.local] = g
+	}
+	plan, err := states[0].Base.PlanDocsUpdate(r.coll.DocVectors(docs))
+	if err != nil {
+		abort()
+		return err
+	}
+
+	// 3+4. Per-shard rotation and global sign resolution.
+	rots := make([]*dense.Matrix, len(states))
+	cands := make([][]core.SignCandidate, 0, len(states)+1)
+	for s, st := range states {
+		rots[s] = plan.RotateDocs(st.Base.V)
+		ords := make([]int64, len(st.BaseDocs))
+		for i, d := range st.BaseDocs {
+			ords[i] = int64(r.ordOf(d.ID))
+		}
+		cands = append(cands, core.SignCandidates(rots[s], ords))
+	}
+	newOrds := make([]int64, total)
+	for g, p := range pend {
+		newOrds[g] = pendBlockOffset + p.ord
+	}
+	cands = append(cands, core.SignCandidates(plan.VNew, newOrds))
+	flip := core.CombineSignFlips(cands...)
+	plan.ApplySigns(flip)
+
+	// 5. Assemble and land per shard.
+	for s, st := range states {
+		dense.FlipColumns(rots[s], flip)
+		mine := dense.New(len(st.Pending), plan.VNew.Cols)
+		for i := range st.Pending {
+			copy(mine.Row(i), plan.VNew.Row(globalRow[s][i]))
+		}
+		model := plan.Apply(st.Base, rots[s].AugmentRows(mine))
+		if err := r.shards[s].FinishExternalCompaction(model, len(st.Pending)); err != nil {
+			// Past the point of no return for earlier shards (they already
+			// landed, which is fine — the basis is shared either way); the
+			// rest abort back to their frozen-but-serving state.
+			for t := s + 1; t < len(states); t++ {
+				r.shards[t].AbortExternalCompaction()
+			}
+			return err
+		}
+	}
+	r.compactions.Add(1)
+	r.cfg.Logf("shard: coordinated compaction absorbed %d documents across %d shards", total, len(r.shards))
+	return nil
+}
+
+// sortPend orders pending rows by global submission ordinal (insertion
+// sort: pending sets are small — bounded by shards × queue capacity).
+func sortPend(p []pendRow) {
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && p[j].ord < p[j-1].ord; j-- {
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
+}
+
+// orthogonality is the GLOBAL ‖VᵀV − I‖_F over the conceptual
+// concatenated document matrix, assembled from per-shard Gram blocks:
+// VᵀV = Σ_s V_sᵀV_s. Matches dense.OrthogonalityError on the
+// concatenation without materializing it.
+func (r *Router) orthogonality(snaps []*engine.Snapshot) float64 {
+	var g *dense.Matrix
+	for _, sn := range snaps {
+		gs := dense.MulT(sn.Model.V, sn.Model.V)
+		if g == nil {
+			g = gs
+			continue
+		}
+		for i := range g.Data {
+			g.Data[i] += gs.Data[i]
+		}
+	}
+	if g == nil {
+		return 0
+	}
+	for i := 0; i < g.Rows; i++ {
+		g.Data[i*g.Cols+i] -= 1
+	}
+	return g.FrobeniusNorm()
+}
+
+// monitor drives threshold-triggered compaction, mirroring the single
+// engine's maybeCompact but over the global orthogonality measure.
+func (r *Router) monitor() {
+	defer close(r.monitorDone)
+	ticker := time.NewTicker(r.checkInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.monitorStop:
+			return
+		case <-ticker.C:
+			snaps := r.snapshots()
+			folded := 0
+			for _, sn := range snaps {
+				folded += sn.Model.FoldedDocs()
+			}
+			if folded == 0 {
+				continue
+			}
+			if r.orthogonality(snaps) <= r.cfg.CompactThreshold {
+				continue
+			}
+			if err := r.Compact(); err != nil {
+				r.cfg.Logf("shard: coordinated compaction failed: %v", err)
+			}
+		}
+	}
+}
+
+func (r *Router) checkInterval() time.Duration {
+	if r.cfg.CompactCheck > 0 {
+		return r.cfg.CompactCheck
+	}
+	d := 2 * r.cfg.Engine.BatchTick
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}

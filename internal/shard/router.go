@@ -1,0 +1,501 @@
+// Package shard is the scatter–gather serving tier: a Router owns N
+// engine.Engine shards — each with its own snapshot pointer, fold-in
+// queue, scoring cache, IVF index and compaction lifecycle — behind one
+// submit/search surface, scaling update and query work across shards
+// without giving up exactness.
+//
+// The exactness argument has three legs:
+//
+//   - Placement never changes coordinates. Folding a document in is a
+//     projection q̂ = qᵀU_kΣ_k⁻¹ that depends only on the shared term
+//     basis (U, S), the global weights and the weighting scheme — all
+//     identical across shards by construction — so a document's vector
+//     is bit-identical no matter which shard folds it, in which batch.
+//   - Per-shard top-k is exact. The PR 5/6 screening and cluster-pruning
+//     machinery certifies each shard's local top-k byte-exact against a
+//     plain float64 scan of that shard's rows.
+//   - The merge is exact. Each shard returns its local top-k under the
+//     total order (score desc, doc asc); the global top-k is a subset of
+//     the union of local top-ks, so rank.MergeTopK — sort the union,
+//     truncate — returns exactly the top-k a single engine over the
+//     concatenated corpus would, with the global submission ordinal
+//     standing in for the single engine's row index as tie-break.
+//
+// Compaction is the one operation that cannot be per-shard-independent:
+// an SVD-update re-diagonalizes the basis, and N independent updates
+// would leave shards scoring in N different latent spaces. The Router
+// therefore coordinates: it freezes every shard, computes ONE update
+// plan (core.PlanDocsUpdate) over the globally ordered pending set, and
+// every shard applies that plan to its own rows — bit-identical to a
+// single engine compacting the concatenated corpus (see compact.go).
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/rank"
+)
+
+// Config parameterizes the router. The zero value gets one shard and the
+// engine defaults.
+type Config struct {
+	// Shards is the number of engine shards (default 1). Construction
+	// fails when there are more shards than initial documents.
+	Shards int
+	// Engine is the per-shard engine configuration. Its CompactThreshold
+	// is ignored: shards must never compact independently (each
+	// SVD-update rotates the latent basis, and independently rotated
+	// shards stop being score-comparable), so the router zeroes it and
+	// drives compaction itself via CompactThreshold below.
+	Engine engine.Config
+	// CompactThreshold is the global document-orthogonality loss
+	// (‖VᵀV − I‖_F over the conceptual concatenated V) above which the
+	// router runs a coordinated compaction; 0 disables the monitor
+	// (explicit Compact calls still work).
+	CompactThreshold float64
+	// CompactCheck is how often the monitor evaluates the threshold
+	// (default 2×BatchTick, clamped to [1ms, 1s]).
+	CompactCheck time.Duration
+	// Logf receives diagnostics (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Hit is one merged search result.
+type Hit struct {
+	ID    string
+	Text  string
+	Score float64
+	// Shard is the shard the document lives on.
+	Shard int
+}
+
+// QueueFullError reports backpressure from the single shard that owns
+// the submitted document — other shards' queues are irrelevant to this
+// submission, so Retry-After accounting is per-shard by construction.
+// It unwraps to engine.ErrQueueFull.
+type QueueFullError struct {
+	Shard    int
+	Depth    int
+	Capacity int
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("shard %d: fold-in queue full (%d/%d)", e.Shard, e.Depth, e.Capacity)
+}
+
+func (e *QueueFullError) Unwrap() error { return engine.ErrQueueFull }
+
+// ShardStats is one shard's engine stats plus its index.
+type ShardStats struct {
+	Shard int
+	engine.Stats
+}
+
+// Stats aggregates the tier for /stats and /metrics: sums and maxima
+// over shards at the top, the full per-shard blocks underneath.
+type Stats struct {
+	Shards          int
+	Generations     []uint64
+	Documents       int
+	FoldedDocuments int
+	QueueDepth      int
+	// Compactions counts completed coordinated compactions; Compacting
+	// reports one in flight.
+	Compactions int64
+	Compacting  bool
+	Screening   bool
+	// MirrorMaxEps is the worst per-row mirror residual across shards.
+	MirrorMaxEps       float64
+	IVFClusters        int
+	IVFUnclusteredTail int
+	IVFRebuilds        int64
+	Queries            int64
+	RescoreCandidates  int64
+	ClustersScanned    int64
+	ScannedRows        int64
+	PerShard           []ShardStats
+}
+
+// Router owns the shards and the cross-shard bookkeeping: the global ID
+// registry (duplicate detection across shards + the merge tie-break
+// ordinal), the auto-ID counter, and the coordinated compactor.
+type Router struct {
+	cfg    Config
+	coll   *corpus.Collection
+	shards []*engine.Engine
+
+	// ids maps document ID → global submission ordinal (int64): the
+	// cross-shard duplicate gate and the stand-in for the single-engine
+	// row index in the merge's tie-break.
+	ids sync.Map
+	// nextOrd is the next global submission ordinal; ordinals of rejected
+	// submissions are burned, which is fine — only the relative order
+	// matters.
+	nextOrd atomic.Int64
+	// nextAuto numbers auto-assigned "doc-N" IDs globally, so shards can
+	// never collide.
+	nextAuto atomic.Int64
+	// rr is the round-robin cursor for placing auto-ID submissions.
+	rr atomic.Int64
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	// compactMu serializes coordinated compactions; compacting mirrors it
+	// for Stats.
+	compactMu   sync.Mutex
+	compacting  atomic.Bool
+	compactions atomic.Int64
+
+	monitorStop chan struct{}
+	monitorDone chan struct{}
+}
+
+// New splits the corpus round-robin across cfg.Shards engines — shard s
+// owns initial documents s, s+N, s+2N, … — and starts them. The model
+// must have been built from the collection; each shard serves a
+// DocSubsetView sharing the model's term basis, so queries project
+// identically everywhere. The caller must not mutate coll or model
+// afterwards.
+func New(coll *corpus.Collection, model *core.Model, cfg Config) (*Router, error) {
+	if model.NumDocs() != coll.Size() {
+		return nil, fmt.Errorf("shard: model has %d docs, collection %d", model.NumDocs(), coll.Size())
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	if n > coll.Size() {
+		return nil, fmt.Errorf("shard: %d shards for %d documents", n, coll.Size())
+	}
+	cfg.Shards = n
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	engCfg := cfg.Engine
+	// Shards never compact on their own: one shard rotating its basis
+	// alone would break cross-shard score comparability. The router's
+	// monitor drives the coordinated equivalent.
+	engCfg.CompactThreshold = 0
+
+	idx := make([][]int, n)
+	for j := 0; j < coll.Size(); j++ {
+		idx[j%n] = append(idx[j%n], j)
+	}
+	r := &Router{cfg: cfg, coll: coll}
+	for j, d := range coll.Docs {
+		r.ids.Store(d.ID, int64(j))
+	}
+	r.nextOrd.Store(int64(coll.Size()))
+	r.nextAuto.Store(int64(coll.Size()))
+
+	engines := make([]*engine.Engine, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			engines[s], errs[s] = engine.New(coll.Subset(idx[s]), model.DocSubsetView(idx[s]), engCfg)
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			for _, e := range engines {
+				if e != nil {
+					_ = e.Close(ctx)
+				}
+			}
+			cancel()
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	r.shards = engines
+	if cfg.CompactThreshold > 0 {
+		r.monitorStop = make(chan struct{})
+		r.monitorDone = make(chan struct{})
+		go r.monitor()
+	}
+	return r, nil
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Shard exposes one underlying engine for read-side wiring (snapshots,
+// stats). Submitting to it directly would bypass the global ID registry —
+// always go through Router.Submit.
+func (r *Router) Shard(s int) *engine.Engine { return r.shards[s] }
+
+// Generations returns the current per-shard generation vector without
+// running a query.
+func (r *Router) Generations() []uint64 { return generations(r.snapshots()) }
+
+// Orthogonality returns the global ‖VᵀV − I‖_F across all shards — the
+// §4.3 fold-in distortion measure the compaction monitor watches,
+// identical to the single-engine DocOrthogonality on the concatenation.
+func (r *Router) Orthogonality() float64 { return r.orthogonality(r.snapshots()) }
+
+// ShardSnapshot returns shard s's current serving snapshot — one atomic
+// load, the same guarantee as engine.Snapshot. Endpoints that only need
+// the shared term basis (e.g. /terms) read shard 0.
+func (r *Router) ShardSnapshot(s int) *engine.Snapshot { return r.shards[s].Snapshot() }
+
+// snapshots loads one snapshot per shard. Loads are independent (shards
+// publish independently), but each load is immutable, so a result set is
+// fully determined by the generation vector it was computed from.
+func (r *Router) snapshots() []*engine.Snapshot {
+	snaps := make([]*engine.Snapshot, len(r.shards))
+	for s, e := range r.shards {
+		snaps[s] = e.Snapshot()
+	}
+	return snaps
+}
+
+func generations(snaps []*engine.Snapshot) []uint64 {
+	gens := make([]uint64, len(snaps))
+	for s, sn := range snaps {
+		gens[s] = sn.Gen
+	}
+	return gens
+}
+
+// hashShard places a user-supplied ID on its stable owner shard.
+func hashShard(id string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Submit routes one document to its owner shard — stable FNV hash for
+// user IDs, round-robin for auto-assigned IDs — and waits like
+// engine.Submit does. Duplicate user IDs are rejected against the
+// global registry (409 on ANY shard, not just the owner); auto IDs come
+// from a global counter and can never collide across shards. The
+// returned shard index is where the document landed (-1 when it was
+// rejected before routing).
+func (r *Router) Submit(ctx context.Context, doc corpus.Document) (id string, shard int, err error) {
+	r.closeMu.RLock()
+	defer r.closeMu.RUnlock()
+	if r.closed {
+		return "", -1, engine.ErrClosed
+	}
+	if doc.ID == "" {
+		for {
+			doc.ID = fmt.Sprintf("doc-%d", r.nextAuto.Add(1)-1)
+			if _, taken := r.ids.LoadOrStore(doc.ID, r.nextOrd.Add(1)-1); !taken {
+				break
+			}
+			// A user already took this name: burn the number (and the
+			// ordinal) and keep counting — same skip-over semantics as the
+			// single engine's auto-assignment.
+		}
+		shard = int((r.rr.Add(1) - 1) % int64(len(r.shards)))
+	} else {
+		if _, dup := r.ids.LoadOrStore(doc.ID, r.nextOrd.Add(1)-1); dup {
+			return "", -1, fmt.Errorf("%w: %q", engine.ErrDuplicateID, doc.ID)
+		}
+		shard = hashShard(doc.ID, len(r.shards))
+	}
+	if _, serr := r.shards[shard].Submit(ctx, doc); serr != nil {
+		if errors.Is(serr, context.Canceled) || errors.Is(serr, context.DeadlineExceeded) {
+			// Accepted by the shard; it will fold in and survive Close's
+			// drain, so the registration stands.
+			return doc.ID, shard, serr
+		}
+		// Rejected before acceptance: roll the registration back so the
+		// ID can be retried.
+		r.ids.Delete(doc.ID)
+		if errors.Is(serr, engine.ErrQueueFull) {
+			st := r.shards[shard].Stats()
+			return "", shard, &QueueFullError{
+				Shard: shard, Depth: st.QueueDepth, Capacity: r.shards[shard].QueueCapacity(),
+			}
+		}
+		return "", shard, serr
+	}
+	return doc.ID, shard, nil
+}
+
+// ordOf returns a document's global submission ordinal — the merge
+// tie-break. Unknown IDs (can only happen for hand-built snapshots) rank
+// last.
+func (r *Router) ordOf(id string) int {
+	if v, ok := r.ids.Load(id); ok {
+		return int(v.(int64))
+	}
+	return int(int64(1) << 62)
+}
+
+// Search fans the raw query out to every shard concurrently, merges the
+// per-shard exact top-n under (score desc, global ordinal asc), and
+// returns the merged top-n with the per-shard generation vector that
+// fully determines it. Results are byte-identical to a single engine
+// over the same corpus (parity-pinned).
+func (r *Router) Search(raw []float64, n int) ([]Hit, []uint64) {
+	snaps := r.snapshots()
+	gens := generations(snaps)
+	if len(snaps) == 1 {
+		return r.hitsFromShard(snaps[0], 0, snaps[0].RankTop(raw, n)), gens
+	}
+	perShard := make([][]core.Ranked, len(snaps))
+	var wg sync.WaitGroup
+	for s := range snaps {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			perShard[s] = snaps[s].RankTop(raw, n)
+		}(s)
+	}
+	wg.Wait()
+	return r.merge(snaps, perShard, n), gens
+}
+
+// SearchBatch scatters the WHOLE batch to every shard — each shard runs
+// its own TopKBatch so the gemm tiling over the batch is preserved —
+// then merges per query row. Identical results to calling Search per
+// query.
+func (r *Router) SearchBatch(raws [][]float64, n int) ([][]Hit, []uint64) {
+	snaps := r.snapshots()
+	gens := generations(snaps)
+	if len(raws) == 0 {
+		return nil, gens
+	}
+	if len(snaps) == 1 {
+		ranked := snaps[0].RankBatch(raws, n)
+		out := make([][]Hit, len(ranked))
+		for q, row := range ranked {
+			out[q] = r.hitsFromShard(snaps[0], 0, row)
+		}
+		return out, gens
+	}
+	perShard := make([][][]core.Ranked, len(snaps))
+	var wg sync.WaitGroup
+	for s := range snaps {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			perShard[s] = snaps[s].RankBatch(raws, n)
+		}(s)
+	}
+	wg.Wait()
+	out := make([][]Hit, len(raws))
+	rows := make([][]core.Ranked, len(snaps))
+	for q := range raws {
+		for s := range snaps {
+			rows[s] = perShard[s][q]
+		}
+		out[q] = r.merge(snaps, rows, n)
+	}
+	return out, gens
+}
+
+// hitsFromShard is the single-shard fast path: no ordinal translation —
+// the shard's own (score desc, local row asc) order IS the global order.
+func (r *Router) hitsFromShard(snap *engine.Snapshot, s int, ranked []core.Ranked) []Hit {
+	out := make([]Hit, len(ranked))
+	for i, rk := range ranked {
+		doc := snap.Doc(rk.Doc)
+		out[i] = Hit{ID: doc.ID, Text: doc.Text, Score: rk.Score, Shard: s}
+	}
+	return out
+}
+
+// merge translates each shard's local rows to (global ordinal, score)
+// items and merges them through rank.MergeTopK — the same helper the
+// in-engine selector barrier uses — under the same strict total order.
+func (r *Router) merge(snaps []*engine.Snapshot, perShard [][]core.Ranked, n int) []Hit {
+	lists := make([][]rank.Item, len(perShard))
+	byOrd := make(map[int]Hit, n*len(perShard))
+	for s, ranked := range perShard {
+		items := make([]rank.Item, len(ranked))
+		for i, rk := range ranked {
+			doc := snaps[s].Doc(rk.Doc)
+			ord := r.ordOf(doc.ID)
+			items[i] = rank.Item{Doc: ord, Score: rk.Score}
+			byOrd[ord] = Hit{ID: doc.ID, Text: doc.Text, Score: rk.Score, Shard: s}
+		}
+		lists[s] = items
+	}
+	merged := rank.MergeTopK(n, lists...)
+	out := make([]Hit, len(merged))
+	for i, it := range merged {
+		out[i] = byOrd[it.Doc]
+	}
+	return out
+}
+
+// Stats aggregates every shard's pipeline stats.
+func (r *Router) Stats() Stats {
+	st := Stats{
+		Shards:      len(r.shards),
+		Compactions: r.compactions.Load(),
+		Compacting:  r.compacting.Load(),
+		Screening:   true,
+		PerShard:    make([]ShardStats, len(r.shards)),
+	}
+	st.Generations = make([]uint64, len(r.shards))
+	for s, e := range r.shards {
+		es := e.Stats()
+		st.PerShard[s] = ShardStats{Shard: s, Stats: es}
+		st.Generations[s] = es.Generation
+		st.Documents += es.Documents
+		st.FoldedDocuments += es.FoldedDocuments
+		st.QueueDepth += es.QueueDepth
+		st.IVFClusters += es.IVFClusters
+		st.IVFUnclusteredTail += es.IVFUnclusteredTail
+		st.IVFRebuilds += es.IVFRebuilds
+		st.Queries += es.Queries
+		st.RescoreCandidates += es.RescoreCandidates
+		st.ClustersScanned += es.ClustersScanned
+		st.ScannedRows += es.ScannedRows
+		st.Screening = st.Screening && es.Screening
+		if es.MirrorMaxEps > st.MirrorMaxEps {
+			st.MirrorMaxEps = es.MirrorMaxEps
+		}
+	}
+	return st
+}
+
+// Close stops accepting submissions, settles the compaction monitor,
+// then drains every shard in parallel — the drain ordering documented in
+// docs/SERVING.md: no new work, no half-landed coordinated compaction,
+// then per-shard queue drains (every acknowledged document is in some
+// shard's final snapshot). Idempotent; ctx bounds the wait.
+func (r *Router) Close(ctx context.Context) error {
+	r.closeMu.Lock()
+	already := r.closed
+	r.closed = true
+	r.closeMu.Unlock()
+	if !already && r.monitorStop != nil {
+		close(r.monitorStop)
+		<-r.monitorDone
+	}
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for s, e := range r.shards {
+		wg.Add(1)
+		go func(s int, e *engine.Engine) {
+			defer wg.Done()
+			errs[s] = e.Close(ctx)
+		}(s, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,370 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/engine"
+)
+
+func synthFixture(t *testing.T, docs, k int) (*corpus.Collection, *core.Model, [][]float64) {
+	t.Helper()
+	synth := corpus.GenerateSynth(corpus.SynthOptions{Seed: 9, Docs: docs, Topics: 5})
+	coll := synth.Collection
+	model, err := core.BuildCollection(coll, core.Config{K: k, Method: core.MethodDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := make([][]float64, 0, len(synth.Queries))
+	for _, q := range synth.Queries {
+		raws = append(raws, coll.QueryVector(q.Text))
+	}
+	if len(raws) < 4 {
+		t.Fatalf("fixture produced only %d queries", len(raws))
+	}
+	return coll, model, raws
+}
+
+func closeRouter(t *testing.T, r *Router) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.Close(ctx); err != nil {
+		t.Fatalf("router close: %v", err)
+	}
+}
+
+// sameHits compares merged results byte-for-byte on everything placement
+// cannot change: identity, text and the exact score bits. Shard indices
+// legitimately differ between layouts.
+func sameHits(t *testing.T, label string, got, want []Hit) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d hits, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Text != want[i].Text ||
+			math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+			t.Fatalf("%s: hit %d: got {%s %v}, want {%s %v}",
+				label, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+}
+
+// TestRouterSearchParity pins the tentpole claim on the static corpus:
+// for every shard count, scatter–gather results are byte-identical to a
+// plain single engine over the same collection, for both single and
+// batch queries.
+func TestRouterSearchParity(t *testing.T) {
+	coll, model, raws := synthFixture(t, 60, 8)
+	ref, err := engine.New(coll, model, engine.Config{BatchTick: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = ref.Close(ctx)
+	}()
+	const topK = 10
+	want := make([][]Hit, len(raws))
+	snap := ref.Snapshot()
+	for qi, raw := range raws {
+		ranked := snap.RankTop(raw, topK)
+		want[qi] = make([]Hit, len(ranked))
+		for i, rk := range ranked {
+			d := snap.Doc(rk.Doc)
+			want[qi][i] = Hit{ID: d.ID, Text: d.Text, Score: rk.Score}
+		}
+		if len(want[qi]) == 0 {
+			t.Fatalf("query %d ranked nothing", qi)
+		}
+	}
+
+	for _, shards := range []int{1, 2, 3, 5} {
+		r, err := New(coll, model, Config{Shards: shards, Engine: engine.Config{BatchTick: time.Millisecond}})
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		for qi, raw := range raws {
+			got, gens := r.Search(raw, topK)
+			if len(gens) != shards {
+				t.Fatalf("%d shards: generation vector has %d entries", shards, len(gens))
+			}
+			sameHits(t, fmt.Sprintf("%d shards, query %d", shards, qi), got, want[qi])
+		}
+		batch, _ := r.SearchBatch(raws, topK)
+		if len(batch) != len(raws) {
+			t.Fatalf("%d shards: batch returned %d rows", shards, len(batch))
+		}
+		for qi := range raws {
+			sameHits(t, fmt.Sprintf("%d shards, batch row %d", shards, qi), batch[qi], want[qi])
+		}
+		closeRouter(t, r)
+	}
+}
+
+// TestRouterParityAcrossSubmitsAndCompaction drives two routers — one
+// shard vs three — through identical submission sequences and two
+// coordinated compaction cycles, checking byte parity after every step.
+// The 1-shard side is anchored to ground truth by the engine and core
+// parity tests (external compaction ≡ UpdateDocs, distributed plan ≡
+// UpdateDocs); this test closes the loop N-shard ≡ 1-shard.
+func TestRouterParityAcrossSubmitsAndCompaction(t *testing.T) {
+	coll, model, raws := synthFixture(t, 40, 6)
+	mk := func(shards int) *Router {
+		r, err := New(coll, model, Config{Shards: shards, Engine: engine.Config{BatchTick: time.Millisecond}})
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		return r
+	}
+	r1, r3 := mk(1), mk(3)
+	defer closeRouter(t, r1)
+	defer closeRouter(t, r3)
+
+	const topK = 15
+	check := func(stage string) {
+		t.Helper()
+		for qi, raw := range raws {
+			h1, _ := r1.Search(raw, topK)
+			h3, _ := r3.Search(raw, topK)
+			sameHits(t, fmt.Sprintf("%s query %d", stage, qi), h3, h1)
+		}
+		b1, _ := r1.SearchBatch(raws, topK)
+		b3, _ := r3.SearchBatch(raws, topK)
+		for qi := range raws {
+			sameHits(t, fmt.Sprintf("%s batch row %d", stage, qi), b3[qi], b1[qi])
+		}
+	}
+
+	check("static")
+	ctx := context.Background()
+	next := 0
+	for wave := 0; wave < 2; wave++ {
+		for i := 0; i < 6; i++ {
+			doc := corpus.Document{
+				ID:   fmt.Sprintf("new-%02d", next),
+				Text: coll.Docs[next%coll.Size()].Text,
+			}
+			next++
+			if _, _, err := r1.Submit(ctx, doc); err != nil {
+				t.Fatalf("wave %d: r1 submit: %v", wave, err)
+			}
+			if _, _, err := r3.Submit(ctx, doc); err != nil {
+				t.Fatalf("wave %d: r3 submit: %v", wave, err)
+			}
+		}
+		check(fmt.Sprintf("wave %d folded", wave))
+		if st := r3.Stats(); st.FoldedDocuments == 0 {
+			t.Fatalf("wave %d: no folded documents before compaction", wave)
+		}
+		if err := r1.Compact(); err != nil {
+			t.Fatalf("wave %d: r1 compact: %v", wave, err)
+		}
+		if err := r3.Compact(); err != nil {
+			t.Fatalf("wave %d: r3 compact: %v", wave, err)
+		}
+		for _, r := range []*Router{r1, r3} {
+			st := r.Stats()
+			if st.FoldedDocuments != 0 {
+				t.Fatalf("wave %d: %d shards: %d folded after compaction", wave, st.Shards, st.FoldedDocuments)
+			}
+			if st.Compactions != int64(wave+1) {
+				t.Fatalf("wave %d: %d shards: %d compactions", wave, st.Shards, st.Compactions)
+			}
+			if st.Documents != coll.Size()+next {
+				t.Fatalf("wave %d: %d shards: %d documents, want %d", wave, st.Shards, st.Documents, coll.Size()+next)
+			}
+		}
+		check(fmt.Sprintf("wave %d compacted", wave))
+	}
+	// An empty compaction cycle is a no-op, not an error or a count bump.
+	if err := r3.Compact(); err != nil {
+		t.Fatalf("empty compact: %v", err)
+	}
+	if st := r3.Stats(); st.Compactions != 2 {
+		t.Fatalf("empty compact bumped count to %d", st.Compactions)
+	}
+}
+
+// TestRouterIDRegistry: duplicate user IDs are rejected globally (409 on
+// any shard, including against the seed corpus), auto IDs are globally
+// unique, round-robin placed, and skip over user-taken names.
+func TestRouterIDRegistry(t *testing.T) {
+	coll, model, _ := synthFixture(t, 40, 6)
+	r, err := New(coll, model, Config{Shards: 3, Engine: engine.Config{BatchTick: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeRouter(t, r)
+	ctx := context.Background()
+	text := coll.Docs[0].Text
+
+	if _, _, err := r.Submit(ctx, corpus.Document{ID: "alpha", Text: text}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Submit(ctx, corpus.Document{ID: "alpha", Text: text}); !errors.Is(err, engine.ErrDuplicateID) {
+		t.Fatalf("duplicate user id: %v", err)
+	}
+	if _, _, err := r.Submit(ctx, corpus.Document{ID: coll.Docs[7].ID, Text: text}); !errors.Is(err, engine.ErrDuplicateID) {
+		t.Fatalf("duplicate seed id: %v", err)
+	}
+
+	// Take the next auto name by hand; auto assignment must skip it.
+	taken := fmt.Sprintf("doc-%d", coll.Size())
+	if _, _, err := r.Submit(ctx, corpus.Document{ID: taken, Text: text}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 9; i++ {
+		id, shard, err := r.Submit(ctx, corpus.Document{Text: text})
+		if err != nil {
+			t.Fatalf("auto submit %d: %v", i, err)
+		}
+		if id == "" || id == taken || seen[id] {
+			t.Fatalf("auto submit %d: id %q reused or empty", i, id)
+		}
+		seen[id] = true
+		if want := i % 3; shard != want {
+			t.Fatalf("auto submit %d landed on shard %d, want round-robin %d", i, shard, want)
+		}
+	}
+}
+
+// TestRouterPerShardQueueFull: backpressure is per owner shard — a full
+// queue on one shard rejects with that shard's depth/capacity while the
+// others keep accepting.
+func TestRouterPerShardQueueFull(t *testing.T) {
+	coll, model, _ := synthFixture(t, 40, 6)
+	// BatchTick a minute: the queues never drain during the test.
+	r, err := New(coll, model, Config{Shards: 2, Engine: engine.Config{QueueSize: 2, BatchTick: time.Minute}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeRouter(t, r)
+
+	// Mine IDs that hash to each shard so placement is forced.
+	idOn := func(shard int) func() string {
+		n := 0
+		return func() string {
+			for {
+				id := fmt.Sprintf("qf-%d-%d", shard, n)
+				n++
+				if hashShard(id, 2) == shard {
+					return id
+				}
+			}
+		}
+	}
+	on0, on1 := idOn(0), idOn(1)
+	expired, cancel := context.WithCancel(context.Background())
+	cancel() // fire-and-forget: enqueue, don't wait for the fold
+	text := coll.Docs[0].Text
+
+	for i := 0; i < 2; i++ {
+		if _, _, err := r.Submit(expired, corpus.Document{ID: on0(), Text: text}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	full := on0()
+	_, _, err = r.Submit(expired, corpus.Document{ID: full, Text: text})
+	var qf *QueueFullError
+	if !errors.As(err, &qf) || !errors.Is(err, engine.ErrQueueFull) {
+		t.Fatalf("overflow submit: %v", err)
+	}
+	if qf.Shard != 0 || qf.Capacity != 2 || qf.Depth != 2 {
+		t.Fatalf("queue-full detail: %+v", qf)
+	}
+	// The other shard is unaffected.
+	if _, _, err := r.Submit(expired, corpus.Document{ID: on1(), Text: text}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("other shard rejected: %v", err)
+	}
+	// The rejected ID was rolled back in the registry: retrying reports
+	// queue-full again, not a duplicate.
+	if _, _, err := r.Submit(expired, corpus.Document{ID: full, Text: text}); !errors.Is(err, engine.ErrQueueFull) {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+}
+
+// TestRouterMonitorCompacts: the background monitor notices global
+// orthogonality drift and runs a coordinated compaction on its own.
+func TestRouterMonitorCompacts(t *testing.T) {
+	coll, model, raws := synthFixture(t, 40, 6)
+	r, err := New(coll, model, Config{
+		Shards:           2,
+		Engine:           engine.Config{BatchTick: time.Millisecond},
+		CompactThreshold: 1e-9,
+		CompactCheck:     time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeRouter(t, r)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, _, err := r.Submit(ctx, corpus.Document{Text: coll.Docs[i].Text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second) //lsilint:ignore walltime test deadline
+	for {
+		st := r.Stats()
+		if st.Compactions >= 1 && st.FoldedDocuments == 0 {
+			break
+		}
+		if time.Now().After(deadline) { //lsilint:ignore walltime test deadline
+			t.Fatalf("monitor never compacted: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if hits, _ := r.Search(raws[0], 5); len(hits) == 0 {
+		t.Fatal("no hits after monitor compaction")
+	}
+}
+
+// TestRouterCloseDrains: Close publishes every acknowledged document —
+// including fire-and-forget submissions still queued — before returning,
+// and further submits report closed.
+func TestRouterCloseDrains(t *testing.T) {
+	coll, model, _ := synthFixture(t, 40, 6)
+	r, err := New(coll, model, Config{Shards: 3, Engine: engine.Config{BatchTick: 50 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	const extra = 9
+	for i := 0; i < extra; i++ {
+		_, _, err := r.Submit(expired, corpus.Document{ID: fmt.Sprintf("drain-%d", i), Text: coll.Docs[i].Text})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	closeRouter(t, r)
+	if st := r.Stats(); st.Documents != coll.Size()+extra {
+		t.Fatalf("after drain: %d documents, want %d", st.Documents, coll.Size()+extra)
+	}
+	if _, _, err := r.Submit(context.Background(), corpus.Document{Text: "late"}); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	closeRouter(t, r) // idempotent
+}
+
+// TestRouterRejectsBadShapes: construction guards.
+func TestRouterRejectsBadShapes(t *testing.T) {
+	coll, model, _ := synthFixture(t, 40, 6)
+	if _, err := New(coll, model, Config{Shards: 41}); err == nil {
+		t.Fatal("more shards than documents accepted")
+	}
+	small := coll.Subset([]int{0, 1, 2})
+	if _, err := New(small, model, Config{Shards: 2}); err == nil {
+		t.Fatal("model/collection size mismatch accepted")
+	}
+}
