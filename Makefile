@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-full build test race race-hot stress vet lint bench bench-query bench-build bench-shard
+.PHONY: check check-full build test race race-hot stress vet lint lint-tests bench bench-query bench-build bench-shard
 
 # check is the fast pre-commit loop: vet, build, tests, the race detector
 # on the hot parallel packages only, and the project linter. Run it on
@@ -11,7 +11,7 @@ check: vet build test race-hot lint
 # package plus everything in check and a double pass over the serving
 # pipeline. Run it before merging, or whenever concurrency-adjacent code
 # (engine, server, rank, lanczos, sparse) changed.
-check-full: vet build lint stress
+check-full: vet build lint lint-tests stress
 	$(GO) test -race ./...
 
 vet:
@@ -22,6 +22,15 @@ vet:
 # described in docs/STATIC_ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/lsilint ./...
+
+# lint-tests re-runs the interprocedural concurrency checks with the
+# stress/test files loaded too (-tests), over the packages whose suites
+# hammer shared state. Only the call-graph checks run here: the
+# per-package determinism checks are serving-path invariants and would
+# drown in benchmark timing code.
+lint-tests:
+	$(GO) run ./cmd/lsilint -tests -checks guardedby,snapshotsafe,noalloctrans \
+		./internal/engine/... ./internal/shard/... ./internal/server/... ./internal/rank/...
 
 build:
 	$(GO) build ./...

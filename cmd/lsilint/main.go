@@ -3,18 +3,28 @@
 // and runs the internal/lint suite — determinism, concurrency, and
 // hot-path allocation checks that encode invariants the compiler cannot
 // see (bit-identical parallel reductions, lock discipline, zero-alloc
-// kernels). See docs/STATIC_ANALYSIS.md for every check ID and the
-// //lsilint:noalloc / //lsilint:ignore annotations.
+// kernels), plus the interprocedural module-wide checks (guardedby,
+// snapshotsafe, noalloctrans) built on the call graph. See
+// docs/STATIC_ANALYSIS.md for every check ID and the annotation
+// vocabulary.
 //
 // Usage:
 //
-//	lsilint [-checks id,id] [-list] [patterns...]
+//	lsilint [-checks id,id] [-json] [-tests] [-list] [patterns...]
 //
-// Patterns default to ./... and follow the go tool's shape. Exit status
-// is 1 when any finding survives the suppression directives.
+// Patterns default to ./... and follow the go tool's shape. -tests also
+// loads _test.go files (the stress suites) into the analysis. -json
+// emits one JSON object per finding on stdout instead of text.
+//
+// Exit codes:
+//
+//	0  no findings survived the suppression directives
+//	1  at least one finding
+//	2  usage or load error (bad flag, unknown check, type-check failure)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +38,8 @@ func main() {
 	var (
 		checksFlag = flag.String("checks", "", "comma-separated check IDs to run (default: all)")
 		listFlag   = flag.Bool("list", false, "list registered checks and exit")
+		jsonFlag   = flag.Bool("json", false, "emit findings as JSON objects (one per line)")
+		testsFlag  = flag.Bool("tests", false, "include _test.go files in the analysis")
 	)
 	flag.Parse()
 
@@ -35,10 +47,13 @@ func main() {
 		for _, c := range lint.Checks() {
 			fmt.Printf("%-12s %s\n", c.ID, c.Doc)
 		}
+		for _, c := range lint.ModuleChecks() {
+			fmt.Printf("%-12s %s (module-wide)\n", c.ID, c.Doc)
+		}
 		return
 	}
 
-	selected, err := selectChecks(*checksFlag)
+	selected, selectedModule, err := selectChecks(*checksFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsilint:", err)
 		os.Exit(2)
@@ -55,13 +70,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	mod, err := lint.LoadModule(root, patterns)
+	mod, err := lint.LoadModuleWith(root, patterns, lint.LoadOptions{IncludeTests: *testsFlag})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsilint:", err)
 		os.Exit(2)
 	}
 
 	cwd, _ := os.Getwd()
+	emit := func(d lint.Diagnostic) {
+		if *jsonFlag {
+			printJSON(cwd, d)
+		} else {
+			fmt.Println(relativize(cwd, d))
+		}
+	}
+
 	linted, findings := 0, 0
 	for _, pkg := range mod.Pkgs {
 		if !pkg.Matched {
@@ -70,12 +93,17 @@ func main() {
 		linted++
 		for _, d := range lint.RunChecks(pkg, selected) {
 			findings++
-			fmt.Println(relativize(cwd, d))
+			emit(d)
 		}
 	}
-	nChecks := len(selected)
-	if selected == nil {
-		nChecks = len(lint.Checks())
+	for _, d := range lint.RunModuleChecks(mod, selectedModule) {
+		findings++
+		emit(d)
+	}
+
+	nChecks := len(selected) + len(selectedModule)
+	if selected == nil && selectedModule == nil {
+		nChecks = len(lint.Checks()) + len(lint.ModuleChecks())
 	}
 	fmt.Fprintf(os.Stderr, "lsilint: %d package(s), %d check(s), %d finding(s)\n",
 		linted, nChecks, findings)
@@ -84,21 +112,60 @@ func main() {
 	}
 }
 
-// selectChecks resolves the -checks flag, nil meaning the full suite.
-func selectChecks(spec string) ([]*lint.Check, error) {
-	if spec == "" {
-		return nil, nil
+// jsonDiagnostic is the machine-readable finding shape for CI and
+// editors: file, 1-based line/column, check ID, and message.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func printJSON(cwd string, d lint.Diagnostic) {
+	file := d.Pos.Filename
+	if cwd != "" {
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
 	}
-	var out []*lint.Check
+	out, err := json.Marshal(jsonDiagnostic{
+		File:    file,
+		Line:    d.Pos.Line,
+		Column:  d.Pos.Column,
+		Check:   d.Check,
+		Message: d.Message,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsilint: encoding finding:", err)
+		os.Exit(2)
+	}
+	fmt.Println(string(out))
+}
+
+// selectChecks resolves the -checks flag into per-package and
+// module-wide selections; (nil, nil) means the full suite. When the flag
+// is set, only the named checks run — a spec naming only module checks
+// disables the per-package suite, and vice versa.
+func selectChecks(spec string) ([]*lint.Check, []*lint.ModuleCheck, error) {
+	if spec == "" {
+		return nil, nil, nil
+	}
+	pkgChecks := []*lint.Check{}
+	modChecks := []*lint.ModuleCheck{}
 	for _, id := range strings.Split(spec, ",") {
 		id = strings.TrimSpace(id)
-		c, ok := lint.Lookup(id)
-		if !ok {
-			return nil, fmt.Errorf("unknown check %q (see -list)", id)
+		if c, ok := lint.Lookup(id); ok {
+			pkgChecks = append(pkgChecks, c)
+			continue
 		}
-		out = append(out, c)
+		if mc, ok := lint.LookupModule(id); ok {
+			modChecks = append(modChecks, mc)
+			continue
+		}
+		return nil, nil, fmt.Errorf("unknown check %q (see -list)", id)
 	}
-	return out, nil
+	return pkgChecks, modChecks, nil
 }
 
 // findModuleRoot walks up from the working directory to the nearest

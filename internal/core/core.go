@@ -86,7 +86,8 @@ type Model struct {
 	// the internal mutex only makes the *cache* safe under concurrent
 	// queries.
 	engMu sync.RWMutex
-	eng   *rank.Engine
+	//lsilint:guardedby engMu
+	eng *rank.Engine
 }
 
 // docEngine returns the cached unit-normalized document matrix, building

@@ -196,7 +196,8 @@ type Engine struct {
 	// side no further submission can slip into the queue and the final
 	// drain is complete. Readers never touch this (or any) lock.
 	closeMu sync.RWMutex
-	closed  bool
+	//lsilint:guardedby closeMu
+	closed bool
 
 	compactions atomic.Int64
 	compacting  atomic.Bool

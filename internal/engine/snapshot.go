@@ -16,6 +16,8 @@ import (
 //
 // Invariants: Model.NumDocs() == len(Docs) == Eng.NumDocs(), and Gen
 // strictly increases across publications.
+//
+//lsilint:immutable
 type Snapshot struct {
 	// Gen is the publication generation: 1 for the initial snapshot,
 	// incremented by every fold-in batch and every compaction.

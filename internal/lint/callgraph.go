@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The call graph is the spine of every interprocedural check: one node
+// per declared function in the module, one edge per syntactically
+// resolvable call. Calls through function values and interface methods
+// have no edge — each check decides how to treat that hole (guardedby
+// assumes no locks are inherited, noalloctrans flags the call as
+// unverifiable). Edges carry their execution context relative to the
+// caller's body: a call issued inside a `go` statement, a `defer`, or a
+// nested function literal does not run under the caller's locks.
+
+// CallSite is one call expression inside a declared function's body.
+type CallSite struct {
+	// Caller is the declared function whose body (including nested
+	// function literals) contains the call.
+	Caller *FuncInfo
+	// CalleeObj is the resolved callee, when the call names a function or
+	// method statically; nil for calls through function values.
+	CalleeObj *types.Func
+	// Callee is CalleeObj's module-local node, nil when the callee lives
+	// outside the module (stdlib) or could not be resolved.
+	Callee *FuncInfo
+	// Call is the call expression itself.
+	Call *ast.CallExpr
+	// InGo marks calls that execute on a new goroutine: the call of a `go`
+	// statement, or any call inside a goroutine-launched literal.
+	InGo bool
+	// InDefer marks the call of a `defer` statement: it runs at function
+	// exit, not at the defer site.
+	InDefer bool
+	// InLit marks calls inside a nested function literal (other than the
+	// goroutine case): the literal may run anywhere, anytime.
+	InLit bool
+	// InPanic marks calls inside a panic(...) argument subtree — failure
+	// paths the allocation checks exempt.
+	InPanic bool
+}
+
+// Synchronous reports whether the call executes inline in the caller's
+// own control flow — the only case where the caller's lock state at the
+// call site transfers to the callee.
+func (s *CallSite) Synchronous() bool { return !s.InGo && !s.InDefer && !s.InLit }
+
+// FuncInfo is one declared function or method of the module.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Calls are the call sites inside this function's body, in source
+	// order. CalledBy are the resolved sites that target this function.
+	Calls    []*CallSite
+	CalledBy []*CallSite
+	// AddrTaken reports the function was used as a value somewhere — it
+	// can then be called from contexts the graph cannot see.
+	AddrTaken bool
+	// Noalloc reports the //lsilint:noalloc annotation.
+	Noalloc bool
+}
+
+// RecvObj returns the declared receiver variable of a method, or nil for
+// plain functions and unnamed receivers.
+func (f *FuncInfo) RecvObj() types.Object {
+	if f.Decl.Recv == nil || len(f.Decl.Recv.List) == 0 {
+		return nil
+	}
+	names := f.Decl.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return f.Pkg.Info.Defs[names[0]]
+}
+
+// CallGraph holds every declared function of the module and the resolved
+// call edges between them.
+type CallGraph struct {
+	Funcs  map[*types.Func]*FuncInfo
+	ByDecl map[*ast.FuncDecl]*FuncInfo
+}
+
+// BuildCallGraph walks every package of the module once, collecting
+// declared functions and the call edges between them.
+func BuildCallGraph(mod *Module) *CallGraph {
+	g := &CallGraph{
+		Funcs:  map[*types.Func]*FuncInfo{},
+		ByDecl: map[*ast.FuncDecl]*FuncInfo{},
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg, Noalloc: hasNoallocDirective(fd)}
+				g.Funcs[obj] = fi
+				g.ByDecl[fd] = fi
+			}
+		}
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fi := g.ByDecl[fd]
+				if fi == nil {
+					continue
+				}
+				g.collectCalls(fi, fd.Body, siteCtx{})
+			}
+		}
+	}
+	g.markAddrTaken(mod)
+	return g
+}
+
+// siteCtx tracks the execution context while descending a body.
+type siteCtx struct {
+	inGo, inDefer, inLit, inPanic bool
+}
+
+// collectCalls records every call under n, attributed to fi, tracking how
+// each call executes relative to fi's own control flow.
+func (g *CallGraph) collectCalls(fi *FuncInfo, n ast.Node, ctx siteCtx) {
+	switch node := n.(type) {
+	case nil:
+		return
+	case *ast.GoStmt:
+		g.collectCallExpr(fi, node.Call, siteCtx{inGo: true, inPanic: ctx.inPanic})
+		return
+	case *ast.DeferStmt:
+		g.collectCallExpr(fi, node.Call, siteCtx{inDefer: true, inPanic: ctx.inPanic})
+		return
+	case *ast.FuncLit:
+		inner := ctx
+		if !inner.inGo {
+			inner.inLit = true
+		}
+		g.collectCalls(fi, node.Body, inner)
+		return
+	case *ast.CallExpr:
+		g.collectCallExpr(fi, node, ctx)
+		return
+	}
+	for _, child := range childNodes(n) {
+		g.collectCalls(fi, child, ctx)
+	}
+}
+
+// collectCallExpr records one call expression and descends into its
+// operand and arguments. panic(...) arguments are marked as failure-path
+// context; the callee of a go/defer statement inherits that statement's
+// context while its arguments (evaluated inline, at the statement) do
+// not keep the InGo/InDefer flags' execution meaning — for simplicity
+// the whole subtree shares the context, which is the conservative
+// direction for every consumer.
+func (g *CallGraph) collectCallExpr(fi *FuncInfo, call *ast.CallExpr, ctx siteCtx) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		inner := ctx
+		inner.inPanic = true
+		for _, arg := range call.Args {
+			g.collectCalls(fi, arg, inner)
+		}
+		return
+	}
+	info := fi.Pkg.Info
+	isConversion := false
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		isConversion = true
+	}
+	if !isConversion && builtinName(info, call) == "" {
+		site := &CallSite{
+			Caller:    fi,
+			CalleeObj: calleeFunc(info, call),
+			Call:      call,
+			InGo:      ctx.inGo,
+			InDefer:   ctx.inDefer,
+			InLit:     ctx.inLit,
+			InPanic:   ctx.inPanic,
+		}
+		if site.CalleeObj != nil {
+			if callee, ok := g.Funcs[site.CalleeObj]; ok {
+				site.Callee = callee
+				callee.CalledBy = append(callee.CalledBy, site)
+			}
+		}
+		fi.Calls = append(fi.Calls, site)
+	}
+	g.collectCalls(fi, call.Fun, ctx)
+	for _, arg := range call.Args {
+		g.collectCalls(fi, arg, ctx)
+	}
+}
+
+// markAddrTaken flags functions whose identifier is used outside call
+// position — passed as a value, stored in a field, registered as a
+// handler. Such functions can be invoked from anywhere, so the
+// interprocedural checks must not trust their visible caller set.
+func (g *CallGraph) markAddrTaken(mod *Module) {
+	for _, pkg := range mod.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			callOperand := map[*ast.Ident]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id := terminalIdent(call.Fun); id != nil {
+					callOperand[id] = true
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || callOperand[id] {
+					return true
+				}
+				fn, ok := info.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				if fi, ok := g.Funcs[fn]; ok {
+					fi.AddrTaken = true
+				}
+				return true
+			})
+		}
+	}
+}
+
+// terminalIdent returns the identifier a call operand ultimately names:
+// the ident itself, a selector's Sel, through parens and generic
+// instantiation.
+func terminalIdent(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	case *ast.IndexExpr:
+		return terminalIdent(x.X)
+	case *ast.IndexListExpr:
+		return terminalIdent(x.X)
+	}
+	return nil
+}
+
+// childNodes lists the direct children of n, the minimal walker the call
+// collector needs (ast.Inspect cannot thread the context through).
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil {
+			return false
+		}
+		if child == n {
+			return true
+		}
+		out = append(out, child)
+		return false
+	})
+	return out
+}

@@ -19,7 +19,18 @@ import (
 //	                                benchmark code.
 //	//lsilint:noalloc               on a function declaration's doc
 //	                                comment: the noalloc check flags every
-//	                                allocating construct in its body.
+//	                                allocating construct in its body, and
+//	                                the noalloctrans check verifies its
+//	                                callees transitively.
+//	//lsilint:guardedby mu          on a struct field: the guardedby check
+//	                                requires the named mutex — a sibling
+//	                                field or a package-level variable —
+//	                                held at every access, counting locks
+//	                                inherited from callers.
+//	//lsilint:immutable             on a type declaration: the
+//	                                snapshotsafe check flags every write
+//	                                through a value of the type outside
+//	                                its constructor chain.
 //
 // Directive comments use the standard Go directive shape (no space after
 // //), so gofmt leaves them alone and go/ast keeps them out of godoc text.
@@ -124,6 +135,44 @@ func hasNoallocDirective(decl *ast.FuncDecl) bool {
 	for _, c := range decl.Doc.List {
 		if verb, _, ok := splitDirective(c.Text); ok && verb == "noalloc" {
 			return true
+		}
+	}
+	return false
+}
+
+// guardDirective extracts //lsilint:guardedby <mutex> from a struct
+// field's doc or trailing comment. found reports the directive is
+// present; mu is empty when it is malformed (zero or several names).
+func guardDirective(field *ast.Field) (mu string, found bool) {
+	for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			verb, ids, ok := splitDirective(c.Text)
+			if !ok || verb != "guardedby" {
+				continue
+			}
+			if len(ids) == 1 {
+				return ids[0], true
+			}
+			return "", true
+		}
+	}
+	return "", false
+}
+
+// hasDirectiveIn reports whether any of the comment groups carries the
+// given //lsilint: verb.
+func hasDirectiveIn(verb string, groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if v, _, ok := splitDirective(c.Text); ok && v == verb {
+				return true
+			}
 		}
 	}
 	return false

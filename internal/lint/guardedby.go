@@ -1,0 +1,650 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The guardedby check is a modular, RacerD-style lock-set analysis: for
+// every struct-field access in the module it computes the set of mutexes
+// that are provably held — locks acquired locally (via lockflow.go's
+// must-hold dataflow, including deferred unlocks) plus locks inherited
+// from every synchronous caller (via an interprocedural entry-lock
+// fixpoint over the call graph).
+//
+// Two rules consume the result:
+//
+//  1. Annotated fields. A field marked //lsilint:guardedby mu must have
+//     mu (a sibling field, compared structurally so c.mu and other.mu
+//     stay distinct locks, or a package-level variable, compared by
+//     object identity) in the held set at every access.
+//  2. Inference. For an unannotated field, if every write is performed
+//     with some same-struct mutex held, any access without that mutex is
+//     inconsistent and reported. Mixed sync/atomic and plain access to
+//     the same field is reported unconditionally.
+//
+// Accesses through freshly allocated locals (x := &T{...}, var x T, new)
+// are exempt everywhere: a value no other goroutine can reach yet needs
+// no locks. Function literals are analyzed as separate units with an
+// empty entry lock set — a closure may run on any goroutine — which is
+// the check's main documented false-positive shape (a closure invoked
+// inline under a lock still reports).
+
+func init() {
+	registerModule(&ModuleCheck{
+		ID:  "guardedby",
+		Doc: "struct field accessed without the mutex that guards it (interprocedural lock-set inference)",
+		Run: runGuardedBy,
+	})
+}
+
+// guardSpec is one parsed //lsilint:guardedby annotation.
+type guardSpec struct {
+	structName string
+	sibling    string       // sibling mutex field name; "" when pkgVar is set
+	pkgVar     types.Object // package-level mutex variable
+}
+
+// fieldAccess is one read or write of a struct field somewhere in the
+// module, with the locally-held lock set at that point.
+type fieldAccess struct {
+	field  *types.Var
+	base   lockKey // key of the struct expression the field is selected from
+	baseOK bool
+	pos    token.Pos
+	write  bool
+	fresh  bool // base is a freshly allocated, not-yet-shared local
+	atomic bool // performed through a sync/atomic function
+	held   lockSet
+	fn     *FuncInfo // nil for function-literal units (no inherited locks)
+}
+
+func runGuardedBy(p *ModulePass) {
+	specs := collectGuardSpecs(p)
+
+	var accesses []*fieldAccess
+	heldAt := map[*FuncInfo]map[*ast.CallExpr]lockSet{}
+	for _, pkg := range p.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fi := p.Graph.ByDecl[fd]
+				if fi == nil {
+					continue
+				}
+				fresh := freshLocals(pkg.Info, fd.Body)
+				calls := map[*ast.CallExpr]lockSet{}
+				heldAt[fi] = calls
+				lockFlow(pkg.Info, fd.Body, func(n ast.Node, held lockSet) {
+					collectFieldAccesses(pkg.Info, n, held, fresh, fi, &accesses)
+					inspectSkippingFuncLits(n, func(x ast.Node) bool {
+						if call, ok := x.(*ast.CallExpr); ok {
+							calls[call] = held
+						}
+						return true
+					})
+				})
+				// Function literals run in their own dynamic context: empty
+				// entry lock set, no caller inheritance.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					lit, ok := n.(*ast.FuncLit)
+					if !ok {
+						return true
+					}
+					lockFlow(pkg.Info, lit.Body, func(x ast.Node, held lockSet) {
+						collectFieldAccesses(pkg.Info, x, held, fresh, nil, &accesses)
+					})
+					return true
+				})
+			}
+		}
+	}
+
+	entry := computeEntryLocks(p.Graph, heldAt)
+	final := func(a *fieldAccess) lockSet {
+		if a.fn == nil {
+			return a.held
+		}
+		return union(a.held, entry[a.fn])
+	}
+
+	checkAnnotated(p, specs, accesses, final)
+	checkInferred(p, specs, accesses, final)
+}
+
+// checkAnnotated enforces //lsilint:guardedby: the named mutex must be in
+// the held set at every non-constructor access.
+func checkAnnotated(p *ModulePass, specs map[*types.Var]*guardSpec,
+	accesses []*fieldAccess, final func(*fieldAccess) lockSet) {
+	for _, a := range accesses {
+		spec, ok := specs[a.field]
+		if !ok || a.fresh {
+			continue
+		}
+		var need lockKey
+		lockName := spec.sibling
+		if spec.pkgVar != nil {
+			need = lockKey{root: spec.pkgVar}
+			lockName = spec.pkgVar.Name()
+		} else {
+			if !a.baseOK {
+				continue // cannot name the sibling lock for this base
+			}
+			need = a.base.child(spec.sibling)
+		}
+		h := final(a)
+		if h[need] {
+			continue
+		}
+		kind := "read"
+		if a.write {
+			kind = "write"
+		}
+		if a.atomic {
+			kind = "atomic access"
+		}
+		p.Reportf(a.pos, "%s of %s.%s without holding %s (//lsilint:guardedby %s); held here: [%s]",
+			kind, spec.structName, a.field.Name(), need.String(), lockName,
+			strings.Join(sortedLocks(h), " "))
+	}
+}
+
+// checkInferred flags unannotated fields whose writes are consistently
+// guarded by a same-struct mutex while some other access is not, and
+// fields accessed both atomically and plainly.
+func checkInferred(p *ModulePass, specs map[*types.Var]*guardSpec,
+	accesses []*fieldAccess, final func(*fieldAccess) lockSet) {
+	byField := map[*types.Var][]*fieldAccess{}
+	for _, a := range accesses {
+		if _, annotated := specs[a.field]; annotated {
+			continue
+		}
+		if !moduleField(p.Mod, a.field) {
+			continue
+		}
+		byField[a.field] = append(byField[a.field], a)
+	}
+	fields := make([]*types.Var, 0, len(byField))
+	for field := range byField {
+		fields = append(fields, field)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, field := range fields {
+		list := byField[field]
+		var atomics, plains []*fieldAccess
+		for _, a := range list {
+			switch {
+			case a.atomic:
+				atomics = append(atomics, a)
+			case !a.fresh:
+				plains = append(plains, a)
+			}
+		}
+		if len(atomics) > 0 && len(plains) > 0 {
+			at := p.Mod.Fset.Position(atomics[0].pos)
+			for _, a := range plains {
+				kind := "read"
+				if a.write {
+					kind = "write"
+				}
+				p.Reportf(a.pos,
+					"non-atomic %s of %s, which is accessed via sync/atomic at %s:%d; mixed access races",
+					kind, field.Name(), at.Filename, at.Line)
+			}
+			continue
+		}
+
+		// Lock-set inference: intersect the sibling mutexes held over all
+		// guarded writes; if every write agrees on at least one mutex,
+		// accesses missing all of them are inconsistent.
+		var common map[string]bool
+		guardedWrites := 0
+		for _, a := range plains {
+			if !a.write || !a.baseOK {
+				continue
+			}
+			names := siblingLockNames(a, final(a))
+			if len(names) == 0 {
+				continue // the unguarded write is judged against common below
+			}
+			guardedWrites++
+			if common == nil {
+				common = names
+			} else {
+				for n := range common {
+					if !names[n] {
+						delete(common, n)
+					}
+				}
+			}
+		}
+		if guardedWrites == 0 || len(common) == 0 {
+			continue
+		}
+		for _, a := range plains {
+			if !a.baseOK {
+				continue
+			}
+			names := siblingLockNames(a, final(a))
+			miss := true
+			for n := range common {
+				if names[n] {
+					miss = false
+					break
+				}
+			}
+			if !miss {
+				continue
+			}
+			kind := "read"
+			if a.write {
+				kind = "write"
+			}
+			p.Reportf(a.pos,
+				"%s of %s without %s, which guards every write of this field; held here: [%s]",
+				kind, field.Name(), strings.Join(sortedNames(common), "/"),
+				strings.Join(sortedLocks(final(a)), " "))
+		}
+	}
+}
+
+// siblingLockNames lists the held locks that are fields of the same
+// struct value the access goes through: keys extending the access's base
+// key by exactly one selector segment.
+func siblingLockNames(a *fieldAccess, held lockSet) map[string]bool {
+	out := map[string]bool{}
+	prefix := ""
+	if a.base.path != "" {
+		prefix = a.base.path + "."
+	}
+	for k := range held {
+		if k.root != a.base.root || !strings.HasPrefix(k.path, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(k.path, prefix)
+		if rest != "" && !strings.Contains(rest, ".") {
+			out[rest] = true
+		}
+	}
+	return out
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// moduleField reports whether the field is declared inside this module —
+// inference must not speculate about stdlib struct internals.
+func moduleField(mod *Module, f *types.Var) bool {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == mod.Path || strings.HasPrefix(pkg.Path(), mod.Path+"/")
+}
+
+// collectFieldAccesses records every struct-field read/write inside n
+// (not descending into function literals) with the current held set.
+func collectFieldAccesses(info *types.Info, n ast.Node, held lockSet,
+	fresh map[types.Object]bool, fn *FuncInfo, out *[]*fieldAccess) {
+	writes := writeTargets(n)
+	atomics := atomicTargets(info, n)
+	inspectSkippingFuncLits(n, func(x ast.Node) bool {
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok || syncPrimitiveField(field) {
+			return true
+		}
+		base, baseOK := exprKey(info, sel.X)
+		a := &fieldAccess{
+			field:  field,
+			base:   base,
+			baseOK: baseOK,
+			pos:    sel.Pos(),
+			write:  writes[sel],
+			atomic: atomics[sel],
+			fresh:  baseOK && fresh[base.root],
+			held:   held,
+			fn:     fn,
+		}
+		*out = append(*out, a)
+		return true
+	})
+}
+
+// writeTargets marks the selector expressions assigned to inside n: the
+// left-hand sides of assignments and inc/dec statements, looked through
+// indexing, derefs, and parens (s.f[i] = v writes f's memory).
+func writeTargets(n ast.Node) map[ast.Expr]bool {
+	w := map[ast.Expr]bool{}
+	mark := func(lhs ast.Expr) {
+		if sel := writeSel(lhs); sel != nil {
+			w[sel] = true
+		}
+	}
+	inspectSkippingFuncLits(n, func(x ast.Node) bool {
+		switch st := x.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(st.X)
+		}
+		return true
+	})
+	return w
+}
+
+// writeSel peels indexing, dereference, and parens off an assignment
+// target down to the selector being written through, if any.
+func writeSel(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			sel, _ := e.(*ast.SelectorExpr)
+			return sel
+		}
+	}
+}
+
+// atomicTargets marks selector expressions whose address is passed to a
+// sync/atomic function inside n: those accesses are atomic, and mixing
+// them with plain accesses to the same field is a finding.
+func atomicTargets(info *types.Info, n ast.Node) map[ast.Expr]bool {
+	out := map[ast.Expr]bool{}
+	inspectSkippingFuncLits(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+				out[sel] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// syncPrimitiveField reports fields whose type lives in sync or
+// sync/atomic — the locks and counters themselves, not the data they
+// guard.
+func syncPrimitiveField(f *types.Var) bool {
+	t := f.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic")
+}
+
+// freshLocals finds variables bound to freshly allocated values (x :=
+// T{...}, x := &T{...}, x := new(T), var x T): until their address leaks,
+// no other goroutine can observe them, so lock-free initialization of
+// their fields is safe.
+func freshLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !freshExpr(info, st.Rhs[i]) {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			switch {
+			case len(st.Values) == 0: // var x T: zero value, unshared
+				for _, id := range st.Names {
+					if obj := info.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			case len(st.Values) == len(st.Names):
+				for i, id := range st.Names {
+					if !freshExpr(info, st.Values[i]) {
+						continue
+					}
+					if obj := info.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// freshExpr recognizes expressions that produce a brand-new value:
+// composite literals, their addresses, and new(T).
+func freshExpr(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// computeEntryLocks runs the interprocedural fixpoint: the locks a
+// function may assume held on entry are the intersection, over all
+// synchronous call sites, of the caller's state at the site (local must-
+// hold set plus the caller's own entry locks) rebased into the callee's
+// frame. Roots — exported functions, main/init, address-taken functions,
+// and functions with no synchronous in-module callers — assume nothing.
+// Sets start at ⊤ and only shrink, so the iteration terminates.
+func computeEntryLocks(g *CallGraph, heldAt map[*FuncInfo]map[*ast.CallExpr]lockSet) map[*FuncInfo]lockSet {
+	entry := make(map[*FuncInfo]lockSet, len(g.Funcs))
+	root := map[*FuncInfo]bool{}
+	for _, fi := range g.Funcs {
+		if entryRoot(fi) {
+			root[fi] = true
+			entry[fi] = lockSet{}
+		} else {
+			entry[fi] = nil // ⊤
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range g.Funcs {
+			if root[fi] {
+				continue
+			}
+			var acc lockSet // ⊤
+			for _, site := range fi.CalledBy {
+				if !site.Synchronous() {
+					continue
+				}
+				callerHeld, ok := heldAt[site.Caller][site.Call]
+				if !ok {
+					continue // unreachable site contributes ⊤
+				}
+				state := union(callerHeld, entry[site.Caller])
+				acc = intersect(acc, rebaseSet(state, site, fi))
+			}
+			if !equalSets(acc, entry[fi]) {
+				entry[fi] = acc
+				changed = true
+			}
+		}
+	}
+	// Whatever is still ⊤ had no analyzable caller: unknown context must
+	// not mean "all locks held".
+	for fi, s := range entry {
+		if s == nil {
+			entry[fi] = lockSet{}
+		}
+	}
+	return entry
+}
+
+// entryRoot reports functions that must assume an empty entry lock set:
+// anything callable from outside the visible call graph.
+func entryRoot(fi *FuncInfo) bool {
+	name := fi.Obj.Name()
+	if fi.Obj.Exported() || name == "main" || name == "init" || fi.AddrTaken {
+		return true
+	}
+	for _, site := range fi.CalledBy {
+		if site.Synchronous() {
+			return false
+		}
+	}
+	return true
+}
+
+// rebaseSet translates a caller-frame lock set into the callee's frame:
+// receiver-rooted locks move onto the callee's receiver object, package-
+// level locks pass through, everything else is dropped (conservative:
+// fewer locks assumed held).
+func rebaseSet(s lockSet, site *CallSite, callee *FuncInfo) lockSet {
+	if s == nil {
+		return nil
+	}
+	calleeRecv := callee.RecvObj()
+	var callRecv lockKey
+	if sel, ok := ast.Unparen(site.Call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := site.Caller.Pkg.Info.Selections[sel]; isMethod {
+			callRecv, _ = exprKey(site.Caller.Pkg.Info, sel.X)
+		}
+	}
+	out := lockSet{}
+	for k := range s {
+		if rk, ok := k.rebase(callRecv, calleeRecv); ok {
+			out[rk] = true
+		}
+	}
+	return out
+}
+
+// collectGuardSpecs parses every //lsilint:guardedby annotation in the
+// module, reporting malformed ones.
+func collectGuardSpecs(p *ModulePass) map[*types.Var]*guardSpec {
+	specs := map[*types.Var]*guardSpec{}
+	for _, pkg := range p.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				siblings := map[string]bool{}
+				for _, fl := range st.Fields.List {
+					for _, id := range fl.Names {
+						siblings[id.Name] = true
+					}
+					if len(fl.Names) == 0 { // embedded field: promoted name
+						if id := terminalFieldName(fl.Type); id != "" {
+							siblings[id] = true
+						}
+					}
+				}
+				for _, fl := range st.Fields.List {
+					mu, found := guardDirective(fl)
+					if !found {
+						continue
+					}
+					if mu == "" || len(fl.Names) == 0 {
+						p.Reportf(fl.Pos(), "malformed //lsilint:guardedby: want exactly one mutex name on a named field")
+						continue
+					}
+					spec := &guardSpec{structName: ts.Name.Name}
+					switch {
+					case siblings[mu]:
+						spec.sibling = mu
+					default:
+						obj := pkg.Types.Scope().Lookup(mu)
+						if obj == nil {
+							p.Reportf(fl.Pos(), "//lsilint:guardedby %s: no such sibling field or package-level variable", mu)
+							continue
+						}
+						spec.pkgVar = obj
+					}
+					for _, id := range fl.Names {
+						if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+							specs[v] = spec
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return specs
+}
+
+// terminalFieldName returns the name an embedded field is promoted under.
+func terminalFieldName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.StarExpr:
+		return terminalFieldName(x.X)
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}

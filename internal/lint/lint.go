@@ -12,6 +12,15 @@
 //   - hot-path allocation: functions annotated //lsilint:noalloc must not
 //     heap-allocate in their bodies.
 //
+// Beyond the per-package passes, the framework builds a module-wide
+// call graph (callgraph.go) and a per-function basic-block CFG with a
+// lock-set dataflow (lockflow.go) to run three interprocedural checks
+// (module.go): guardedby (fields carrying //lsilint:guardedby <mu> are
+// only touched with the mutex held, locks propagated across call
+// edges), snapshotsafe (no writes through //lsilint:immutable types
+// outside their constructor chains), and noalloctrans (noalloc
+// functions only reach provably allocation-free callees).
+//
 // Each check is registered under a stable ID so findings are greppable
 // and suppressible with //lsilint:ignore <id> (see directives.go). The
 // cmd/lsilint driver loads every package in the module and runs the

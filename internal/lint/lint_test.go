@@ -2,11 +2,13 @@ package lint
 
 import (
 	"bufio"
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -63,6 +65,33 @@ func wantMarkers(t *testing.T, filename string) map[int]map[string]int {
 	return want
 }
 
+// loadModuleFixture type-checks one or more testdata files as a single
+// package, wraps them in a synthetic Module, and runs one module-wide
+// check over it.
+func loadModuleFixture(t *testing.T, checkID string, filenames ...string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, fn := range filenames {
+		path := filepath.Join("testdata", fn)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := TypeCheckFiles(fset, "fixtures", files)
+	if err != nil {
+		t.Fatalf("type-check %v: %v", filenames, err)
+	}
+	check, ok := LookupModule(checkID)
+	if !ok {
+		t.Fatalf("no registered module check %q", checkID)
+	}
+	mod := &Module{Root: "testdata", Path: "fixtures", Fset: fset, Pkgs: []*Package{pkg}}
+	return RunModuleChecks(mod, []*ModuleCheck{check})
+}
+
 // fixtureCases pairs every check with its fixture file. Each fixture
 // contains positive lines (flagged without the check's logic, the test
 // fails) and negative lines (flagged spuriously, the test also fails).
@@ -80,10 +109,58 @@ var fixtureCases = []struct {
 	{"noalloc", "noalloc.go"},
 }
 
+// moduleFixtureCases is the module-wide (interprocedural) counterpart.
+var moduleFixtureCases = []struct {
+	check string
+	file  string
+}{
+	{"guardedby", "guardedby.go"},
+	{"snapshotsafe", "snapshotsafe.go"},
+	{"noalloctrans", "noalloctrans.go"},
+}
+
 func TestFixtures(t *testing.T) {
 	for _, tc := range fixtureCases {
 		t.Run(tc.check, func(t *testing.T) {
 			diags := loadFixture(t, tc.check, tc.file)
+			want := wantMarkers(t, tc.file)
+
+			got := map[int]map[string]int{}
+			for _, d := range diags {
+				if got[d.Pos.Line] == nil {
+					got[d.Pos.Line] = map[string]int{}
+				}
+				got[d.Pos.Line][d.Check]++
+			}
+			for line, ids := range want {
+				for id, n := range ids {
+					if got[line][id] != n {
+						t.Errorf("line %d: want %d diagnostic(s) of %q, got %d", line, n, id, got[line][id])
+					}
+				}
+			}
+			for line, ids := range got {
+				for id, n := range ids {
+					if want[line][id] != n {
+						t.Errorf("line %d: unexpected diagnostic [%s] (%d)", line, id, n)
+					}
+				}
+			}
+			if t.Failed() {
+				for _, d := range diags {
+					t.Logf("reported: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestModuleFixtures runs the interprocedural checks over their fixtures
+// with the same bidirectional want-marker protocol as TestFixtures.
+func TestModuleFixtures(t *testing.T) {
+	for _, tc := range moduleFixtureCases {
+		t.Run(tc.check, func(t *testing.T) {
+			diags := loadModuleFixture(t, tc.check, tc.file)
 			want := wantMarkers(t, tc.file)
 
 			got := map[int]map[string]int{}
@@ -130,6 +207,128 @@ func TestEveryCheckHasAFixture(t *testing.T) {
 		if c.Doc == "" {
 			t.Errorf("check %q has no Doc line", c.ID)
 		}
+	}
+	moduleCovered := map[string]bool{}
+	for _, tc := range moduleFixtureCases {
+		moduleCovered[tc.check] = true
+	}
+	for _, c := range ModuleChecks() {
+		if !moduleCovered[c.ID] {
+			t.Errorf("module check %q has no fixture in moduleFixtureCases", c.ID)
+		}
+		if c.Doc == "" {
+			t.Errorf("module check %q has no Doc line", c.ID)
+		}
+	}
+}
+
+// runModuleSource runs one module check over in-memory sources, for the
+// directive-interplay tests where the fixture varies by a single line.
+func runModuleSource(t *testing.T, checkID string, srcs map[string]string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	names := make([]string, 0, len(srcs))
+	for name := range srcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, srcs[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := TypeCheckFiles(fset, "fixtures", files)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	check, ok := LookupModule(checkID)
+	if !ok {
+		t.Fatalf("no registered module check %q", checkID)
+	}
+	mod := &Module{Root: ".", Path: "fixtures", Fset: fset, Pkgs: []*Package{pkg}}
+	return RunModuleChecks(mod, []*ModuleCheck{check})
+}
+
+// TestInterproceduralIgnorePlacement pins where //lsilint:ignore must sit
+// for an interprocedural finding: at the site the diagnostic is reported
+// (the callee's access), not at the caller that fails to hold the lock.
+func TestInterproceduralIgnorePlacement(t *testing.T) {
+	const template = `package fixtures
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	//lsilint:guardedby mu
+	v int
+}
+
+func (g *gauge) set(v int) {
+	g.v = v%s
+}
+
+func (g *gauge) caller() {
+	g.set(1)%s
+}
+`
+	cases := []struct {
+		name           string
+		calleeSuffix   string
+		callerSuffix   string
+		wantDiagnostic bool
+	}{
+		{"no directives", "", "", true},
+		{"ignore at callee access", " //lsilint:ignore guardedby", "", false},
+		{"ignore at caller call site", "", " //lsilint:ignore guardedby", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := fmt.Sprintf(template, tc.calleeSuffix, tc.callerSuffix)
+			diags := runModuleSource(t, "guardedby", map[string]string{"interplay.go": src})
+			if got := len(diags) > 0; got != tc.wantDiagnostic {
+				t.Errorf("want diagnostic=%v, got %d finding(s): %v", tc.wantDiagnostic, len(diags), diags)
+			}
+		})
+	}
+}
+
+// TestFileIgnorePrecedence pins file-ignore scope for module checks: it
+// silences every finding in its own file and nothing in sibling files of
+// the same package.
+func TestFileIgnorePrecedence(t *testing.T) {
+	const silenced = `//lsilint:file-ignore guardedby
+package fixtures
+
+import "sync"
+
+type dial struct {
+	mu sync.Mutex
+	//lsilint:guardedby mu
+	v int
+}
+
+func (d *dial) badHere() {
+	d.v++
+}
+`
+	const loud = `package fixtures
+
+func (d *dial) badThere() {
+	d.v++
+}
+`
+	diags := runModuleSource(t, "guardedby", map[string]string{
+		"a_silenced.go": silenced,
+		"b_loud.go":     loud,
+	})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 finding (from b_loud.go), got %d: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Filename != "b_loud.go" {
+		t.Errorf("finding reported in %s, want b_loud.go", diags[0].Pos.Filename)
 	}
 }
 

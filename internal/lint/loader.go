@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -40,6 +42,16 @@ type Module struct {
 	Pkgs []*Package // topological (dependency-first) order
 }
 
+// LoadOptions tunes what LoadModuleWith feeds the type checker.
+type LoadOptions struct {
+	// IncludeTests loads _test.go files as well: in-package test files are
+	// type-checked together with their package, and external test packages
+	// (package foo_test) become their own Package entries with an import
+	// path suffixed "_test". This is how guardedby reaches the stress
+	// suites, where shared test state is most likely to race.
+	IncludeTests bool
+}
+
 // LoadModule parses and type-checks the module rooted at root. Patterns
 // follow the go tool's shape relative to the root: "./..." for
 // everything, "./dir/..." for a subtree, "./dir" for one package. All
@@ -48,8 +60,14 @@ type Module struct {
 //
 // Test files (_test.go) are skipped: the invariants the suite enforces
 // are production-code properties, and tests legitimately use wall-clock
-// time, ad-hoc rand, and allocation-heavy helpers.
+// time, ad-hoc rand, and allocation-heavy helpers. Use LoadModuleWith
+// with IncludeTests to opt the test files in.
 func LoadModule(root string, patterns []string) (*Module, error) {
+	return LoadModuleWith(root, patterns, LoadOptions{})
+}
+
+// LoadModuleWith is LoadModule with explicit options.
+func LoadModuleWith(root string, patterns []string, opts LoadOptions) (*Module, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -68,12 +86,9 @@ func LoadModule(root string, patterns []string) (*Module, error) {
 	// Parse every candidate directory that holds non-test Go files.
 	byPath := map[string]*rawPkg{}
 	for _, dir := range dirs {
-		files, err := parseDir(mod.Fset, dir)
+		files, xtest, err := parseDir(mod.Fset, dir, opts.IncludeTests)
 		if err != nil {
 			return nil, err
-		}
-		if len(files) == 0 {
-			continue
 		}
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
@@ -84,14 +99,29 @@ func LoadModule(root string, patterns []string) (*Module, error) {
 		if rel != "." {
 			importPath = modPath + "/" + rel
 		}
-		p := &Package{
-			Path:    importPath,
-			Dir:     dir,
-			Matched: matchAny(patterns, rel),
-			Fset:    mod.Fset,
-			Files:   files,
+		matched := matchAny(patterns, rel)
+		if len(files) > 0 {
+			p := &Package{
+				Path:    importPath,
+				Dir:     dir,
+				Matched: matched,
+				Fset:    mod.Fset,
+				Files:   files,
+			}
+			byPath[importPath] = &rawPkg{pkg: p, imports: localImports(files, modPath)}
 		}
-		byPath[importPath] = &rawPkg{pkg: p, imports: localImports(files, modPath)}
+		if len(xtest) > 0 {
+			// External test package: its own unit, depending on the package
+			// under test like any other local import.
+			p := &Package{
+				Path:    importPath + "_test",
+				Dir:     dir,
+				Matched: matched,
+				Fset:    mod.Fset,
+				Files:   xtest,
+			}
+			byPath[p.Path] = &rawPkg{pkg: p, imports: localImports(xtest, modPath)}
+		}
 	}
 
 	order, err := topoSort(byPath)
@@ -221,28 +251,70 @@ func packageDirs(root string) ([]string, error) {
 	return dirs, nil
 }
 
-// parseDir parses the non-test Go files of one directory, returning nil
-// when the directory holds no Go sources.
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+// parseDir parses the Go files of one directory. Non-test files and
+// in-package test files land in files; external test files (package
+// foo_test) land in xtest. Test files are parsed only when includeTests
+// is set. Files excluded by a //go:build constraint under the current
+// GOOS/GOARCH (and without special tags like race) are skipped, so
+// build-tag pairs such as race_on_test.go/race_off_test.go do not
+// collide.
+func parseDir(fset *token.FileSet, dir string, includeTests bool) (files, xtest []*ast.File, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var files []*ast.File
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !includeTests {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		files = append(files, f)
+		if !buildIncluded(f) {
+			continue
+		}
+		if isTest && strings.HasSuffix(f.Name.Name, "_test") {
+			xtest = append(xtest, f)
+		} else {
+			files = append(files, f)
+		}
 	}
-	return files, nil
+	return files, xtest, nil
+}
+
+// buildIncluded evaluates a file's //go:build constraint (if any) for the
+// linting environment: the host GOOS/GOARCH and gc toolchain, any go1.N
+// release tag, and no feature tags (race, integration, …). Files the go
+// tool would skip here are skipped too.
+func buildIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed: let the type checker complain
+			}
+			return expr.Eval(func(tag string) bool {
+				if tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" {
+					return true
+				}
+				return strings.HasPrefix(tag, "go1.")
+			})
+		}
+	}
+	return true
 }
 
 // localImports lists the module-local import paths of a file set.
@@ -326,6 +398,7 @@ func matchAny(patterns []string, rel string) bool {
 
 func matchPattern(pat, rel string) bool {
 	pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+	pat = strings.TrimSuffix(pat, "/") // `./internal/rank/` ≡ `./internal/rank`, as in the go tool
 	switch {
 	case pat == "..." || pat == "":
 		return true

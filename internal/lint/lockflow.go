@@ -1,0 +1,567 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lock-set inference: a lightweight per-function control-flow graph plus
+// a forward must-hold dataflow over it. Each basic block is a
+// straight-line run of simple statements (compound statements are
+// decomposed; their conditions become expression nodes so accesses inside
+// them are still visited under the right lock state). The analysis
+// computes, for every statement, the set of mutexes that are held on
+// EVERY path reaching it — the meet is set intersection, so a lock
+// acquired in only one branch does not count after the join. Deferred
+// unlocks leave the lock held through the rest of the function, matching
+// the runtime behavior.
+//
+// Locks are identified structurally (lockKey): the root object a
+// selector chain starts from plus the dotted field path to the mutex, so
+// `m.engMu` held in one method and `mo.engMu` held in another compare
+// equal once rebased onto the callee's receiver. Nested function
+// literals are analyzed as their own functions with an empty entry set:
+// a closure may run on any goroutine at any time, so assuming it holds
+// nothing is the conservative direction for a race check.
+
+// lockKey identifies one mutex value well enough to compare across
+// functions: the object a selector chain is rooted at (a local, a
+// parameter, a receiver, or a package-level variable) and the dotted
+// field path from it down to the mutex ("" when the root is the mutex
+// itself).
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+// child extends the key by one selector step.
+func (k lockKey) child(name string) lockKey {
+	if k.path == "" {
+		return lockKey{k.root, name}
+	}
+	return lockKey{k.root, k.path + "." + name}
+}
+
+// String renders the key for diagnostics ("m.engMu").
+func (k lockKey) String() string {
+	if k.root == nil {
+		return k.path
+	}
+	if k.path == "" {
+		return k.root.Name()
+	}
+	return k.root.Name() + "." + k.path
+}
+
+// rebase translates the key from a caller's frame into a callee's: a key
+// rooted at the call receiver becomes a key rooted at the callee's
+// receiver variable; package-level roots pass through unchanged (the
+// object is the same everywhere); everything else is untranslatable and
+// dropped.
+func (k lockKey) rebase(callRecv lockKey, calleeRecv types.Object) (lockKey, bool) {
+	if k.root != nil && k.root.Parent() != nil && k.root.Pkg() != nil &&
+		k.root.Parent() == k.root.Pkg().Scope() {
+		return k, true // package-level variable: globally addressable
+	}
+	if calleeRecv == nil || callRecv.root == nil || k.root != callRecv.root {
+		return lockKey{}, false
+	}
+	switch {
+	case callRecv.path == "" && k.path != "":
+		return lockKey{calleeRecv, k.path}, true
+	case callRecv.path != "" && strings.HasPrefix(k.path, callRecv.path+"."):
+		return lockKey{calleeRecv, strings.TrimPrefix(k.path, callRecv.path+".")}, true
+	}
+	return lockKey{}, false
+}
+
+// exprKey resolves an expression to a lockKey: an identifier, or a
+// selector chain over identifiers (with parens and pointer derefs
+// unwrapped). Index expressions, calls, and anything else defeat the
+// identification.
+func exprKey(info *types.Info, e ast.Expr) (lockKey, bool) {
+	switch x := unwrapExpr(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj == nil {
+			return lockKey{}, false
+		}
+		return lockKey{root: obj}, true
+	case *ast.SelectorExpr:
+		if id, ok := unwrapExpr(x.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				obj := info.Uses[x.Sel]
+				if obj == nil {
+					return lockKey{}, false
+				}
+				return lockKey{root: obj}, true
+			}
+		}
+		base, ok := exprKey(info, x.X)
+		if !ok {
+			return lockKey{}, false
+		}
+		return base.child(x.Sel.Name), true
+	}
+	return lockKey{}, false
+}
+
+// unwrapExpr strips parens and pointer dereferences: (*m).mu and m.mu
+// name the same lock.
+func unwrapExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// lockSet is a must-hold set of locks. nil means ⊤ (everything held) —
+// the lattice top used for not-yet-reached blocks.
+type lockSet map[lockKey]bool
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// intersect meets two sets; ⊤ is the identity.
+func intersect(a, b lockSet) lockSet {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := lockSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func equalSets(a, b lockSet) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// union returns a ∪ b (⊤ absorbs).
+func union(a, b lockSet) lockSet {
+	if a == nil || b == nil {
+		return nil
+	}
+	out := a.clone()
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// sortedLocks renders a set for diagnostics in stable order.
+func sortedLocks(s lockSet) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------
+// CFG construction
+
+// cfgBlock is one basic block: simple statements and condition
+// expressions in execution order, then the successor edges.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+type funcCFG struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+}
+
+type loopFrame struct {
+	label     string
+	brk, cont *cfgBlock
+	isSwitchy bool // switch/select: continue passes through to outer loop
+}
+
+type cfgBuilder struct {
+	blocks []*cfgBlock
+	cur    *cfgBlock
+	frames []loopFrame
+	label  string // pending label for the next loop/switch statement
+}
+
+// buildCFG decomposes a function body into basic blocks. goto is not
+// supported (the repository does not use it); a goto conservatively
+// leaves its block without successors.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{}
+	entry := b.newBlock()
+	b.cur = entry
+	b.stmts(body.List)
+	return &funcCFG{entry: entry, blocks: b.blocks}
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	takeLabel := func() string {
+		l := b.label
+		b.label = ""
+		return l
+	}
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(st.List)
+	case *ast.LabeledStmt:
+		b.label = st.Label.Name
+		b.stmt(st.Stmt)
+		b.label = ""
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.cur.nodes = append(b.cur.nodes, st.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, st.Cond)
+		head := b.cur
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.link(head, thenB)
+		b.cur = thenB
+		b.stmts(st.Body.List)
+		b.link(b.cur, after)
+		if st.Else != nil {
+			elseB := b.newBlock()
+			b.link(head, elseB)
+			b.cur = elseB
+			b.stmt(st.Else)
+			b.link(b.cur, after)
+		} else {
+			b.link(head, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		label := takeLabel()
+		if st.Init != nil {
+			b.cur.nodes = append(b.cur.nodes, st.Init)
+		}
+		head := b.newBlock()
+		b.link(b.cur, head)
+		if st.Cond != nil {
+			head.nodes = append(head.nodes, st.Cond)
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		if st.Post != nil {
+			post.nodes = append(post.nodes, st.Post)
+		}
+		b.link(post, head)
+		body := b.newBlock()
+		b.link(head, body)
+		if st.Cond != nil {
+			b.link(head, after)
+		}
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmts(st.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.link(b.cur, post)
+		b.cur = after
+	case *ast.RangeStmt:
+		label := takeLabel()
+		head := b.newBlock()
+		b.link(b.cur, head)
+		head.nodes = append(head.nodes, st.X)
+		if st.Key != nil {
+			head.nodes = append(head.nodes, st.Key)
+		}
+		if st.Value != nil {
+			head.nodes = append(head.nodes, st.Value)
+		}
+		after := b.newBlock()
+		b.link(head, after)
+		body := b.newBlock()
+		b.link(head, body)
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmts(st.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.link(b.cur, head)
+		b.cur = after
+	case *ast.SwitchStmt:
+		label := takeLabel()
+		if st.Init != nil {
+			b.cur.nodes = append(b.cur.nodes, st.Init)
+		}
+		if st.Tag != nil {
+			b.cur.nodes = append(b.cur.nodes, st.Tag)
+		}
+		b.switchClauses(label, st.Body.List, func(c *ast.CaseClause) ([]ast.Node, []ast.Stmt, bool) {
+			var exprs []ast.Node
+			for _, e := range c.List {
+				exprs = append(exprs, e)
+			}
+			return exprs, c.Body, c.List == nil
+		})
+	case *ast.TypeSwitchStmt:
+		label := takeLabel()
+		if st.Init != nil {
+			b.cur.nodes = append(b.cur.nodes, st.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, st.Assign)
+		b.switchClauses(label, st.Body.List, func(c *ast.CaseClause) ([]ast.Node, []ast.Stmt, bool) {
+			return nil, c.Body, c.List == nil
+		})
+	case *ast.SelectStmt:
+		label := takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		hasDefault := false
+		for _, cl := range st.Body.List {
+			comm := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			b.link(head, blk)
+			if comm.Comm != nil {
+				blk.nodes = append(blk.nodes, comm.Comm)
+			} else {
+				hasDefault = true
+			}
+			b.frames = append(b.frames, loopFrame{label: label, brk: after, isSwitchy: true})
+			b.cur = blk
+			b.stmts(comm.Body)
+			b.frames = b.frames[:len(b.frames)-1]
+			b.link(b.cur, after)
+		}
+		_ = hasDefault // select blocks until a case is ready: no fallthrough edge
+		b.cur = after
+	case *ast.ReturnStmt:
+		b.cur.nodes = append(b.cur.nodes, st)
+		b.cur = b.newBlock() // unreachable continuation
+	case *ast.BranchStmt:
+		b.cur.nodes = append(b.cur.nodes, st)
+		switch st.Tok {
+		case token.BREAK:
+			if t := b.findFrame(st.Label, false); t != nil {
+				b.link(b.cur, t.brk)
+			}
+		case token.CONTINUE:
+			if t := b.findFrame(st.Label, true); t != nil && t.cont != nil {
+				b.link(b.cur, t.cont)
+			}
+		case token.FALLTHROUGH:
+			// Handled by switchClauses via edge to the next clause body.
+			return
+		case token.GOTO:
+			// Unsupported: leave the block successor-less (conservative: the
+			// target keeps whatever state its other predecessors establish).
+		}
+		b.cur = b.newBlock()
+	case *ast.ExprStmt:
+		b.cur.nodes = append(b.cur.nodes, st)
+		if isPanicCall(st.X) {
+			b.cur = b.newBlock() // panic terminates the path
+		}
+	default:
+		// Assign, IncDec, Decl, Send, Go, Defer, Empty: straight-line.
+		b.cur.nodes = append(b.cur.nodes, st)
+	}
+}
+
+// switchClauses wires the clause bodies of a switch/type-switch: every
+// clause branches from the head, falls out to after, and fallthrough
+// jumps to the next clause's body. A missing default adds a direct
+// head→after edge.
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt,
+	split func(*ast.CaseClause) ([]ast.Node, []ast.Stmt, bool)) {
+	head := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	bodies := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		exprs, stmts, isDefault := split(cc)
+		if isDefault {
+			hasDefault = true
+		}
+		blk := bodies[i]
+		b.link(head, blk)
+		blk.nodes = append(blk.nodes, exprs...)
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, isSwitchy: true})
+		b.cur = blk
+		var fellThrough bool
+		for _, s := range stmts {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(bodies) {
+					b.link(b.cur, bodies[i+1])
+					fellThrough = true
+				}
+				continue
+			}
+			b.stmt(s)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if !fellThrough {
+			b.link(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.link(head, after)
+	}
+	b.cur = after
+}
+
+// findFrame resolves a break/continue target: the innermost matching
+// frame, skipping switch frames for continue.
+func (b *cfgBuilder) findFrame(label *ast.Ident, isContinue bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if isContinue && f.isSwitchy {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// ---------------------------------------------------------------------
+// Dataflow
+
+// lockTransfer applies one node's effect to held: Lock/RLock on a
+// sync.Mutex/RWMutex adds its key, Unlock/RUnlock removes it. Deferred
+// releases are skipped — they fire at exit, so the lock stays held for
+// the rest of the function. Nested function literals are skipped: they
+// are analyzed as their own functions. TryLock is ignored (its success
+// is conditional, so it never establishes must-hold facts).
+func lockTransfer(info *types.Info, n ast.Node, held lockSet) lockSet {
+	ast.Inspect(n, func(inner ast.Node) bool {
+		switch x := inner.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			recv, typeName, method, ok := syncMethodCall(info, x)
+			if !ok || (typeName != "Mutex" && typeName != "RWMutex") {
+				return true
+			}
+			key, keyOK := exprKey(info, recv)
+			if !keyOK {
+				return true
+			}
+			switch method {
+			case "Lock", "RLock":
+				held = held.clone()
+				held[key] = true
+			case "Unlock", "RUnlock":
+				held = held.clone()
+				delete(held, key)
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// lockFlow runs the must-hold analysis over one function body and calls
+// visit for every CFG node with the lock set held on entry to it. entry
+// seeds the function's entry block (∅ for roots; interprocedural callers
+// add inherited locks separately).
+func lockFlow(info *types.Info, body *ast.BlockStmt, visit func(n ast.Node, held lockSet)) {
+	g := buildCFG(body)
+	in := map[*cfgBlock]lockSet{}  // nil (absent) = ⊤
+	out := map[*cfgBlock]lockSet{} // nil (absent) = ⊤
+	seen := map[*cfgBlock]bool{}
+	in[g.entry] = lockSet{}
+	seen[g.entry] = true
+
+	apply := func(b *cfgBlock, s lockSet) lockSet {
+		for _, n := range b.nodes {
+			s = lockTransfer(info, n, s)
+		}
+		return s
+	}
+
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		o := apply(b, in[b])
+		if prev, ok := out[b]; ok && equalSets(prev, o) {
+			continue
+		}
+		out[b] = o
+		for _, succ := range b.succs {
+			next := intersect(in[succ], o)
+			if !seen[succ] || !equalSets(in[succ], next) {
+				in[succ] = next
+				seen[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	for _, b := range g.blocks {
+		s, reached := in[b]
+		if !reached {
+			continue // unreachable: nothing to report there
+		}
+		for _, n := range b.nodes {
+			visit(n, s)
+			s = lockTransfer(info, n, s)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// A ModuleCheck is a whole-module static-analysis rule: unlike a Check,
+// which sees one type-checked package at a time, a ModuleCheck runs once
+// over the entire loaded module with the call graph already built, which
+// is what lets it reason interprocedurally — lock sets inherited from
+// callers, constructor-chain reachability, transitive allocation
+// freedom.
+type ModuleCheck struct {
+	// ID is the stable, lowercase identifier used in output and in
+	// //lsilint:ignore directives.
+	ID string
+	// Doc is a one-line description shown by `lsilint -list`.
+	Doc string
+	// Run executes the check over the whole module.
+	Run func(*ModulePass)
+}
+
+var moduleRegistry []*ModuleCheck
+
+// registerModule adds a module-wide check to the suite.
+func registerModule(c *ModuleCheck) { moduleRegistry = append(moduleRegistry, c) }
+
+// ModuleChecks returns the registered module-wide suite sorted by ID.
+func ModuleChecks() []*ModuleCheck {
+	out := make([]*ModuleCheck, len(moduleRegistry))
+	copy(out, moduleRegistry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// LookupModule finds a module-wide check by ID.
+func LookupModule(id string) (*ModuleCheck, bool) {
+	for _, c := range moduleRegistry {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// ModulePass carries the loaded module and its call graph through one
+// module-wide check.
+type ModulePass struct {
+	Mod   *Module
+	Graph *CallGraph
+
+	check   *ModuleCheck
+	dirs    *directives
+	matched map[string]bool // filenames of pattern-matched packages
+	out     *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless the position falls in an
+// unmatched package's file or a directive suppresses it. Analysis spans
+// the whole module; reporting respects the load patterns.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Mod.Fset.Position(pos)
+	if !p.matched[position.Filename] {
+		return
+	}
+	if p.dirs.suppressed(p.check.ID, position) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Pos:     position,
+		Check:   p.check.ID,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// RunModuleChecks executes the given module-wide checks (all registered
+// ones when nil) over a loaded module and returns the surviving findings
+// sorted by position then check ID. The call graph is built once and
+// shared by every check.
+func RunModuleChecks(mod *Module, checks []*ModuleCheck) []Diagnostic {
+	if checks == nil {
+		checks = ModuleChecks()
+	}
+	if len(checks) == 0 {
+		return nil
+	}
+	var all []*ast.File
+	matched := map[string]bool{}
+	for _, pkg := range mod.Pkgs {
+		all = append(all, pkg.Files...)
+		if !pkg.Matched {
+			continue
+		}
+		for _, f := range pkg.Files {
+			matched[mod.Fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	dirs := parseDirectives(mod.Fset, all)
+	graph := BuildCallGraph(mod)
+	var out []Diagnostic
+	for _, c := range checks {
+		pass := &ModulePass{
+			Mod:     mod,
+			Graph:   graph,
+			check:   c,
+			dirs:    dirs,
+			matched: matched,
+			out:     &out,
+		}
+		c.Run(pass)
+	}
+	sortDiagnostics(out)
+	return out
+}

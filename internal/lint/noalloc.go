@@ -21,12 +21,16 @@ import (
 // interface types (call arguments, assignments, returns).
 //
 // Deliberately not flagged:
-//   - calls into other functions: the contract is per-function, not
-//     transitive — annotate the callee too if it must not allocate;
+//   - calls into other functions: this check is per-function; the
+//     noalloctrans module check closes the gap by verifying callees
+//     transitively over the call graph;
 //   - anything inside a panic(...) argument: dimension-mismatch panics
 //     are failure paths that never execute per-iteration;
 //   - plain (non-address-taken) struct composite literals, which stay on
 //     the stack when they do not escape.
+//
+// The scanner itself (scanAllocs) is shared with noalloctrans, which
+// uses it to decide whether unannotated leaves are allocation-free.
 
 func init() {
 	register(&Check{
@@ -43,12 +47,30 @@ func runNoAlloc(p *Pass) {
 			if !ok || fd.Body == nil || !hasNoallocDirective(fd) {
 				continue
 			}
-			checkNoAlloc(p, fd)
+			scanAllocs(p.Info, fd, func(pos token.Pos, format string, args ...interface{}) {
+				p.Reportf(pos, format, args...)
+			})
 		}
 	}
 }
 
-func checkNoAlloc(p *Pass, fd *ast.FuncDecl) {
+// bodyAllocates reports whether fd's body contains any allocating
+// construct, ignoring suppression directives — a leaf that allocates is
+// not allocation-free for transitivity purposes even if its own finding
+// was waived.
+func bodyAllocates(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Body == nil {
+		return true // no body visible: cannot verify
+	}
+	allocates := false
+	scanAllocs(info, fd, func(token.Pos, string, ...interface{}) { allocates = true })
+	return allocates
+}
+
+// scanAllocs walks one function body and calls report for every
+// allocating construct. Panic argument subtrees are skipped; nested
+// function literal bodies are scanned (they run on the hot path too).
+func scanAllocs(info *types.Info, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...interface{})) {
 	var visit func(n ast.Node) bool
 	visit = func(n ast.Node) bool {
 		switch node := n.(type) {
@@ -56,54 +78,54 @@ func checkNoAlloc(p *Pass, fd *ast.FuncDecl) {
 			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "panic" {
 				return false // failure path: skip the whole argument subtree
 			}
-			switch builtinName(p.Info, node) {
+			switch builtinName(info, node) {
 			case "make":
-				p.Reportf(node.Pos(), "make allocates in noalloc function %s", fd.Name.Name)
+				report(node.Pos(), "make allocates in noalloc function %s", fd.Name.Name)
 			case "new":
-				p.Reportf(node.Pos(), "new allocates in noalloc function %s", fd.Name.Name)
+				report(node.Pos(), "new allocates in noalloc function %s", fd.Name.Name)
 			case "append":
-				p.Reportf(node.Pos(), "append may grow and allocate in noalloc function %s; preallocate capacity outside", fd.Name.Name)
+				report(node.Pos(), "append may grow and allocate in noalloc function %s; preallocate capacity outside", fd.Name.Name)
 			}
-			if msg := allocatingConversion(p, node); msg != "" {
-				p.Reportf(node.Pos(), "%s allocates in noalloc function %s", msg, fd.Name.Name)
+			if msg := allocatingConversion(info, node); msg != "" {
+				report(node.Pos(), "%s allocates in noalloc function %s", msg, fd.Name.Name)
 			}
-			reportInterfaceArgs(p, node, fd.Name.Name)
+			reportInterfaceArgs(info, node, fd.Name.Name, report)
 		case *ast.CompositeLit:
-			t := p.TypeOf(node)
+			t := info.TypeOf(node)
 			if t == nil {
 				return true
 			}
 			switch t.Underlying().(type) {
 			case *types.Slice:
-				p.Reportf(node.Pos(), "slice literal allocates in noalloc function %s", fd.Name.Name)
+				report(node.Pos(), "slice literal allocates in noalloc function %s", fd.Name.Name)
 			case *types.Map:
-				p.Reportf(node.Pos(), "map literal allocates in noalloc function %s", fd.Name.Name)
+				report(node.Pos(), "map literal allocates in noalloc function %s", fd.Name.Name)
 			}
 		case *ast.UnaryExpr:
 			if node.Op == token.AND {
 				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
-					p.Reportf(node.Pos(), "&composite literal escapes to the heap in noalloc function %s", fd.Name.Name)
+					report(node.Pos(), "&composite literal escapes to the heap in noalloc function %s", fd.Name.Name)
 				}
 			}
 		case *ast.BinaryExpr:
 			if node.Op == token.ADD {
-				if t := p.TypeOf(node); t != nil {
+				if t := info.TypeOf(node); t != nil {
 					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-						p.Reportf(node.Pos(), "string concatenation allocates in noalloc function %s", fd.Name.Name)
+						report(node.Pos(), "string concatenation allocates in noalloc function %s", fd.Name.Name)
 					}
 				}
 			}
 		case *ast.FuncLit:
-			if capt := capturedVar(p, node, fd); capt != "" {
-				p.Reportf(node.Pos(), "closure captures %q and allocates in noalloc function %s", capt, fd.Name.Name)
+			if capt := capturedVar(info, node, fd); capt != "" {
+				report(node.Pos(), "closure captures %q and allocates in noalloc function %s", capt, fd.Name.Name)
 			}
 			// Keep descending: the literal's body runs on the hot path too.
 		case *ast.GoStmt:
-			p.Reportf(node.Pos(), "go statement allocates a goroutine in noalloc function %s", fd.Name.Name)
+			report(node.Pos(), "go statement allocates a goroutine in noalloc function %s", fd.Name.Name)
 		case *ast.AssignStmt:
-			reportInterfaceAssign(p, node, fd.Name.Name)
+			reportInterfaceAssign(info, node, fd.Name.Name, report)
 		case *ast.ReturnStmt:
-			reportInterfaceReturn(p, node, fd)
+			reportInterfaceReturn(info, node, fd, report)
 		}
 		return true
 	}
@@ -112,13 +134,13 @@ func checkNoAlloc(p *Pass, fd *ast.FuncDecl) {
 
 // allocatingConversion recognizes type conversions that copy memory:
 // string(bytes), []byte(s), []rune(s).
-func allocatingConversion(p *Pass, call *ast.CallExpr) string {
-	tv, ok := p.Info.Types[call.Fun]
+func allocatingConversion(info *types.Info, call *ast.CallExpr) string {
+	tv, ok := info.Types[call.Fun]
 	if !ok || !tv.IsType() || len(call.Args) != 1 {
 		return ""
 	}
 	to := tv.Type.Underlying()
-	from := p.TypeOf(call.Args[0])
+	from := info.TypeOf(call.Args[0])
 	if from == nil {
 		return ""
 	}
@@ -128,9 +150,8 @@ func allocatingConversion(p *Pass, call *ast.CallExpr) string {
 			return "[]byte/[]rune-to-string conversion"
 		}
 	}
-	if s, ok := to.(*types.Slice); ok {
+	if _, ok := to.(*types.Slice); ok {
 		if b, ok := fromU.(*types.Basic); ok && b.Info()&types.IsString != 0 {
-			_ = s
 			return "string-to-slice conversion"
 		}
 	}
@@ -140,11 +161,11 @@ func allocatingConversion(p *Pass, call *ast.CallExpr) string {
 // reportInterfaceArgs flags call arguments implicitly converted from a
 // concrete type to an interface parameter — the conversion boxes the
 // value on the heap when it escapes (and fmt-style variadics always do).
-func reportInterfaceArgs(p *Pass, call *ast.CallExpr, fname string) {
-	if builtinName(p.Info, call) != "" {
+func reportInterfaceArgs(info *types.Info, call *ast.CallExpr, fname string, report func(token.Pos, string, ...interface{})) {
+	if builtinName(info, call) != "" {
 		return
 	}
-	ft := p.TypeOf(call.Fun)
+	ft := info.TypeOf(call.Fun)
 	if ft == nil {
 		return
 	}
@@ -166,8 +187,8 @@ func reportInterfaceArgs(p *Pass, call *ast.CallExpr, fname string) {
 		if param == nil || !types.IsInterface(param) {
 			continue
 		}
-		if at := p.TypeOf(arg); at != nil && !types.IsInterface(at) && !isUntypedNil(p, arg) {
-			p.Reportf(arg.Pos(),
+		if at := info.TypeOf(arg); at != nil && !types.IsInterface(at) && !isUntypedNil(info, arg) {
+			report(arg.Pos(),
 				"implicit conversion of %s to interface %s may allocate in noalloc function %s",
 				types.TypeString(at, nil), types.TypeString(param, nil), fname)
 		}
@@ -176,15 +197,15 @@ func reportInterfaceArgs(p *Pass, call *ast.CallExpr, fname string) {
 
 // reportInterfaceAssign flags assignments of concrete values into
 // interface-typed destinations.
-func reportInterfaceAssign(p *Pass, as *ast.AssignStmt, fname string) {
+func reportInterfaceAssign(info *types.Info, as *ast.AssignStmt, fname string, report func(token.Pos, string, ...interface{})) {
 	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
 		return
 	}
 	for i, lhs := range as.Lhs {
-		lt := p.TypeOf(lhs)
-		rt := p.TypeOf(as.Rhs[i])
-		if lt != nil && rt != nil && types.IsInterface(lt) && !types.IsInterface(rt) && !isUntypedNil(p, as.Rhs[i]) {
-			p.Reportf(as.Rhs[i].Pos(),
+		lt := info.TypeOf(lhs)
+		rt := info.TypeOf(as.Rhs[i])
+		if lt != nil && rt != nil && types.IsInterface(lt) && !types.IsInterface(rt) && !isUntypedNil(info, as.Rhs[i]) {
+			report(as.Rhs[i].Pos(),
 				"assigning %s into interface %s may allocate in noalloc function %s",
 				types.TypeString(rt, nil), types.TypeString(lt, nil), fname)
 		}
@@ -193,8 +214,8 @@ func reportInterfaceAssign(p *Pass, as *ast.AssignStmt, fname string) {
 
 // reportInterfaceReturn flags returns whose declared result type is an
 // interface while the returned expression is concrete.
-func reportInterfaceReturn(p *Pass, ret *ast.ReturnStmt, fd *ast.FuncDecl) {
-	obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+func reportInterfaceReturn(info *types.Info, ret *ast.ReturnStmt, fd *ast.FuncDecl, report func(token.Pos, string, ...interface{})) {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
 	if !ok {
 		return
 	}
@@ -204,16 +225,16 @@ func reportInterfaceReturn(p *Pass, ret *ast.ReturnStmt, fd *ast.FuncDecl) {
 	}
 	for i, res := range ret.Results {
 		want := sig.Results().At(i).Type()
-		if got := p.TypeOf(res); types.IsInterface(want) && got != nil && !types.IsInterface(got) && !isUntypedNil(p, res) {
-			p.Reportf(res.Pos(),
+		if got := info.TypeOf(res); types.IsInterface(want) && got != nil && !types.IsInterface(got) && !isUntypedNil(info, res) {
+			report(res.Pos(),
 				"returning concrete %s as interface %s may allocate in noalloc function %s",
 				types.TypeString(got, nil), types.TypeString(want, nil), fd.Name.Name)
 		}
 	}
 }
 
-func isUntypedNil(p *Pass, e ast.Expr) bool {
-	tv, ok := p.Info.Types[e]
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
 	if !ok {
 		return false
 	}
@@ -225,7 +246,7 @@ func isUntypedNil(p *Pass, e ast.Expr) bool {
 // captures from its enclosing function, or "" when it captures nothing.
 // Package-level variables do not count: referencing them needs no
 // closure environment, so the literal stays a static function value.
-func capturedVar(p *Pass, lit *ast.FuncLit, fd *ast.FuncDecl) string {
+func capturedVar(info *types.Info, lit *ast.FuncLit, fd *ast.FuncDecl) string {
 	captured := ""
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		if captured != "" {
@@ -235,7 +256,7 @@ func capturedVar(p *Pass, lit *ast.FuncLit, fd *ast.FuncDecl) string {
 		if !ok {
 			return true
 		}
-		obj, ok := p.Info.Uses[id].(*types.Var)
+		obj, ok := info.Uses[id].(*types.Var)
 		if !ok || obj.IsField() {
 			return true
 		}

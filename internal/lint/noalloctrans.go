@@ -1,0 +1,144 @@
+package lint
+
+import "go/types"
+
+// The noalloctrans check closes the documented non-transitivity hole of
+// the per-function noalloc check: a //lsilint:noalloc function may only
+// call
+//
+//   - other //lsilint:noalloc functions (whose own bodies the
+//     intraprocedural check polices),
+//   - module functions proven allocation-free transitively (no
+//     allocating construct in the body, every callee allocation-free —
+//     an optimistic fixpoint over the call graph that handles recursion
+//     naturally), or
+//   - functions from an allowlist of stdlib packages whose routines do
+//     not heap-allocate: math, math/bits, sync/atomic.
+//
+// Everything else is a finding at the call site: an allocating or
+// unverifiable module callee, a non-allowlisted external callee, or a
+// call through a function value or interface (no static callee at all).
+// Calls inside panic(...) arguments are failure paths and exempt, and
+// calls inside `go` statements are not double-reported — the go
+// statement itself is already a noalloc finding.
+
+func init() {
+	registerModule(&ModuleCheck{
+		ID:  "noalloctrans",
+		Doc: "//lsilint:noalloc function calls something not provably allocation-free (transitive check)",
+		Run: runNoallocTrans,
+	})
+}
+
+// allowlistedAllocFree are stdlib packages whose exported functions do
+// not heap-allocate.
+var allowlistedAllocFree = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+func runNoallocTrans(p *ModulePass) {
+	allocFree := computeAllocFree(p.Graph)
+	for _, fi := range p.Graph.Funcs {
+		if !fi.Noalloc {
+			continue
+		}
+		for _, site := range fi.Calls {
+			if site.InPanic || site.InGo {
+				continue
+			}
+			switch {
+			case site.CalleeObj == nil:
+				p.Reportf(site.Call.Pos(),
+					"call through a function value or interface in noalloc function %s cannot be verified allocation-free",
+					fi.Obj.Name())
+			case site.Callee != nil:
+				if site.Callee.Noalloc || allocFree[site.Callee] {
+					continue
+				}
+				p.Reportf(site.Call.Pos(),
+					"noalloc function %s calls %s, which allocates or cannot be verified allocation-free; annotate it //lsilint:noalloc or remove the allocation",
+					fi.Obj.Name(), site.CalleeObj.Name())
+			case interfaceMethod(site.CalleeObj):
+				p.Reportf(site.Call.Pos(),
+					"interface method call %s in noalloc function %s dispatches dynamically and cannot be verified allocation-free",
+					site.CalleeObj.Name(), fi.Obj.Name())
+			default:
+				pkg := site.CalleeObj.Pkg()
+				if pkg != nil && allowlistedAllocFree[pkg.Path()] {
+					continue
+				}
+				path := "builtin"
+				if pkg != nil {
+					path = pkg.Path()
+				}
+				p.Reportf(site.Call.Pos(),
+					"noalloc function %s calls %s.%s, outside the module and not on the allocation-free allowlist",
+					fi.Obj.Name(), path, site.CalleeObj.Name())
+			}
+		}
+	}
+}
+
+// interfaceMethod reports whether fn is declared on an interface —
+// statically resolvable to the interface, but dynamically dispatched.
+func interfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// computeAllocFree runs the optimistic fixpoint: start with every
+// module function whose own body is clean of allocating constructs and
+// whose external/dynamic callees are acceptable, then iteratively evict
+// functions that call an evicted (or never-eligible) module function.
+// Recursion among clean functions stays in the set.
+func computeAllocFree(g *CallGraph) map[*FuncInfo]bool {
+	free := map[*FuncInfo]bool{}
+	for _, fi := range g.Funcs {
+		if fi.Decl.Body == nil || bodyAllocates(fi.Pkg.Info, fi.Decl) {
+			continue
+		}
+		eligible := true
+		for _, site := range fi.Calls {
+			if site.InPanic {
+				continue
+			}
+			switch {
+			case site.CalleeObj == nil:
+				eligible = false // dynamic call: unverifiable
+			case site.Callee == nil:
+				pkg := site.CalleeObj.Pkg()
+				if pkg == nil || !allowlistedAllocFree[pkg.Path()] {
+					eligible = false
+				}
+			}
+			if !eligible {
+				break
+			}
+		}
+		if eligible {
+			free[fi] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fi := range free {
+			for _, site := range fi.Calls {
+				if site.InPanic || site.Callee == nil {
+					continue
+				}
+				if site.Callee.Noalloc || free[site.Callee] {
+					continue
+				}
+				delete(free, fi)
+				changed = true
+				break
+			}
+		}
+	}
+	return free
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The snapshotsafe check encodes the publish-then-immutable discipline
+// the whole read path depends on: engine snapshots and ranking engines
+// are built, frozen, and published through an atomic pointer; after
+// publication every reader walks them lock-free, so a single mutating
+// write is a silent data race. Types opt in with //lsilint:immutable on
+// their declaration. Any write through a value of an annotated type — or
+// to a field declared in one, which covers writes through types that
+// embed it — is a finding unless it happens inside the type's
+// constructor chain:
+//
+//   - functions in the type's own package whose results include T or *T
+//     (NewEngine, Extend, buildMirror, ...), and
+//   - same-package functions reachable ONLY from chain members in the
+//     call graph (helpers like a row-filler invoked, possibly on worker
+//     goroutines, during construction), computed as a fixpoint.
+//
+// Known holes, accepted and documented: a method that mutates its
+// receiver and returns it matches the constructor signature shape, and
+// calls through interfaces or stored function values are invisible to
+// the chain closure (address-taken functions are excluded from it for
+// that reason).
+
+func init() {
+	registerModule(&ModuleCheck{
+		ID:  "snapshotsafe",
+		Doc: "write to a //lsilint:immutable type outside its constructor chain",
+		Run: runSnapshotSafe,
+	})
+}
+
+func runSnapshotSafe(p *ModulePass) {
+	annotated := collectImmutableTypes(p)
+	if len(annotated) == 0 {
+		return
+	}
+	fields := immutableFields(annotated)
+	chains := map[*types.TypeName]map[*FuncInfo]bool{}
+	for tn := range annotated {
+		chains[tn] = constructorChain(p, tn)
+	}
+
+	for _, pkg := range p.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fi := p.Graph.ByDecl[fd]
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					var lhs []ast.Expr
+					switch st := n.(type) {
+					case *ast.AssignStmt:
+						if st.Tok != token.DEFINE {
+							lhs = st.Lhs
+						}
+					case *ast.IncDecStmt:
+						lhs = []ast.Expr{st.X}
+					default:
+						return true
+					}
+					for _, e := range lhs {
+						tn := writeHitsImmutable(pkg.Info, e, annotated, fields)
+						if tn == nil {
+							continue
+						}
+						if fi != nil && chains[tn][fi] {
+							continue
+						}
+						p.Reportf(e.Pos(),
+							"write through //lsilint:immutable type %s outside its constructor chain; published snapshots must never be mutated",
+							tn.Name())
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// writeHitsImmutable decides whether assigning through lhs mutates an
+// annotated type: either some PROPER prefix of the selector/index/deref
+// chain has an annotated (possibly pointer-wrapped) type, or the field
+// ultimately written is declared in an annotated struct (the embedding
+// case). The full LHS expression itself deliberately does not count:
+// `m.eng = rank.NewEngine(v)` rebinds a *Engine-typed slot owned by m —
+// the pointee is untouched — whereas `m.eng.norms = nil` reaches through
+// the annotated value and is a mutation. Parens are transparent; only
+// selectors, index expressions, and dereferences reach through storage.
+func writeHitsImmutable(info *types.Info, lhs ast.Expr,
+	annotated map[*types.TypeName]bool, fields map[*types.Var]*types.TypeName) *types.TypeName {
+	if sel := writeSel(lhs); sel != nil {
+		if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+			if v, ok := selection.Obj().(*types.Var); ok {
+				if tn, hit := fields[v]; hit {
+					return tn
+				}
+			}
+		}
+	}
+	e := ast.Unparen(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.SelectorExpr:
+			e = ast.Unparen(x.X)
+		default:
+			return nil
+		}
+		if tn := annotatedType(info.TypeOf(e), annotated); tn != nil {
+			return tn
+		}
+	}
+}
+
+// annotatedType resolves t (through pointers) to an annotated type name.
+func annotatedType(t types.Type, annotated map[*types.TypeName]bool) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if annotated[named.Obj()] {
+		return named.Obj()
+	}
+	return nil
+}
+
+// immutableFields maps every field declared in an annotated struct back
+// to its owning type, so writes through embedding types are caught: if W
+// embeds Snapshot, w.Gen resolves to Snapshot's Gen field.
+func immutableFields(annotated map[*types.TypeName]bool) map[*types.Var]*types.TypeName {
+	out := map[*types.Var]*types.TypeName{}
+	for tn := range annotated {
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			out[st.Field(i)] = tn
+		}
+	}
+	return out
+}
+
+// constructorChain computes the functions allowed to write tn's values:
+// same-package functions whose results include the type, plus the
+// closure of same-package, non-address-taken functions every one of
+// whose callers is already in the chain.
+func constructorChain(p *ModulePass, tn *types.TypeName) map[*FuncInfo]bool {
+	chain := map[*FuncInfo]bool{}
+	for _, fi := range p.Graph.Funcs {
+		if fi.Obj.Pkg() == tn.Pkg() && resultsInclude(fi.Obj, tn) {
+			chain[fi] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range p.Graph.Funcs {
+			if chain[fi] || fi.Obj.Pkg() != tn.Pkg() || fi.AddrTaken || len(fi.CalledBy) == 0 {
+				continue
+			}
+			all := true
+			for _, site := range fi.CalledBy {
+				if !chain[site.Caller] {
+					all = false
+					break
+				}
+			}
+			if all {
+				chain[fi] = true
+				changed = true
+			}
+		}
+	}
+	return chain
+}
+
+// resultsInclude reports whether fn returns tn's type, directly or via
+// pointer.
+func resultsInclude(fn *types.Func, tn *types.TypeName) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj() == tn {
+			return true
+		}
+	}
+	return false
+}
+
+// collectImmutableTypes gathers every type declaration carrying
+// //lsilint:immutable (on the TypeSpec or its enclosing GenDecl).
+func collectImmutableTypes(p *ModulePass) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, pkg := range p.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if !hasDirectiveIn("immutable", gd.Doc, ts.Doc, ts.Comment) {
+						continue
+					}
+					if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+						out[tn] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Fixture for the guardedby module check: interprocedural lock-set
+// inference. Positive lines carry want-markers; everything else must
+// stay silent.
+package fixtures
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ---------------------------------------------------------------------
+// Annotated field, sibling mutex.
+
+type counter struct {
+	mu sync.Mutex
+	//lsilint:guardedby mu
+	n int
+	m int // unannotated: guard inferred from its writes
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++ // guarded directly
+	c.mu.Unlock()
+}
+
+func (c *counter) incDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++ // deferred unlock keeps the lock held
+}
+
+func (c *counter) bare() {
+	c.n++ // want guardedby
+}
+
+// lockedHelper has exactly one caller, which holds c.mu at the call:
+// the entry-lock fixpoint transfers the lock across the call edge.
+func (c *counter) lockedHelper() {
+	c.n++ // inherited from callsHelper
+}
+
+func (c *counter) callsHelper() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lockedHelper()
+}
+
+// maybeLocked only holds the mutex on one branch, so the must-hold set
+// after the join is empty.
+func (c *counter) maybeLocked(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want guardedby
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// Closures are analyzed with an empty entry lock set — the documented
+// conservative shape: even a closure invoked inline under the lock
+// reports.
+func (c *counter) closure() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func() {
+		c.n++ // want guardedby
+	}
+	f()
+}
+
+// newCounter writes through a freshly allocated local: no other
+// goroutine can reach it, so no lock is required.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Inference for the unannotated field m: every write is mu-guarded, so
+// unguarded accesses are inconsistent.
+
+func (c *counter) setM(v int) {
+	c.mu.Lock()
+	c.m = v
+	c.mu.Unlock()
+}
+
+func (c *counter) readM() int {
+	return c.m // want guardedby
+}
+
+func (c *counter) readMLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m
+}
+
+// ---------------------------------------------------------------------
+// Annotated field, package-level mutex.
+
+var regMu sync.Mutex
+
+type registry struct {
+	//lsilint:guardedby regMu
+	entries int
+}
+
+func addEntry(r *registry) {
+	regMu.Lock()
+	r.entries++
+	regMu.Unlock()
+}
+
+func badEntry(r *registry) {
+	r.entries++ // want guardedby
+}
+
+// ---------------------------------------------------------------------
+// Mixed atomic/plain access.
+
+type stats struct {
+	hits uint64
+}
+
+func (s *stats) bump() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *stats) peek() uint64 {
+	return s.hits // want guardedby
+}
+
+// ---------------------------------------------------------------------
+// Single-owner state with no locked writes anywhere stays silent: there
+// is no lock discipline to be inconsistent with.
+
+type owner struct {
+	state int
+}
+
+func (o *owner) tick() {
+	o.state++
+}

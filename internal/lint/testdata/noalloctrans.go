@@ -1,0 +1,96 @@
+// Fixture for the noalloctrans module check: //lsilint:noalloc functions
+// may only call noalloc-annotated functions, transitively allocation-free
+// module functions, or allowlisted stdlib (math, math/bits, sync/atomic).
+package fixtures
+
+import (
+	"math"
+	"strings"
+)
+
+//lsilint:noalloc
+func kernelOK(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += math.Abs(x) // allowlisted stdlib
+	}
+	return s + leafClean(s) // allocation-free module leaf
+}
+
+func leafClean(x float64) float64 {
+	return scale(x, 2) // clean leaves may call clean leaves
+}
+
+func scale(x, k float64) float64 {
+	return x * k
+}
+
+//lsilint:noalloc
+func kernelCallsDirty(xs []float64) float64 {
+	return leafDirty(xs) // want noalloctrans
+}
+
+func leafDirty(xs []float64) float64 {
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	return tmp[0]
+}
+
+//lsilint:noalloc
+func kernelChain(xs []float64) float64 {
+	return mid(xs) // want noalloctrans
+}
+
+// mid's own body is clean, but it calls an allocating leaf: the fixpoint
+// evicts it from the allocation-free set.
+func mid(xs []float64) float64 {
+	return leafDirty(xs)
+}
+
+//lsilint:noalloc
+func kernelDynamic(f func() float64) float64 {
+	return f() // want noalloctrans
+}
+
+//lsilint:noalloc
+func kernelAnnotatedCallee(xs []float64) float64 {
+	return kernelOK(xs) // noalloc-annotated callee is trusted
+}
+
+//lsilint:noalloc
+func kernelExternal(s string) int {
+	return len(strings.TrimSpace(s)) // want noalloctrans
+}
+
+//lsilint:noalloc
+func kernelPanicPath(n int) int {
+	if n < 0 {
+		panic(describe(n)) // failure path: exempt
+	}
+	return n
+}
+
+func describe(n int) string {
+	return "negative input"
+}
+
+// Mutual recursion between clean functions stays allocation-free.
+//
+//lsilint:noalloc
+func kernelRecursive(n int) int {
+	return evenStep(n)
+}
+
+func evenStep(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return oddStep(n - 1)
+}
+
+func oddStep(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return evenStep(n - 1)
+}

@@ -1,0 +1,94 @@
+// Fixture for the snapshotsafe module check: writes through
+// //lsilint:immutable types are only legal inside the constructor chain.
+package fixtures
+
+//lsilint:immutable
+type snap struct {
+	gen  int
+	rows [][]float64
+}
+
+// wrapper embeds snap: writes to the promoted fields mutate the
+// embedded snapshot and must be flagged too.
+type wrapper struct {
+	snap
+	extra int
+}
+
+// newSnap returns *snap, so it is in the constructor chain by signature.
+func newSnap(n int) *snap {
+	s := &snap{gen: 1}
+	s.rows = make([][]float64, n)
+	s.fill()
+	return s
+}
+
+// fill returns nothing but is called only from chain members: the chain
+// closure admits it.
+func (s *snap) fill() {
+	for i := range s.rows {
+		s.rows[i] = nil
+	}
+}
+
+// extend is the Extend-style grow path: a method returning *snap.
+func (s *snap) extend(n int) *snap {
+	ns := &snap{gen: s.gen + 1}
+	ns.rows = make([][]float64, n)
+	copy(ns.rows, s.rows)
+	return ns
+}
+
+func mutate(s *snap) {
+	s.gen = 2 // want snapshotsafe
+}
+
+func mutateDeep(s *snap) {
+	s.rows[0] = nil // want snapshotsafe
+}
+
+func mutateEmbedded(w *wrapper) {
+	w.gen = 3   // want snapshotsafe
+	w.extra = 1 // wrapper's own field: fine
+}
+
+// poke is called from outside the chain, so it is not a constructor
+// helper and its receiver write is a finding.
+func (s *snap) poke() {
+	s.gen++ // want snapshotsafe
+}
+
+func use(s *snap) {
+	s.poke()
+}
+
+// Reading is always fine.
+func read(s *snap) int {
+	return s.gen
+}
+
+// Rebinding a pointer (or slot holding one) to an immutable value is not
+// a mutation: the pointee is untouched. Only writes that reach THROUGH
+// an immutable value count.
+type holder struct {
+	cur *snap
+}
+
+func (h *holder) swap(n *snap) {
+	h.cur = n // pointer slot owned by holder: fine
+}
+
+func rebindLocal(s *snap, n *snap) *snap {
+	s = n // local rebind: fine
+	return s
+}
+
+func rebindSlice(all []*snap, n *snap) {
+	all[0] = n // slice of pointers: the slot is not inside a snap
+}
+
+// Overwriting the pointee wholesale IS a mutation: the write lands in
+// snap-owned storage.
+func clobber(s *snap) {
+	*s = snap{} // want snapshotsafe
+}

@@ -25,6 +25,8 @@ const scoreParallelCutoff = 1 << 15
 // from a reader's point of view: Extend returns a new Engine, which is
 // what lets concurrent readers keep using a snapshot while a writer
 // swaps in an extended one.
+//
+//lsilint:immutable
 type Engine struct {
 	docs *dense.Matrix // n×dim; rows unit-normalized (zero rows stay zero)
 	// mir is the float32 screening mirror; nil on engines built with

@@ -87,6 +87,8 @@ const (
 // member id lists — so it is shared across Extend successors (the prefix
 // rows it describes are append-only) and re-attached after background
 // rebuilds via WithIVFIndex.
+//
+//lsilint:immutable
 type IVFIndex struct {
 	rows   int // row prefix covered; rows beyond are the unclustered tail
 	dim    int

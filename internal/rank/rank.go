@@ -163,9 +163,17 @@ func newSelector(k int) *selector {
 // after reports whether a ranks strictly after b — the heap's "less".
 func after(a, b Item) bool { return Less(b, a) }
 
+// offer runs once per candidate on every scoring hot path, so it must
+// not allocate: the heap slice is created with capacity k in newSelector
+// and append below can never grow it past that.
+//
+//lsilint:noalloc
 func (s *selector) offer(it Item) {
 	if len(s.h) < s.k {
-		s.h = append(s.h, it)
+		// Capacity k is pre-claimed in newSelector; this append only extends
+		// the length within it and never reallocates.
+		s.h = append(s.h, it) //lsilint:ignore noalloc
+
 		s.up(len(s.h) - 1)
 		return
 	}

@@ -56,6 +56,8 @@ const screenCutoff = 1 << 14
 // float64 allocation and extended in lockstep along the same
 // capacity-claiming chain, so a single CAS on Engine.claimed guards the
 // tails of all three arrays.
+//
+//lsilint:immutable
 type mirror struct {
 	docs *dense.MatrixF32 // row-converted float32 copy of the float64 rows
 	// eps[i] = ‖row64_i − row32_i‖₂ · boundSlack: the per-row worst-case

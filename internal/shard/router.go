@@ -148,7 +148,8 @@ type Router struct {
 	rr atomic.Int64
 
 	closeMu sync.RWMutex
-	closed  bool
+	//lsilint:guardedby closeMu
+	closed bool
 
 	// compactMu serializes coordinated compactions; compacting mirrors it
 	// for Stats.

@@ -104,7 +104,8 @@ type CSR struct {
 	// count. The structure arrays are immutable after Build, so cached
 	// bounds never need invalidating.
 	partMu sync.Mutex
-	parts  map[int][]int
+	//lsilint:guardedby partMu
+	parts map[int][]int
 }
 
 // NNZ returns the number of stored nonzeros.
