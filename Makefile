@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-full build test race race-hot stress vet lint lint-tests bench bench-query bench-build bench-shard
+.PHONY: check check-full build test race race-hot stress vet lint lint-tests bench bench-query bench-build bench-shard bench-update
 
 # check is the fast pre-commit loop: vet, build, tests, the race detector
 # on the hot parallel packages only, and the project linter. Run it on
@@ -79,3 +79,11 @@ bench-shard:
 # Lanczos) consumed by BENCH_build.json.
 bench-build:
 	$(GO) run ./cmd/lsibench -buildperf -out BENCH_build.json
+
+# bench-update regenerates the compaction-time record (O'Brien dense
+# inner SVD vs Golub–Kahan projection updating) consumed by
+# BENCH_update.json: per corpus size, best-of-reps update seconds per
+# strategy plus the top-10 retrieval overlap between the two updated
+# models.
+bench-update:
+	$(GO) run ./cmd/lsibench -updateperf -out BENCH_update.json

@@ -35,7 +35,8 @@ func main() {
 	queryPerf := flag.Bool("queryperf", false, "measure query-serving latency/throughput (engine vs seed path) and exit")
 	buildPerf := flag.Bool("buildperf", false, "measure truncated-SVD build time (blocked vs seed Lanczos) and exit")
 	shardPerf := flag.Bool("shardperf", false, "measure scatter-gather serving at 1/2/4/8 shards (exact merge, parity-gated) and exit")
-	perfOut := flag.String("out", "", "output file for -queryperf/-shardperf (default BENCH_query.json) / -buildperf (default BENCH_build.json)")
+	updatePerf := flag.Bool("updateperf", false, "measure SVD-update (compaction) time, O'Brien vs Golub–Kahan, and exit")
+	perfOut := flag.String("out", "", "output file for -queryperf/-shardperf (default BENCH_query.json) / -buildperf (default BENCH_build.json) / -updateperf (default BENCH_update.json)")
 	flag.Parse()
 
 	if *queryPerf {
@@ -61,6 +62,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("shard scaling written to %s\n", out)
+		return
+	}
+
+	if *updatePerf {
+		out := *perfOut
+		if out == "" {
+			out = "BENCH_update.json"
+		}
+		if err := runUpdatePerf(out, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "lsibench: updateperf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("update performance written to %s\n", out)
 		return
 	}
 

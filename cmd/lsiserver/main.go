@@ -13,6 +13,7 @@
 //	curl 'localhost:8080/search?q=sparse+svd&n=5'
 //	curl 'localhost:8080/terms?w=matrix'
 //	curl -X POST -d '{"id":"new1","text":"..."}' localhost:8080/documents
+//	curl -X DELETE localhost:8080/docs/new1
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/metrics'
 //
@@ -57,6 +58,10 @@ func main() {
 	batchTick := flag.Duration("batch-tick", 2*time.Millisecond, "fold-in batching window")
 	compactAt := flag.Float64("compact-threshold", 0.05,
 		"doc-orthogonality loss triggering SVD-update compaction; 0 disables")
+	compactStrategy := flag.String("compact-strategy", "obrien",
+		"SVD-update algorithm for compaction: obrien (exact dense inner SVD) or gk (Golub-Kahan projections, faster on large pending batches)")
+	gkRank := flag.Int("gk-rank", 0,
+		"Golub-Kahan projection rank for -compact-strategy=gk; 0 picks the default")
 	noScreen := flag.Bool("no-screen", false,
 		"disable the float32 screening mirror; every query runs the pure float64 path (identical results, more memory traffic)")
 	noIVF := flag.Bool("no-ivf", false,
@@ -72,6 +77,10 @@ func main() {
 	flag.Parse()
 	if *dir == "" {
 		log.Fatal("-dir is required")
+	}
+	strategy, err := core.ParseUpdateStrategy(*compactStrategy)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	entries, err := os.ReadDir(*dir)
@@ -113,6 +122,8 @@ func main() {
 			IVFClusters:        *ivfClusters,
 			IVFNProbe:          *nprobe,
 			IVFRebuildFraction: *ivfRebuildFrac,
+			CompactionStrategy: strategy,
+			GKRank:             *gkRank,
 			Logf:               log.Printf,
 		},
 		RequestTimeout: *reqTimeout,

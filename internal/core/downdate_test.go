@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+	"repro/internal/weight"
+)
+
+// TestDowndateDocsExactRankK pins the downdate algebra: removing rows
+// and re-diagonalizing must reproduce the exact rank-k SVD of the
+// reduced approximation — U·Σ·Ṽᵀ is preserved, the new V is orthonormal
+// again, and the singular values are sorted.
+func TestDowndateDocsExactRankK(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	a := randomCounts(rng, 50, 30, 0.25)
+	m, err := Build(a, Config{K: 6, Scheme: weight.LogEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := []int{0, 2, 3, 5, 8, 9, 11, 14, 15, 16, 19, 20, 22, 25, 26, 28, 29}
+	// Reference: the reduced approximation before re-diagonalization.
+	bt := m.ReconstructAk().T() // docs×terms
+	want := dense.New(len(live), bt.Cols)
+	for i, r := range live {
+		copy(want.Row(i), bt.Row(r))
+	}
+	if err := m.DowndateDocs(live); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumDocs() != len(live) {
+		t.Fatalf("NumDocs %d want %d", m.NumDocs(), len(live))
+	}
+	if m.FoldedDocs() != 0 {
+		t.Fatalf("downdated model has %d folded docs", m.FoldedDocs())
+	}
+	after := m.ReconstructAk().T()
+	if d := after.Sub(want).FrobeniusNorm(); d > 1e-10*(1+want.FrobeniusNorm()) {
+		t.Fatalf("reconstruction drifted by %g", d)
+	}
+	if e := dense.OrthogonalityError(m.V); e > 1e-10 {
+		t.Fatalf("downdated V orthogonality error %g", e)
+	}
+	if e := dense.OrthogonalityError(m.U); e > 1e-10 {
+		t.Fatalf("downdated U orthogonality error %g", e)
+	}
+	for i := 1; i < len(m.S); i++ {
+		if m.S[i] > m.S[i-1]+1e-12 {
+			t.Fatalf("singular values unsorted at %d: %v", i, m.S)
+		}
+	}
+}
+
+// TestDowndateThenUpdateMatchesRebuildRetrieval: delete + re-add via the
+// projection machinery should retrieve like a model that never saw the
+// deleted docs and absorbed the new ones exactly.
+func TestDowndateDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := randomCounts(rng, 40, 25, 0.3)
+	live := []int{1, 2, 4, 5, 7, 8, 10, 12, 13, 15, 17, 18, 20, 21, 23}
+	run := func() *Model {
+		m, err := Build(a, Config{K: 5, Scheme: weight.LogEntropy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.DowndateDocs(live); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	x, y := run(), run()
+	for i := range x.V.Data {
+		if x.V.Data[i] != y.V.Data[i] {
+			t.Fatal("downdate V differs between identical runs")
+		}
+	}
+	for i := range x.U.Data {
+		if x.U.Data[i] != y.U.Data[i] {
+			t.Fatal("downdate U differs between identical runs")
+		}
+	}
+}
+
+// TestPlanDocsDowndateDistributedBitParity: one global plan applied to
+// per-shard row blocks must be byte-identical to the single-model
+// DowndateDocs — the property the coordinated cross-shard fold-out
+// relies on.
+func TestPlanDocsDowndateDistributedBitParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	a := randomCounts(rng, 45, 28, 0.25)
+	single, err := Build(a, Config{K: 5, Scheme: weight.LogEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := []int{0, 1, 3, 4, 6, 7, 9, 10, 12, 14, 16, 17, 19, 21, 22, 24, 26, 27}
+	want := single.Clone()
+	if err := want.DowndateDocs(live); err != nil {
+		t.Fatal(err)
+	}
+	// Shards hold interleaved rows; each keeps its live subset.
+	shardRows := [][]int{evens(28), odds(28)}
+	liveSet := map[int]bool{}
+	for _, r := range live {
+		liveSet[r] = true
+	}
+	// The global plan is computed over live rows in canonical (ordinal)
+	// order, assembled from the shards.
+	vlive := dense.New(len(live), single.V.Cols)
+	for i, r := range live {
+		copy(vlive.Row(i), single.V.Row(r))
+	}
+	plan, err := single.PlanDocsDowndate(vlive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pos[r] = position of global row r in the live ordering.
+	pos := map[int]int{}
+	for i, r := range live {
+		pos[r] = i
+	}
+	var cands [][]SignCandidate
+	rots := make([]*dense.Matrix, len(shardRows))
+	locals := make([][]int, len(shardRows))
+	for s, rows := range shardRows {
+		var mine []int
+		for _, r := range rows {
+			if liveSet[r] {
+				mine = append(mine, r)
+			}
+		}
+		locals[s] = mine
+		block := dense.New(len(mine), single.V.Cols)
+		for i, r := range mine {
+			copy(block.Row(i), single.V.Row(r))
+		}
+		rots[s] = plan.RotateDocs(block)
+		ords := make([]int64, len(mine))
+		for i, r := range mine {
+			ords[i] = int64(pos[r])
+		}
+		cands = append(cands, SignCandidates(rots[s], ords))
+	}
+	flip := CombineSignFlips(cands...)
+	plan.ApplySigns(flip)
+	for s := range rots {
+		dense.FlipColumns(rots[s], flip)
+		for i, r := range locals[s] {
+			requireRowEqual(t, want.V.Row(pos[r]), rots[s].Row(i), "shard row")
+		}
+	}
+	for i := range plan.U.Data {
+		if plan.U.Data[i] != want.U.Data[i] {
+			t.Fatal("plan U differs from single-model downdate")
+		}
+	}
+	for i := range plan.S {
+		if plan.S[i] != want.S[i] {
+			t.Fatal("plan S differs from single-model downdate")
+		}
+	}
+}
+
+// TestDowndateDegenerate: fewer live rows than k has no rank-k downdate.
+func TestDowndateDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	a := randomCounts(rng, 30, 20, 0.3)
+	m, err := Build(a, Config{K: 6, Scheme: weight.LogEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.DowndateDocs([]int{0, 1, 2})
+	if err == nil {
+		t.Fatal("expected degenerate downdate to fail")
+	}
+	// Invalid live lists are rejected too.
+	if err := m.DowndateDocs([]int{3, 1}); err == nil {
+		t.Fatal("unsorted live list accepted")
+	}
+	if err := m.DowndateDocs([]int{0, 1, 2, 99}); err == nil {
+		t.Fatal("out-of-range live row accepted")
+	}
+	// Folded models are rejected.
+	m2, _ := Build(a, Config{K: 4, Scheme: weight.LogEntropy})
+	m2.FoldInDocs(randomCounts(rng, 30, 2, 0.3))
+	if err := m2.DowndateDocs([]int{0, 1, 2, 3, 4, 5}); err != ErrFoldedModel {
+		t.Fatalf("folded model: got %v want ErrFoldedModel", err)
+	}
+}
+
+// TestDowndateThenQueryMatchesRebuildLoosely: retrieval over the
+// downdated model should agree with a fresh build over the surviving
+// columns on the dominant structure (tolerance-bounded, since downdating
+// maintains the *approximation* A_k minus rows, not A minus rows).
+func TestDowndateThenQueryCloseToRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	// Block-structured counts (5 topic blocks) plus sparse noise, so the
+	// dominant subspace is stable enough for a rebuild comparison.
+	b := sparse.NewBuilder(60, 40)
+	for j := 0; j < 40; j++ {
+		topic := j % 5
+		for i := 0; i < 60; i++ {
+			switch {
+			case i/12 == topic && rng.Float64() < 0.6:
+				b.Add(i, j, float64(2+rng.Intn(3)))
+			case rng.Float64() < 0.05:
+				b.Add(i, j, 1)
+			}
+		}
+	}
+	a := b.Build()
+	m, err := Build(a, Config{K: 8, Scheme: weight.LogEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []int
+	for j := 0; j < 40; j++ {
+		if j%7 != 0 {
+			live = append(live, j)
+		}
+	}
+	if err := m.DowndateDocs(live); err != nil {
+		t.Fatal(err)
+	}
+	ad := a.Dense()
+	kb := sparse.NewBuilder(a.Rows, len(live))
+	for i := 0; i < a.Rows; i++ {
+		for jj, j := range live {
+			if ad[i][j] != 0 {
+				kb.Add(i, jj, ad[i][j])
+			}
+		}
+	}
+	rebuilt, err := Build(kb.Build(), Config{K: 8, Scheme: weight.LogEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Topic-pure queries: a few terms from one topic's block each.
+	var overlap float64
+	const trials = 5
+	for topic := 0; topic < trials; topic++ {
+		q := make([]float64, 60)
+		for i := topic * 12; i < topic*12+6; i++ {
+			q[i] = 1
+		}
+		overlap += overlapAt(rankedIDs(m.Rank(q)), rankedIDs(rebuilt.Rank(q)), 5)
+	}
+	if overlap/trials < 0.5 {
+		t.Fatalf("mean top-5 overlap vs rebuild %.3f < 0.5", overlap/trials)
+	}
+	if math.IsNaN(overlap) {
+		t.Fatal("NaN overlap")
+	}
+}

@@ -50,6 +50,32 @@ type DocsUpdatePlan struct {
 // SignCandidates/CombineSignFlips over the full conceptual V_B and then
 // ApplySigns (UpdateDocs does exactly this for the single-model case).
 func (m *Model) PlanDocsUpdate(d *sparse.CSR) (*DocsUpdatePlan, error) {
+	utd, err := m.projectedDocsBlock(d)
+	if err != nil {
+		return nil, err
+	}
+	k, p := m.K, d.Cols
+	// F = (Σ_k | U_kᵀD), k×(k+p).
+	f := dense.Diag(m.S).AugmentCols(utd)
+	sf := dense.SVD(f).Truncate(k)
+	kp := sf.U.Cols // k' = k unless F was rank-deficient
+	return &DocsUpdatePlan{
+		U:    dense.Mul(m.U, sf.U),
+		S:    sf.S,
+		VTop: sf.V.Slice(0, k, 0, kp),
+		VNew: sf.V.Slice(k, k+p, 0, kp),
+	}, nil
+}
+
+// projectedDocsBlock validates d, applies the model's weighting, and
+// returns the projected update block U_kᵀ·W(D) (k×p) shared by both
+// document-update strategies. The weighted copy shares d's sparsity
+// skeleton: W(D)[i,j] = Local(D[i,j])·global[i], and Local(0) = 0, so
+// weighting never fills in a structural zero and RowPtr/ColIdx can be
+// shared outright. The projection is computed as (W(D)ᵀ·U_k)ᵀ — one
+// blocked pass over D instead of p column matvecs against a densified
+// column.
+func (m *Model) projectedDocsBlock(d *sparse.CSR) (*dense.Matrix, error) {
 	if d.Rows != m.NumTerms() {
 		return nil, fmt.Errorf("core: UpdateDocs terms %d want %d", d.Rows, m.NumTerms())
 	}
@@ -57,9 +83,6 @@ func (m *Model) PlanDocsUpdate(d *sparse.CSR) (*DocsUpdatePlan, error) {
 		return nil, ErrFoldedModel
 	}
 	k, p := m.K, d.Cols
-	// Weighted copy of D sharing the sparsity skeleton: W(D)[i,j] =
-	// Local(D[i,j])·global[i]. Local(0) = 0, so weighting never fills in a
-	// structural zero and RowPtr/ColIdx can be shared outright.
 	wval := make([]float64, len(d.Val))
 	for i := 0; i < d.Rows; i++ {
 		g := 1.0
@@ -71,20 +94,7 @@ func (m *Model) PlanDocsUpdate(d *sparse.CSR) (*DocsUpdatePlan, error) {
 		}
 	}
 	dw := &sparse.CSR{Rows: d.Rows, Cols: d.Cols, RowPtr: d.RowPtr, ColIdx: d.ColIdx, Val: wval}
-	// Weighted new-document block, projected: U_kᵀ·W(D) is k×p, computed as
-	// (W(D)ᵀ·U_k)ᵀ — one blocked pass over D instead of p column matvecs
-	// against a densified column.
-	utd := (&dense.Matrix{Rows: p, Cols: k, Data: dw.MulDenseT(m.U.Data, k)}).T()
-	// F = (Σ_k | U_kᵀD), k×(k+p).
-	f := dense.Diag(m.S).AugmentCols(utd)
-	sf := dense.SVD(f).Truncate(k)
-	kp := sf.U.Cols // k' = k unless F was rank-deficient
-	return &DocsUpdatePlan{
-		U:    dense.Mul(m.U, sf.U),
-		S:    sf.S,
-		VTop: sf.V.Slice(0, k, 0, kp),
-		VNew: sf.V.Slice(k, k+p, 0, kp),
-	}, nil
+	return (&dense.Matrix{Rows: p, Cols: k, Data: dw.MulDenseT(m.U.Data, k)}).T(), nil
 }
 
 // RotateDocs maps existing document rows into the plan's basis: V·VTop.
@@ -201,7 +211,14 @@ func CombineSignFlips(groups ...[]SignCandidate) []bool {
 // algebra; this is the single-model application of the same plan the
 // sharded compactor distributes.
 func (m *Model) UpdateDocs(d *sparse.CSR) error {
-	p, err := m.PlanDocsUpdate(d)
+	return m.UpdateDocsOpts(d, UpdateOptions{})
+}
+
+// UpdateDocsOpts is UpdateDocs under an explicit strategy choice: the
+// plan comes from PlanDocsUpdateOpts, everything downstream (rotation,
+// sign resolution, application) is strategy-independent.
+func (m *Model) UpdateDocsOpts(d *sparse.CSR, opts UpdateOptions) error {
+	p, err := m.PlanDocsUpdateOpts(d, opts)
 	if err != nil {
 		return err
 	}

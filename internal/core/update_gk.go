@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// This file implements the Vecharynski–Saad fast SVD-updating strategy
+// (PAPERS.md, arXiv:1310.2008) as a drop-in alternative to O'Brien's
+// dense inner SVD in PlanDocsUpdate. Instead of diagonalizing
+// F = (Σ_k | U_kᵀW(D)) — a k×(k+p) problem that grows with the pending
+// batch size p — the projected block C = U_kᵀW(D) is compressed first by
+// an l-step Golub–Kahan bidiagonalization C ≈ X_l·B_l·Q_lᵀ, and the
+// dense SVD runs on G = (Σ_k | X_l·B_l), k×(k+l) with l ≤ k fixed. Since
+// F ≈ G·diag(I_k, Q_l)ᵀ and diag(I_k, Q_l) has orthonormal columns, the
+// singular triplets of G lift to those of F:
+//
+//	U_F = U_G,  Σ_F = Σ_G,  V_F = diag(I_k, Q_l)·V_G,
+//
+// so the strategy emits a standard DocsUpdatePlan and every downstream
+// consumer (RotateDocs, sign resolution, sharded distribution) is
+// untouched. The approximation is exact when l ≥ rank(C); otherwise the
+// error is governed by the discarded tail σ_{l+1}(C), the bound of the
+// paper's residual analysis — see docs/ALGORITHMS.md.
+
+// UpdateStrategy selects the algorithm PlanDocsUpdateOpts uses for the
+// inner spectral problem of a document SVD-update.
+type UpdateStrategy int
+
+const (
+	// StrategyOBrien is the exact dense inner SVD of F = (Σ_k | U_kᵀW(D))
+	// (O'Brien's derivation, §4.2) — the default and the parity reference.
+	StrategyOBrien UpdateStrategy = iota
+	// StrategyGK replaces the dense inner SVD with an l-step Golub–Kahan
+	// bidiagonalization of the projected block (Vecharynski–Saad).
+	StrategyGK
+)
+
+// DefaultGKRank is the Golub–Kahan projection rank used when
+// UpdateOptions.GKRank is zero. It bounds the inner dense SVD at
+// k×(k+DefaultGKRank) regardless of how many documents a compaction
+// absorbs.
+const DefaultGKRank = 32
+
+// String returns the flag spelling of the strategy.
+func (s UpdateStrategy) String() string {
+	switch s {
+	case StrategyGK:
+		return "gk"
+	default:
+		return "obrien"
+	}
+}
+
+// ParseUpdateStrategy maps a flag value to a strategy: "" or "obrien"
+// (exact dense inner SVD) and "gk" (Golub–Kahan projections).
+func ParseUpdateStrategy(s string) (UpdateStrategy, error) {
+	switch s {
+	case "", "obrien":
+		return StrategyOBrien, nil
+	case "gk":
+		return StrategyGK, nil
+	}
+	return StrategyOBrien, fmt.Errorf("core: unknown update strategy %q (want obrien or gk)", s)
+}
+
+// UpdateOptions parameterizes PlanDocsUpdateOpts/UpdateDocsOpts. The
+// zero value is the exact O'Brien update.
+type UpdateOptions struct {
+	// Strategy selects the inner algorithm; StrategyOBrien by default.
+	Strategy UpdateStrategy
+	// GKRank is the Golub–Kahan projection rank l for StrategyGK
+	// (ignored otherwise); 0 means DefaultGKRank. It is clamped to
+	// min(k, p) — at that point the strategy is exact up to roundoff.
+	GKRank int
+}
+
+// PlanDocsUpdateOpts computes a document SVD-update plan under the given
+// strategy. Both strategies share validation, weighting, and the
+// projected block U_kᵀW(D); they differ only in how the inner spectral
+// problem is solved. The returned plan is interchangeable between
+// strategies — same shape, same downstream machinery, same sign-
+// resolution protocol.
+func (m *Model) PlanDocsUpdateOpts(d *sparse.CSR, opts UpdateOptions) (*DocsUpdatePlan, error) {
+	if opts.Strategy != StrategyGK {
+		return m.PlanDocsUpdate(d)
+	}
+	utd, err := m.projectedDocsBlock(d)
+	if err != nil {
+		return nil, err
+	}
+	k := m.K
+	l := opts.GKRank
+	if l <= 0 {
+		l = DefaultGKRank
+	}
+	// GKBidiag clamps l to min(k, p) internally and may stop earlier on
+	// rank deficiency; use the realized rank everywhere below.
+	gk := dense.GKBidiag(utd, l)
+	l = gk.B.Rows
+	// G = (Σ_k | X_l·B_l), k×(k+l): the compressed analogue of F.
+	g := dense.Diag(m.S).AugmentCols(dense.Mul(gk.X, gk.B))
+	sg := dense.SVD(g).Truncate(k)
+	kp := sg.U.Cols // k' = k unless G was rank-deficient
+	// V_F = diag(I_k, Q_l)·V_G: the top k rows pass through, the bottom p
+	// rows lift through Q_l.
+	return &DocsUpdatePlan{
+		U:    dense.Mul(m.U, sg.U),
+		S:    sg.S,
+		VTop: sg.V.Slice(0, k, 0, kp),
+		VNew: dense.Mul(gk.Q, sg.V.Slice(k, k+l, 0, kp)),
+	}, nil
+}

@@ -1,0 +1,239 @@
+package dense
+
+import (
+	"errors"
+	"math"
+)
+
+// This file holds the kernels behind the Vecharynski–Saad fast
+// SVD-updating strategy (arXiv:1310.2008) and the Cholesky-based
+// downdating path: Golub–Kahan bidiagonalization of a dense block, and
+// upper-triangular Cholesky/inverse helpers. See docs/ALGORITHMS.md
+// ("Golub–Kahan projection updating") for the surrounding math.
+
+// GKFactors is the result of GKBidiag: C·Q = X·B with X (k×l) and
+// Q (p×l) column-orthonormal and B (l×l) upper bidiagonal, so
+// C ≈ X·B·Qᵀ. The approximation is exact (to roundoff) when l reaches
+// rank(C); otherwise the spectral error is at least σ_{l+1}(C), the
+// bound the Vecharynski–Saad residual analysis is built on.
+type GKFactors struct {
+	X *Matrix // k×l, orthonormal columns
+	B *Matrix // l×l upper bidiagonal
+	Q *Matrix // p×l, orthonormal columns
+}
+
+// gkBreakdownTol is the relative threshold below which a new Lanczos
+// direction is treated as numerically zero (breakdown).
+const gkBreakdownTol = 1e-13
+
+// GKBidiag runs l steps of Golub–Kahan–Lanczos bidiagonalization on the
+// k×p matrix c with full (two-pass modified Gram–Schmidt)
+// reorthogonalization, the dense-block variant Vecharynski & Saad use to
+// replace the inner SVD of the update block. The start vector is the
+// deterministic normalized Cᵀ·1, so repeated runs are byte-identical. On
+// breakdown (the Krylov space became invariant before step l) the
+// recurrence restarts from the next row of C independent of the current
+// Q; if no independent direction remains, the row space is exhausted and
+// the factorization is returned early with fewer than l columns — at
+// that point it reproduces C exactly.
+func GKBidiag(c *Matrix, l int) *GKFactors {
+	k, p := c.Rows, c.Cols
+	if l > p {
+		l = p
+	}
+	if l > k {
+		l = k
+	}
+	if l < 0 {
+		l = 0
+	}
+	// Bases are accumulated transposed (one Lanczos vector per row) so
+	// reorthogonalization walks contiguous row views.
+	xt := New(l, k)
+	qt := New(l, p)
+	alpha := make([]float64, l)
+	beta := make([]float64, l) // beta[j] couples columns j and j+1
+	u := make([]float64, k)
+	w := make([]float64, p)
+	scale := c.FrobeniusNorm()
+	if scale == 0 || l == 0 {
+		return &GKFactors{X: New(k, 0), B: New(0, 0), Q: New(p, 0)}
+	}
+	tol := gkBreakdownTol * scale
+
+	// Start and restart directions are drawn from the row space of C
+	// (candidates Cᵀe_t = rows of C): a q chain inside row(C) exhausts it
+	// in exactly rank(C) breakdown-free steps, which is what makes the
+	// factorization exact once l reaches the rank. A start with a
+	// component outside row(C) would waste a Q column on a direction C
+	// annihilates.
+	//
+	// rowStart writes row t of C orthogonalized against the first j rows
+	// of qt into w. Returns false when that row is already (numerically)
+	// inside span(Q).
+	rowStart := func(t, j int) bool {
+		copy(w, c.Row(t))
+		reorthRows(qt, j, w)
+		if Norm2(w) <= tol {
+			return false
+		}
+		Normalize(w)
+		return true
+	}
+	// nextStart finds any unit start direction in row(C) orthogonal to
+	// the first j rows of qt. Returns false when span(Q) already covers
+	// the whole row space.
+	nextStart := func(j int) bool {
+		for t := 0; t < k; t++ {
+			if rowStart(t, j) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Deterministic start: normalized Cᵀ·1 (all-ones combination of the
+	// rows), falling back to individual rows when the rows cancel.
+	for i := range u {
+		u[i] = 1
+	}
+	MulVecTInto(c, u, w)
+	if Norm2(w) <= tol {
+		if !nextStart(0) {
+			return &GKFactors{X: New(k, 0), B: New(0, 0), Q: New(p, 0)}
+		}
+	} else {
+		Normalize(w)
+	}
+
+	steps := 0
+	for j := 0; j < l; j++ {
+		// u = C·q_j − β_{j-1}·x_{j-1}, reorthogonalized against X.
+		MulVecInto(c, w, u)
+		reorthRows(xt, j, u)
+		a := Normalize(u)
+		if a <= tol {
+			// q_j adds nothing to the range (it fell in the null space).
+			// Sweep the row-space restart directions for one that does.
+			a = 0
+			for t := 0; t < k && a <= tol; t++ {
+				if !rowStart(t, j) {
+					continue
+				}
+				MulVecInto(c, w, u)
+				reorthRows(xt, j, u)
+				a = Normalize(u)
+			}
+			if a <= tol {
+				break
+			}
+		}
+		copy(qt.Row(j), w)
+		copy(xt.Row(j), u)
+		alpha[j] = a
+		steps = j + 1
+		if j+1 == l {
+			break
+		}
+		// w = Cᵀ·x_j − α_j·q_j, reorthogonalized against Q.
+		MulVecTInto(c, u, w)
+		reorthRows(qt, j+1, w)
+		b := Normalize(w)
+		if b <= tol {
+			// Invariant subspace: restart from an unexplored direction with
+			// β_j = 0, keeping B upper bidiagonal (block diagonal).
+			if !nextStart(j + 1) {
+				break
+			}
+			b = 0
+		}
+		beta[j] = b
+	}
+
+	bm := New(steps, steps)
+	for j := 0; j < steps; j++ {
+		bm.Set(j, j, alpha[j])
+		if j+1 < steps {
+			bm.Set(j, j+1, beta[j])
+		}
+	}
+	return &GKFactors{X: xt.Slice(0, steps, 0, k).T(), B: bm, Q: qt.Slice(0, steps, 0, p).T()}
+}
+
+// reorthRows orthogonalizes v against the first j rows of basis with two
+// modified Gram–Schmidt passes — the full-reorthogonalization inner loop
+// of GKBidiag, run O(l²) times per factorization over row views only.
+//
+//lsilint:noalloc
+func reorthRows(basis *Matrix, j int, v []float64) {
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < j; i++ {
+			row := basis.Row(i)
+			Axpy(-Dot(row, v), row, v)
+		}
+	}
+}
+
+// ErrNotPosDef reports a Cholesky factorization applied to a matrix that
+// is not (numerically) symmetric positive definite.
+var ErrNotPosDef = errors.New("dense: matrix is not positive definite")
+
+// CholUpper computes the upper-triangular Cholesky factor R of a
+// symmetric positive definite matrix g, so that g = RᵀR. Only the upper
+// triangle of g is read. The summation order is fixed, so the factor is
+// deterministic for identical input bytes.
+func CholUpper(g *Matrix) (*Matrix, error) {
+	n := g.Rows
+	if g.Cols != n {
+		panic("dense: CholUpper needs a square matrix")
+	}
+	r := New(n, n)
+	for i := 0; i < n; i++ {
+		d := g.At(i, i)
+		for t := 0; t < i; t++ {
+			rti := r.At(t, i)
+			d -= rti * rti
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPosDef
+		}
+		rii := math.Sqrt(d)
+		r.Set(i, i, rii)
+		for j := i + 1; j < n; j++ {
+			s := g.At(i, j)
+			for t := 0; t < i; t++ {
+				s -= r.At(t, i) * r.At(t, j)
+			}
+			r.Set(i, j, s/rii)
+		}
+	}
+	return r, nil
+}
+
+// InvertUpper returns the inverse of an upper-triangular matrix r by
+// back substitution on each unit vector. It errors on pivots too small
+// to divide by, mirroring SolveUpperTriangular.
+func InvertUpper(r *Matrix) (*Matrix, error) {
+	n := r.Rows
+	if r.Cols != n {
+		panic("dense: InvertUpper needs a square matrix")
+	}
+	inv := New(n, n)
+	for j := 0; j < n; j++ {
+		for i := j; i >= 0; i-- {
+			s := 0.0
+			if i == j {
+				s = 1
+			}
+			for t := i + 1; t <= j; t++ {
+				s -= r.At(i, t) * inv.At(t, j)
+			}
+			piv := r.At(i, i)
+			if math.Abs(piv) < 1e-300 {
+				return nil, errors.New("dense: singular triangular matrix")
+			}
+			inv.Set(i, j, s/piv)
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,146 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGKBidiagOrthonormalAndExactAtFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][2]int{{6, 10}, {10, 6}, {8, 8}} {
+		k, p := dims[0], dims[1]
+		c := randMat(rng, k, p)
+		l := k
+		if p < l {
+			l = p
+		}
+		gk := GKBidiag(c, l)
+		if gk.B.Rows != l {
+			t.Fatalf("%dx%d: got %d GK steps want %d", k, p, gk.B.Rows, l)
+		}
+		if e := OrthogonalityError(gk.X); e > 1e-12 {
+			t.Fatalf("X orthogonality error %g", e)
+		}
+		if e := OrthogonalityError(gk.Q); e > 1e-12 {
+			t.Fatalf("Q orthogonality error %g", e)
+		}
+		// B upper bidiagonal.
+		for i := 0; i < gk.B.Rows; i++ {
+			for j := 0; j < gk.B.Cols; j++ {
+				if j != i && j != i+1 && gk.B.At(i, j) != 0 {
+					t.Fatalf("B[%d][%d]=%g not bidiagonal", i, j, gk.B.At(i, j))
+				}
+			}
+		}
+		// At full rank C = X·B·Qᵀ exactly (to roundoff).
+		rec := Mul(gk.X, Mul(gk.B, gk.Q.T()))
+		if d := rec.Sub(c).FrobeniusNorm(); d > 1e-10*c.FrobeniusNorm() {
+			t.Fatalf("%dx%d full-rank reconstruction error %g", k, p, d)
+		}
+	}
+}
+
+func TestGKBidiagTruncationResidualShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randMat(rng, 12, 40)
+	prev := math.Inf(1)
+	for _, l := range []int{2, 4, 8, 12} {
+		gk := GKBidiag(c, l)
+		res := Mul(gk.X, Mul(gk.B, gk.Q.T())).Sub(c).FrobeniusNorm()
+		if res > prev+1e-12 {
+			t.Fatalf("residual grew at l=%d: %g > %g", l, res, prev)
+		}
+		prev = res
+	}
+	if prev > 1e-10*c.FrobeniusNorm() {
+		t.Fatalf("full-rank residual %g", prev)
+	}
+}
+
+func TestGKBidiagRankDeficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// rank-3 matrix: product of 8x3 and 3x20, plus duplicated columns.
+	c := Mul(randMat(rng, 8, 3), randMat(rng, 3, 20))
+	gk := GKBidiag(c, 8)
+	if gk.B.Rows > 4 {
+		t.Fatalf("rank-3 input yielded %d GK steps", gk.B.Rows)
+	}
+	rec := Mul(gk.X, Mul(gk.B, gk.Q.T()))
+	if d := rec.Sub(c).FrobeniusNorm(); d > 1e-10*c.FrobeniusNorm() {
+		t.Fatalf("rank-deficient reconstruction error %g", d)
+	}
+}
+
+func TestGKBidiagZeroAndEmpty(t *testing.T) {
+	z := New(5, 7)
+	gk := GKBidiag(z, 4)
+	if gk.B.Rows != 0 || gk.X.Cols != 0 || gk.Q.Cols != 0 {
+		t.Fatalf("zero matrix: got %d steps", gk.B.Rows)
+	}
+	e := New(5, 0)
+	gk = GKBidiag(e, 4)
+	if gk.B.Rows != 0 {
+		t.Fatalf("empty matrix: got %d steps", gk.B.Rows)
+	}
+}
+
+func TestGKBidiagDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randMat(rng, 9, 30)
+	a := GKBidiag(c, 5)
+	b := GKBidiag(c.Clone(), 5)
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("X differs between identical runs")
+		}
+	}
+	for i := range a.Q.Data {
+		if a.Q.Data[i] != b.Q.Data[i] {
+			t.Fatal("Q differs between identical runs")
+		}
+	}
+}
+
+func TestCholUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMat(rng, 20, 6)
+	g := MulT(a, a) // SPD (w.h.p.)
+	r, err := CholUpper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < r.Rows; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R[%d][%d]=%g below diagonal", i, j, r.At(i, j))
+			}
+		}
+	}
+	if d := MulT(r, r).Sub(g).FrobeniusNorm(); d > 1e-10*g.FrobeniusNorm() {
+		t.Fatalf("RᵀR − G error %g", d)
+	}
+	// Singular Gram fails.
+	b := New(2, 3)
+	b.Set(0, 0, 1)
+	b.Set(1, 1, 1)
+	if _, err := CholUpper(MulT(b, b)); err == nil {
+		t.Fatal("singular Gram accepted")
+	}
+}
+
+func TestInvertUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := randMat(rng, 15, 5)
+	r, err := CholUpper(MulT(a, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := InvertUpper(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Mul(r, ri).Sub(Identity(5)).FrobeniusNorm(); d > 1e-10 {
+		t.Fatalf("R·R⁻¹ − I error %g", d)
+	}
+}

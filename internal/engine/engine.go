@@ -33,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dense"
 	"repro/internal/rank"
+	"repro/internal/sparse"
 )
 
 // Exported error sentinels; the HTTP layer switches on these.
@@ -51,6 +53,9 @@ var (
 	ErrDuplicateID = errors.New("engine: duplicate document id")
 	// ErrClosed means the engine is shutting down or closed.
 	ErrClosed = errors.New("engine: closed")
+	// ErrUnknownID means a delete named a document ID that does not exist
+	// (never submitted, or already deleted).
+	ErrUnknownID = errors.New("engine: unknown document id")
 )
 
 // Config parameterizes the update pipeline. The zero value gets sensible
@@ -93,16 +98,30 @@ type Config struct {
 	// IVFMinRows is the smallest collection the engine bothers indexing
 	// (default rank.DefaultIVFMinRows).
 	IVFMinRows int
+	// CompactionStrategy selects the SVD-update algorithm compaction uses:
+	// core.StrategyOBrien (exact dense inner SVD, the default) or
+	// core.StrategyGK (Golub–Kahan projections, Vecharynski–Saad). Both
+	// pass the same parity suite; GK bounds the inner SVD independently of
+	// how many documents a compaction absorbs.
+	CompactionStrategy core.UpdateStrategy
+	// GKRank is the Golub–Kahan projection rank for StrategyGK; 0 means
+	// core.DefaultGKRank. Ignored under StrategyOBrien.
+	GKRank int
 }
 
 // Stats is a point-in-time view of the pipeline for /stats and /metrics.
 type Stats struct {
-	Generation      uint64
-	QueueDepth      int
-	Compactions     int64
-	Compacting      bool
+	Generation  uint64
+	QueueDepth  int
+	Compactions int64
+	Compacting  bool
+	// Documents counts live documents — physical rows minus tombstones.
 	Documents       int
 	FoldedDocuments int
+	// Tombstones counts deleted documents still physically present in the
+	// serving snapshot (excluded from every query); the next compaction
+	// folds them out.
+	Tombstones int
 	// Screening reports whether the serving scoring cache carries the
 	// float32 screening mirror (false when Config.DisableScreening).
 	Screening bool
@@ -137,14 +156,37 @@ type submitResult struct {
 }
 
 type submission struct {
-	doc   corpus.Document
+	doc corpus.Document
+	// del marks a deletion: doc.ID names the target and doc.Text is empty.
+	// Deletes ride the same FIFO queue as fold-ins so a submit→delete (or
+	// delete→resubmit) pair applies in the order the client issued it.
+	del   bool
 	reply chan submitResult
 }
 
 type compactResult struct {
-	model *core.Model // base with pending docs absorbed; FoldedDocs()==0
-	count int         // how many pending docs it absorbed
-	err   error
+	model *core.Model // compacted base; FoldedDocs()==0
+	count int         // how many pending entries it resolved (live absorbed + dead dropped)
+	// downdated reports whether the frozen dead base rows were folded out
+	// of the model (false when the downdate was skipped or degenerate —
+	// those rows then survive physically and stay tombstoned).
+	downdated bool
+	err       error
+}
+
+// frozenCompaction records what an in-flight compaction froze, so
+// finishCompaction can remap every surviving row from the old serving
+// coordinates to the compacted ones. Rows [0,baseN) are the base,
+// [baseN,baseN+pendingCount) the frozen pending entries.
+type frozenCompaction struct {
+	baseN        int
+	pendingCount int
+	// deadBase lists tombstoned base rows (ascending) at freeze time; the
+	// compaction folds them out when the downdate is feasible.
+	deadBase []int
+	// deadPending marks frozen pending entries already deleted: they are
+	// dropped from the pending list instead of being absorbed.
+	deadPending []bool
 }
 
 // ivfResult is a finished background cluster-index build. epoch tags the
@@ -207,9 +249,23 @@ type Engine struct {
 	counters    queryCounters
 
 	// Updater-goroutine-owned state (no locking: single owner).
-	base      *core.Model       // last pure-SVD model; nil disables compaction
-	pending   []corpus.Document // docs folded in since base was computed
-	ids       map[string]struct{}
+	base    *core.Model       // last pure-SVD model; nil disables compaction
+	pending []corpus.Document // docs folded in since base was computed
+	// rowOf maps live document ID → row in the current snapshot; it doubles
+	// as the duplicate-ID registry, and deletion removes the entry so a
+	// deleted ID can be resubmitted.
+	rowOf map[string]int
+	// deadRows holds tombstoned rows (current snapshot coordinates):
+	// physically present, excluded from every query via Snapshot.Dead,
+	// folded out by the next compaction.
+	deadRows map[int]struct{}
+	// frozen is the in-flight compaction's freeze record (internal or
+	// external); nil when no compaction is running.
+	frozen *frozenCompaction
+	// deadStuck is set when a compaction left dead base rows in place
+	// (degenerate downdate) so the trigger doesn't relaunch a compaction
+	// that cannot make progress; any batch activity clears it.
+	deadStuck bool
 	nextID    int
 	compactCh chan compactResult
 	ivfCh     chan ivfResult
@@ -253,13 +309,14 @@ func New(coll *corpus.Collection, model *core.Model, cfg Config) (*Engine, error
 		ops:       make(chan func(), 4),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
-		ids:       make(map[string]struct{}, coll.Size()),
+		rowOf:     make(map[string]int, coll.Size()),
+		deadRows:  make(map[int]struct{}),
 		compactCh: make(chan compactResult, 1),
 		ivfCh:     make(chan ivfResult, 1),
 	}
 	docs := append([]corpus.Document(nil), coll.Docs...)
-	for _, d := range docs {
-		e.ids[d.ID] = struct{}{}
+	for i, d := range docs {
+		e.rowOf[d.ID] = i
 	}
 	e.nextID = len(docs)
 	if model.FoldedDocs() == 0 && model.FoldedTerms() == 0 {
@@ -315,8 +372,9 @@ func (e *Engine) Stats() Stats {
 		QueueDepth:        len(e.queue),
 		Compactions:       e.compactions.Load(),
 		Compacting:        e.compacting.Load(),
-		Documents:         s.NumDocs(),
+		Documents:         s.LiveDocs(),
 		FoldedDocuments:   s.Model.FoldedDocs(),
+		Tombstones:        s.Tombstones(),
 		Screening:         s.Eng.Screening(),
 		MirrorMaxEps:      s.Eng.MirrorMaxEps(),
 		IVFRebuilds:       e.ivfRebuilds.Load(),
@@ -347,6 +405,27 @@ func (e *Engine) Submit(ctx context.Context, doc corpus.Document) (string, error
 		return res.id, res.err
 	case <-ctx.Done():
 		return "", ctx.Err()
+	}
+}
+
+// Delete queues a tombstone for the named document and waits for the
+// batch that applies it. Once applied the document is invisible to every
+// query and /stats count; its physical row is folded out of the model at
+// the next compaction. Deleting an unknown (or already deleted) ID
+// returns ErrUnknownID. Deletes share the fold-in queue, so submit and
+// delete of the same ID apply in submission order, and a deleted ID can
+// be resubmitted as a fresh document. If ctx expires while waiting, the
+// delete has been accepted and will still apply.
+func (e *Engine) Delete(ctx context.Context, id string) error {
+	sub := submission{doc: corpus.Document{ID: id}, del: true, reply: make(chan submitResult, 1)}
+	if err := e.enqueue(sub); err != nil {
+		return err
+	}
+	select {
+	case res := <-sub.reply:
+		return res.err
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -471,17 +550,51 @@ func (e *Engine) drainQueue() []submission {
 	}
 }
 
-// applyBatch validates a batch, folds the accepted documents into a
-// copy-on-write clone of the current model as one FoldInDocs call,
-// publishes the successor snapshot, and acknowledges every submitter.
+// deadSkip builds the published tombstone set for n rows; nil when there
+// are no tombstones, so the delete-free read path stays on the unskipped
+// kernels.
+func deadSkip(n int, dead map[int]struct{}) rank.Skip {
+	if len(dead) == 0 {
+		return nil
+	}
+	s := rank.NewSkip(n)
+	for r := range dead {
+		s.Set(r)
+	}
+	return s
+}
+
+// applyBatch validates a batch in queue order — fold-ins and deletes
+// interleaved exactly as submitted — folds the accepted documents into a
+// copy-on-write clone of the current model as one FoldInDocs call, builds
+// the successor tombstone set, publishes the successor snapshot, and
+// acknowledges every submitter.
 func (e *Engine) applyBatch(batch []submission) {
 	if len(batch) == 0 {
 		return
 	}
 	cur := e.snap.Load()
+	oldN := cur.NumDocs()
 	accepted := make([]corpus.Document, 0, len(batch))
 	replies := make([]submission, 0, len(batch))
+	deleted := 0
 	for _, sub := range batch {
+		if sub.del {
+			row, ok := e.rowOf[sub.doc.ID]
+			if !ok {
+				sub.reply <- submitResult{err: fmt.Errorf("%w: %q", ErrUnknownID, sub.doc.ID)}
+				continue
+			}
+			// The row stays physically in place (a doc accepted earlier in
+			// this very batch included — it still folds in below) but is
+			// tombstoned before the successor snapshot publishes, and the ID
+			// is released so it can be resubmitted.
+			delete(e.rowOf, sub.doc.ID)
+			e.deadRows[row] = struct{}{}
+			deleted++
+			replies = append(replies, sub)
+			continue
+		}
 		id := sub.doc.ID
 		if id == "" {
 			// Auto-assigned IDs skip over anything a user already took, so
@@ -489,27 +602,38 @@ func (e *Engine) applyBatch(batch []submission) {
 			for {
 				id = fmt.Sprintf("doc-%d", e.nextID)
 				e.nextID++
-				if _, taken := e.ids[id]; !taken {
+				if _, taken := e.rowOf[id]; !taken {
 					break
 				}
 			}
-		} else if _, dup := e.ids[id]; dup {
+		} else if _, dup := e.rowOf[id]; dup {
 			sub.reply <- submitResult{err: fmt.Errorf("%w: %q", ErrDuplicateID, id)}
 			continue
 		}
-		e.ids[id] = struct{}{}
+		// Row assignment is eager so a delete later in the same batch can
+		// resolve this document.
+		e.rowOf[id] = oldN + len(accepted)
 		accepted = append(accepted, corpus.Document{ID: id, Text: sub.doc.Text})
 		sub.doc.ID = id
 		replies = append(replies, sub)
 	}
 	if len(accepted) > 0 {
 		next := cur.Model.SharedClone()
-		oldN := next.NumDocs()
 		next.FoldInDocs(e.coll.DocVectors(accepted))
 		eng := cur.Eng.Extend(next.V.Slice(oldN, next.NumDocs(), 0, next.V.Cols))
 		docs := append(cur.Docs, accepted...)
-		e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: next, Eng: eng, Docs: docs, counters: &e.counters})
+		e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: next, Eng: eng, Docs: docs,
+			Dead: deadSkip(len(docs), e.deadRows), counters: &e.counters})
 		e.pending = append(e.pending, accepted...)
+	} else if deleted > 0 {
+		// Pure-delete batch: same model and cache, new tombstone set.
+		e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: cur.Model, Eng: cur.Eng, Docs: cur.Docs,
+			Dead: deadSkip(oldN, e.deadRows), counters: &e.counters})
+	}
+	if len(accepted) > 0 || deleted > 0 {
+		// New rows or new tombstones change the downdate geometry; a
+		// previously degenerate fold-out may be feasible now.
+		e.deadStuck = false
 	}
 	for _, sub := range replies {
 		sub.reply <- submitResult{id: sub.doc.ID}
@@ -587,13 +711,48 @@ func (e *Engine) finishIVFBuild(res ivfResult) {
 	e.maybeRebuildIVF()
 }
 
+// freezeDead splits the current tombstones along the frozen prefix:
+// ascending dead base rows, a dead mask over the frozen pending entries.
+// Rows tombstoned after the freeze are outside both and survive the
+// compaction (remapped, still dead) to be resolved next cycle.
+func (e *Engine) freezeDead() (deadBase []int, deadPending []bool) {
+	baseN := e.base.NumDocs()
+	deadPending = make([]bool, len(e.pending))
+	for row := range e.deadRows {
+		if row < baseN {
+			deadBase = append(deadBase, row)
+		} else {
+			deadPending[row-baseN] = true
+		}
+	}
+	sort.Ints(deadBase)
+	return deadBase, deadPending
+}
+
+// liveRows returns the ascending complement of dead within [0, n).
+func liveRows(n int, dead []int) []int {
+	live := make([]int, 0, n-len(dead))
+	j := 0
+	for i := 0; i < n; i++ {
+		if j < len(dead) && dead[j] == i {
+			j++
+			continue
+		}
+		live = append(live, i)
+	}
+	return live
+}
+
 // maybeCompact launches an SVD-update compaction when the published
-// model's orthogonality loss exceeds the threshold. At most one
-// compaction runs at a time; it works from the immutable base model and a
-// frozen copy of the pending fold-ins, so reads and further fold-ins
-// proceed untouched while it runs.
+// model's orthogonality loss exceeds the threshold, or when tombstones
+// can be folded out: dead pending entries are dropped from the update
+// and dead base rows are removed by a downdate (core.DowndateDocs) when
+// enough live rows remain for one. At most one compaction runs at a
+// time; it works from the immutable base model and a frozen copy of the
+// pending fold-ins, so reads and further fold-ins proceed untouched
+// while it runs.
 func (e *Engine) maybeCompact() {
-	if e.cfg.CompactThreshold <= 0 || e.base == nil || e.compacting.Load() || len(e.pending) == 0 {
+	if e.cfg.CompactThreshold <= 0 || e.base == nil || e.compacting.Load() {
 		return
 	}
 	select {
@@ -601,16 +760,51 @@ func (e *Engine) maybeCompact() {
 		return
 	default:
 	}
-	if e.snap.Load().Model.DocOrthogonality() <= e.cfg.CompactThreshold {
+	deadBase, deadPending := e.freezeDead()
+	anyDeadPending := false
+	for _, d := range deadPending {
+		anyDeadPending = anyDeadPending || d
+	}
+	baseN := e.base.NumDocs()
+	canDowndate := len(deadBase) > 0 && !e.deadStuck && baseN-len(deadBase) >= len(e.base.S)
+	needOrth := len(e.pending) > 0 &&
+		e.snap.Load().Model.DocOrthogonality() > e.cfg.CompactThreshold
+	if !canDowndate && !anyDeadPending && !needOrth {
 		return
 	}
 	base := e.base.SharedClone()
-	d := e.coll.DocVectors(e.pending)
+	livePend := make([]corpus.Document, 0, len(e.pending))
+	for i, doc := range e.pending {
+		if !deadPending[i] {
+			livePend = append(livePend, doc)
+		}
+	}
+	var d *sparse.CSR
+	if len(livePend) > 0 {
+		d = e.coll.DocVectors(livePend)
+	}
 	count := len(e.pending)
+	opts := core.UpdateOptions{Strategy: e.cfg.CompactionStrategy, GKRank: e.cfg.GKRank}
+	live := liveRows(baseN, deadBase)
+	e.frozen = &frozenCompaction{baseN: baseN, pendingCount: count, deadBase: deadBase, deadPending: deadPending}
 	e.compacting.Store(true)
 	go func() {
-		err := base.UpdateDocs(d)
-		e.compactCh <- compactResult{model: base, count: count, err: err}
+		res := compactResult{model: base, count: count}
+		if canDowndate {
+			switch err := base.DowndateDocs(live); {
+			case err == nil:
+				res.downdated = true
+			case errors.Is(err, core.ErrDowndateDegenerate):
+				// Keep the dead rows tombstoned; the update below still runs
+				// on the full base.
+			default:
+				res.err = err
+			}
+		}
+		if res.err == nil && d != nil {
+			res.err = base.UpdateDocsOpts(d, opts)
+		}
+		e.compactCh <- res
 	}()
 }
 
@@ -627,8 +821,17 @@ type ExternalCompaction struct {
 	// BaseDocs lists the documents Base's V rows describe, in row order.
 	BaseDocs []corpus.Document
 	// Pending lists the documents folded in since Base, in fold order —
-	// the docs the coordinated plan must absorb.
+	// the docs the coordinated plan must absorb (except those marked dead
+	// in DeadPending, which are dropped).
 	Pending []corpus.Document
+	// DeadBaseRows lists tombstoned rows of Base in ascending order. The
+	// owner folds them out with a global downdate plan when feasible and
+	// reports the outcome through FinishExternalCompaction's downdated
+	// flag; rows left in place stay tombstoned.
+	DeadBaseRows []int
+	// DeadPending marks Pending entries already deleted: the plan must
+	// exclude them (their rows are dropped, never absorbed).
+	DeadPending []bool
 }
 
 // External-compaction error sentinels.
@@ -661,11 +864,20 @@ func (e *Engine) BeginExternalCompaction() (*ExternalCompaction, error) {
 		default:
 			e.compacting.Store(true)
 			e.external = true
+			deadBase, deadPending := e.freezeDead()
+			e.frozen = &frozenCompaction{
+				baseN:        e.base.NumDocs(),
+				pendingCount: len(e.pending),
+				deadBase:     deadBase,
+				deadPending:  deadPending,
+			}
 			docs := e.snap.Load().Docs
 			st = &ExternalCompaction{
-				Base:     e.base.SharedClone(),
-				BaseDocs: docs[:e.base.NumDocs()],
-				Pending:  append([]corpus.Document(nil), e.pending...),
+				Base:         e.base.SharedClone(),
+				BaseDocs:     docs[:e.base.NumDocs()],
+				Pending:      append([]corpus.Document(nil), e.pending...),
+				DeadBaseRows: deadBase,
+				DeadPending:  deadPending,
 			}
 		}
 	}); opErr != nil {
@@ -675,12 +887,14 @@ func (e *Engine) BeginExternalCompaction() (*ExternalCompaction, error) {
 }
 
 // FinishExternalCompaction lands an externally computed compaction:
-// model must be the frozen Base with exactly the frozen Pending docs
-// absorbed (FoldedDocs() == 0, absorbed = len(Pending)). Reconciliation
-// matches the internal path — documents folded while the owner computed
+// model must be the frozen Base with exactly the frozen live Pending
+// docs absorbed (FoldedDocs() == 0, absorbed = len(Pending) — dead
+// entries count as resolved, not folded) and, when downdated is true,
+// the frozen DeadBaseRows folded out. Reconciliation matches the
+// internal path — documents folded (or deleted) while the owner computed
 // are re-folded onto the new base and the result is published as the
 // next generation.
-func (e *Engine) FinishExternalCompaction(model *core.Model, absorbed int) error {
+func (e *Engine) FinishExternalCompaction(model *core.Model, absorbed int, downdated bool) error {
 	var err error
 	if opErr := e.onUpdater(func() {
 		if !e.external {
@@ -688,7 +902,7 @@ func (e *Engine) FinishExternalCompaction(model *core.Model, absorbed int) error
 			return
 		}
 		e.external = false
-		e.finishCompaction(compactResult{model: model, count: absorbed})
+		e.finishCompaction(compactResult{model: model, count: absorbed, downdated: downdated})
 	}); opErr != nil {
 		return opErr
 	}
@@ -702,6 +916,7 @@ func (e *Engine) AbortExternalCompaction() {
 	_ = e.onUpdater(func() {
 		if e.external {
 			e.external = false
+			e.frozen = nil
 			e.compacting.Store(false)
 		}
 	})
@@ -712,34 +927,87 @@ func (e *Engine) AbortExternalCompaction() {
 func (e *Engine) QueueCapacity() int { return cap(e.queue) }
 
 // finishCompaction reconciles a landed compaction with whatever folded in
-// while it ran: documents beyond the compacted prefix are re-folded onto
-// the fresh base, and the result is published as the next generation. The
-// document list is unchanged — only the latent coordinates moved.
+// (or died) while it ran: resolved rows — downdated dead base rows and
+// dropped dead pending entries — leave the document list, every surviving
+// row is remapped to its compacted index, documents beyond the compacted
+// prefix are re-folded onto the fresh base, and the result is published
+// as the next generation.
 func (e *Engine) finishCompaction(res compactResult) {
 	e.compacting.Store(false)
+	fr := e.frozen
+	e.frozen = nil
 	if res.err != nil {
 		// Should be unreachable (the base is unfolded by construction);
 		// keep serving the folded snapshots and leave pending intact.
 		e.cfg.Logf("engine: compaction failed: %v", res.err)
 		return
 	}
+	if fr == nil {
+		// Defensive: a finish without a freeze record (hand-driven tests
+		// landing a plain update) behaves like a delete-free compaction.
+		fr = &frozenCompaction{baseN: e.base.NumDocs(), pendingCount: res.count,
+			deadPending: make([]bool, res.count)}
+	}
+	if len(fr.deadBase) > 0 && !res.downdated {
+		// The fold-out didn't happen (downdate degenerate); don't relaunch
+		// until a batch changes the geometry.
+		e.deadStuck = true
+	}
+	cur := e.snap.Load()
+	// Remap old serving rows to compacted rows: −1 for rows the compaction
+	// resolved (downdated base rows, dropped dead pending entries);
+	// everything else keeps its relative order.
+	newRow := make([]int, cur.NumDocs())
+	next := 0
+	db, fp := 0, fr.baseN
+	for old := range newRow {
+		switch {
+		case old < fr.baseN && res.downdated && db < len(fr.deadBase) && fr.deadBase[db] == old:
+			db++
+			newRow[old] = -1
+		case old >= fr.baseN && old < fp+fr.pendingCount && fr.deadPending[old-fr.baseN]:
+			newRow[old] = -1
+		default:
+			newRow[old] = next
+			next++
+		}
+	}
+	docs := make([]corpus.Document, 0, next)
+	for old, d := range cur.Docs {
+		if newRow[old] >= 0 {
+			docs = append(docs, d)
+		}
+	}
+	for id, old := range e.rowOf {
+		e.rowOf[id] = newRow[old]
+	}
+	// Tombstones the compaction resolved disappear; deaths after the
+	// freeze survive remapped and are folded out next cycle.
+	dead := make(map[int]struct{}, len(e.deadRows))
+	for old := range e.deadRows {
+		if nr := newRow[old]; nr >= 0 {
+			dead[nr] = struct{}{}
+		}
+	}
+	e.deadRows = dead
 	leftover := append([]corpus.Document(nil), e.pending[res.count:]...)
 	serving := res.model.SharedClone()
 	if len(leftover) > 0 {
 		serving.FoldInDocs(e.coll.DocVectors(leftover))
 	}
-	cur := e.snap.Load()
 	// Compaction rotated every document coordinate, so the scoring cache
 	// is rebuilt rather than extended — and the coordinate epoch advances,
 	// invalidating any in-flight cluster-index build against the old
 	// coordinates. The fresh cache starts unindexed; the rebuild trigger
 	// below sees a 100% unclustered tail and starts a background build.
 	e.coordsEpoch++
-	e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: serving, Eng: e.newRankEngine(serving.V), Docs: cur.Docs, counters: &e.counters})
+	e.snap.Store(&Snapshot{Gen: cur.Gen + 1, Model: serving, Eng: e.newRankEngine(serving.V), Docs: docs,
+		Dead: deadSkip(len(docs), e.deadRows), counters: &e.counters})
 	e.base = res.model
 	e.pending = leftover
 	e.compactions.Add(1)
-	// The leftover fold-ins may already exceed the threshold again.
+	// The leftover fold-ins may already exceed the threshold again — and
+	// post-freeze deaths may already justify another fold-out.
 	e.maybeCompact()
 	e.maybeRebuildIVF()
 }

@@ -69,7 +69,7 @@ func TestExternalCompactionLifecycle(t *testing.T) {
 	model := plan.Apply(st.Base, rot.AugmentRows(plan.VNew))
 
 	before := e.Snapshot().Gen
-	if err := e.FinishExternalCompaction(model, len(st.Pending)); err != nil {
+	if err := e.FinishExternalCompaction(model, len(st.Pending), false); err != nil {
 		t.Fatal(err)
 	}
 	snap := e.Snapshot()
@@ -129,7 +129,7 @@ func TestCloseDuringExternalCompactionDoesNotHang(t *testing.T) {
 		t.Fatalf("close hung or failed: %v", err)
 	}
 	// The owner's finish now reports closed instead of publishing.
-	if err := e.FinishExternalCompaction(st.Base, 0); !errors.Is(err, ErrClosed) {
+	if err := e.FinishExternalCompaction(st.Base, 0, false); !errors.Is(err, ErrClosed) {
 		t.Fatalf("finish after close: %v", err)
 	}
 }

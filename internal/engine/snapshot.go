@@ -29,16 +29,30 @@ type Snapshot struct {
 	// read path touches no mutex at all.
 	Eng *rank.Engine
 	// Docs maps document index → document; the slice prefix is shared
-	// across snapshots (the updater only appends).
+	// across snapshots (the updater only appends between compactions).
 	Docs []corpus.Document
+	// Dead marks tombstoned rows: deleted documents still physically
+	// present (they leave at the next compaction) but excluded from every
+	// ranking — the skip set threads through the rank kernels so a dead
+	// row is never scored, never seeds a threshold, and never surfaces.
+	// Nil when nothing is deleted, which keeps the delete-free read path
+	// on the unskipped kernels.
+	Dead rank.Skip
 	// counters points at the owning engine's cumulative query counters;
 	// the lock-free read path records per-query ScreenStats here without
 	// reaching back into the engine. Nil on hand-built snapshots.
 	counters *queryCounters
 }
 
-// NumDocs returns how many documents the snapshot serves.
+// NumDocs returns how many document rows the snapshot holds physically,
+// tombstones included.
 func (s *Snapshot) NumDocs() int { return len(s.Docs) }
+
+// Tombstones counts deleted-but-present rows.
+func (s *Snapshot) Tombstones() int { return s.Dead.CountUpTo(len(s.Docs)) }
+
+// LiveDocs counts the documents queries can actually return.
+func (s *Snapshot) LiveDocs() int { return len(s.Docs) - s.Tombstones() }
 
 // Doc returns document j.
 func (s *Snapshot) Doc(j int) corpus.Document { return s.Docs[j] }
@@ -49,8 +63,9 @@ func (s *Snapshot) Doc(j int) corpus.Document { return s.Docs[j] }
 // normalized matrix, same bounded selection — so results are byte-stable
 // with the model's own scoring path; it just reads the snapshot-owned
 // cache instead of the model's lock-guarded one.
+// Tombstoned rows are excluded as if never inserted.
 func (s *Snapshot) RankTop(raw []float64, n int) []core.Ranked {
-	items, st := s.Eng.TopKWithStats(s.Model.ProjectQuery(raw), n)
+	items, st := s.Eng.TopKSkipWithStats(s.Model.ProjectQuery(raw), n, s.Dead)
 	s.counters.record(st)
 	return toRanked(items)
 }
@@ -65,7 +80,7 @@ func (s *Snapshot) RankBatch(raws [][]float64, n int) [][]core.Ranked {
 	for i, raw := range raws {
 		qhats[i] = s.Model.ProjectQuery(raw)
 	}
-	res, stats := s.Eng.TopKBatchWithStats(dense.NewFromRows(qhats), n)
+	res, stats := s.Eng.TopKBatchSkipWithStats(dense.NewFromRows(qhats), n, s.Dead)
 	out := make([][]core.Ranked, len(res))
 	for i, items := range res {
 		s.counters.record(stats[i])

@@ -168,3 +168,131 @@ func TestStressSnapshotIsolation(t *testing.T) {
 		t.Fatalf("%d unique ids want %d", len(seen), 14+writers)
 	}
 }
+
+// TestStressDeleteTraffic adds concurrent deletes to the churn: a writer
+// streams fold-ins, a deleter tombstones every third document as soon as
+// its batch published, readers keep ranking throughout, and a tiny
+// compaction threshold keeps compactions (fold-ins absorbed, tombstones
+// folded out by downdates) running under all of it. Snapshot-consistent
+// invariant: a result row is never tombstoned in the snapshot that
+// produced it. End state: every deleted document is physically gone,
+// every surviving one present exactly once.
+func TestStressDeleteTraffic(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	e, coll := testEngine(t, Config{
+		QueueSize:        1024,
+		BatchTick:        200 * time.Microsecond,
+		CompactThreshold: 1e-9,
+	})
+	const (
+		writers = 40
+		readers = 4
+		reads   = 120
+	)
+	queries := [][]float64{
+		coll.QueryVector("age blood abnormalities"),
+		coll.QueryVector("depressed patients fast culture"),
+		coll.QueryVector("oestrogen detected rise"),
+	}
+
+	toDelete := make(chan string, writers)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		defer close(toDelete)
+		ctx := context.Background()
+		for i := 0; i < writers; i++ {
+			id := fmt.Sprintf("S%d", i)
+			if _, err := e.Submit(ctx, corpus.Document{ID: id, Text: fmt.Sprintf("depressed rats culture pressure %d", i)}); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			if i%3 == 0 {
+				toDelete <- id
+			}
+		}
+	}()
+	deleterDone := make(chan struct{})
+	deleted := make(map[string]bool, writers/3+1)
+	go func() {
+		defer close(deleterDone)
+		ctx := context.Background()
+		for id := range toDelete {
+			if err := e.Delete(ctx, id); err != nil {
+				t.Errorf("delete %s: %v", id, err)
+				return
+			}
+			deleted[id] = true
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				s := e.Snapshot()
+				if s.Model.NumDocs() != s.NumDocs() || s.Eng.NumDocs() != s.NumDocs() {
+					t.Errorf("reader %d: inconsistent snapshot: model=%d docs=%d eng=%d",
+						g, s.Model.NumDocs(), s.NumDocs(), s.Eng.NumDocs())
+					return
+				}
+				if s.LiveDocs()+s.Tombstones() != s.NumDocs() {
+					t.Errorf("reader %d: live %d + dead %d != physical %d",
+						g, s.LiveDocs(), s.Tombstones(), s.NumDocs())
+					return
+				}
+				ranked := s.RankTop(queries[i%len(queries)], 8)
+				for j, r := range ranked {
+					if r.Doc < 0 || r.Doc >= s.NumDocs() {
+						t.Errorf("reader %d: doc index %d out of range", g, r.Doc)
+						return
+					}
+					if s.Dead.Has(r.Doc) {
+						t.Errorf("reader %d: tombstoned row %d (%s) surfaced", g, r.Doc, s.Doc(r.Doc).ID)
+						return
+					}
+					if j > 0 && ranked[j-1].Score < r.Score {
+						t.Errorf("reader %d: scores not sorted", g)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	<-writerDone
+	<-deleterDone
+
+	want := 14 + writers - len(deleted)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := e.Stats()
+		if st.Documents == want && st.Tombstones == 0 && !st.Compacting &&
+			st.QueueDepth == 0 && st.Compactions >= 2 && st.FoldedDocuments == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline did not settle: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := e.Snapshot()
+	seen := make(map[string]int)
+	for j := 0; j < s.NumDocs(); j++ {
+		seen[s.Doc(j).ID]++
+	}
+	for id, n := range seen {
+		if deleted[id] {
+			t.Fatalf("deleted id %s still physically present", id)
+		}
+		if n != 1 {
+			t.Fatalf("id %s appears %d times", id, n)
+		}
+	}
+	if len(seen) != want {
+		t.Fatalf("%d unique ids want %d", len(seen), want)
+	}
+}

@@ -124,3 +124,69 @@ func gatherAlloc(mem []int32, rows []float32) []float32 {
 	_ = visit
 	return out
 }
+
+// cleanReorth mirrors the Golub–Kahan full-reorthogonalization inner
+// loop (dense.reorthRows): two modified Gram–Schmidt passes of dot and
+// axpy against row views of a caller-owned basis — run O(l²) times per
+// bidiagonalization, so it must stay allocation-free.
+//
+//lsilint:noalloc
+func cleanReorth(basis [][]float64, j int, v []float64) {
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < j; i++ {
+			row := basis[i]
+			var d float64
+			for t := range row {
+				d += row[t] * v[t]
+			}
+			for t := range row {
+				v[t] -= d * row[t]
+			}
+		}
+	}
+}
+
+// reorthAlloc is the same Gram–Schmidt step gone wrong: materializing a
+// scratch projection per basis row and closing over the loop state both
+// allocate inside the O(l²) reorthogonalization loop.
+//
+//lsilint:noalloc
+func reorthAlloc(basis [][]float64, j int, v []float64) {
+	for i := 0; i < j; i++ {
+		proj := make([]float64, len(v)) // want noalloc
+		row := basis[i]
+		dot := func() float64 { // want noalloc
+			var d float64
+			for t := range row {
+				d += row[t] * v[t]
+			}
+			return d
+		}
+		d := dot()
+		for t := range row {
+			proj[t] = d * row[t]
+			v[t] -= proj[t]
+		}
+	}
+}
+
+// cleanBidiagStep mirrors the Golub–Kahan recurrence body: coupling the
+// new Lanczos direction to the previous one (u ← C·q − β·x_prev written
+// by the caller's gemv) and recording the α/β bidiagonal entries by
+// index into preallocated slices.
+//
+//lsilint:noalloc
+func cleanBidiagStep(u, xPrev, alpha, beta []float64, j int, b float64) float64 {
+	for t := range u {
+		u[t] -= b * xPrev[t]
+	}
+	var n float64
+	for t := range u {
+		n += u[t] * u[t]
+	}
+	alpha[j] = n
+	if j > 0 {
+		beta[j-1] = b
+	}
+	return n
+}

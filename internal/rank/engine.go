@@ -184,10 +184,21 @@ func (e *Engine) scoreSpan(out, qn []float64, lo, hi int) {
 
 // offerSpan scores rows [lo, hi) and feeds them through the bounded
 // selector — the fused score+select kernel behind exact TopK shards.
+// Skipped (tombstoned) rows are never scored or offered; the nil-skip
+// branch is hoisted so the delete-free path is unchanged.
 //
 //lsilint:noalloc
-func (e *Engine) offerSpan(s *selector, qn []float64, lo, hi int) {
+func (e *Engine) offerSpan(s *selector, qn []float64, lo, hi int, skip Skip) {
+	if skip == nil {
+		for i := lo; i < hi; i++ {
+			s.offer(Item{Doc: i, Score: dense.Dot(qn, e.docs.Row(i))})
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
+		if skip.Has(i) {
+			continue
+		}
 		s.offer(Item{Doc: i, Score: dense.Dot(qn, e.docs.Row(i))})
 	}
 }
@@ -233,12 +244,28 @@ func (e *Engine) TopK(q []float64, k int) []Item {
 // whether screening ran and how many rows were rescored exactly. The
 // items are identical to TopK's.
 func (e *Engine) TopKWithStats(q []float64, k int) ([]Item, ScreenStats) {
+	return e.TopKSkipWithStats(q, k, nil)
+}
+
+// TopKSkip is TopK with the rows in skip excluded — the tombstone-aware
+// entry point of the serving tier. Skipped rows behave as if they were
+// never inserted: they are not scored, not offered, and cannot seed a
+// certified screening threshold, so the result is byte-identical (after
+// index mapping) to an engine built without those rows. A nil skip is
+// exactly TopK.
+func (e *Engine) TopKSkip(q []float64, k int, skip Skip) []Item {
+	items, _ := e.TopKSkipWithStats(q, k, skip)
+	return items
+}
+
+// TopKSkipWithStats is TopKSkip plus the scan report.
+func (e *Engine) TopKSkipWithStats(q []float64, k int, skip Skip) ([]Item, ScreenStats) {
 	if len(q) != e.docs.Cols {
 		panic(fmt.Sprintf("rank: query dim %d want %d", len(q), e.docs.Cols))
 	}
 	n := e.docs.Rows
-	if k > n {
-		k = n
+	if live := n - skip.CountUpTo(n); k > live {
+		k = live
 	}
 	if k <= 0 {
 		return []Item{}, ScreenStats{}
@@ -247,24 +274,24 @@ func (e *Engine) TopKWithStats(q []float64, k int) ([]Item, ScreenStats) {
 	if e.ivf != nil && e.screenable(k) {
 		q32 := make([]float32, len(qn))
 		dense.ConvertF32(q32, qn)
-		return e.topKIVF(qn, q32, e.screenSlack(qn, q32), k, e.ivf.nprobe)
+		return e.topKIVF(qn, q32, e.screenSlack(qn, q32), k, e.ivf.nprobe, skip)
 	}
 	if e.screenable(k) {
-		return e.topKScreened(qn, k)
+		return e.topKScreened(qn, k, skip)
 	}
-	return e.topKExact(qn, k), ScreenStats{}
+	return e.topKExact(qn, k, skip), ScreenStats{}
 }
 
 // topKExact is the pure float64 path: scoring and selection fused per
 // worker — each shard scores its rows into a bounded heap, and the shard
 // survivors merge at the barrier; the full score vector is never
 // materialized.
-func (e *Engine) topKExact(qn []float64, k int) []Item {
+func (e *Engine) topKExact(qn []float64, k int, skip Skip) []Item {
 	n := e.docs.Rows
 	nw := runtime.GOMAXPROCS(0)
 	if n*e.docs.Cols < scoreParallelCutoff || nw < 2 || n < 2 {
 		s := newSelector(k)
-		e.offerSpan(s, qn, 0, n)
+		e.offerSpan(s, qn, 0, n, skip)
 		return s.finish()
 	}
 	if nw > n {
@@ -285,7 +312,7 @@ func (e *Engine) topKExact(qn []float64, k int) []Item {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			s := newSelector(k)
-			e.offerSpan(s, qn, lo, hi)
+			e.offerSpan(s, qn, lo, hi, skip)
 			sels[w] = s
 		}(w, lo, hi)
 	}
@@ -313,6 +340,13 @@ func (e *Engine) TopKBatch(queries *dense.Matrix, k int) [][]Item {
 // reporting what each query's scan did. The items are identical to
 // TopKBatch's.
 func (e *Engine) TopKBatchWithStats(queries *dense.Matrix, k int) ([][]Item, []ScreenStats) {
+	return e.TopKBatchSkipWithStats(queries, k, nil)
+}
+
+// TopKBatchSkipWithStats is TopKBatchWithStats with the rows in skip
+// excluded from every query of the batch — per-row results are identical
+// to calling TopKSkip per query.
+func (e *Engine) TopKBatchSkipWithStats(queries *dense.Matrix, k int, skip Skip) ([][]Item, []ScreenStats) {
 	if queries.Cols != e.docs.Cols {
 		panic(fmt.Sprintf("rank: batch query dim %d want %d", queries.Cols, e.docs.Cols))
 	}
@@ -321,12 +355,12 @@ func (e *Engine) TopKBatchWithStats(queries *dense.Matrix, k int) ([][]Item, []S
 	if queries.Rows == 0 {
 		return out, stats
 	}
-	if k > 0 && e.screenable(minInt(k, e.docs.Rows)) {
-		kk := minInt(k, e.docs.Rows)
+	live := e.docs.Rows - skip.CountUpTo(e.docs.Rows)
+	if kk := minInt(k, live); kk > 0 && e.screenable(kk) {
 		if e.ivf != nil {
-			e.topKBatchIVF(out, stats, queries, kk, e.ivf.nprobe)
+			e.topKBatchIVF(out, stats, queries, kk, e.ivf.nprobe, skip)
 		} else {
-			e.topKBatchScreened(out, stats, queries, kk)
+			e.topKBatchScreened(out, stats, queries, kk, skip)
 		}
 		return out, stats
 	}
@@ -348,7 +382,7 @@ func (e *Engine) TopKBatchWithStats(queries *dense.Matrix, k int) ([][]Item, []S
 		}
 		dense.MulBTInto(block, qn, e.docs)
 		for r := 0; r < qn.Rows; r++ {
-			out[b0+r] = TopK(block.Row(r), nil, k)
+			out[b0+r] = TopKSkip(block.Row(r), nil, k, skip)
 		}
 	}
 	return out, stats
@@ -356,8 +390,12 @@ func (e *Engine) TopKBatchWithStats(queries *dense.Matrix, k int) ([][]Item, []S
 
 // topKBatchScreened fills out with the two-stage batch path: one float32
 // gemm per query block against the mirror, then the per-row certified
-// rescore. Callers guarantee screenable(k) and 0 < k < NumDocs.
-func (e *Engine) topKBatchScreened(out [][]Item, stats []ScreenStats, queries *dense.Matrix, k int) {
+// rescore. The gemm still covers every row (skipped rows are pruned at
+// selection, not scoring — a gemm gather would cost more than it saves);
+// lbThreshold and rescorePass honor the skip set, so tombstoned rows can
+// neither seed the threshold nor surface. Callers guarantee
+// screenable(k) and 0 < k ≤ live rows.
+func (e *Engine) topKBatchScreened(out [][]Item, stats []ScreenStats, queries *dense.Matrix, k int, skip Skip) {
 	blockRows := minInt(batchBlock, queries.Rows)
 	scores := dense.NewF32(blockRows, e.docs.Rows)
 	q32s := dense.NewF32(blockRows, queries.Cols)
@@ -381,9 +419,9 @@ func (e *Engine) topKBatchScreened(out [][]Item, stats []ScreenStats, queries *d
 		for r := 0; r < qn.Rows; r++ {
 			qnr := qn.Row(r)
 			slack := e.screenSlack(qnr, q32blk.Row(r))
-			low := e.lbThreshold(block.Row(r), slack, k)
+			low := e.lbThreshold(block.Row(r), slack, k, skip)
 			var cands int
-			out[b0+r], cands = e.rescorePass(block.Row(r), qnr, slack, k, low)
+			out[b0+r], cands = e.rescorePass(block.Row(r), qnr, slack, k, low, skip)
 			stats[b0+r] = ScreenStats{Screened: true, Candidates: cands,
 				ScannedRows: e.docs.Rows}
 		}

@@ -532,10 +532,14 @@ func getIVFScratch(n int) *ivfScratch {
 }
 
 // topKIVF is the cluster-pruned two-stage scan. Callers guarantee
-// screenable(k) and e.ivf != nil; nprobe ≤ 0 scans until the certified
-// bound terminates the sweep (exact), nprobe > 0 additionally caps the
-// scan at nprobe cells once at least k rows have been seen.
-func (e *Engine) topKIVF(qn []float64, q32 []float32, slack float64, k, nprobe int) ([]Item, ScreenStats) {
+// screenable(k), k ≤ live rows, and e.ivf != nil; nprobe ≤ 0 scans until
+// the certified bound terminates the sweep (exact), nprobe > 0
+// additionally caps the scan at nprobe cells once at least k rows have
+// been seen. Skipped rows are excluded at gather time, so they never
+// enter the scratch arrays and rescoreGathered needs no skip test; a
+// cell's certified ub stays valid for its surviving members (the radius
+// only loosens when the tombstoned row was the farthest member).
+func (e *Engine) topKIVF(qn []float64, q32 []float32, slack float64, k, nprobe int, skip Skip) ([]Item, ScreenStats) {
 	idx := e.ivf
 	nc := len(idx.members)
 	ubs := make([]float64, nc)
@@ -560,7 +564,7 @@ func (e *Engine) topKIVF(qn []float64, q32 []float32, slack float64, k, nprobe i
 	// The unclustered tail — rows appended after the index was built —
 	// is always scanned: it both seeds the threshold and keeps a stale
 	// index exact.
-	m := e.gatherRange(sel, sc.ids, sc.s32, q32, slack, idx.rows, e.docs.Rows, 0)
+	m := e.gatherRange(sel, sc.ids, sc.s32, q32, slack, idx.rows, e.docs.Rows, 0, skip)
 	scanned := 0
 	for _, c := range order {
 		if len(sel.h) >= k {
@@ -571,7 +575,7 @@ func (e *Engine) topKIVF(qn []float64, q32 []float32, slack float64, k, nprobe i
 				break // approximate mode: probe budget spent
 			}
 		}
-		m = e.gatherMembers(sel, sc.ids, sc.s32, q32, slack, idx.members[c], m)
+		m = e.gatherMembers(sel, sc.ids, sc.s32, q32, slack, idx.members[c], m, skip)
 		scanned++
 	}
 	low := math.Inf(-1)
@@ -593,8 +597,21 @@ func (e *Engine) topKIVF(qn []float64, q32 []float32, slack float64, k, nprobe i
 // new fill count. The serial stage-1 kernel of the tail scan.
 //
 //lsilint:noalloc
-func (e *Engine) gatherRange(s *selector, ids []int32, s32 []float32, q32 []float32, slack float64, lo, hi, m int) int {
+func (e *Engine) gatherRange(s *selector, ids []int32, s32 []float32, q32 []float32, slack float64, lo, hi, m int, skip Skip) int {
+	if skip == nil {
+		for i := lo; i < hi; i++ {
+			sc := dense.DotF32(q32, e.mir.docs.Row(i))
+			ids[m] = int32(i)
+			s32[m] = sc
+			m++
+			s.offer(Item{Doc: i, Score: float64(sc) - e.mir.eps[i] - slack})
+		}
+		return m
+	}
 	for i := lo; i < hi; i++ {
+		if skip.Has(i) {
+			continue
+		}
 		sc := dense.DotF32(q32, e.mir.docs.Row(i))
 		ids[m] = int32(i)
 		s32[m] = sc
@@ -608,9 +625,23 @@ func (e *Engine) gatherRange(s *selector, ids []int32, s32 []float32, q32 []floa
 // cluster-scan kernel: an int32-gathered float32 sweep of the mirror.
 //
 //lsilint:noalloc
-func (e *Engine) gatherMembers(s *selector, ids []int32, s32 []float32, q32 []float32, slack float64, mem []int32, m int) int {
+func (e *Engine) gatherMembers(s *selector, ids []int32, s32 []float32, q32 []float32, slack float64, mem []int32, m int, skip Skip) int {
+	if skip == nil {
+		for _, id := range mem {
+			i := int(id)
+			sc := dense.DotF32(q32, e.mir.docs.Row(i))
+			ids[m] = id
+			s32[m] = sc
+			m++
+			s.offer(Item{Doc: i, Score: float64(sc) - e.mir.eps[i] - slack})
+		}
+		return m
+	}
 	for _, id := range mem {
 		i := int(id)
+		if skip.Has(i) {
+			continue
+		}
 		sc := dense.DotF32(q32, e.mir.docs.Row(i))
 		ids[m] = id
 		s32[m] = sc
@@ -643,12 +674,18 @@ func (e *Engine) rescoreGathered(s *selector, ids []int32, s32 []float32, qn []f
 // below the screening cutoff) it degrades to the exact path regardless
 // of nprobe. The returned stats report what the scan did.
 func (e *Engine) TopKProbe(q []float64, k, nprobe int) ([]Item, ScreenStats) {
+	return e.TopKProbeSkip(q, k, nprobe, nil)
+}
+
+// TopKProbeSkip is TopKProbe with the rows in skip excluded — the
+// tombstone-aware form of the explicit-probe entry point.
+func (e *Engine) TopKProbeSkip(q []float64, k, nprobe int, skip Skip) ([]Item, ScreenStats) {
 	if len(q) != e.docs.Cols {
 		panic(fmt.Sprintf("rank: query dim %d want %d", len(q), e.docs.Cols))
 	}
 	n := e.docs.Rows
-	if k > n {
-		k = n
+	if live := n - skip.CountUpTo(n); k > live {
+		k = live
 	}
 	if k <= 0 {
 		return []Item{}, ScreenStats{}
@@ -657,26 +694,26 @@ func (e *Engine) TopKProbe(q []float64, k, nprobe int) ([]Item, ScreenStats) {
 	if e.ivf != nil && e.screenable(k) {
 		q32 := make([]float32, len(qn))
 		dense.ConvertF32(q32, qn)
-		return e.topKIVF(qn, q32, e.screenSlack(qn, q32), k, nprobe)
+		return e.topKIVF(qn, q32, e.screenSlack(qn, q32), k, nprobe, skip)
 	}
 	if e.screenable(k) {
-		return e.topKScreened(qn, k)
+		return e.topKScreened(qn, k, skip)
 	}
-	return e.topKExact(qn, k), ScreenStats{}
+	return e.topKExact(qn, k, skip), ScreenStats{}
 }
 
 // topKBatchIVF serves a query batch through the cluster-pruned path:
 // pruning is inherently per-query, so instead of one gemm over all rows
 // the batch fans queries across workers, each running the same scan a
 // single TopK would — results stay byte-identical to per-query calls.
-func (e *Engine) topKBatchIVF(out [][]Item, stats []ScreenStats, queries *dense.Matrix, k, nprobe int) {
+func (e *Engine) topKBatchIVF(out [][]Item, stats []ScreenStats, queries *dense.Matrix, k, nprobe int, skip Skip) {
 	nq := queries.Rows
 	run := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			qn := normalizeCopy(queries.Row(i))
 			q32 := make([]float32, len(qn))
 			dense.ConvertF32(q32, qn)
-			out[i], stats[i] = e.topKIVF(qn, q32, e.screenSlack(qn, q32), k, nprobe)
+			out[i], stats[i] = e.topKIVF(qn, q32, e.screenSlack(qn, q32), k, nprobe, skip)
 		}
 	}
 	nw := runtime.GOMAXPROCS(0)

@@ -57,9 +57,16 @@ const selectParallelCutoff = 1 << 14
 // everything with Less and truncating to k — including tie order —
 // because selection under a strict total order is permutation-invariant.
 func TopK(scores []float64, ids []int, k int) []Item {
+	return TopKSkip(scores, ids, k, nil)
+}
+
+// TopKSkip is TopK with positions in skip excluded from selection, as if
+// those entries were not present: they are never offered, and k clamps to
+// the live count. A nil skip is exactly TopK.
+func TopKSkip(scores []float64, ids []int, k int, skip Skip) []Item {
 	n := len(scores)
-	if k > n {
-		k = n
+	if live := n - skip.CountUpTo(n); k > live {
+		k = live
 	}
 	if k <= 0 {
 		return []Item{}
@@ -67,9 +74,7 @@ func TopK(scores []float64, ids []int, k int) []Item {
 	nw := runtime.GOMAXPROCS(0)
 	if n < selectParallelCutoff || nw < 2 {
 		s := newSelector(k)
-		for i, sc := range scores {
-			s.offer(Item{Doc: docID(ids, i), Score: sc})
-		}
+		offerScores(s, scores, ids, skip, 0, n)
 		return s.finish()
 	}
 	if nw > n {
@@ -90,14 +95,32 @@ func TopK(scores []float64, ids []int, k int) []Item {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			s := newSelector(k)
-			for i := lo; i < hi; i++ {
-				s.offer(Item{Doc: docID(ids, i), Score: scores[i]})
-			}
+			offerScores(s, scores, ids, skip, lo, hi)
 			sels[w] = s
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	return mergeSelectors(sels, k)
+}
+
+// offerScores feeds scores[lo:hi] through the selector, honoring the skip
+// set. The nil-skip branch is hoisted out of the loop so the delete-free
+// path pays nothing per element.
+//
+//lsilint:noalloc
+func offerScores(s *selector, scores []float64, ids []int, skip Skip, lo, hi int) {
+	if skip == nil {
+		for i := lo; i < hi; i++ {
+			s.offer(Item{Doc: docID(ids, i), Score: scores[i]})
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		if skip.Has(i) {
+			continue
+		}
+		s.offer(Item{Doc: docID(ids, i), Score: scores[i]})
+	}
 }
 
 func docID(ids []int, i int) int {

@@ -176,28 +176,32 @@ func getScreenBuf(n int) *[]float32 {
 }
 
 // topKScreened runs the two-stage scan for a normalized query. Callers
-// guarantee screenable(k).
-func (e *Engine) topKScreened(qn []float64, k int) ([]Item, ScreenStats) {
+// guarantee screenable(k) and k ≤ live rows. Skipped rows are never
+// scored: stage 1 leaves their buf entry untouched (possibly stale pool
+// data), which is safe because every later read of buf is guarded by the
+// same skip test.
+func (e *Engine) topKScreened(qn []float64, k int, skip Skip) ([]Item, ScreenStats) {
 	q32 := make([]float32, len(qn))
 	dense.ConvertF32(q32, qn)
 	slack := e.screenSlack(qn, q32)
 	bufp := getScreenBuf(e.docs.Rows)
 	buf := *bufp
-	low := e.screenPass(buf, q32, slack, k)
-	items, cands := e.rescorePass(buf, qn, slack, k, low)
+	low := e.screenPass(buf, q32, slack, k, skip)
+	items, cands := e.rescorePass(buf, qn, slack, k, low, skip)
 	screenBuf.Put(bufp)
-	return items, ScreenStats{Screened: true, Candidates: cands, ScannedRows: e.docs.Rows}
+	scanned := e.docs.Rows - skip.CountUpTo(e.docs.Rows)
+	return items, ScreenStats{Screened: true, Candidates: cands, ScannedRows: scanned}
 }
 
-// screenPass fills buf with the float32 screened score of every row and
-// returns the kth largest certified lower bound — the screening
+// screenPass fills buf with the float32 screened score of every live row
+// and returns the kth largest certified lower bound — the screening
 // threshold L. The scan shards exactly like the float64 scoring scan.
-func (e *Engine) screenPass(buf []float32, q32 []float32, slack float64, k int) float64 {
+func (e *Engine) screenPass(buf []float32, q32 []float32, slack float64, k int, skip Skip) float64 {
 	n := e.docs.Rows
 	nw := runtime.GOMAXPROCS(0)
 	if n*e.docs.Cols < scoreParallelCutoff || nw < 2 || n < 2 {
 		s := newSelector(k)
-		e.screenSpan(s, buf, q32, slack, 0, n)
+		e.screenSpan(s, buf, q32, slack, 0, n, skip)
 		return s.finish()[k-1].Score
 	}
 	if nw > n {
@@ -218,22 +222,35 @@ func (e *Engine) screenPass(buf []float32, q32 []float32, slack float64, k int) 
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			s := newSelector(k)
-			e.screenSpan(s, buf, q32, slack, lo, hi)
+			e.screenSpan(s, buf, q32, slack, lo, hi, skip)
 			sels[w] = s
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	// Every row was offered and n > k, so the merge holds exactly k items.
+	// Every live row was offered and k ≤ live (callers clamp), so the
+	// merge holds at least k items.
 	return mergeSelectors(sels, k)[k-1].Score
 }
 
 // screenSpan is the stage-1 kernel: float32 dot against mirror rows
 // [lo, hi), recording the raw screened score and feeding the certified
-// lower bound through the selector.
+// lower bound through the selector. Skipped rows are not scored and
+// their buf entry is left untouched.
 //
 //lsilint:noalloc
-func (e *Engine) screenSpan(s *selector, buf []float32, q32 []float32, slack float64, lo, hi int) {
+func (e *Engine) screenSpan(s *selector, buf []float32, q32 []float32, slack float64, lo, hi int, skip Skip) {
+	if skip == nil {
+		for i := lo; i < hi; i++ {
+			sc := dense.DotF32(q32, e.mir.docs.Row(i))
+			buf[i] = sc
+			s.offer(Item{Doc: i, Score: float64(sc) - e.mir.eps[i] - slack})
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
+		if skip.Has(i) {
+			continue
+		}
 		sc := dense.DotF32(q32, e.mir.docs.Row(i))
 		buf[i] = sc
 		s.offer(Item{Doc: i, Score: float64(sc) - e.mir.eps[i] - slack})
@@ -244,12 +261,12 @@ func (e *Engine) screenSpan(s *selector, buf []float32, q32 []float32, slack flo
 // row whose upper bound clears the threshold, and returns the exact
 // top-k plus the candidate count. The rescore uses the same dense.Dot
 // the exact path uses, so surviving scores are bit-identical to it.
-func (e *Engine) rescorePass(buf []float32, qn []float64, slack float64, k int, low float64) ([]Item, int) {
+func (e *Engine) rescorePass(buf []float32, qn []float64, slack float64, k int, low float64, skip Skip) ([]Item, int) {
 	n := e.docs.Rows
 	nw := runtime.GOMAXPROCS(0)
 	if n*e.docs.Cols < scoreParallelCutoff || nw < 2 || n < 2 {
 		s := newSelector(k)
-		cands := e.rescoreSpan(s, buf, qn, slack, low, 0, n)
+		cands := e.rescoreSpan(s, buf, qn, slack, low, 0, n, skip)
 		return s.finish(), cands
 	}
 	if nw > n {
@@ -271,7 +288,7 @@ func (e *Engine) rescorePass(buf []float32, qn []float64, slack float64, k int, 
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			s := newSelector(k)
-			counts[w] = e.rescoreSpan(s, buf, qn, slack, low, lo, hi)
+			counts[w] = e.rescoreSpan(s, buf, qn, slack, low, lo, hi, skip)
 			sels[w] = s
 		}(w, lo, hi)
 	}
@@ -284,12 +301,25 @@ func (e *Engine) rescorePass(buf []float32, qn []float64, slack float64, k int, 
 }
 
 // rescoreSpan is the stage-2 kernel over rows [lo, hi): cheap float32
-// upper-bound test, exact float64 rescore only for survivors.
+// upper-bound test, exact float64 rescore only for survivors. The skip
+// test guards the buf read too — a skipped row's entry may be stale.
 //
 //lsilint:noalloc
-func (e *Engine) rescoreSpan(s *selector, buf []float32, qn []float64, slack float64, low float64, lo, hi int) int {
+func (e *Engine) rescoreSpan(s *selector, buf []float32, qn []float64, slack float64, low float64, lo, hi int, skip Skip) int {
 	cands := 0
+	if skip == nil {
+		for i := lo; i < hi; i++ {
+			if float64(buf[i])+e.mir.eps[i]+slack >= low {
+				s.offer(Item{Doc: i, Score: dense.Dot(qn, e.docs.Row(i))})
+				cands++
+			}
+		}
+		return cands
+	}
 	for i := lo; i < hi; i++ {
+		if skip.Has(i) {
+			continue
+		}
 		if float64(buf[i])+e.mir.eps[i]+slack >= low {
 			s.offer(Item{Doc: i, Score: dense.Dot(qn, e.docs.Row(i))})
 			cands++
@@ -300,13 +330,14 @@ func (e *Engine) rescoreSpan(s *selector, buf []float32, qn []float64, slack flo
 
 // lbThreshold computes the screening threshold for a score row that was
 // already screened by a batched gemm (stage 1 of TopKBatch): the kth
-// largest certified lower bound over buf.
-func (e *Engine) lbThreshold(buf []float32, slack float64, k int) float64 {
+// largest certified lower bound over the live entries of buf. Callers
+// clamp k ≤ live, so at least k bounds are offered.
+func (e *Engine) lbThreshold(buf []float32, slack float64, k int, skip Skip) float64 {
 	n := len(buf)
 	nw := runtime.GOMAXPROCS(0)
 	if n < selectParallelCutoff || nw < 2 {
 		s := newSelector(k)
-		e.lbSpan(s, buf, slack, 0, n)
+		e.lbSpan(s, buf, slack, 0, n, skip)
 		return s.finish()[k-1].Score
 	}
 	if nw > n {
@@ -327,7 +358,7 @@ func (e *Engine) lbThreshold(buf []float32, slack float64, k int) float64 {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			s := newSelector(k)
-			e.lbSpan(s, buf, slack, lo, hi)
+			e.lbSpan(s, buf, slack, lo, hi, skip)
 			sels[w] = s
 		}(w, lo, hi)
 	}
@@ -335,12 +366,22 @@ func (e *Engine) lbThreshold(buf []float32, slack float64, k int) float64 {
 	return mergeSelectors(sels, k)[k-1].Score
 }
 
-// lbSpan offers the certified lower bound of already-screened rows
-// [lo, hi) through the selector.
+// lbSpan offers the certified lower bound of already-screened live rows
+// [lo, hi) through the selector — a skipped row must not seed the
+// threshold (its gemm score is real here, but it is not a candidate).
 //
 //lsilint:noalloc
-func (e *Engine) lbSpan(s *selector, buf []float32, slack float64, lo, hi int) {
+func (e *Engine) lbSpan(s *selector, buf []float32, slack float64, lo, hi int, skip Skip) {
+	if skip == nil {
+		for i := lo; i < hi; i++ {
+			s.offer(Item{Doc: i, Score: float64(buf[i]) - e.mir.eps[i] - slack})
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
+		if skip.Has(i) {
+			continue
+		}
 		s.offer(Item{Doc: i, Score: float64(buf[i]) - e.mir.eps[i] - slack})
 	}
 }

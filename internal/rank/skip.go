@@ -1,0 +1,61 @@
+package rank
+
+import "math/bits"
+
+// Skip is an immutable bitset of excluded (tombstoned) row indices. A
+// nil Skip excludes nothing and costs one branch per scan — the serving
+// tier passes nil until the first deletion, so the delete-free hot paths
+// are unchanged. Set bits make the selection kernels behave as if the
+// row did not exist: it is never scored, never offered to a selector,
+// and never seeds a certified screening threshold, which keeps skipped
+// results byte-identical to an engine built without those rows (pinned
+// by test).
+//
+// Writers build a Skip with NewSkip/Set, publish it, and never mutate it
+// again; readers only call Has/CountUpTo.
+//
+//lsilint:immutable
+type Skip []uint64
+
+// NewSkip returns an empty skip set covering rows [0, n).
+func NewSkip(n int) Skip {
+	return make(Skip, (n+63)/64)
+}
+
+// Set marks row i as skipped. Builder-side only — never call on a
+// published Skip.
+func (s Skip) Set(i int) {
+	s[i>>6] |= 1 << (uint(i) & 63) //lsilint:ignore snapshotsafe — builder-side write before publication; callers construct via NewSkip and never mutate after handing the Skip to a snapshot
+}
+
+// Has reports whether row i is skipped. Safe on a nil receiver and on
+// indices past the bitset (both report false), so kernels can run one
+// shared implementation over engines larger than the set.
+//
+//lsilint:noalloc
+func (s Skip) Has(i int) bool {
+	w := i >> 6
+	if w >= len(s) {
+		return false
+	}
+	return s[w]&(1<<(uint(i)&63)) != 0
+}
+
+// CountUpTo returns how many rows in [0, n) are skipped.
+func (s Skip) CountUpTo(n int) int {
+	if s == nil || n <= 0 {
+		return 0
+	}
+	full := n >> 6
+	if full > len(s) {
+		full = len(s)
+	}
+	c := 0
+	for _, w := range s[:full] {
+		c += bits.OnesCount64(w)
+	}
+	if rem := uint(n & 63); rem != 0 && full < len(s) {
+		c += bits.OnesCount64(s[full] & (1<<rem - 1))
+	}
+	return c
+}

@@ -1,0 +1,278 @@
+package rank
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// skipEvery builds a skip set over n rows marking every stride-th row
+// (and always row 0, typically a strong match under random queries).
+func skipEvery(n, stride int) Skip {
+	s := NewSkip(n)
+	for i := 0; i < n; i += stride {
+		s.Set(i)
+	}
+	return s
+}
+
+// liveOf returns the complement of skip over [0, n): the original index
+// of each surviving row, in order.
+func liveOf(n int, skip Skip) []int {
+	var live []int
+	for i := 0; i < n; i++ {
+		if !skip.Has(i) {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// compactRows gathers the live rows of docs into a fresh matrix — the
+// "physically removed" reference a skip scan must be indistinguishable
+// from.
+func compactRows(docs *dense.Matrix, live []int) *dense.Matrix {
+	out := dense.New(len(live), docs.Cols)
+	for i, r := range live {
+		copy(out.Row(i), docs.Row(r))
+	}
+	return out
+}
+
+// remapItems translates a compacted engine's doc ids back to original
+// row indices so results are comparable item-for-item.
+func remapItems(items []Item, live []int) []Item {
+	out := make([]Item, len(items))
+	for i, it := range items {
+		out[i] = Item{Doc: live[it.Doc], Score: it.Score}
+	}
+	return out
+}
+
+func TestSkipBitset(t *testing.T) {
+	var nilSkip Skip
+	if nilSkip.Has(0) || nilSkip.Has(1000) {
+		t.Fatal("nil skip reports set bits")
+	}
+	if nilSkip.CountUpTo(500) != 0 {
+		t.Fatal("nil skip counts nonzero")
+	}
+	s := NewSkip(130) // 3 words, last partial
+	for _, i := range []int{0, 63, 64, 100, 129} {
+		s.Set(i)
+	}
+	for _, i := range []int{0, 63, 64, 100, 129} {
+		if !s.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	for _, i := range []int{1, 62, 65, 128, 500} {
+		if s.Has(i) {
+			t.Fatalf("bit %d unexpectedly set", i)
+		}
+	}
+	for _, tc := range []struct{ n, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 2}, {65, 3}, {101, 4}, {129, 4}, {130, 5}, {1000, 5},
+	} {
+		if got := s.CountUpTo(tc.n); got != tc.want {
+			t.Fatalf("CountUpTo(%d) = %d want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestTopKSkipPackage pins the package-level selection: TopKSkip over a
+// score vector equals TopK over the physically-filtered scores with ids
+// mapped back, for serial and parallel sizes.
+func TestTopKSkipPackage(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{40, selectParallelCutoff + 100} {
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+		}
+		// Exact ties across the live/skipped boundary.
+		for i := 3; i < n; i += 7 {
+			scores[i] = scores[i-1]
+		}
+		skip := skipEvery(n, 3)
+		live := liveOf(n, skip)
+		filtered := make([]float64, len(live))
+		ids := make([]int, len(live))
+		for i, r := range live {
+			filtered[i] = scores[r]
+			ids[i] = r
+		}
+		for _, k := range []int{1, 5, len(live) - 1, len(live), n, n + 10} {
+			got := TopKSkip(scores, nil, k, skip)
+			want := TopK(filtered, ids, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d k=%d: TopKSkip diverges from filtered TopK\n got %v\nwant %v",
+					n, k, got, want)
+			}
+		}
+		if got := TopKSkip(scores, nil, 0, skip); len(got) != 0 {
+			t.Fatal("k=0 not empty")
+		}
+	}
+	// Skipping everything yields an empty result for any k.
+	all := NewSkip(100)
+	for i := 0; i < 100; i++ {
+		all.Set(i)
+	}
+	if got := TopKSkip(make([]float64, 100), nil, 5, all); len(got) != 0 {
+		t.Fatalf("all-skipped returned %v", got)
+	}
+}
+
+// TestEngineSkipMatchesCompacted is the pinning test for tombstone
+// serving: every engine path — exact (serial and parallel), screened,
+// and cluster-pruned — queried with a skip set must return results
+// byte-identical (after index mapping) to an engine built without the
+// skipped rows. Skipped rows include the strongest matches, so a row
+// leaking into a threshold or a selector would change the output.
+func TestEngineSkipMatchesCompacted(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(73))
+	cases := []struct {
+		n, dim int
+		ivf    bool
+	}{
+		{60, 8, false},    // tiny: exact fallback everywhere
+		{900, 20, false},  // screened, serial
+		{2600, 16, false}, // screened, parallel scan
+		{2600, 16, true},  // cluster-pruned
+	}
+	for _, tc := range cases {
+		docs := randomMatrix(rng, tc.n, tc.dim)
+		for i := 4; i < tc.n; i += 9 {
+			copy(docs.Row(i), docs.Row(i-1)) // ties across the skip boundary
+		}
+		skip := skipEvery(tc.n, 4)
+		live := liveOf(tc.n, skip)
+		compact := compactRows(docs, live)
+
+		type pair struct {
+			name string
+			full *Engine // queried with skip
+			ref  *Engine // built without the skipped rows
+		}
+		pairs := []pair{
+			{"exact", NewEngineExact(docs), NewEngineExact(compact)},
+			{"screened", NewEngine(docs), NewEngine(compact)},
+		}
+		if tc.ivf {
+			cfg := IVFConfig{MinRows: 1}
+			pairs = append(pairs, pair{"ivf", ivfEngine(docs, cfg), ivfEngine(compact, cfg)})
+		}
+		q := make([]float64, tc.dim)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		// Aim the query at a skipped row so it would dominate if leaked.
+		copy(q, docs.Row(0))
+		for _, p := range pairs {
+			for _, k := range []int{1, 3, 10, len(live) - 1, len(live), tc.n + 5} {
+				got := p.full.TopKSkip(q, k, skip)
+				want := remapItems(p.ref.TopK(q, k), live)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s n=%d k=%d: skip result diverges from compacted engine\n got %v\nwant %v",
+						p.name, tc.n, k, got, want)
+				}
+				for _, it := range got {
+					if skip.Has(it.Doc) {
+						t.Fatalf("%s n=%d k=%d: skipped row %d surfaced", p.name, tc.n, k, it.Doc)
+					}
+				}
+			}
+			// Probe-capped scans stay within the live set too (approximate
+			// mode changes recall, never resurrects a tombstone).
+			if tc.ivf {
+				items, _ := p.full.TopKProbeSkip(q, 10, 2, skip)
+				for _, it := range items {
+					if skip.Has(it.Doc) {
+						t.Fatalf("%s: skipped row %d surfaced under nprobe", p.name, it.Doc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineSkipBatchMatchesCompacted pins the batch paths: the float64
+// gemm fallback, the screened batch, and the cluster-pruned batch all
+// honor the skip set and agree with per-query TopKSkip and with the
+// compacted reference engine.
+func TestEngineSkipBatchMatchesCompacted(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(79))
+	for _, tc := range []struct {
+		n, dim int
+		ivf    bool
+	}{
+		{80, 6, false},    // gemm fallback (below screen cutoff)
+		{2600, 16, false}, // screened batch
+		{2600, 16, true},  // IVF batch
+	} {
+		docs := randomMatrix(rng, tc.n, tc.dim)
+		skip := skipEvery(tc.n, 5)
+		live := liveOf(tc.n, skip)
+		compact := compactRows(docs, live)
+		var full, ref *Engine
+		if tc.ivf {
+			cfg := IVFConfig{MinRows: 1}
+			full, ref = ivfEngine(docs, cfg), ivfEngine(compact, cfg)
+		} else {
+			full, ref = NewEngine(docs), NewEngine(compact)
+		}
+		queries := randomMatrix(rng, batchBlock+5, tc.dim)
+		copy(queries.Row(0), docs.Row(0)) // aimed at a skipped row
+		k := 12
+		got, _ := full.TopKBatchSkipWithStats(queries, k, skip)
+		wantBatch, _ := ref.TopKBatchWithStats(queries, k)
+		for i := range got {
+			want := remapItems(wantBatch[i], live)
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("n=%d ivf=%v query %d: batch skip diverges\n got %v\nwant %v",
+					tc.n, tc.ivf, i, got[i], want)
+			}
+			single := full.TopKSkip(queries.Row(i), k, skip)
+			if !reflect.DeepEqual(got[i], single) {
+				t.Fatalf("n=%d ivf=%v query %d: batch vs single TopKSkip diverge", tc.n, tc.ivf, i)
+			}
+		}
+	}
+}
+
+// TestEngineSkipNilAndEmpty: a nil skip and an all-zero skip are both
+// exactly the unskipped scan.
+func TestEngineSkipNilAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	docs := randomMatrix(rng, 500, 12)
+	e := NewEngine(docs)
+	q := make([]float64, 12)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	want := e.TopK(q, 7)
+	if got := e.TopKSkip(q, 7, nil); !reflect.DeepEqual(got, want) {
+		t.Fatal("nil skip diverges from TopK")
+	}
+	if got := e.TopKSkip(q, 7, NewSkip(500)); !reflect.DeepEqual(got, want) {
+		t.Fatal("empty skip diverges from TopK")
+	}
+	// Skip covering every row yields nothing.
+	all := NewSkip(500)
+	for i := 0; i < 500; i++ {
+		all.Set(i)
+	}
+	if got := e.TopKSkip(q, 7, all); len(got) != 0 {
+		t.Fatalf("all-skipped engine returned %v", got)
+	}
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// deleteDoc issues DELETE /docs/{id}.
+func deleteDoc(t *testing.T, s *Server, id string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodDelete, "/docs/"+id, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// searchIDs runs /search and returns the result IDs in rank order.
+func searchIDs(t *testing.T, s *Server, query string, n int) []string {
+	t.Helper()
+	rec := get(t, s, "/search?q="+strings.ReplaceAll(query, " ", "+")+"&n="+itoa(n))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search status %d: %s", rec.Code, rec.Body)
+	}
+	var results []SearchResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, len(results))
+	for i, r := range results {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+func TestDeleteDocumentLifecycle(t *testing.T) {
+	s, _ := testServer(t)
+	stats := func() Stats {
+		rec := get(t, s, "/stats")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("stats status %d", rec.Code)
+		}
+		var st Stats
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// Fold in a document and confirm it ranks for its own words.
+	if rec := postDoc(s, `{"id":"M15","text":"behavior of rats after detected rise in oestrogen"}`); rec.Code != http.StatusCreated {
+		t.Fatalf("add doc status %d: %s", rec.Code, rec.Body)
+	}
+	found := false
+	for _, id := range searchIDs(t, s, "rats oestrogen", 15) {
+		found = found || id == "M15"
+	}
+	if !found {
+		t.Fatal("folded-in M15 not retrievable before delete")
+	}
+
+	// DELETE: 204, owner shard reported, immediately invisible.
+	rec := deleteDoc(t, s, "M15")
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("delete status %d: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("X-LSI-Shard") == "" {
+		t.Fatal("delete response missing X-LSI-Shard")
+	}
+	for _, id := range searchIDs(t, s, "rats oestrogen", 15) {
+		if id == "M15" {
+			t.Fatal("deleted M15 still retrievable")
+		}
+	}
+	st := stats()
+	if st.Documents != 14 || st.Tombstones != 1 {
+		t.Fatalf("post-delete stats: documents=%d tombstones=%d", st.Documents, st.Tombstones)
+	}
+	if len(st.PerShard) != 1 || st.PerShard[0].Tombstones != 1 {
+		t.Fatalf("per-shard tombstones missing: %+v", st.PerShard)
+	}
+
+	// The ID was released: re-POST of the same ID is 201, not 409.
+	if rec := postDoc(s, `{"id":"M15","text":"generation of random spheres"}`); rec.Code != http.StatusCreated {
+		t.Fatalf("re-add after delete: status %d: %s", rec.Code, rec.Body)
+	}
+
+	// Seed-corpus documents delete the same way.
+	if rec := deleteDoc(t, s, "M3"); rec.Code != http.StatusNoContent {
+		t.Fatalf("seed delete status %d: %s", rec.Code, rec.Body)
+	}
+	// Deleting it again: the ID no longer exists.
+	if rec := deleteDoc(t, s, "M3"); rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete status %d", rec.Code)
+	}
+	if rec := deleteDoc(t, s, "never-was"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown delete status %d", rec.Code)
+	}
+
+	// The tombstone gauge is exported.
+	mrec := get(t, s, "/metrics")
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", mrec.Code)
+	}
+	if !strings.Contains(mrec.Body.String(), "lsi_tombstones") {
+		t.Fatal("metrics missing lsi_tombstones gauge")
+	}
+}
+
+func TestDeleteDocumentValidation(t *testing.T) {
+	s, _ := testServer(t)
+	// Wrong method.
+	req := httptest.NewRequest(http.MethodGet, "/docs/M1", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /docs/{id}: status %d", rec.Code)
+	}
+	// Empty and malformed IDs.
+	if rec := deleteDoc(t, s, ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty id: status %d", rec.Code)
+	}
+	if rec := deleteDoc(t, s, "a/b"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("slash id: status %d", rec.Code)
+	}
+	// Nothing was deleted by any of the rejects.
+	var st Stats
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != 14 || st.Tombstones != 0 {
+		t.Fatalf("stats changed by rejected deletes: %+v", st)
+	}
+}
+
+// TestDeleteDocumentSharded: deletion routes through the scatter-gather
+// tier to the owner shard, and the merged search excludes the tombstone
+// at every shard count.
+func TestDeleteDocumentSharded(t *testing.T) {
+	s, _ := testServerOpts(t, Options{Shards: 3})
+	if rec := postDoc(s, `{"id":"gone","text":"behavior of rats after detected rise in oestrogen"}`); rec.Code != http.StatusCreated {
+		t.Fatalf("add doc status %d: %s", rec.Code, rec.Body)
+	}
+	rec := deleteDoc(t, s, "gone")
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("delete status %d: %s", rec.Code, rec.Body)
+	}
+	for _, id := range searchIDs(t, s, "rats oestrogen", 15) {
+		if id == "gone" {
+			t.Fatal("deleted doc in merged results")
+		}
+	}
+	var st Stats
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != 14 || st.Tombstones != 1 {
+		t.Fatalf("sharded stats: documents=%d tombstones=%d", st.Documents, st.Tombstones)
+	}
+}

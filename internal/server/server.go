@@ -6,6 +6,7 @@
 //	POST /search/batch            rank a block of queries in one gemm pass
 //	GET  /terms?w=word&n=10       nearest indexed terms (online thesaurus)
 //	POST /documents               fold a new document into the database
+//	DELETE /docs/{id}             delete a document (tombstone, then fold-out)
 //	GET  /stats                   model dimensions and fold-in diagnostics
 //	GET  /metrics                 Prometheus text: counters, latencies, pipeline gauges
 //
@@ -109,7 +110,7 @@ func NewWithOptions(coll *corpus.Collection, model *core.Model, opts Options) (*
 		router:  router,
 		coll:    coll,
 		mux:     http.NewServeMux(),
-		metrics: newMetrics("search", "search_batch", "terms", "documents", "stats", "metrics"),
+		metrics: newMetrics("search", "search_batch", "terms", "documents", "delete_document", "stats", "metrics"),
 		timeout: opts.RequestTimeout,
 		retry:   opts.RetryAfter,
 		logf:    opts.Logf,
@@ -118,6 +119,7 @@ func NewWithOptions(coll *corpus.Collection, model *core.Model, opts Options) (*
 	s.mux.HandleFunc("/search/batch", s.instrument("search_batch", s.handleSearchBatch))
 	s.mux.HandleFunc("/terms", s.instrument("terms", s.handleTerms))
 	s.mux.HandleFunc("/documents", s.instrument("documents", s.handleDocuments))
+	s.mux.HandleFunc("/docs/", s.instrument("delete_document", s.handleDeleteDocument))
 	s.mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	return s, nil
@@ -377,11 +379,49 @@ func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleDeleteDocument serves DELETE /docs/{id}: the document becomes
+// invisible to every query before the 204 returns (tombstone), and its
+// row is folded out of the model at the next coordinated compaction. The
+// ID is released, so it can be resubmitted as a fresh document.
+func (s *Server) handleDeleteDocument(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/docs/")
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "missing or malformed document id", http.StatusBadRequest)
+		return
+	}
+	shardIdx, err := s.router.Delete(r.Context(), id)
+	if shardIdx >= 0 {
+		w.Header().Set("X-LSI-Shard", strconv.Itoa(shardIdx))
+	}
+	switch {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, engine.ErrUnknownID):
+		http.Error(w, fmt.Sprintf("document id %q does not exist", id), http.StatusNotFound)
+	case errors.Is(err, engine.ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.retry+time.Second-1)/time.Second)))
+		http.Error(w, err.Error()+", retry later", http.StatusServiceUnavailable)
+	case errors.Is(err, engine.ErrClosed):
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		// The delete was accepted and will apply; only the wait for its
+		// batch timed out.
+		http.Error(w, "request deadline exceeded before delete was published", http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 // ShardStats is one shard's block in the /stats response.
 type ShardStats struct {
 	Shard              int     `json:"shard"`
 	Generation         uint64  `json:"generation"`
 	Documents          int     `json:"documents"`
+	Tombstones         int     `json:"tombstones"`
 	FoldedDocuments    int     `json:"folded_documents"`
 	QueueDepth         int     `json:"queue_depth"`
 	Compactions        int64   `json:"compactions"`
@@ -402,6 +442,7 @@ type ShardStats struct {
 type Stats struct {
 	Terms             int     `json:"terms"`
 	Documents         int     `json:"documents"`
+	Tombstones        int     `json:"tombstones"`
 	FoldedDocuments   int     `json:"folded_documents"`
 	Factors           int     `json:"factors"`
 	Sigma1            float64 `json:"sigma1"`
@@ -439,6 +480,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := Stats{
 		Terms:              snap.Model.NumTerms(),
 		Documents:          st.Documents,
+		Tombstones:         st.Tombstones,
 		FoldedDocuments:    st.FoldedDocuments,
 		Factors:            snap.Model.K,
 		Sigma1:             snap.Model.S[0],
@@ -465,6 +507,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Shard:              ss.Shard,
 			Generation:         ss.Generation,
 			Documents:          ss.Documents,
+			Tombstones:         ss.Tombstones,
 			FoldedDocuments:    ss.FoldedDocuments,
 			QueueDepth:         ss.QueueDepth,
 			Compactions:        ss.Compactions,
@@ -516,6 +559,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"lsi_compactions_total", "Coordinated SVD-update compaction cycles completed.", "counter", st.Compactions},
 		{"lsi_documents", "Documents in the serving snapshots, summed over shards.", "gauge", st.Documents},
 		{"lsi_folded_documents", "Documents folded in since the last SVD state, summed over shards.", "gauge", st.FoldedDocuments},
+		{"lsi_tombstones", "Deleted documents still physically present (folded out at the next compaction), summed over shards.", "gauge", st.Tombstones},
 		{"lsi_shards", "Engine shards serving the corpus.", "gauge", st.Shards},
 		{"lsi_screening_enabled", "1 when the float32 screening mirror serves queries on every shard, 0 on the exact-only path.", "gauge", boolGauge(st.Screening)},
 		{"lsi_mirror_max_eps", "Worst per-row quantization residual of the float32 screening mirror across shards.", "gauge", st.MirrorMaxEps},

@@ -38,6 +38,7 @@
 package shard
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/core"
@@ -89,51 +90,102 @@ func (r *Router) Compact() error {
 		}
 		states[s] = st
 	}
-	total := 0
+	liveTotal, deadPendTotal, deadBaseTotal := 0, 0, 0
 	for _, st := range states {
-		total += len(st.Pending)
+		deadBaseTotal += len(st.DeadBaseRows)
+		for _, d := range st.DeadPending {
+			if d {
+				deadPendTotal++
+			}
+		}
+		liveTotal += len(st.Pending)
 	}
-	if total == 0 {
+	liveTotal -= deadPendTotal
+	if liveTotal == 0 && deadPendTotal == 0 && deadBaseTotal == 0 {
 		abort()
 		return nil
 	}
 
-	// 2. Global pending order = submission ordinal order, and one plan.
-	pend := make([]pendRow, 0, total)
+	// 2a. Global downdate plan: when tombstoned base rows exist and enough
+	// live rows remain globally, ONE core.PlanDocsDowndate over the
+	// ordinal-ordered live base rows folds them out; every shard applies
+	// the same plan to its own live rows (row-local, bit-identical at any
+	// shard count). A degenerate downdate leaves the rows tombstoned.
+	bases := make([]*core.Model, len(states))
 	for s, st := range states {
-		for i, d := range st.Pending {
-			pend = append(pend, pendRow{shard: s, local: i, ord: int64(r.ordOf(d.ID))})
+		bases[s] = st.Base
+	}
+	downdated := false
+	if deadBaseTotal > 0 {
+		dd, err := r.downdateBases(states)
+		switch {
+		case err == nil:
+			bases = dd
+			downdated = true
+		case errors.Is(err, core.ErrDowndateDegenerate):
+			// Keep serving through tombstones; the update below still runs.
+		default:
+			abort()
+			return err
 		}
 	}
+
+	// 2b. Global pending order = submission ordinal order over the LIVE
+	// pending entries (dead ones are dropped, never absorbed), and one
+	// plan under the configured strategy.
+	pend := make([]pendRow, 0, liveTotal)
+	for s, st := range states {
+		for i, d := range st.Pending {
+			if !dead(st.DeadPending, i) {
+				pend = append(pend, pendRow{shard: s, local: i, ord: int64(r.ordOf(d.ID))})
+			}
+		}
+	}
+	if len(pend) == 0 {
+		// Nothing to absorb: land the (possibly downdated) bases as they
+		// are — the cycle only dropped dead pending entries or folded out
+		// dead base rows.
+		return r.land(states, bases, downdated, deadBaseTotal, 0)
+	}
 	sortPend(pend)
-	docs := make([]corpus.Document, total)
-	// globalRow[s][i] is shard s's i-th pending document's row in VNew.
+	docs := make([]corpus.Document, len(pend))
+	// globalRow[s][i] is shard s's i-th pending document's row in VNew
+	// (-1 for dead entries, which have no row).
 	globalRow := make([][]int, len(states))
 	for s, st := range states {
 		globalRow[s] = make([]int, len(st.Pending))
+		for i := range globalRow[s] {
+			globalRow[s][i] = -1
+		}
 	}
 	for g, p := range pend {
 		docs[g] = states[p.shard].Pending[p.local]
 		globalRow[p.shard][p.local] = g
 	}
-	plan, err := states[0].Base.PlanDocsUpdate(r.coll.DocVectors(docs))
+	opts := core.UpdateOptions{Strategy: r.cfg.Engine.CompactionStrategy, GKRank: r.cfg.Engine.GKRank}
+	plan, err := bases[0].PlanDocsUpdateOpts(r.coll.DocVectors(docs), opts)
 	if err != nil {
 		abort()
 		return err
 	}
 
-	// 3+4. Per-shard rotation and global sign resolution.
+	// 3+4. Per-shard rotation and global sign resolution. Tombstoned base
+	// rows (present only when the downdate was degenerate) rotate with
+	// their block but are excluded from sign candidates: their registry
+	// ordinals are gone, and leaving them out keeps the flip decision a
+	// function of live rows only — identical at every shard count.
 	rots := make([]*dense.Matrix, len(states))
 	cands := make([][]core.SignCandidate, 0, len(states)+1)
 	for s, st := range states {
-		rots[s] = plan.RotateDocs(st.Base.V)
-		ords := make([]int64, len(st.BaseDocs))
-		for i, d := range st.BaseDocs {
+		rots[s] = plan.RotateDocs(bases[s].V)
+		liveDocs, liveRows := liveBase(st, downdated)
+		ords := make([]int64, len(liveDocs))
+		for i, d := range liveDocs {
 			ords[i] = int64(r.ordOf(d.ID))
 		}
-		cands = append(cands, core.SignCandidates(rots[s], ords))
+		cands = append(cands, core.SignCandidates(gatherRows(rots[s], liveRows), ords))
 	}
-	newOrds := make([]int64, total)
+	newOrds := make([]int64, len(pend))
 	for g, p := range pend {
 		newOrds[g] = pendBlockOffset + p.ord
 	}
@@ -142,25 +194,180 @@ func (r *Router) Compact() error {
 	plan.ApplySigns(flip)
 
 	// 5. Assemble and land per shard.
+	for s := range states {
+		dense.FlipColumns(rots[s], flip)
+		mine := dense.New(countLive(globalRow[s]), plan.VNew.Cols)
+		j := 0
+		for _, g := range globalRow[s] {
+			if g >= 0 {
+				copy(mine.Row(j), plan.VNew.Row(g))
+				j++
+			}
+		}
+		bases[s] = plan.Apply(bases[s], rots[s].AugmentRows(mine))
+	}
+	return r.land(states, bases, downdated, deadBaseTotal, len(pend))
+}
+
+// dead reports mask[i], tolerating a short or nil mask.
+func dead(mask []bool, i int) bool { return i < len(mask) && mask[i] }
+
+func countLive(globalRow []int) int {
+	n := 0
+	for _, g := range globalRow {
+		if g >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// liveBase lists shard st's live base documents and their local rows in
+// the (possibly downdated) base: after a downdate the dead rows are
+// already gone, so every row is live; otherwise the dead rows are still
+// present and are filtered out.
+func liveBase(st *engine.ExternalCompaction, downdated bool) ([]corpus.Document, []int) {
+	if downdated || len(st.DeadBaseRows) == 0 {
+		if downdated && len(st.DeadBaseRows) > 0 {
+			docs := make([]corpus.Document, 0, len(st.BaseDocs)-len(st.DeadBaseRows))
+			rows := make([]int, 0, cap(docs))
+			j := 0
+			for i, d := range st.BaseDocs {
+				if j < len(st.DeadBaseRows) && st.DeadBaseRows[j] == i {
+					j++
+					continue
+				}
+				rows = append(rows, len(docs))
+				docs = append(docs, d)
+			}
+			return docs, rows
+		}
+		rows := make([]int, len(st.BaseDocs))
+		for i := range rows {
+			rows[i] = i
+		}
+		return st.BaseDocs, rows
+	}
+	docs := make([]corpus.Document, 0, len(st.BaseDocs)-len(st.DeadBaseRows))
+	rows := make([]int, 0, len(st.BaseDocs)-len(st.DeadBaseRows))
+	j := 0
+	for i, d := range st.BaseDocs {
+		if j < len(st.DeadBaseRows) && st.DeadBaseRows[j] == i {
+			j++
+			continue
+		}
+		docs = append(docs, d)
+		rows = append(rows, i)
+	}
+	return docs, rows
+}
+
+// gatherRows copies the listed rows of m into a fresh matrix (identity
+// fast path when every row is listed in order).
+func gatherRows(m *dense.Matrix, rows []int) *dense.Matrix {
+	if len(rows) == m.Rows {
+		return m
+	}
+	out := dense.New(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// downdateBases computes one global downdate plan over the ordinal-
+// ordered live base rows of every shard and applies it per shard,
+// returning the downdated bases. Sign resolution uses each row's
+// position in the global live ordering as its canonical key — the same
+// convention core.DowndateDocs uses on a single model.
+func (r *Router) downdateBases(states []*engine.ExternalCompaction) ([]*core.Model, error) {
+	type liveRef struct {
+		shard, liveIdx int
+		row            int
+		ord            int64
+	}
+	var refs []liveRef
+	localRows := make([][]int, len(states))
+	for s, st := range states {
+		j := 0
+		for i, d := range st.BaseDocs {
+			if j < len(st.DeadBaseRows) && st.DeadBaseRows[j] == i {
+				j++
+				continue
+			}
+			refs = append(refs, liveRef{shard: s, liveIdx: len(localRows[s]), row: i, ord: int64(r.ordOf(d.ID))})
+			localRows[s] = append(localRows[s], i)
+		}
+	}
+	// Ordinal sort (insertion sort, same as sortPend: sets are modest and
+	// nearly sorted already).
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refs[j].ord < refs[j-1].ord; j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+	k := states[0].Base.V.Cols
+	glive := dense.New(len(refs), k)
+	pos := make([][]int64, len(states))
+	for s := range states {
+		pos[s] = make([]int64, len(localRows[s]))
+	}
+	for g, ref := range refs {
+		copy(glive.Row(g), states[ref.shard].Base.V.Row(ref.row))
+		pos[ref.shard][ref.liveIdx] = int64(g)
+	}
+	plan, err := states[0].Base.PlanDocsDowndate(glive)
+	if err != nil {
+		return nil, err
+	}
+	rots := make([]*dense.Matrix, len(states))
+	cands := make([][]core.SignCandidate, len(states))
+	for s, st := range states {
+		rots[s] = plan.RotateDocs(gatherRows(st.Base.V, localRows[s]))
+		cands[s] = core.SignCandidates(rots[s], pos[s])
+	}
+	flip := core.CombineSignFlips(cands...)
+	plan.ApplySigns(flip)
+	out := make([]*core.Model, len(states))
 	for s, st := range states {
 		dense.FlipColumns(rots[s], flip)
-		mine := dense.New(len(st.Pending), plan.VNew.Cols)
-		for i := range st.Pending {
-			copy(mine.Row(i), plan.VNew.Row(globalRow[s][i]))
-		}
-		model := plan.Apply(st.Base, rots[s].AugmentRows(mine))
-		if err := r.shards[s].FinishExternalCompaction(model, len(st.Pending)); err != nil {
-			// Past the point of no return for earlier shards (they already
-			// landed, which is fine — the basis is shared either way); the
-			// rest abort back to their frozen-but-serving state.
+		out[s] = plan.Apply(st.Base, rots[s])
+	}
+	return out, nil
+}
+
+// land finishes every shard with its final model. Past the first
+// successful Finish there is no abort path for earlier shards (they
+// already landed, which is fine — the basis is shared either way); the
+// rest abort back to their frozen-but-serving state on error.
+func (r *Router) land(states []*engine.ExternalCompaction, models []*core.Model, downdated bool, deadBase, absorbed int) error {
+	for s, st := range states {
+		if err := r.shards[s].FinishExternalCompaction(models[s], len(st.Pending), downdated); err != nil {
 			for t := s + 1; t < len(states); t++ {
 				r.shards[t].AbortExternalCompaction()
 			}
 			return err
 		}
 	}
+	if deadBase > 0 && !downdated {
+		// The fold-out couldn't run (too few live rows globally): stop the
+		// monitor's tombstone trigger from spinning until activity changes
+		// the geometry.
+		r.deadStuck.Store(true)
+	}
 	r.compactions.Add(1)
-	r.cfg.Logf("shard: coordinated compaction absorbed %d documents across %d shards", total, len(r.shards))
+	r.cfg.Logf("shard: coordinated compaction absorbed %d documents (folded out %d tombstones) across %d shards",
+		absorbed, deadBase+func() int {
+			n := 0
+			for _, st := range states {
+				for _, d := range st.DeadPending {
+					if d {
+						n++
+					}
+				}
+			}
+			return n
+		}(), len(r.shards))
 	return nil
 }
 
@@ -211,14 +418,19 @@ func (r *Router) monitor() {
 			return
 		case <-ticker.C:
 			snaps := r.snapshots()
-			folded := 0
+			folded, tombs := 0, 0
 			for _, sn := range snaps {
 				folded += sn.Model.FoldedDocs()
+				tombs += sn.Tombstones()
 			}
-			if folded == 0 {
+			// Tombstones force a cycle (deletes should not wait for
+			// orthogonality drift) unless a previous cycle proved the
+			// fold-out degenerate; fold-ins go through the drift threshold.
+			needDead := tombs > 0 && !r.deadStuck.Load()
+			if !needDead && folded == 0 {
 				continue
 			}
-			if r.orthogonality(snaps) <= r.cfg.CompactThreshold {
+			if !needDead && r.orthogonality(snaps) <= r.cfg.CompactThreshold {
 				continue
 			}
 			if err := r.Compact(); err != nil {

@@ -108,6 +108,9 @@ type Stats struct {
 	Documents       int
 	FoldedDocuments int
 	QueueDepth      int
+	// Tombstones counts deleted-but-present rows across shards; the next
+	// coordinated compaction folds them out.
+	Tombstones int
 	// Compactions counts completed coordinated compactions; Compacting
 	// reports one in flight.
 	Compactions int64
@@ -133,9 +136,10 @@ type Router struct {
 	coll   *corpus.Collection
 	shards []*engine.Engine
 
-	// ids maps document ID → global submission ordinal (int64): the
-	// cross-shard duplicate gate and the stand-in for the single-engine
-	// row index in the merge's tie-break.
+	// ids maps document ID → idEntry: the cross-shard duplicate gate, the
+	// merge tie-break ordinal, and the owner shard a delete routes to.
+	// Deletion releases the entry, so a deleted ID can be resubmitted (it
+	// gets a fresh ordinal).
 	ids sync.Map
 	// nextOrd is the next global submission ordinal; ordinals of rejected
 	// submissions are burned, which is fine — only the relative order
@@ -157,8 +161,22 @@ type Router struct {
 	compacting  atomic.Bool
 	compactions atomic.Int64
 
+	// deadStuck is set when a compaction cycle left dead base rows in
+	// place (globally degenerate downdate); the monitor then stops forcing
+	// tombstone-triggered cycles until new activity changes the geometry.
+	deadStuck atomic.Bool
+
 	monitorStop chan struct{}
 	monitorDone chan struct{}
+}
+
+// idEntry is the registry record for one live document: its global
+// submission ordinal (the merge tie-break) and the shard that owns it
+// (where a delete must route — derivable from the ID hash for
+// user-supplied IDs, but not for round-robin-placed auto IDs).
+type idEntry struct {
+	ord   int64
+	shard int
 }
 
 // New splits the corpus round-robin across cfg.Shards engines — shard s
@@ -194,7 +212,7 @@ func New(coll *corpus.Collection, model *core.Model, cfg Config) (*Router, error
 	}
 	r := &Router{cfg: cfg, coll: coll}
 	for j, d := range coll.Docs {
-		r.ids.Store(d.ID, int64(j))
+		r.ids.Store(d.ID, idEntry{ord: int64(j), shard: j % n})
 	}
 	r.nextOrd.Store(int64(coll.Size()))
 	r.nextAuto.Store(int64(coll.Size()))
@@ -293,21 +311,21 @@ func (r *Router) Submit(ctx context.Context, doc corpus.Document) (id string, sh
 		return "", -1, engine.ErrClosed
 	}
 	if doc.ID == "" {
+		shard = int((r.rr.Add(1) - 1) % int64(len(r.shards)))
 		for {
 			doc.ID = fmt.Sprintf("doc-%d", r.nextAuto.Add(1)-1)
-			if _, taken := r.ids.LoadOrStore(doc.ID, r.nextOrd.Add(1)-1); !taken {
+			if _, taken := r.ids.LoadOrStore(doc.ID, idEntry{ord: r.nextOrd.Add(1) - 1, shard: shard}); !taken {
 				break
 			}
 			// A user already took this name: burn the number (and the
 			// ordinal) and keep counting — same skip-over semantics as the
 			// single engine's auto-assignment.
 		}
-		shard = int((r.rr.Add(1) - 1) % int64(len(r.shards)))
 	} else {
-		if _, dup := r.ids.LoadOrStore(doc.ID, r.nextOrd.Add(1)-1); dup {
+		shard = hashShard(doc.ID, len(r.shards))
+		if _, dup := r.ids.LoadOrStore(doc.ID, idEntry{ord: r.nextOrd.Add(1) - 1, shard: shard}); dup {
 			return "", -1, fmt.Errorf("%w: %q", engine.ErrDuplicateID, doc.ID)
 		}
-		shard = hashShard(doc.ID, len(r.shards))
 	}
 	if _, serr := r.shards[shard].Submit(ctx, doc); serr != nil {
 		if errors.Is(serr, context.Canceled) || errors.Is(serr, context.DeadlineExceeded) {
@@ -326,7 +344,45 @@ func (r *Router) Submit(ctx context.Context, doc corpus.Document) (id string, sh
 		}
 		return "", shard, serr
 	}
+	r.deadStuck.Store(false)
 	return doc.ID, shard, nil
+}
+
+// Delete routes a tombstone to the shard that owns the named document and
+// waits like engine.Delete does. On success (or on a context expiry — the
+// delete was accepted and will apply) the ID is released from the global
+// registry, so it can be resubmitted as a fresh document with a fresh
+// ordinal. Unknown IDs return engine.ErrUnknownID. The returned shard is
+// the owner (-1 when the ID was unknown to the registry).
+func (r *Router) Delete(ctx context.Context, id string) (shard int, err error) {
+	r.closeMu.RLock()
+	defer r.closeMu.RUnlock()
+	if r.closed {
+		return -1, engine.ErrClosed
+	}
+	v, ok := r.ids.Load(id)
+	if !ok {
+		return -1, fmt.Errorf("%w: %q", engine.ErrUnknownID, id)
+	}
+	ent := v.(idEntry)
+	derr := r.shards[ent.shard].Delete(ctx, id)
+	switch {
+	case derr == nil, errors.Is(derr, context.Canceled), errors.Is(derr, context.DeadlineExceeded):
+		// Applied (or accepted: the tombstone rides the queue and survives
+		// Close's drain). Release the registration either way.
+		r.ids.Delete(id)
+		r.deadStuck.Store(false)
+		return ent.shard, derr
+	case errors.Is(derr, engine.ErrQueueFull):
+		st := r.shards[ent.shard].Stats()
+		return ent.shard, &QueueFullError{
+			Shard: ent.shard, Depth: st.QueueDepth, Capacity: r.shards[ent.shard].QueueCapacity(),
+		}
+	}
+	// ErrUnknownID from the engine (a concurrent delete won the race) or
+	// ErrClosed: the registry entry, if any remains, belongs to whoever
+	// owns the ID now.
+	return ent.shard, derr
 }
 
 // ordOf returns a document's global submission ordinal — the merge
@@ -334,7 +390,7 @@ func (r *Router) Submit(ctx context.Context, doc corpus.Document) (id string, sh
 // last.
 func (r *Router) ordOf(id string) int {
 	if v, ok := r.ids.Load(id); ok {
-		return int(v.(int64))
+		return int(v.(idEntry).ord)
 	}
 	return int(int64(1) << 62)
 }
@@ -416,14 +472,27 @@ func (r *Router) hitsFromShard(snap *engine.Snapshot, s int, ranked []core.Ranke
 // merge translates each shard's local rows to (global ordinal, score)
 // items and merges them through rank.MergeTopK — the same helper the
 // in-engine selector barrier uses — under the same strict total order.
+//
+// A doc can be missing from the ID registry while still visible here: a
+// concurrent delete releases the registry entry, but a reader holding the
+// pre-delete snapshot legitimately serves the row for a little longer.
+// Those transient rows get unique synthetic ordinals past every real one —
+// they must never alias each other in byOrd (two docs collapsing onto one
+// hit breaks the merged order), and their relative tie-break is moot: the
+// next snapshot excludes them entirely.
 func (r *Router) merge(snaps []*engine.Snapshot, perShard [][]core.Ranked, n int) []Hit {
 	lists := make([][]rank.Item, len(perShard))
 	byOrd := make(map[int]Hit, n*len(perShard))
+	unreg := int(int64(1) << 62)
 	for s, ranked := range perShard {
 		items := make([]rank.Item, len(ranked))
 		for i, rk := range ranked {
 			doc := snaps[s].Doc(rk.Doc)
 			ord := r.ordOf(doc.ID)
+			if _, taken := byOrd[ord]; taken && ord >= int(int64(1)<<62) {
+				unreg++
+				ord = unreg
+			}
 			items[i] = rank.Item{Doc: ord, Score: rk.Score}
 			byOrd[ord] = Hit{ID: doc.ID, Text: doc.Text, Score: rk.Score, Shard: s}
 		}
@@ -453,6 +522,7 @@ func (r *Router) Stats() Stats {
 		st.Generations[s] = es.Generation
 		st.Documents += es.Documents
 		st.FoldedDocuments += es.FoldedDocuments
+		st.Tombstones += es.Tombstones
 		st.QueueDepth += es.QueueDepth
 		st.IVFClusters += es.IVFClusters
 		st.IVFUnclusteredTail += es.IVFUnclusteredTail

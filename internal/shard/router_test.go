@@ -357,6 +357,183 @@ func TestRouterCloseDrains(t *testing.T) {
 	closeRouter(t, r) // idempotent
 }
 
+// TestRouterDeleteReleasesIDs pins the registry fix: deletion routes to
+// the owner shard and releases the ID, so re-submission after delete is
+// accepted — in both orders (submit→409→delete→201 and delete-unknown→
+// submit→201) — for user IDs, auto IDs, and seed-corpus IDs alike.
+func TestRouterDeleteReleasesIDs(t *testing.T) {
+	coll, model, raws := synthFixture(t, 40, 6)
+	r, err := New(coll, model, Config{Shards: 3, Engine: engine.Config{BatchTick: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeRouter(t, r)
+	ctx := context.Background()
+	text := coll.Docs[0].Text
+
+	// Order A: submit, duplicate rejected, delete, resubmit accepted.
+	_, submitShard, err := r.Submit(ctx, corpus.Document{ID: "alpha", Text: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Submit(ctx, corpus.Document{ID: "alpha", Text: text}); !errors.Is(err, engine.ErrDuplicateID) {
+		t.Fatalf("duplicate before delete: %v", err)
+	}
+	delShard, err := r.Delete(ctx, "alpha")
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if delShard != submitShard {
+		t.Fatalf("delete routed to shard %d, owner is %d", delShard, submitShard)
+	}
+	if _, _, err := r.Submit(ctx, corpus.Document{ID: "alpha", Text: text}); err != nil {
+		t.Fatalf("resubmit after delete: %v", err)
+	}
+
+	// Order B: deleting a never-submitted ID is unknown; the probe must
+	// not block the subsequent submit.
+	if _, err := r.Delete(ctx, "beta"); !errors.Is(err, engine.ErrUnknownID) {
+		t.Fatalf("delete of unknown id: %v", err)
+	}
+	if _, _, err := r.Submit(ctx, corpus.Document{ID: "beta", Text: text}); err != nil {
+		t.Fatalf("submit after unknown delete: %v", err)
+	}
+
+	// Auto IDs resolve to their round-robin owner, not a hash.
+	autoID, autoShard, err := r.Submit(ctx, corpus.Document{Text: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := r.Delete(ctx, autoID); err != nil || s != autoShard {
+		t.Fatalf("auto-id delete: shard %d err %v, owner is %d", s, err, autoShard)
+	}
+	if _, err := r.Delete(ctx, autoID); !errors.Is(err, engine.ErrUnknownID) {
+		t.Fatalf("double delete: %v", err)
+	}
+
+	// Seed-corpus documents are deletable too, and vanish from results
+	// immediately.
+	seedID := coll.Docs[3].ID
+	if _, err := r.Delete(ctx, seedID); err != nil {
+		t.Fatalf("seed delete: %v", err)
+	}
+	hits, _ := r.Search(raws[0], coll.Size())
+	for _, h := range hits {
+		if h.ID == seedID || h.ID == autoID {
+			t.Fatalf("deleted doc %s still retrievable", h.ID)
+		}
+	}
+	// alpha's first (pre-re-add) row, the auto doc, and the seed doc are
+	// dead; beta and alpha's second row are live.
+	if st := r.Stats(); st.Tombstones != 3 {
+		t.Fatalf("tombstones %d want 3", st.Tombstones)
+	}
+}
+
+// TestRouterDeleteParityAcrossShardCounts extends the N-shard ≡ 1-shard
+// pin to the deletion lifecycle: identical submit/delete scripts on a
+// 1-shard and a 3-shard router stay byte-identical through the tombstone
+// phase, through coordinated compactions that fold the dead rows out
+// (pending absorption and the pure-downdate cycle both), and through
+// re-adds of deleted IDs. The 1-shard side is anchored to a never-
+// inserted engine by the engine-level delete suite, closing the loop.
+func TestRouterDeleteParityAcrossShardCounts(t *testing.T) {
+	coll, model, raws := synthFixture(t, 40, 6)
+	mk := func(shards int) *Router {
+		r, err := New(coll, model, Config{Shards: shards, Engine: engine.Config{BatchTick: time.Millisecond}})
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		return r
+	}
+	r1, r3 := mk(1), mk(3)
+	defer closeRouter(t, r1)
+	defer closeRouter(t, r3)
+	both := []*Router{r1, r3}
+
+	const topK = 20
+	check := func(stage string) {
+		t.Helper()
+		for qi, raw := range raws {
+			h1, _ := r1.Search(raw, topK)
+			h3, _ := r3.Search(raw, topK)
+			sameHits(t, fmt.Sprintf("%s query %d", stage, qi), h3, h1)
+		}
+	}
+	ctx := context.Background()
+	submitBoth := func(id, text string) {
+		t.Helper()
+		for _, r := range both {
+			if _, _, err := r.Submit(ctx, corpus.Document{ID: id, Text: text}); err != nil {
+				t.Fatalf("submit %s: %v", id, err)
+			}
+		}
+	}
+	deleteBoth := func(id string) {
+		t.Helper()
+		for _, r := range both {
+			if _, err := r.Delete(ctx, id); err != nil {
+				t.Fatalf("delete %s: %v", id, err)
+			}
+		}
+	}
+	compactBoth := func(stage string, wantTomb int) {
+		t.Helper()
+		for _, r := range both {
+			if err := r.Compact(); err != nil {
+				t.Fatalf("%s compact: %v", stage, err)
+			}
+			st := r.Stats()
+			if st.FoldedDocuments != 0 || st.Tombstones != wantTomb {
+				t.Fatalf("%s: %d shards: folded=%d tombstones=%d (want 0/%d)",
+					stage, st.Shards, st.FoldedDocuments, st.Tombstones, wantTomb)
+			}
+		}
+	}
+
+	// Wave 1: fold in six, tombstone two of them plus two seed docs.
+	for i := 0; i < 6; i++ {
+		submitBoth(fmt.Sprintf("new-%02d", i), coll.Docs[i].Text)
+	}
+	for _, id := range []string{"new-01", "new-04", coll.Docs[2].ID, coll.Docs[17].ID} {
+		deleteBoth(id)
+	}
+	if st := r3.Stats(); st.Tombstones != 4 || st.Documents != coll.Size()+6-4 {
+		t.Fatalf("tombstone phase: %+v", st)
+	}
+	check("tombstoned")
+	compactBoth("wave 1", 0)
+	check("wave 1 compacted")
+	for _, r := range both {
+		if st := r.Stats(); st.Documents != coll.Size()+2 {
+			t.Fatalf("wave 1: %d shards: %d documents want %d", st.Shards, st.Documents, coll.Size()+2)
+		}
+	}
+
+	// Wave 2: re-add a deleted ID (must be accepted on every layout),
+	// then a pure-downdate cycle: no pending, only tombstones.
+	submitBoth("new-01", coll.Docs[9].Text)
+	check("re-added")
+	compactBoth("wave 2", 0)
+	deleteBoth(coll.Docs[11].ID)
+	check("post-compaction tombstone")
+	compactBoth("pure downdate", 0)
+	check("pure downdate compacted")
+
+	// Physical layout agrees: no deleted doc survives anywhere.
+	goneByID := map[string]bool{"new-04": true, coll.Docs[2].ID: true, coll.Docs[17].ID: true, coll.Docs[11].ID: true}
+	for _, r := range both {
+		for s := 0; s < r.Shards(); s++ {
+			snap := r.ShardSnapshot(s)
+			for j := 0; j < snap.NumDocs(); j++ {
+				if goneByID[snap.Doc(j).ID] {
+					t.Fatalf("%d shards: deleted doc %s physically present", r.Shards(), snap.Doc(j).ID)
+				}
+			}
+		}
+	}
+}
+
 // TestRouterRejectsBadShapes: construction guards.
 func TestRouterRejectsBadShapes(t *testing.T) {
 	coll, model, _ := synthFixture(t, 40, 6)
