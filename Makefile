@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-full build test race race-hot stress vet lint lint-tests bench bench-query bench-build bench-shard bench-update
+.PHONY: check check-full build test race race-hot stress vet lint lint-tests bench bench-query bench-build bench-shard bench-update bench-mem
 
 # check is the fast pre-commit loop: vet, build, tests, the race detector
 # on the hot parallel packages only, and the project linter. Run it on
@@ -87,3 +87,11 @@ bench-build:
 # models.
 bench-update:
 	$(GO) run ./cmd/lsibench -updateperf -out BENCH_update.json
+
+# bench-mem regenerates the memory/startup record consumed by
+# BENCH_mem.json: measured bytes per document for each screening tier
+# (float64 / float32+residual / int8+scale+residual, parity-gated), and
+# build-from-text vs restore-from-snapshot startup time at two corpus
+# sizes (the -save-model / -load-model path).
+bench-mem:
+	$(GO) run ./cmd/lsibench -memperf -out BENCH_mem.json

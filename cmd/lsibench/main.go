@@ -36,8 +36,22 @@ func main() {
 	buildPerf := flag.Bool("buildperf", false, "measure truncated-SVD build time (blocked vs seed Lanczos) and exit")
 	shardPerf := flag.Bool("shardperf", false, "measure scatter-gather serving at 1/2/4/8 shards (exact merge, parity-gated) and exit")
 	updatePerf := flag.Bool("updateperf", false, "measure SVD-update (compaction) time, O'Brien vs Golub–Kahan, and exit")
-	perfOut := flag.String("out", "", "output file for -queryperf/-shardperf (default BENCH_query.json) / -buildperf (default BENCH_build.json) / -updateperf (default BENCH_update.json)")
+	memPerf := flag.Bool("memperf", false, "measure bytes/doc per screening tier and snapshot build-vs-restore startup, and exit")
+	perfOut := flag.String("out", "", "output file for -queryperf/-shardperf (default BENCH_query.json) / -buildperf (default BENCH_build.json) / -updateperf (default BENCH_update.json) / -memperf (default BENCH_mem.json)")
 	flag.Parse()
+
+	if *memPerf {
+		out := *perfOut
+		if out == "" {
+			out = "BENCH_mem.json"
+		}
+		if err := runMemPerf(out, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "lsibench: memperf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("memory/startup performance written to %s\n", out)
+		return
+	}
 
 	if *queryPerf {
 		out := *perfOut

@@ -19,7 +19,14 @@
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener stops, the
 // fold-in queue drains, and every acknowledged document is part of the
-// final state before the process exits.
+// final state before the process exits. With -save-model the drained,
+// compacted state is persisted to a snapshot container; a later
+//
+//	lsiserver -load-model state.lsnp -addr :8080
+//
+// restores it without re-reading -dir or recomputing the SVD — factors
+// and scoring caches attach memory-mapped, so startup time is
+// independent of corpus size and cold rows page in on first touch.
 //
 //lsilint:file-ignore walltime — server lifecycle timeouts are wall-clock by nature
 package main
@@ -42,6 +49,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/text"
 	"repro/internal/weight"
 )
@@ -74,66 +82,97 @@ func main() {
 		"unclustered-tail fraction triggering a background cluster-index rebuild; negative disables size-triggered rebuilds")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline; 0 disables")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining queued fold-ins")
+	loadModel := flag.String("load-model", "",
+		"start from a model snapshot (.lsnp) instead of indexing -dir: no SVD rebuild, factors and scoring caches attach memory-mapped, startup cost independent of corpus size")
+	saveModel := flag.String("save-model", "",
+		"write a model snapshot here during graceful shutdown (after the fold-in queues drain and a final compaction)")
+	verifyModel := flag.Bool("verify-model", false,
+		"CRC-check every snapshot payload at -load-model time (reads the whole file; default trusts the O(1) header+table checksums plus structural validation)")
 	flag.Parse()
-	if *dir == "" {
-		log.Fatal("-dir is required")
+	if *dir == "" && *loadModel == "" {
+		log.Fatal("-dir or -load-model is required")
 	}
 	strategy, err := core.ParseUpdateStrategy(*compactStrategy)
 	if err != nil {
 		log.Fatal(err)
 	}
+	engCfg := engine.Config{
+		QueueSize:          *queueSize,
+		BatchTick:          *batchTick,
+		CompactThreshold:   *compactAt,
+		DisableScreening:   *noScreen,
+		DisableIVF:         *noIVF,
+		IVFClusters:        *ivfClusters,
+		IVFNProbe:          *nprobe,
+		IVFRebuildFraction: *ivfRebuildFrac,
+		CompactionStrategy: strategy,
+		GKRank:             *gkRank,
+		Logf:               log.Printf,
+	}
+	httpOpts := server.Options{
+		Shards:         *shards,
+		Engine:         engCfg,
+		RequestTimeout: *reqTimeout,
+		Logf:           log.Printf,
+	}
 
-	entries, err := os.ReadDir(*dir)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	var docs []corpus.Document
-	for _, name := range names {
-		b, err := os.ReadFile(filepath.Join(*dir, name))
+	var srv *server.Server
+	if *loadModel != "" {
+		start := time.Now()
+		router, snapFile, err := shard.Restore(*loadModel, shard.Config{
+			Engine:           engCfg,
+			CompactThreshold: *compactAt,
+			Logf:             log.Printf,
+		}, *verifyModel)
 		if err != nil {
 			log.Fatal(err)
 		}
-		docs = append(docs, corpus.Document{ID: name, Text: string(b)})
-	}
-	if len(docs) == 0 {
-		log.Fatalf("no .txt files under %s", *dir)
-	}
+		// The mapping backs the serving tier for the process lifetime;
+		// the OS reclaims it at exit.
+		_ = snapFile
+		srv = server.NewFromRouter(router, httpOpts)
+		st := router.Stats()
+		log.Printf("restored %d docs, %d terms across %d shard(s) from %s in %s (verify=%v); listening on %s",
+			st.Documents, router.Collection().Terms(), router.Shards(), *loadModel,
+			time.Since(start).Round(time.Millisecond), *verifyModel, *addr)
+	} else {
+		entries, err := os.ReadDir(*dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		var docs []corpus.Document
+		for _, name := range names {
+			b, err := os.ReadFile(filepath.Join(*dir, name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			docs = append(docs, corpus.Document{ID: name, Text: string(b)})
+		}
+		if len(docs) == 0 {
+			log.Fatalf("no .txt files under %s", *dir)
+		}
 
-	coll := corpus.New(docs, text.ParseOptions{MinDocs: 2})
-	model, err := core.BuildCollection(coll, core.Config{K: *k, Scheme: weight.LogEntropy})
-	if err != nil {
-		log.Fatal(err)
+		start := time.Now()
+		coll := corpus.New(docs, text.ParseOptions{MinDocs: 2})
+		model, err := core.BuildCollection(coll, core.Config{K: *k, Scheme: weight.LogEntropy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err = server.NewWithOptions(coll, model, httpOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("indexed %d docs, %d terms, k=%d, %d shard(s) in %s; listening on %s",
+			coll.Size(), coll.Terms(), model.K, srv.Router().Shards(),
+			time.Since(start).Round(time.Millisecond), *addr)
 	}
-	srv, err := server.NewWithOptions(coll, model, server.Options{
-		Shards: *shards,
-		Engine: engine.Config{
-			QueueSize:          *queueSize,
-			BatchTick:          *batchTick,
-			CompactThreshold:   *compactAt,
-			DisableScreening:   *noScreen,
-			DisableIVF:         *noIVF,
-			IVFClusters:        *ivfClusters,
-			IVFNProbe:          *nprobe,
-			IVFRebuildFraction: *ivfRebuildFrac,
-			CompactionStrategy: strategy,
-			GKRank:             *gkRank,
-			Logf:               log.Printf,
-		},
-		RequestTimeout: *reqTimeout,
-		Logf:           log.Printf,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("indexed %d docs, %d terms, k=%d, %d shard(s); listening on %s",
-		coll.Size(), coll.Terms(), model.K, srv.Router().Shards(), *addr)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errCh := make(chan error, 1)
@@ -152,6 +191,18 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("http shutdown: %v", err)
+	}
+	if *saveModel != "" {
+		// Listeners are closed and in-flight requests done, so the router
+		// is quiesced — the state SaveSnapshot requires. It runs a final
+		// coordinated compaction, then persists; Close afterwards only
+		// drains the (now empty) queues.
+		start := time.Now()
+		if err := srv.Router().SaveSnapshot(*saveModel); err != nil {
+			log.Printf("save-model: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("saved model snapshot to %s in %s", *saveModel, time.Since(start).Round(time.Millisecond))
 	}
 	if err := srv.Close(shutCtx); err != nil {
 		log.Printf("engine drain: %v", err)

@@ -20,6 +20,14 @@ const (
 	modelVersion = 1
 )
 
+// maxModelDim caps every dimension accepted from a model header before
+// any payload allocation. ReadModel sizes U as mRows·k and V as nRows·k
+// straight from header fields, so without a bound a corrupt (or
+// hostile) header forces a multi-gigabyte allocation — the same failure
+// mode as the MatrixMarket size line, capped by the same two-orders-
+// beyond-TREC limit (see sparse.maxMMDim).
+const maxModelDim = 1 << 24
+
 // WriteTo serializes the model. It implements io.WriterTo.
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
@@ -70,6 +78,10 @@ func ReadModel(r io.Reader) (*Model, error) {
 	svdDocs, svdTerms := int(head[8]), int(head[9])
 	if k <= 0 || mRows < 0 || nRows < 0 || nGlobal < 0 {
 		return nil, fmt.Errorf("core: corrupt model header (k=%d m=%d n=%d)", k, mRows, nRows)
+	}
+	if k > maxModelDim || mRows > maxModelDim || nRows > maxModelDim || nGlobal > maxModelDim {
+		return nil, fmt.Errorf("core: model header dimensions (k=%d m=%d n=%d g=%d) exceed limit %d",
+			k, mRows, nRows, nGlobal, maxModelDim)
 	}
 
 	s, err := readFloats(br, k)

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/snapfile"
+	"repro/internal/weight"
+)
+
+// TestSnapshotFileRoundTrip pins the mmap-format round trip: a model
+// written with WriteSnapshotFile and reopened (with and without the
+// full-verify pass) is bit-identical in every factor and behaviourally
+// identical on queries.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomCounts(rng, 30, 18, 0.3)
+	m, err := Build(a, Config{K: 6, Scheme: weight.LogEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.lsnp")
+	if err := WriteSnapshotFile(path, m); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	for _, verify := range []bool{false, true} {
+		got, f, err := OpenSnapshotFile(path, verify)
+		if err != nil {
+			t.Fatalf("OpenSnapshotFile(verify=%v): %v", verify, err)
+		}
+		if got.K != m.K || got.NumTerms() != m.NumTerms() || got.NumDocs() != m.NumDocs() {
+			t.Fatal("shape mismatch after round trip")
+		}
+		if got.Scheme != m.Scheme {
+			t.Fatal("scheme mismatch")
+		}
+		if got.FoldedDocs() != m.FoldedDocs() || got.FoldedTerms() != m.FoldedTerms() {
+			t.Fatal("SVD provenance counters lost")
+		}
+		for i := range m.S {
+			if got.S[i] != m.S[i] {
+				t.Fatal("singular values differ")
+			}
+		}
+		for i := range m.global {
+			if got.global[i] != m.global[i] {
+				t.Fatal("global weights differ")
+			}
+		}
+		if !got.U.Equal(m.U, 0) || !got.V.Equal(m.V, 0) {
+			t.Fatal("factors differ")
+		}
+		raw := make([]float64, 30)
+		raw[2], raw[9], raw[17] = 1, 3, 2
+		r1, r2 := m.Rank(raw), got.Rank(raw)
+		for i := range r1 {
+			if r1[i].Doc != r2[i].Doc || math.Abs(r1[i].Score-r2[i].Score) > 1e-15 {
+				t.Fatalf("rankings diverge at %d", i)
+			}
+		}
+		f.Close()
+	}
+}
+
+// TestSnapshotSectionsPrefixed pins multi-model containers: two models
+// under distinct prefixes restore independently from one file.
+func TestSnapshotSectionsPrefixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m0, err := Build(randomCounts(rng, 22, 12, 0.4), Config{K: 4, Scheme: weight.LogEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Build(randomCounts(rng, 22, 9, 0.4), Config{K: 3, Scheme: weight.Raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := m0.SnapshotSections("s0/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := m1.SnapshotSections("s1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "shards.lsnp")
+	if err := snapfile.Write(path, append(s0, s1...)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := snapfile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g0, err := ModelFromSnapshot(f, "s0/")
+	if err != nil {
+		t.Fatalf("shard 0: %v", err)
+	}
+	g1, err := ModelFromSnapshot(f, "s1/")
+	if err != nil {
+		t.Fatalf("shard 1: %v", err)
+	}
+	if !g0.V.Equal(m0.V, 0) || !g1.V.Equal(m1.V, 0) || g0.Scheme == g1.Scheme {
+		t.Fatal("prefixed models not independent")
+	}
+}
+
+// TestSnapshotRejectsCorruptHeader pins load-time validation: an
+// inflated dimension in the JSON header must fail before any
+// allocation sized from it.
+func TestSnapshotRejectsCorruptHeader(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	m, err := Build(randomCounts(rng, 20, 10, 0.4), Config{K: 4, Scheme: weight.LogEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections, err := m.SnapshotSections("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections[0].Data = []byte(`{"k":4,"terms":99999999999,"docs":10,"nGlobal":20,"local":0,"global":2}`)
+	path := filepath.Join(t.TempDir(), "bad.lsnp")
+	if err := snapfile.Write(path, sections); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenSnapshotFile(path, false); err == nil {
+		t.Fatal("oversized header accepted")
+	}
+}

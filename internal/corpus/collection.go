@@ -52,6 +52,25 @@ func New(docs []Document, opts text.ParseOptions) *Collection {
 // for persisting and for extending with the same rules).
 func (c *Collection) ParseOptions() text.ParseOptions { return c.opts }
 
+// Restore rebuilds a Collection against an already-fixed vocabulary —
+// the snapshot-restore constructor. Where New derives the vocabulary
+// from the documents (document-frequency filtering and all), Restore
+// takes it as given and only re-extracts the count matrix, one linear
+// parse per document: cheap next to the SVD the snapshot exists to
+// avoid, and exact — counting is deterministic, so TD is bit-identical
+// to what the original process held.
+func Restore(docs []Document, vocab *text.Vocabulary, opts text.ParseOptions) *Collection {
+	b := sparse.NewBuilder(vocab.Size(), len(docs))
+	for j, d := range docs {
+		for i, f := range vocab.Count(d.Text) {
+			if f != 0 {
+				b.Add(i, j, f)
+			}
+		}
+	}
+	return &Collection{Docs: docs, Vocab: vocab, TD: b.Build(), opts: opts}
+}
+
 // Terms returns the number of indexing terms (m).
 func (c *Collection) Terms() int { return c.Vocab.Size() }
 

@@ -1,0 +1,242 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Int8 companion kernels for the three-tier exact top-k scan: the coarse
+// screening pass streams a scalar-quantized mirror of the normalized
+// document matrix at one byte per coordinate — a quarter of the float32
+// mirror's traffic — with one float64 scale per row. The integer dot
+// product of two quantized rows is EXACT (int32 accumulation never
+// rounds), so the only error between the quantized score and the true
+// one is the quantization residual itself, which is measured per row at
+// build time. Like the float32 kernels, these routines never decide a
+// final score — only a provably safe candidate set (see internal/rank
+// and docs/ALGORITHMS.md for the bracket derivation).
+
+// MaxI8Dim is the widest row the int8 kernels accept: every product is
+// bounded by 127² < 2¹⁴, so int32 accumulation of MaxI8Dim terms stays
+// below 2³¹ with headroom. Callers (the rank-layer tier builder) skip
+// the int8 tier for wider rows instead of risking overflow.
+const MaxI8Dim = 1 << 16
+
+// MatrixI8 is a dense row-major int8 matrix — storage for the quantized
+// screening tier. It mirrors Matrix's field layout instead of being
+// generic: the types never mix inside a kernel.
+type MatrixI8 struct {
+	Rows, Cols int
+	Data       []int8 // len == Rows*Cols, Data[i*Cols+j] == element (i,j)
+}
+
+// NewI8 returns a zeroed r×c int8 matrix.
+func NewI8(r, c int) *MatrixI8 {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("dense: negative dimension %dx%d", r, c))
+	}
+	return &MatrixI8{Rows: r, Cols: c, Data: make([]int8, r*c)}
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *MatrixI8) Row(i int) []int8 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("dense: row %d out of range %d", i, m.Rows))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// MatrixI32 is a dense row-major int32 matrix — the raw integer score
+// blocks the int8 gemm produces.
+type MatrixI32 struct {
+	Rows, Cols int
+	Data       []int32
+}
+
+// NewI32 returns a zeroed r×c int32 matrix.
+func NewI32(r, c int) *MatrixI32 {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("dense: negative dimension %dx%d", r, c))
+	}
+	return &MatrixI32{Rows: r, Cols: c, Data: make([]int32, r*c)}
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *MatrixI32) Row(i int) []int32 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("dense: row %d out of range %d", i, m.Rows))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// DotI8 returns the int32 inner product of x and y. Unlike the float
+// kernels the result is exact for any accumulation order — each product
+// is at most 127² and len(x) ≤ MaxI8Dim keeps the sum inside int32 — so
+// the unroll is purely a throughput matter.
+//
+//lsilint:noalloc
+func DotI8(x, y []int8) int32 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("dense: DotI8 lens %d != %d", len(x), len(y)))
+	}
+	y = y[:len(x)] // bounds-check elimination inside the unrolled loop
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += int32(x[i]) * int32(y[i])
+		s1 += int32(x[i+1]) * int32(y[i+1])
+		s2 += int32(x[i+2]) * int32(y[i+2])
+		s3 += int32(x[i+3]) * int32(y[i+3])
+	}
+	for ; i < len(x); i++ {
+		s0 += int32(x[i]) * int32(y[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// QuantizeI8 writes the symmetric scalar quantization of src into dst
+// and returns the scale: s = max|src|/127, dst[j] = round(src[j]/s)
+// clamped to [−127, 127]. A zero vector quantizes to scale 0 and all
+// zeros. The clamp matters: s is itself rounded, so src[j]/s can land a
+// hair above 127 for the extreme coordinate.
+//
+//lsilint:noalloc
+func QuantizeI8(dst []int8, src []float64) float64 {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("dense: QuantizeI8 lens %d != %d", len(dst), len(src)))
+	}
+	var maxAbs float64
+	for _, v := range src {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 { //lsilint:ignore floatcmp — exact zero-vector test; any nonzero maxAbs is a valid divisor
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0
+	}
+	scale := maxAbs / 127
+	inv := 1 / scale
+	for i, v := range src {
+		q := math.Round(v * inv)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		dst[i] = int8(q)
+	}
+	return scale
+}
+
+// ResidualI8 returns ‖x − scale·q‖₂, accumulated in float64 — the
+// per-row quantization residual the certified int8 bracket is built
+// from. Inputs are unit-scale (normalized rows and queries), so plain
+// squared accumulation cannot overflow.
+//
+//lsilint:noalloc
+func ResidualI8(x []float64, q []int8, scale float64) float64 {
+	if len(x) != len(q) {
+		panic(fmt.Sprintf("dense: ResidualI8 lens %d != %d", len(x), len(q)))
+	}
+	var s float64
+	for i, v := range x {
+		d := v - scale*float64(q[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// MulBTI8Into computes out = a·bᵀ into an existing a.Rows×b.Rows int32
+// matrix — the integer gemm behind batched query screening, structured
+// exactly like MulBTF32Into: work splits across workers along whichever
+// operand has more rows, and each worker sweeps b in blocks so a handful
+// of b rows stay cache-hot across consecutive a rows. Every output
+// element is one exact DotI8, so the result is identical for any worker
+// count — and, unlike the float gemms, for any summation order too.
+func MulBTI8Into(out *MatrixI32, a, b *MatrixI8) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MulBTI8 inner dims %d != %d", a.Cols, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: MulBTI8 out %dx%d want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	work := a.Rows * b.Rows * a.Cols
+	nw := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || nw < 2 {
+		mulBTI8Range(out, a, b, 0, a.Rows, 0, b.Rows)
+		return
+	}
+	var wg sync.WaitGroup
+	if a.Rows >= b.Rows {
+		if nw > a.Rows {
+			nw = a.Rows
+		}
+		chunk := (a.Rows + nw - 1) / nw
+		for w := 0; w < nw; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > a.Rows {
+				hi = a.Rows
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				mulBTI8Range(out, a, b, lo, hi, 0, b.Rows)
+			}(lo, hi)
+		}
+	} else {
+		// Few a rows (a query block against a large tier): split the b
+		// rows, i.e. disjoint column ranges of out.
+		if nw > b.Rows {
+			nw = b.Rows
+		}
+		chunk := (b.Rows + nw - 1) / nw
+		for w := 0; w < nw; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > b.Rows {
+				hi = b.Rows
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				mulBTI8Range(out, a, b, 0, a.Rows, lo, hi)
+			}(lo, hi)
+		}
+	}
+	wg.Wait()
+}
+
+// mulBTI8Block is how many rows of b a worker keeps hot while sweeping
+// its a rows — four times the float32 block, since int8 rows are a
+// quarter of the bytes and the same L2 budget holds four times as many.
+const mulBTI8Block = 384
+
+// mulBTI8Range fills out[i][j] = a.Row(i)·b.Row(j) for i in [i0,i1),
+// j in [j0,j1), blocking over j for cache reuse.
+//
+//lsilint:noalloc
+func mulBTI8Range(out *MatrixI32, a, b *MatrixI8, i0, i1, j0, j1 int) {
+	for jb := j0; jb < j1; jb += mulBTI8Block {
+		jend := jb + mulBTI8Block
+		if jend > j1 {
+			jend = j1
+		}
+		for i := i0; i < i1; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := jb; j < jend; j++ {
+				orow[j] = DotI8(arow, b.Row(j))
+			}
+		}
+	}
+}

@@ -107,6 +107,28 @@ type Config struct {
 	// GKRank is the Golub–Kahan projection rank for StrategyGK; 0 means
 	// core.DefaultGKRank. Ignored under StrategyOBrien.
 	GKRank int
+
+	// The remaining fields exist for snapshot restore (shard.Restore):
+	// they let New resume a previously persisted engine instead of
+	// rebuilding its derived state. Leave them zero for a fresh engine.
+
+	// Prebuilt, when non-nil, is the scoring cache reassembled from a
+	// snapshot (rank.EngineFromParts); New adopts it instead of
+	// recomputing mirrors and quantized tiers from model.V. If it already
+	// carries an IVF index the synchronous initial build is skipped too —
+	// this is what makes restored startup independent of corpus size.
+	Prebuilt *rank.Engine
+	// InitialGen, when nonzero, seeds the snapshot generation counter so
+	// generations keep increasing monotonically across a save/load cycle.
+	InitialGen uint64
+	// RestoredDead lists tombstoned rows from the persisted snapshot:
+	// physically present in the model and collection, excluded from every
+	// query, folded out by the next compaction. Their document IDs are
+	// not registered (a deleted ID is released for resubmission).
+	RestoredDead []int
+	// RestoredNextID, when nonzero, resumes the auto-ID counter so
+	// generated IDs ("doc-N") never collide with pre-save assignments.
+	RestoredNextID int
 }
 
 // Stats is a point-in-time view of the pipeline for /stats and /metrics.
@@ -268,6 +290,9 @@ type Engine struct {
 	deadStuck bool
 	nextID    int
 	compactCh chan compactResult
+	// compactWaiters holds CompactNow callers blocked until the in-flight
+	// compaction lands; finishCompaction sends each the outcome.
+	compactWaiters []chan error
 	ivfCh     chan ivfResult
 	// external marks the in-flight compaction as externally driven (a
 	// shard router computing one shared-basis plan across engines): the
@@ -315,26 +340,55 @@ func New(coll *corpus.Collection, model *core.Model, cfg Config) (*Engine, error
 		ivfCh:     make(chan ivfResult, 1),
 	}
 	docs := append([]corpus.Document(nil), coll.Docs...)
+	for _, row := range cfg.RestoredDead {
+		if row < 0 || row >= len(docs) {
+			return nil, fmt.Errorf("engine: restored dead row %d outside [0, %d)", row, len(docs))
+		}
+		e.deadRows[row] = struct{}{}
+	}
 	for i, d := range docs {
+		// A tombstoned row's ID was released at delete time — and may since
+		// have been resubmitted as a live row — so dead rows must not claim
+		// a registry entry.
+		if _, dead := e.deadRows[i]; dead {
+			continue
+		}
 		e.rowOf[d.ID] = i
 	}
 	e.nextID = len(docs)
+	if cfg.RestoredNextID > 0 {
+		e.nextID = cfg.RestoredNextID
+	}
 	if model.FoldedDocs() == 0 && model.FoldedTerms() == 0 {
 		e.base = model
 	} else if cfg.CompactThreshold > 0 {
 		cfg.Logf("engine: model contains folded rows; automatic compaction disabled")
 	}
-	eng := e.newRankEngine(model.V)
+	eng := cfg.Prebuilt
+	if eng == nil {
+		eng = e.newRankEngine(model.V)
+	} else if eng.NumDocs() != model.NumDocs() {
+		return nil, fmt.Errorf("engine: prebuilt cache has %d docs, model %d", eng.NumDocs(), model.NumDocs())
+	}
 	if !cfg.DisableIVF {
-		// The initial index builds synchronously: the engine is not serving
-		// yet, and starting with an indexed snapshot means the very first
-		// query already prunes.
-		if with := eng.BuildIVF(e.ivfConfig()); with != eng {
-			eng = with
-			e.ivfRebuilds.Add(1)
+		if _, _, indexed := eng.IVF(); !indexed {
+			// The initial index builds synchronously: the engine is not
+			// serving yet, and starting with an indexed snapshot means the
+			// very first query already prunes. A prebuilt cache restored
+			// with its index skips this — that skip (plus skipping the SVD)
+			// is what makes -load-model startup O(1) in corpus size.
+			if with := eng.BuildIVF(e.ivfConfig()); with != eng {
+				eng = with
+				e.ivfRebuilds.Add(1)
+			}
 		}
 	}
-	e.snap.Store(&Snapshot{Gen: 1, Model: model, Eng: eng, Docs: docs, counters: &e.counters})
+	gen := uint64(1)
+	if cfg.InitialGen > 0 {
+		gen = cfg.InitialGen
+	}
+	e.snap.Store(&Snapshot{Gen: gen, Model: model, Eng: eng, Docs: docs,
+		Dead: deadSkip(len(docs), e.deadRows), counters: &e.counters})
 	go e.run()
 	return e, nil
 }
@@ -760,6 +814,15 @@ func (e *Engine) maybeCompact() {
 		return
 	default:
 	}
+	e.tryLaunchCompaction(false)
+}
+
+// tryLaunchCompaction freezes the compaction inputs and launches the
+// background update when there is work: fold-ins to absorb (past the
+// orthogonality threshold unless force), or tombstones to resolve.
+// Returns whether a compaction was launched. Updater-goroutine only;
+// the caller has already established base != nil and !compacting.
+func (e *Engine) tryLaunchCompaction(force bool) bool {
 	deadBase, deadPending := e.freezeDead()
 	anyDeadPending := false
 	for _, d := range deadPending {
@@ -768,9 +831,9 @@ func (e *Engine) maybeCompact() {
 	baseN := e.base.NumDocs()
 	canDowndate := len(deadBase) > 0 && !e.deadStuck && baseN-len(deadBase) >= len(e.base.S)
 	needOrth := len(e.pending) > 0 &&
-		e.snap.Load().Model.DocOrthogonality() > e.cfg.CompactThreshold
+		(force || e.snap.Load().Model.DocOrthogonality() > e.cfg.CompactThreshold)
 	if !canDowndate && !anyDeadPending && !needOrth {
-		return
+		return false
 	}
 	base := e.base.SharedClone()
 	livePend := make([]corpus.Document, 0, len(e.pending))
@@ -806,6 +869,62 @@ func (e *Engine) maybeCompact() {
 		}
 		e.compactCh <- res
 	}()
+	return true
+}
+
+// CompactNow forces a compaction regardless of the orthogonality
+// threshold and waits for it to land: every pending fold-in is absorbed
+// into the SVD base and tombstones are folded out where the downdate is
+// feasible. On a quiesced engine the published model afterwards has
+// FoldedDocs() == 0, which is what lets a snapshot restore recover an
+// SVD base (and re-enable automatic compaction) — the -save-model path
+// calls this before persisting. Returns nil with no work done when the
+// model is already compact, ErrNoBase when the engine has no SVD base,
+// ErrCompactionActive when a compaction (internal or external) is
+// already in flight.
+func (e *Engine) CompactNow(ctx context.Context) error {
+	done := make(chan error, 1)
+	var launched bool
+	var err error
+	if opErr := e.onUpdater(func() {
+		switch {
+		case e.base == nil:
+			err = ErrNoBase
+		case e.compacting.Load():
+			err = ErrCompactionActive
+		default:
+			if launched = e.tryLaunchCompaction(true); launched {
+				e.compactWaiters = append(e.compactWaiters, done)
+			}
+		}
+	}); opErr != nil {
+		return opErr
+	}
+	if err != nil || !launched {
+		return err
+	}
+	select {
+	case res := <-done:
+		return res
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// FreezeForSnapshot captures, in one updater turn, the serving snapshot
+// together with the updater-private auto-ID counter — the pair a
+// persistent snapshot needs to be mutually consistent. The engine keeps
+// serving; callers wanting a quiesced capture stop submitting first.
+func (e *Engine) FreezeForSnapshot() (*Snapshot, int, error) {
+	var snap *Snapshot
+	var nextID int
+	if err := e.onUpdater(func() {
+		snap = e.snap.Load()
+		nextID = e.nextID
+	}); err != nil {
+		return nil, 0, err
+	}
+	return snap, nextID, nil
 }
 
 // ExternalCompaction is the frozen per-engine state a coordinated
@@ -936,6 +1055,13 @@ func (e *Engine) finishCompaction(res compactResult) {
 	e.compacting.Store(false)
 	fr := e.frozen
 	e.frozen = nil
+	// Wake CompactNow callers with the outcome, success or failure; the
+	// channels are buffered so an abandoned waiter cannot block the
+	// updater.
+	for _, ch := range e.compactWaiters {
+		ch <- res.err
+	}
+	e.compactWaiters = nil
 	if res.err != nil {
 		// Should be unreachable (the base is unfolded by construction);
 		// keep serving the folded snapshots and leave pending intact.

@@ -190,3 +190,41 @@ func cleanBidiagStep(u, xPrev, alpha, beta []float64, j int, b float64) float64 
 	}
 	return n
 }
+
+// cleanKernelI8 mirrors the int8 screening-tier kernels: an unrolled
+// int8 dot product accumulated exactly in int32 (products bounded by
+// 127² and MaxI8Dim keep the sum in range), then one widening to
+// float64 with the per-row scale and residual certificate — all
+// allocation-free.
+//
+//lsilint:noalloc
+func cleanKernelI8(x, y []int8, scale, eps8 []float64, row int, low float64) float64 {
+	var s0, s1 int32
+	i := 0
+	for ; i+2 <= len(x); i += 2 {
+		s0 += int32(x[i]) * int32(y[i])
+		s1 += int32(x[i+1]) * int32(y[i+1])
+	}
+	for ; i < len(x); i++ {
+		s0 += int32(x[i]) * int32(y[i])
+	}
+	sc := float64(s0+s1) * scale[row] // widening + scale: no diagnostic
+	if sc+eps8[row] >= low {
+		return sc
+	}
+	return low
+}
+
+// quantizeAlloc is the int8 shape gone wrong: building the quantized
+// row and its certificate on the scoring path instead of reading the
+// engine's prebuilt arrays.
+//
+//lsilint:noalloc
+func quantizeAlloc(v []float64, s float64) []int8 {
+	q := make([]int8, len(v)) // want noalloc
+	for i, x := range v {
+		q[i] = int8(x / s)
+	}
+	q = append(q, 0) // want noalloc
+	return q
+}

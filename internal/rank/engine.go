@@ -50,43 +50,58 @@ type Engine struct {
 
 // newEngineFor wraps an already-normalized matrix whose backing slice is
 // exclusively owned by the new engine, building the screening mirror
-// unless the engine is exact-only.
-func newEngineFor(docs *dense.Matrix, withMirror bool) *Engine {
+// (and, when withInt8, the int8 coarse tier) unless the engine is
+// exact-only.
+func newEngineFor(docs *dense.Matrix, withMirror, withInt8 bool) *Engine {
 	claimed := new(atomic.Int64)
 	claimed.Store(int64(len(docs.Data)))
 	e := &Engine{docs: docs, claimed: claimed}
 	if withMirror {
-		e.mir = buildMirror(docs)
+		e.mir = buildMirror(docs, withInt8)
 	}
 	return e
 }
 
-// NewEngine builds the normalized cache — and its float32 screening
-// mirror — from an n×dim matrix of document vectors (a copy; the input
-// is not retained or mutated).
+// NewEngine builds the normalized cache — with its float32 screening
+// mirror and int8 coarse tier — from an n×dim matrix of document
+// vectors (a copy; the input is not retained or mutated).
 func NewEngine(vectors *dense.Matrix) *Engine {
-	return newEngine(vectors, true)
+	return newEngine(vectors, true, true)
 }
 
-// NewEngineExact is NewEngine without the screening mirror: every query
-// runs the float64 path directly. It trades the two-stage speedup for a
-// third less memory — the opt-out behind the server's screening flag,
-// and the reference the parity tests pin the screened path against.
+// NewEngineF32 is NewEngine without the int8 coarse tier: the two-stage
+// float32-then-float64 path of PR 5. It exists for the memory/throughput
+// comparison benchmarks and as a fallback reference; production engines
+// carry the full three-tier stack.
+func NewEngineF32(vectors *dense.Matrix) *Engine {
+	return newEngine(vectors, true, false)
+}
+
+// NewEngineExact is NewEngine without any screening tier: every query
+// runs the float64 path directly. It trades the multi-stage speedup for
+// less memory — the opt-out behind the server's screening flag, and the
+// reference the parity tests pin the screened paths against.
 func NewEngineExact(vectors *dense.Matrix) *Engine {
-	return newEngine(vectors, false)
+	return newEngine(vectors, false, false)
 }
 
-func newEngine(vectors *dense.Matrix, withMirror bool) *Engine {
+func newEngine(vectors *dense.Matrix, withMirror, withInt8 bool) *Engine {
 	docs := vectors.Clone()
 	for i := 0; i < docs.Rows; i++ {
 		dense.Normalize(docs.Row(i))
 	}
-	return newEngineFor(docs, withMirror)
+	return newEngineFor(docs, withMirror, withInt8)
 }
 
 // Screening reports whether this engine carries a float32 screening
 // mirror (it may still serve small collections through the exact path).
 func (e *Engine) Screening() bool { return e.mir != nil }
+
+// Int8Screening reports whether this engine carries the int8 coarse
+// tier in front of the float32 mirror. It can be false on a screening
+// engine when the row width exceeds dense.MaxI8Dim (the integer dot
+// could overflow) or the engine was built with NewEngineF32.
+func (e *Engine) Int8Screening() bool { return e.mir != nil && e.mir.q8 != nil }
 
 // Extend returns a new Engine covering the old documents plus the given
 // newly-appended rows — the incremental path for folding-in, which only
@@ -135,7 +150,7 @@ func (e *Engine) Extend(more *dense.Matrix) *Engine {
 	copy(data, e.docs.Data)
 	copy(data[oldLen:], norm.Data)
 	ne := newEngineFor(&dense.Matrix{Rows: e.docs.Rows + norm.Rows, Cols: e.docs.Cols, Data: data},
-		e.mir != nil)
+		e.mir != nil, e.mir != nil && e.mir.q8 != nil)
 	// The cluster index describes a row prefix whose values are identical
 	// in the copy, so it stays valid across the copy path too.
 	ne.ivf = e.ivf
@@ -272,11 +287,12 @@ func (e *Engine) TopKSkipWithStats(q []float64, k int, skip Skip) ([]Item, Scree
 	}
 	qn := normalizeCopy(q)
 	if e.ivf != nil && e.screenable(k) {
-		q32 := make([]float32, len(qn))
-		dense.ConvertF32(q32, qn)
-		return e.topKIVF(qn, q32, e.screenSlack(qn, q32), k, e.ivf.nprobe, skip)
+		return e.topKIVF(qn, k, e.ivf.nprobe, skip)
 	}
 	if e.screenable(k) {
+		if e.mir.q8 != nil {
+			return e.topKScreened8(qn, k, skip)
+		}
 		return e.topKScreened(qn, k, skip)
 	}
 	return e.topKExact(qn, k, skip), ScreenStats{}
@@ -359,6 +375,8 @@ func (e *Engine) TopKBatchSkipWithStats(queries *dense.Matrix, k int, skip Skip)
 	if kk := minInt(k, live); kk > 0 && e.screenable(kk) {
 		if e.ivf != nil {
 			e.topKBatchIVF(out, stats, queries, kk, e.ivf.nprobe, skip)
+		} else if e.mir.q8 != nil {
+			e.topKBatchScreened8(out, stats, queries, kk, skip)
 		} else {
 			e.topKBatchScreened(out, stats, queries, kk, skip)
 		}

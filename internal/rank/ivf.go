@@ -516,6 +516,10 @@ func ivfUBSlack(dim int) float64 {
 type ivfScratch struct {
 	ids []int32
 	s32 []float32
+	// d8 holds the raw integer dot of each gathered row on the three-tier
+	// path (unused, zero-length reslice cost, when the engine has no int8
+	// tier).
+	d8 []int32
 }
 
 var ivfScratchPool = sync.Pool{New: func() any { return new(ivfScratch) }}
@@ -525,21 +529,17 @@ func getIVFScratch(n int) *ivfScratch {
 	if cap(sc.ids) < n {
 		sc.ids = make([]int32, n)
 		sc.s32 = make([]float32, n)
+		sc.d8 = make([]int32, n)
 	}
 	sc.ids = sc.ids[:n]
 	sc.s32 = sc.s32[:n]
+	sc.d8 = sc.d8[:n]
 	return sc
 }
 
-// topKIVF is the cluster-pruned two-stage scan. Callers guarantee
-// screenable(k), k ≤ live rows, and e.ivf != nil; nprobe ≤ 0 scans until
-// the certified bound terminates the sweep (exact), nprobe > 0
-// additionally caps the scan at nprobe cells once at least k rows have
-// been seen. Skipped rows are excluded at gather time, so they never
-// enter the scratch arrays and rescoreGathered needs no skip test; a
-// cell's certified ub stays valid for its surviving members (the radius
-// only loosens when the tombstoned row was the farthest member).
-func (e *Engine) topKIVF(qn []float64, q32 []float32, slack float64, k, nprobe int, skip Skip) ([]Item, ScreenStats) {
+// ivfCellOrder ranks the index cells for a normalized query: certified
+// upper bounds plus the deterministic decreasing-ub visit order.
+func (e *Engine) ivfCellOrder(qn []float64) ([]float64, []int) {
 	idx := e.ivf
 	nc := len(idx.members)
 	ubs := make([]float64, nc)
@@ -558,7 +558,30 @@ func (e *Engine) topKIVF(qn []float64, q32 []float32, slack float64, k, nprobe i
 		}
 		return ca < cb
 	})
+	return ubs, order
+}
 
+// topKIVF is the cluster-pruned scan. Callers guarantee screenable(k),
+// k ≤ live rows, and e.ivf != nil; nprobe ≤ 0 scans until the certified
+// bound terminates the sweep (exact), nprobe > 0 additionally caps the
+// scan at nprobe cells once at least k rows have been seen. Skipped rows
+// are excluded at gather time, so they never enter the scratch arrays
+// and the later passes need no skip test; a cell's certified ub stays
+// valid for its surviving members (the radius only loosens when the
+// tombstoned row was the farthest member). With an int8 tier the gather
+// sweep reads the quantized rows and its selector carries coarse lower
+// bounds; the cell-skip test is unchanged, because any certified lower
+// bound ≤ the corresponding exact score makes ubs[c] < L a proof that no
+// member of c reaches the top-k.
+func (e *Engine) topKIVF(qn []float64, k, nprobe int, skip Skip) ([]Item, ScreenStats) {
+	if e.mir.q8 != nil {
+		return e.topKIVF8(qn, k, nprobe, skip)
+	}
+	q32 := make([]float32, len(qn))
+	dense.ConvertF32(q32, qn)
+	slack := e.screenSlack(qn, q32)
+	idx := e.ivf
+	ubs, order := e.ivfCellOrder(qn)
 	sc := getIVFScratch(e.docs.Rows)
 	sel := newSelector(k)
 	// The unclustered tail — rows appended after the index was built —
@@ -586,7 +609,53 @@ func (e *Engine) topKIVF(qn []float64, q32 []float32, slack float64, k, nprobe i
 	cands := e.rescoreGathered(rsel, sc.ids, sc.s32, qn, slack, low, m)
 	items := rsel.finish()
 	st := ScreenStats{Screened: true, Candidates: cands,
-		ClustersTotal: nc, ClustersScanned: scanned, ScannedRows: m}
+		ClustersTotal: len(idx.members), ClustersScanned: scanned, ScannedRows: m}
+	ivfScratchPool.Put(sc)
+	return items, st
+}
+
+// topKIVF8 is topKIVF with the int8 coarse tier in front: the gather
+// sweep reads quantized rows at a byte per coordinate and seeds the
+// selector with coarse lower bounds; after the sweep, gathered rows
+// whose coarse upper bound clears the threshold promote (in place) to
+// the float32 bracket, and the standard gathered rescore finishes in
+// float64 — byte-identical to the f32 path by the same stacked-threshold
+// argument as promoteRescore8 in screen8.go.
+func (e *Engine) topKIVF8(qn []float64, k, nprobe int, skip Skip) ([]Item, ScreenStats) {
+	q := e.quantizeQuery(qn)
+	idx := e.ivf
+	ubs, order := e.ivfCellOrder(qn)
+	sc := getIVFScratch(e.docs.Rows)
+	sel := newSelector(k)
+	m := e.gatherRange8(sel, sc.ids, sc.d8, q, idx.rows, e.docs.Rows, 0, skip)
+	scanned := 0
+	for _, c := range order {
+		if len(sel.h) >= k {
+			if ubs[c] < sel.h[0].Score {
+				break // certified against the coarse lower bounds too
+			}
+			if nprobe > 0 && scanned >= nprobe {
+				break
+			}
+		}
+		m = e.gatherMembers8(sel, sc.ids, sc.d8, q, idx.members[c], m, skip)
+		scanned++
+	}
+	low8 := math.Inf(-1)
+	if len(sel.h) >= k {
+		low8 = sel.h[0].Score
+	}
+	psel := newSelector(k)
+	p := e.promoteGathered8(psel, sc.ids, sc.d8, sc.s32, q, low8, m)
+	low32 := math.Inf(-1)
+	if len(psel.h) >= k {
+		low32 = psel.h[0].Score
+	}
+	rsel := newSelector(k)
+	cands := e.rescoreGathered(rsel, sc.ids, sc.s32, qn, q.slack32, low32, p)
+	items := rsel.finish()
+	st := ScreenStats{Screened: true, Candidates: cands, Promoted: p,
+		ClustersTotal: len(idx.members), ClustersScanned: scanned, ScannedRows: m}
 	ivfScratchPool.Put(sc)
 	return items, st
 }
@@ -651,6 +720,97 @@ func (e *Engine) gatherMembers(s *selector, ids []int32, s32 []float32, q32 []fl
 	return m
 }
 
+// gatherRange8 is gatherRange against the int8 tier: rows [lo, hi) get
+// an exact integer dot, the raw dot lands in the d8 scratch, and the
+// certified coarse lower bound feeds the selector.
+//
+//lsilint:noalloc
+func (e *Engine) gatherRange8(s *selector, ids []int32, d8 []int32, q *q8query, lo, hi, m int, skip Skip) int {
+	mir := e.mir
+	if skip == nil {
+		for i := lo; i < hi; i++ {
+			d := dense.DotI8(q.qq8, mir.q8.Row(i))
+			ids[m] = int32(i)
+			d8[m] = d
+			m++
+			c := mir.scale[i] * q.sq * float64(d)
+			s.offer(Item{Doc: i, Score: c - mir.eps8[i]*q.epsMul - q.slack8})
+		}
+		return m
+	}
+	for i := lo; i < hi; i++ {
+		if skip.Has(i) {
+			continue
+		}
+		d := dense.DotI8(q.qq8, mir.q8.Row(i))
+		ids[m] = int32(i)
+		d8[m] = d
+		m++
+		c := mir.scale[i] * q.sq * float64(d)
+		s.offer(Item{Doc: i, Score: c - mir.eps8[i]*q.epsMul - q.slack8})
+	}
+	return m
+}
+
+// gatherMembers8 is gatherRange8 over a cell's member list — the
+// three-tier cluster-scan kernel.
+//
+//lsilint:noalloc
+func (e *Engine) gatherMembers8(s *selector, ids []int32, d8 []int32, q *q8query, mem []int32, m int, skip Skip) int {
+	mir := e.mir
+	if skip == nil {
+		for _, id := range mem {
+			i := int(id)
+			d := dense.DotI8(q.qq8, mir.q8.Row(i))
+			ids[m] = id
+			d8[m] = d
+			m++
+			c := mir.scale[i] * q.sq * float64(d)
+			s.offer(Item{Doc: i, Score: c - mir.eps8[i]*q.epsMul - q.slack8})
+		}
+		return m
+	}
+	for _, id := range mem {
+		i := int(id)
+		if skip.Has(i) {
+			continue
+		}
+		d := dense.DotI8(q.qq8, mir.q8.Row(i))
+		ids[m] = id
+		d8[m] = d
+		m++
+		c := mir.scale[i] * q.sq * float64(d)
+		s.offer(Item{Doc: i, Score: c - mir.eps8[i]*q.epsMul - q.slack8})
+	}
+	return m
+}
+
+// promoteGathered8 compacts the m gathered rows in place, keeping (at
+// position p ≤ j) exactly those whose coarse upper bound clears low8,
+// scoring the keepers through the float32 mirror and feeding their
+// certified float32 lower bounds through the selector. Returns the
+// promoted count; afterward ids[:p]/s32[:p] are exactly what
+// rescoreGathered expects.
+//
+//lsilint:noalloc
+func (e *Engine) promoteGathered8(s *selector, ids []int32, d8 []int32, s32 []float32, q *q8query, low8 float64, m int) int {
+	mir := e.mir
+	p := 0
+	for j := 0; j < m; j++ {
+		i := int(ids[j])
+		c := mir.scale[i] * q.sq * float64(d8[j])
+		if c+mir.eps8[i]*q.epsMul+q.slack8 < low8 {
+			continue
+		}
+		sc := dense.DotF32(q.q32, mir.docs.Row(i))
+		ids[p] = ids[j]
+		s32[p] = sc
+		p++
+		s.offer(Item{Doc: i, Score: float64(sc) - mir.eps[i] - q.slack32})
+	}
+	return p
+}
+
 // rescoreGathered rescans the m gathered candidates, rescoring in
 // float64 every row whose certified upper bound clears the threshold —
 // the same bracket test as rescoreSpan, over the gathered subset.
@@ -692,11 +852,12 @@ func (e *Engine) TopKProbeSkip(q []float64, k, nprobe int, skip Skip) ([]Item, S
 	}
 	qn := normalizeCopy(q)
 	if e.ivf != nil && e.screenable(k) {
-		q32 := make([]float32, len(qn))
-		dense.ConvertF32(q32, qn)
-		return e.topKIVF(qn, q32, e.screenSlack(qn, q32), k, nprobe, skip)
+		return e.topKIVF(qn, k, nprobe, skip)
 	}
 	if e.screenable(k) {
+		if e.mir.q8 != nil {
+			return e.topKScreened8(qn, k, skip)
+		}
 		return e.topKScreened(qn, k, skip)
 	}
 	return e.topKExact(qn, k, skip), ScreenStats{}
@@ -711,9 +872,7 @@ func (e *Engine) topKBatchIVF(out [][]Item, stats []ScreenStats, queries *dense.
 	run := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			qn := normalizeCopy(queries.Row(i))
-			q32 := make([]float32, len(qn))
-			dense.ConvertF32(q32, qn)
-			out[i], stats[i] = e.topKIVF(qn, q32, e.screenSlack(qn, q32), k, nprobe, skip)
+			out[i], stats[i] = e.topKIVF(qn, k, nprobe, skip)
 		}
 	}
 	nw := runtime.GOMAXPROCS(0)

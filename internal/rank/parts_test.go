@@ -1,0 +1,138 @@
+package rank
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// rebuildDocs replays what a snapshot restore does for the float64
+// cache: unit-normalize a fresh clone of the raw vectors.
+func rebuildDocs(raw *dense.Matrix) *dense.Matrix {
+	docs := raw.Clone()
+	for i := 0; i < docs.Rows; i++ {
+		dense.Normalize(docs.Row(i))
+	}
+	return docs
+}
+
+// TestPartsRoundTrip pins the restore contract: an engine reassembled
+// from Parts() plus renormalized raw vectors answers every query
+// byte-identically to the original — flat, with int8 tier, and with an
+// IVF index — and carries the same tier flags.
+func TestPartsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4041))
+	for _, tc := range []struct {
+		name string
+		n    int
+		ivf  bool
+	}{
+		{"flat", 400, false},
+		{"ivf", 1200, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := clusteredMatrix(rng, tc.n, 12, 7, 0.08)
+			// A zero row and duplicate rows to exercise ties and scale-0.
+			copy(raw.Row(1), make([]float64, 12))
+			copy(raw.Row(2), raw.Row(3))
+			orig := NewEngine(raw)
+			if tc.ivf {
+				orig = orig.BuildIVF(IVFConfig{MinRows: 1})
+			}
+
+			p := orig.Parts()
+			restored, err := EngineFromParts(rebuildDocs(raw), p)
+			if err != nil {
+				t.Fatalf("EngineFromParts: %v", err)
+			}
+			if restored.Screening() != orig.Screening() ||
+				restored.Int8Screening() != orig.Int8Screening() ||
+				(restored.ivf != nil) != (orig.ivf != nil) {
+				t.Fatalf("tier flags changed across round trip")
+			}
+			restored.checkMirror() // panics on any mirror drift
+
+			skip := NewSkip(tc.n)
+			skip.Set(5)
+			skip.Set(17)
+			for trial := 0; trial < 60; trial++ {
+				q := make([]float64, 12)
+				for j := range q {
+					q[j] = rng.NormFloat64()
+				}
+				k := 1 + rng.Intn(20)
+				want := orig.TopKSkip(q, k, skip)
+				got := restored.TopKSkip(q, k, skip)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("k=%d trial=%d: restored engine diverged\nwant %v\ngot  %v",
+						k, trial, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPartsRejectsCorrupt pins the structural validation: mangled
+// sections must fail EngineFromParts/IVFFromParts loudly, never build a
+// silently wrong engine.
+func TestPartsRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	raw := clusteredMatrix(rng, 600, 10, 5, 0.1)
+	orig := NewEngine(raw).BuildIVF(IVFConfig{MinRows: 1})
+	docs := rebuildDocs(raw)
+
+	mangle := []struct {
+		name string
+		f    func(p *Parts)
+	}{
+		{"mirror-short", func(p *Parts) { p.Mirror = p.Mirror[:len(p.Mirror)-1] }},
+		{"eps-short", func(p *Parts) { p.Eps = p.Eps[:10] }},
+		{"q8-short", func(p *Parts) { p.Q8 = p.Q8[:len(p.Q8)-3] }},
+		{"scale-short", func(p *Parts) { p.Scale = p.Scale[:1] }},
+		{"q8-no-mirror", func(p *Parts) { p.Mirror = nil }},
+		{"rows-wrong", func(p *Parts) { p.Rows-- }},
+		{"ivf-dim", func(p *Parts) { p.IVF.Dim++ }},
+		{"ivf-member-dup", func(p *Parts) { p.IVF.Members[0] = p.IVF.Members[1] }},
+		{"ivf-member-oob", func(p *Parts) { p.IVF.Members[0] = int32(p.Rows) }},
+		{"ivf-member-neg", func(p *Parts) { p.IVF.Members[0] = -1 }},
+		{"ivf-count-over", func(p *Parts) { p.IVF.MemberCounts[0]++ }},
+		{"ivf-count-under", func(p *Parts) { p.IVF.MemberCounts[0]-- }},
+		{"ivf-radius-neg", func(p *Parts) { p.IVF.Radius[0] = -1 }},
+		{"ivf-cents-short", func(p *Parts) { p.IVF.Cents = p.IVF.Cents[:3] }},
+	}
+	// Parts() hands out views of the engine's own arrays, so each mangle
+	// works on a deep copy — writing through a view would corrupt orig.
+	clone := func() *Parts {
+		p := orig.Parts()
+		c := *p
+		c.Mirror = append([]float32(nil), p.Mirror...)
+		c.Eps = append([]float64(nil), p.Eps...)
+		c.Q8 = append([]int8(nil), p.Q8...)
+		c.Scale = append([]float64(nil), p.Scale...)
+		c.Eps8 = append([]float64(nil), p.Eps8...)
+		if p.IVF != nil {
+			iv := *p.IVF
+			iv.Cents = append([]float64(nil), p.IVF.Cents...)
+			iv.Radius = append([]float64(nil), p.IVF.Radius...)
+			iv.MemberCounts = append([]int32(nil), p.IVF.MemberCounts...)
+			iv.Members = append([]int32(nil), p.IVF.Members...)
+			c.IVF = &iv
+		}
+		return &c
+	}
+	for _, m := range mangle {
+		t.Run(m.name, func(t *testing.T) {
+			p := clone()
+			m.f(p)
+			if _, err := EngineFromParts(docs, p); err == nil {
+				t.Fatalf("corruption %q accepted", m.name)
+			}
+		})
+	}
+	// And the unmangled control still loads.
+	if _, err := EngineFromParts(docs, orig.Parts()); err != nil {
+		t.Fatalf("control failed: %v", err)
+	}
+}

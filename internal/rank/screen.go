@@ -66,13 +66,30 @@ type mirror struct {
 	// maxEps bounds ‖row32‖ ≤ ‖row64‖ + ‖row64 − row32‖ ≤ 1 + maxEps for
 	// every row, monotone along an Extend chain.
 	maxEps float64
+	// q8 is the optional int8 coarse tier: the symmetric scalar
+	// quantization of each float64 row (q8[i][j] = round(row64[i][j] /
+	// scale[i]), see dense.QuantizeI8), scanned before the float32 bracket
+	// at one byte per coordinate. Nil when the engine carries no int8
+	// tier; the bracket machinery is in screen8.go.
+	q8 *dense.MatrixI8
+	// scale[i] is row i's quantization scale (max|row|/127; 0 for a zero
+	// row).
+	scale []float64
+	// eps8[i] = ‖row64_i − scale_i·q8_i‖₂ · boundSlack: the certified
+	// per-row int8 quantization residual — the ε of the coarse bracket.
+	eps8 []float64
+	// maxEps8 bounds ‖scale_i·q8_i‖ ≤ 1 + maxEps8 for every row, monotone
+	// along an Extend chain, like maxEps for the float32 tier.
+	maxEps8 float64
 }
 
-// buildMirror converts every row of docs, allocating the float32 data
-// and per-row residuals with capacities matching cap(docs.Data) so the
-// mirror can ride the same spare-capacity claim chain as the float64
-// cache.
-func buildMirror(docs *dense.Matrix) *mirror {
+// buildMirror converts every row of docs, allocating the float32 data —
+// and, when withInt8, the int8 tier — plus per-row residuals with
+// capacities matching cap(docs.Data) so the mirror can ride the same
+// spare-capacity claim chain as the float64 cache. Rows wider than
+// dense.MaxI8Dim never get an int8 tier (the integer dot could
+// overflow); they keep the two-tier path.
+func buildMirror(docs *dense.Matrix, withInt8 bool) *mirror {
 	capElems := cap(docs.Data)
 	capRows := docs.Rows
 	if docs.Cols > 0 {
@@ -83,13 +100,20 @@ func buildMirror(docs *dense.Matrix) *mirror {
 			Data: make([]float32, len(docs.Data), capElems)},
 		eps: make([]float64, docs.Rows, capRows),
 	}
+	if withInt8 && docs.Cols <= dense.MaxI8Dim {
+		m.q8 = &dense.MatrixI8{Rows: docs.Rows, Cols: docs.Cols,
+			Data: make([]int8, len(docs.Data), capElems)}
+		m.scale = make([]float64, docs.Rows, capRows)
+		m.eps8 = make([]float64, docs.Rows, capRows)
+	}
 	m.fillRows(docs, 0)
 	return m
 }
 
 // fillRows converts rows [from, docs.Rows) from the float64 cache into
 // the mirror's (already sized) slices and folds their residuals into
-// maxEps. Callers guarantee exclusive ownership of that row range.
+// maxEps/maxEps8. Callers guarantee exclusive ownership of that row
+// range.
 func (m *mirror) fillRows(docs *dense.Matrix, from int) {
 	for i := from; i < docs.Rows; i++ {
 		r64 := docs.Row(i)
@@ -99,6 +123,17 @@ func (m *mirror) fillRows(docs *dense.Matrix, from int) {
 		m.eps[i] = e
 		if e > m.maxEps {
 			m.maxEps = e
+		}
+		if m.q8 == nil {
+			continue
+		}
+		r8 := m.q8.Row(i)
+		s := dense.QuantizeI8(r8, r64)
+		m.scale[i] = s
+		e8 := dense.ResidualI8(r64, r8, s) * boundSlack
+		m.eps8[i] = e8
+		if e8 > m.maxEps8 {
+			m.maxEps8 = e8
 		}
 	}
 }
@@ -114,6 +149,13 @@ func (m *mirror) extendShared(docs *dense.Matrix, oldRows int) *mirror {
 		eps:    m.eps[:docs.Rows],
 		maxEps: m.maxEps,
 	}
+	if m.q8 != nil {
+		next.q8 = &dense.MatrixI8{Rows: docs.Rows, Cols: docs.Cols,
+			Data: m.q8.Data[:len(docs.Data)]}
+		next.scale = m.scale[:docs.Rows]
+		next.eps8 = m.eps8[:docs.Rows]
+		next.maxEps8 = m.maxEps8
+	}
 	next.fillRows(docs, oldRows)
 	return next
 }
@@ -126,6 +168,10 @@ type ScreenStats struct {
 	// Candidates is how many rows survived screening and were rescored in
 	// float64 (k ≤ Candidates ≤ NumDocs when Screened).
 	Candidates int
+	// Promoted is how many rows the int8 coarse pass promoted to the
+	// float32 bracket (Candidates ≤ Promoted when the int8 tier ran;
+	// 0 on the two-tier and exact paths).
+	Promoted int
 	// ClustersTotal is how many IVF cells the engine's index holds; zero
 	// when the query ran without a cluster index.
 	ClustersTotal int
@@ -401,6 +447,26 @@ func (e *Engine) checkMirror() {
 		for j, v := range r64 {
 			if math.Float32bits(r32[j]) != math.Float32bits(float32(v)) {
 				panic("rank: mirror row not bit-equal to converted float64 row")
+			}
+		}
+	}
+	if e.mir.q8 == nil {
+		return
+	}
+	if e.mir.q8.Rows != e.docs.Rows || e.mir.q8.Cols != e.docs.Cols {
+		panic("rank: int8 tier shape drift")
+	}
+	requant := make([]int8, e.docs.Cols)
+	for i := 0; i < e.docs.Rows; i++ {
+		r64 := e.docs.Row(i)
+		s := dense.QuantizeI8(requant, r64)
+		if math.Float64bits(s) != math.Float64bits(e.mir.scale[i]) {
+			panic("rank: int8 tier scale not bit-equal to requantization")
+		}
+		r8 := e.mir.q8.Row(i)
+		for j, q := range requant {
+			if r8[j] != q {
+				panic("rank: int8 tier row not bit-equal to requantization")
 			}
 		}
 	}

@@ -106,6 +106,26 @@ func NewWithOptions(coll *corpus.Collection, model *core.Model, opts Options) (*
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	return newFromRouter(router, coll, opts), nil
+}
+
+// NewFromRouter wraps an already-constructed serving tier — the
+// -load-model path, where the router was restored from a snapshot file
+// instead of built from a collection and model. The router's own
+// (vocabulary-only) collection parses queries; opts.Shards and the
+// engine pipeline knobs are ignored, since the restored tier already
+// has them.
+func NewFromRouter(router *shard.Router, opts Options) *Server {
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	return newFromRouter(router, router.Collection(), opts)
+}
+
+func newFromRouter(router *shard.Router, coll *corpus.Collection, opts Options) *Server {
 	s := &Server{
 		router:  router,
 		coll:    coll,
@@ -122,7 +142,7 @@ func NewWithOptions(coll *corpus.Collection, model *core.Model, opts Options) (*
 	s.mux.HandleFunc("/docs/", s.instrument("delete_document", s.handleDeleteDocument))
 	s.mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
-	return s, nil
+	return s
 }
 
 // Router exposes the sharded serving tier (for shutdown wiring, stats

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package snapfile
+
+import "os"
+
+// mapFile reads path fully into memory — the portable fallback where
+// no mmap syscall is wrapped. Semantics match the mapped path except
+// that cold sections cost read I/O up front.
+func mapFile(path string) ([]byte, func() error, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return blob, nil, nil
+}

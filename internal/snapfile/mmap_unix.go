@@ -1,0 +1,45 @@
+//go:build unix
+
+package snapfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The mapping is PROT_READ: any write
+// through a section view faults immediately instead of silently
+// corrupting the snapshot — which is also why restored engines treat
+// every restored array as immutable (their spare capacity is zero, so
+// e.g. rank.Engine.Extend always takes its copy path). An empty file
+// cannot be mapped and falls back to a plain read.
+func mapFile(path string) ([]byte, func() error, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer fd.Close()
+	st, err := fd.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, fmt.Errorf("snapfile: %s is empty", path)
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("snapfile: %s is too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (or exotic mount options):
+		// degrade to an in-memory read.
+		blob, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return blob, nil, nil
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

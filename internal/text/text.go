@@ -194,6 +194,24 @@ func BuildVocabulary(docs []string, opts ParseOptions) *Vocabulary {
 	return v
 }
 
+// NewVocabularyFromTerms rebuilds a vocabulary from a persisted term
+// list — the snapshot-restore constructor. The terms must be the exact
+// (sorted) list a BuildVocabulary call produced and opts the options it
+// ran under, so queries parse and project identically to the original
+// process; no document-frequency filtering is re-applied.
+func NewVocabularyFromTerms(terms []string, opts ParseOptions) *Vocabulary {
+	opts.fill()
+	v := &Vocabulary{
+		Terms: terms,
+		Index: make(map[string]int, len(terms)),
+		opts:  opts,
+	}
+	for i, t := range terms {
+		v.Index[t] = i
+	}
+	return v
+}
+
 // Size returns the number of indexing terms.
 func (v *Vocabulary) Size() int { return len(v.Terms) }
 
